@@ -1,0 +1,536 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated fabric. Each generator returns
+// structured series; render.go formats them the way the paper reports
+// them. bench_test.go (repo root) exposes one testing.B benchmark per
+// table/figure, and cmd/figures prints them from the command line.
+//
+// Baseline runs use the consensus CID mode (stock Open MPI master);
+// Sessions runs use the exCID mode (the prototype). Absolute numbers are
+// properties of the simulation profile; the paper's claims are about the
+// relative shapes (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/hpcc"
+	"gompi/internal/osu"
+	"gompi/internal/topo"
+	"gompi/internal/twomesh"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+func consensusCfg() core.Config { return core.Config{CIDMode: core.CIDConsensus} }
+func excidCfg() core.Config     { return core.Config{CIDMode: core.CIDExtended} }
+
+// settle quiesces the Go runtime between measurement jobs so GC debt from
+// one job is not billed to the next.
+func settle() {
+	goruntime.GC()
+}
+
+// jobOpts builds launch options for a node-count/ppn shape.
+func jobOpts(profile topo.Profile, nodes, ppn int, cfg core.Config) runtime.Options {
+	return runtime.Options{
+		Cluster: topo.New(profile, nodes),
+		PPN:     ppn,
+		NP:      nodes * ppn,
+		Config:  cfg,
+	}
+}
+
+// maxDuration tracks the job-wide maximum of per-rank durations.
+type maxDuration struct {
+	mu sync.Mutex
+	d  time.Duration
+}
+
+func (m *maxDuration) add(d time.Duration) {
+	m.mu.Lock()
+	if d > m.d {
+		m.d = d
+	}
+	m.mu.Unlock()
+}
+
+// InitPoint is one x-axis point of Fig. 3: startup time by node count for
+// the two initialization paths, with the Sessions-side breakdown the
+// paper's analysis quotes (≈30% session-handle init at 28 ppn).
+type InitPoint struct {
+	Nodes         int
+	PPN           int
+	WorldInit     time.Duration // MPI_Init on the baseline build
+	Sessions      time.Duration // Session_init + Group_from_pset + Comm_create_from_group
+	SessionInit   time.Duration
+	GroupFromPset time.Duration
+	CommCreate    time.Duration
+}
+
+// InitSweep regenerates Fig. 3a (ppn=1) / Fig. 3b (ppn=28): MPI startup
+// time versus node count for both initialization paths.
+func InitSweep(profile topo.Profile, ppn int, nodeCounts []int) ([]InitPoint, error) {
+	const trials = 3
+	var out []InitPoint
+	for _, nodes := range nodeCounts {
+		pt := InitPoint{Nodes: nodes, PPN: ppn}
+
+		// Baseline: MPI_Init on the consensus build (best of trials).
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			var w maxDuration
+			err := runtime.Run(jobOpts(profile, nodes, ppn, consensusCfg()), func(p *mpi.Process) error {
+				d, cleanup, err := osu.MeasureWorldInit(p)
+				if err != nil {
+					return err
+				}
+				w.add(d)
+				return cleanup()
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: init sweep %d nodes (baseline): %w", nodes, err)
+			}
+			if pt.WorldInit == 0 || w.d < pt.WorldInit {
+				pt.WorldInit = w.d
+			}
+		}
+
+		// Sessions: the Fig. 1 sequence on the prototype build.
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			var s, si, gp, cc maxDuration
+			err := runtime.Run(jobOpts(profile, nodes, ppn, excidCfg()), func(p *mpi.Process) error {
+				b, cleanup, err := osu.MeasureSessionsInit(p, "fig3")
+				if err != nil {
+					return err
+				}
+				s.add(b.Total)
+				si.add(b.SessionInit)
+				gp.add(b.GroupFromPset)
+				cc.add(b.CommCreate)
+				return cleanup()
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: init sweep %d nodes (sessions): %w", nodes, err)
+			}
+			if pt.Sessions == 0 || s.d < pt.Sessions {
+				pt.Sessions, pt.SessionInit, pt.GroupFromPset, pt.CommCreate = s.d, si.d, gp.d, cc.d
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DupPoint is one x-axis point of Fig. 4 (per-iteration MPI_Comm_dup time),
+// extended with the subfield-derivation column for the DESIGN.md ablation.
+type DupPoint struct {
+	Nodes            int
+	Baseline         time.Duration // consensus algorithm over the parent
+	Sessions         time.Duration // prototype: fresh PGCID per dup
+	SessionsSubfield time.Duration // §III-B3 optimization (ablation)
+}
+
+// DupSweep regenerates Fig. 4 plus the CID-generation ablation.
+func DupSweep(profile topo.Profile, ppn int, nodeCounts []int, iters int) ([]DupPoint, error) {
+	var out []DupPoint
+	for _, nodes := range nodeCounts {
+		pt := DupPoint{Nodes: nodes}
+
+		var base maxDuration
+		err := runtime.Run(jobOpts(profile, nodes, ppn, consensusCfg()), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			d, err := osu.MeasureCommDup(p.CommWorld(), iters)
+			if err != nil {
+				return err
+			}
+			base.add(d)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: dup sweep %d nodes (baseline): %w", nodes, err)
+		}
+		pt.Baseline = base.d
+
+		measureSessions := func(cfg core.Config, acc *maxDuration) error {
+			return runtime.Run(jobOpts(profile, nodes, ppn, cfg), func(p *mpi.Process) error {
+				sess, err := p.SessionInit(nil, nil)
+				if err != nil {
+					return err
+				}
+				defer sess.Finalize()
+				grp, err := sess.GroupFromPset(mpi.PsetWorld)
+				if err != nil {
+					return err
+				}
+				comm, err := sess.CommCreateFromGroup(grp, "fig4", nil, nil)
+				if err != nil {
+					return err
+				}
+				defer comm.Free()
+				d, err := osu.MeasureCommDup(comm, iters)
+				if err != nil {
+					return err
+				}
+				acc.add(d)
+				return nil
+			})
+		}
+		var sess, sub maxDuration
+		if err := measureSessions(excidCfg(), &sess); err != nil {
+			return nil, fmt.Errorf("bench: dup sweep %d nodes (sessions): %w", nodes, err)
+		}
+		pt.Sessions = sess.d
+		subCfg := excidCfg()
+		subCfg.DupUseSubfields = true
+		if err := measureSessions(subCfg, &sub); err != nil {
+			return nil, fmt.Errorf("bench: dup sweep %d nodes (subfield): %w", nodes, err)
+		}
+		pt.SessionsSubfield = sub.d
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// LatencyPoint is one message size of Fig. 5a.
+type LatencyPoint struct {
+	Size     int
+	Baseline time.Duration
+	Sessions time.Duration
+	Relative float64 // Sessions / Baseline
+}
+
+// LatencySweep regenerates Fig. 5a: relative osu_latency between the two
+// builds, two processes on one node. Each build is measured over several
+// trials and the per-size minimum is reported — the standard robust
+// estimator for latency micro-benchmarks on a shared machine.
+func LatencySweep(profile topo.Profile, maxSize, iters, skip int) ([]LatencyPoint, error) {
+	sizes := osu.DefaultSizes(maxSize)
+	const trials = 3
+
+	measureOnce := func(cfg core.Config, sessions bool) (map[int]time.Duration, error) {
+		res := make(map[int]time.Duration)
+		var mu sync.Mutex
+		err := runtime.Run(jobOpts(profile, 1, 2, cfg), func(p *mpi.Process) error {
+			comm, cleanup, err := worldEquivalentComm(p, sessions, "fig5a")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			points, err := osu.Latency(comm, sizes, iters, skip)
+			if err != nil {
+				return err
+			}
+			if comm.Rank() == 0 {
+				mu.Lock()
+				for _, pt := range points {
+					res[pt.Size] = pt.Latency
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		return res, err
+	}
+	measure := func(cfg core.Config, sessions bool) (map[int]time.Duration, error) {
+		best := make(map[int]time.Duration)
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			res, err := measureOnce(cfg, sessions)
+			if err != nil {
+				return nil, err
+			}
+			for size, d := range res {
+				if cur, ok := best[size]; !ok || d < cur {
+					best[size] = d
+				}
+			}
+		}
+		return best, nil
+	}
+
+	base, err := measure(consensusCfg(), false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: latency baseline: %w", err)
+	}
+	sess, err := measure(excidCfg(), true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: latency sessions: %w", err)
+	}
+	var out []LatencyPoint
+	for _, size := range sizes {
+		pt := LatencyPoint{Size: size, Baseline: base[size], Sessions: sess[size]}
+		if pt.Baseline > 0 {
+			pt.Relative = float64(pt.Sessions) / float64(pt.Baseline)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// worldEquivalentComm gives either MPI_COMM_WORLD (baseline path) or a
+// sessions-created equivalent, with a cleanup closure.
+func worldEquivalentComm(p *mpi.Process, sessions bool, tag string) (*mpi.Comm, func(), error) {
+	if !sessions {
+		if err := p.Init(); err != nil {
+			return nil, nil, err
+		}
+		return p.CommWorld(), func() { _ = p.Finalize() }, nil
+	}
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		_ = sess.Finalize()
+		return nil, nil, err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, tag, nil, nil)
+	if err != nil {
+		_ = sess.Finalize()
+		return nil, nil, err
+	}
+	return comm, func() {
+		_ = comm.Free()
+		_ = sess.Finalize()
+	}, nil
+}
+
+// BWPoint is one message size of Fig. 5b/5c.
+type BWPoint struct {
+	Size         int
+	BaselineBW   float64
+	SessionsBW   float64
+	BaselineRate float64
+	SessionsRate float64
+	Relative     float64 // sessions BW / baseline BW
+}
+
+// MBwMrSweep regenerates Fig. 5b (procs=2) and Fig. 5c (procs=16): relative
+// osu_mbw_mr bandwidth and message rate, single node, with the given
+// pre-timing synchronization.
+func MBwMrSweep(profile topo.Profile, procs, maxSize, window, iters, skip int, syncMode osu.SyncMode) ([]BWPoint, error) {
+	sizes := osu.DefaultSizes(maxSize)
+	const trials = 3
+	measureOnce := func(cfg core.Config, sessions bool) (map[int]osu.BandwidthResult, error) {
+		res := make(map[int]osu.BandwidthResult)
+		var mu sync.Mutex
+		err := runtime.Run(jobOpts(profile, 1, procs, cfg), func(p *mpi.Process) error {
+			comm, cleanup, err := worldEquivalentComm(p, sessions, "fig5bc")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			points, err := osu.MBwMr(comm, sizes, window, iters, skip, syncMode)
+			if err != nil {
+				return err
+			}
+			if points != nil {
+				mu.Lock()
+				for _, pt := range points {
+					res[pt.Size] = pt
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		return res, err
+	}
+	// Best-of-trials: keep the highest bandwidth per size for each build.
+	measure := func(cfg core.Config, sessions bool) (map[int]osu.BandwidthResult, error) {
+		best := make(map[int]osu.BandwidthResult)
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			res, err := measureOnce(cfg, sessions)
+			if err != nil {
+				return nil, err
+			}
+			for size, r := range res {
+				if cur, ok := best[size]; !ok || r.BandwidthBs > cur.BandwidthBs {
+					best[size] = r
+				}
+			}
+		}
+		return best, nil
+	}
+	base, err := measure(consensusCfg(), false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mbw_mr baseline: %w", err)
+	}
+	sess, err := measure(excidCfg(), true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mbw_mr sessions: %w", err)
+	}
+	var out []BWPoint
+	for _, size := range sizes {
+		b, s := base[size], sess[size]
+		pt := BWPoint{
+			Size: size, BaselineBW: b.BandwidthBs, SessionsBW: s.BandwidthBs,
+			BaselineRate: b.MsgRate, SessionsRate: s.MsgRate,
+		}
+		if b.BandwidthBs > 0 {
+			pt.Relative = s.BandwidthBs / b.BandwidthBs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RingPoint is one x-axis point of Fig. 6.
+type RingPoint struct {
+	Nodes           int
+	BaselineNatural time.Duration
+	SessionsNatural time.Duration
+	BaselineRandom  time.Duration
+	SessionsRandom  time.Duration
+}
+
+// HPCCSweep regenerates Fig. 6a/6b: 8-byte random- and natural-order ring
+// latencies by node count, baseline versus sessions-in-subcomponent.
+func HPCCSweep(profile topo.Profile, ppn int, nodeCounts []int, cfg hpcc.Config) ([]RingPoint, error) {
+	const trials = 2
+	var out []RingPoint
+	for _, nodes := range nodeCounts {
+		pt := RingPoint{Nodes: nodes}
+
+		var mu sync.Mutex
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			var nat, rnd time.Duration
+			err := runtime.Run(jobOpts(profile, nodes, ppn, consensusCfg()), func(p *mpi.Process) error {
+				if err := p.Init(); err != nil {
+					return err
+				}
+				defer p.Finalize()
+				res, err := hpcc.BenchLatBw(p.CommWorld(), cfg)
+				if err != nil {
+					return err
+				}
+				if p.CommWorld().Rank() == 0 {
+					mu.Lock()
+					nat, rnd = res.NaturalLatency, res.RandomLatency
+					mu.Unlock()
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: hpcc %d nodes baseline: %w", nodes, err)
+			}
+			if pt.BaselineNatural == 0 || nat < pt.BaselineNatural {
+				pt.BaselineNatural = nat
+			}
+			if pt.BaselineRandom == 0 || rnd < pt.BaselineRandom {
+				pt.BaselineRandom = rnd
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			settle()
+			var nat, rnd time.Duration
+			err := runtime.Run(jobOpts(profile, nodes, ppn, excidCfg()), func(p *mpi.Process) error {
+				if err := p.Init(); err != nil {
+					return err
+				}
+				defer p.Finalize()
+				res, err := hpcc.RunWithSessions(p, cfg)
+				if err != nil {
+					return err
+				}
+				if p.JobRank() == 0 {
+					mu.Lock()
+					nat, rnd = res.NaturalLatency, res.RandomLatency
+					mu.Unlock()
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: hpcc %d nodes sessions: %w", nodes, err)
+			}
+			if pt.SessionsNatural == 0 || nat < pt.SessionsNatural {
+				pt.SessionsNatural = nat
+			}
+			if pt.SessionsRandom == 0 || rnd < pt.SessionsRandom {
+				pt.SessionsRandom = rnd
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TwoMeshPoint is one bar pair of Fig. 7.
+type TwoMeshPoint struct {
+	Problem    string
+	NP         int
+	Baseline   time.Duration
+	Sessions   time.Duration
+	Normalized float64 // Sessions / Baseline (paper reports ≤ 1.03)
+}
+
+// TwoMeshConfig shapes a Fig. 7 run.
+type TwoMeshConfig struct {
+	Problem twomesh.Problem
+	Nodes   int
+	PPN     int
+	Threads int
+}
+
+// TwoMeshSweep regenerates Fig. 7: normalized 2MESH execution time for the
+// baseline and sessions executables.
+func TwoMeshSweep(profile topo.Profile, configs []TwoMeshConfig) ([]TwoMeshPoint, error) {
+	var out []TwoMeshPoint
+	for _, cfgRun := range configs {
+		pt := TwoMeshPoint{Problem: cfgRun.Problem.Name, NP: cfgRun.Nodes * cfgRun.PPN}
+		measure := func(cfg core.Config, sessions bool) (time.Duration, error) {
+			var m maxDuration
+			err := runtime.Run(jobOpts(profile, cfgRun.Nodes, cfgRun.PPN, cfg), func(p *mpi.Process) error {
+				if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+					return err
+				}
+				defer p.Finalize()
+				rep, err := twomesh.Run(p, cfgRun.Problem, sessions, cfgRun.Threads)
+				if err != nil {
+					return err
+				}
+				m.add(rep.Total)
+				return nil
+			})
+			return m.d, err
+		}
+		// Best of three trials per executable: single-shot wall times of a
+		// multi-phase run are noisy under a shared host.
+		best := func(cfg core.Config, sessions bool) (time.Duration, error) {
+			var min time.Duration
+			for trial := 0; trial < 3; trial++ {
+				settle()
+				d, err := measure(cfg, sessions)
+				if err != nil {
+					return 0, err
+				}
+				if min == 0 || d < min {
+					min = d
+				}
+			}
+			return min, nil
+		}
+		var err error
+		if pt.Baseline, err = best(consensusCfg(), false); err != nil {
+			return nil, fmt.Errorf("bench: 2MESH %s baseline: %w", cfgRun.Problem.Name, err)
+		}
+		if pt.Sessions, err = best(excidCfg(), true); err != nil {
+			return nil, fmt.Errorf("bench: 2MESH %s sessions: %w", cfgRun.Problem.Name, err)
+		}
+		if pt.Baseline > 0 {
+			pt.Normalized = float64(pt.Sessions) / float64(pt.Baseline)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated fabric and prints them as text tables.
+//
+// Usage:
+//
+//	figures -fig all            # every figure at quick scale
+//	figures -fig 3b -full       # one figure at paper scale (28 ppn, 32 nodes)
+//	figures -table 1            # the hardware table
+//	figures -fig ablations      # the DESIGN.md §5 ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gompi/bench"
+	"gompi/internal/hpcc"
+	"gompi/internal/osu"
+	"gompi/internal/topo"
+	"gompi/internal/twomesh"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 3a,3b,4,5a,5b,5c,6,7,ablations,all")
+	table := flag.Int("table", 0, "table to regenerate (1)")
+	full := flag.Bool("full", false, "paper-scale sweeps (slow) instead of quick scale")
+	profileName := flag.String("profile", "jupiter", "cluster profile: jupiter or trinity")
+	flag.Parse()
+
+	if *table == 0 && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	profile := topo.Jupiter()
+	if *profileName == "trinity" {
+		profile = topo.Trinity()
+	}
+
+	if *table == 1 {
+		fmt.Print(bench.Table1())
+	}
+	if *fig == "" {
+		return
+	}
+
+	nodes := []int{1, 2, 4}
+	ppn := 8
+	latSize, bwSize := 1<<16, 1<<14
+	iters, skip := 50, 10
+	hcfg := hpcc.Config{Iters: 200, RandomTrials: 3, BandwidthLen: 1 << 16, Seed: 1}
+	meshScale := 1
+	if *full {
+		nodes = []int{1, 2, 4, 8, 16, 32}
+		ppn = 28
+		latSize, bwSize = 1<<22, 1<<20
+		iters, skip = 200, 50
+		hcfg = hpcc.Config{Iters: 1000, RandomTrials: 5, BandwidthLen: 1 << 21, Seed: 1}
+		meshScale = 4
+	}
+
+	want := func(name string) bool { return *fig == name || *fig == "all" }
+	start := time.Now()
+
+	if want("3a") {
+		pts, err := bench.InitSweep(profile, 1, nodes)
+		exitOn(err)
+		fmt.Print(bench.RenderInit(pts, "3a"))
+		fmt.Println()
+	}
+	if want("3b") {
+		pts, err := bench.InitSweep(profile, ppn, nodes)
+		exitOn(err)
+		fmt.Print(bench.RenderInit(pts, "3b"))
+		fmt.Println()
+	}
+	if want("4") {
+		pts, err := bench.DupSweep(profile, ppn, nodes, 5)
+		exitOn(err)
+		fmt.Print(bench.RenderDup(pts))
+		fmt.Println()
+	}
+	if want("5a") {
+		pts, err := bench.LatencySweep(profile, latSize, iters, skip)
+		exitOn(err)
+		fmt.Print(bench.RenderLatency(pts))
+		fmt.Println()
+	}
+	if want("5b") {
+		pts, err := bench.MBwMrSweep(profile, 2, bwSize, 64, iters/2, skip/2, osu.SyncBarrier)
+		exitOn(err)
+		fmt.Print(bench.RenderMBwMr(pts, "5b", 2, "barrier"))
+		fmt.Println()
+	}
+	if want("5c") {
+		pts, err := bench.MBwMrSweep(profile, 16, bwSize, 64, iters/2, skip/2, osu.SyncBarrier)
+		exitOn(err)
+		fmt.Print(bench.RenderMBwMr(pts, "5c", 16, "barrier"))
+		fmt.Println()
+		pts, err = bench.MBwMrSweep(profile, 16, bwSize, 64, iters/2, skip/2, osu.SyncSendrecv)
+		exitOn(err)
+		fmt.Print(bench.RenderMBwMr(pts, "5c (modified)", 16, "sendrecv"))
+		fmt.Println()
+	}
+	if want("6") {
+		ringNodes := nodes
+		if !*full {
+			ringNodes = []int{1, 2, 4, 8} // 8 nodes spans two dragonfly groups
+		}
+		pts, err := bench.HPCCSweep(profile, ppn, ringNodes, hcfg)
+		exitOn(err)
+		fmt.Print(bench.RenderHPCC(pts))
+		fmt.Println()
+	}
+	if want("7") {
+		scale := func(p twomesh.Problem) twomesh.Problem {
+			p.L0Steps *= 2 * meshScale
+			p.L1Steps *= 2 * meshScale
+			return p
+		}
+		configs := []bench.TwoMeshConfig{
+			{Problem: scale(twomesh.P1()), Nodes: 2, PPN: 4, Threads: 4},
+			{Problem: scale(twomesh.P2()), Nodes: 2, PPN: 4, Threads: 4},
+			{Problem: scale(twomesh.P3()), Nodes: 4, PPN: 4, Threads: 4},
+		}
+		if *full {
+			configs = []bench.TwoMeshConfig{
+				{Problem: scale(twomesh.P1()), Nodes: 8, PPN: 32, Threads: 32},
+				{Problem: scale(twomesh.P2()), Nodes: 8, PPN: 32, Threads: 32},
+				{Problem: scale(twomesh.P3()), Nodes: 32, PPN: 32, Threads: 32},
+			}
+		}
+		pts, err := bench.TwoMeshSweep(topo.Trinity(), configs)
+		exitOn(err)
+		fmt.Print(bench.RenderTwoMesh(pts))
+		fmt.Println()
+	}
+	if want("ablations") {
+		fm, err := bench.AblationFirstMessage(profile, 200)
+		exitOn(err)
+		q, err := bench.AblationQuiesce(topo.Trinity(), 8, 20, 50*time.Microsecond)
+		exitOn(err)
+		g, err := bench.AblationGroupConstruct(profile, 2, 4, 5)
+		exitOn(err)
+		fmt.Print(bench.RenderAblations(fm, q, g))
+		w, err := bench.AblationWinCreate(profile, 2, 4, 3)
+		exitOn(err)
+		fmt.Print(bench.RenderWinAblation(w))
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

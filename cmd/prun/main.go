@@ -1,0 +1,197 @@
+// Command prun mimics the PRRTE launcher used in the paper's evaluation:
+// it launches one of the built-in demo applications on a simulated cluster.
+//
+// Usage:
+//
+//	prun -np 8 -ppn 4 -app hello
+//	prun -np 16 -ppn 8 -profile trinity -app ring
+//	prun -np 8 -ppn 4 -pset app://left:0-3 -pset app://right:4-7 -app psets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+type psetFlags map[string][]int
+
+func (p psetFlags) String() string { return fmt.Sprintf("%v", map[string][]int(p)) }
+
+// Set parses "name:lo-hi" or "name:a,b,c". The separator is the LAST colon
+// so URL-style pset names like app://left work.
+func (p psetFlags) Set(v string) error {
+	i := strings.LastIndex(v, ":")
+	if i < 0 {
+		return fmt.Errorf("pset must be name:ranks, got %q", v)
+	}
+	name, spec := v[:i], v[i+1:]
+	var ranks []int
+	for _, part := range strings.Split(spec, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			l, err1 := strconv.Atoi(lo)
+			h, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || h < l {
+				return fmt.Errorf("bad range %q", part)
+			}
+			for r := l; r <= h; r++ {
+				ranks = append(ranks, r)
+			}
+		} else {
+			r, err := strconv.Atoi(part)
+			if err != nil {
+				return fmt.Errorf("bad rank %q", part)
+			}
+			ranks = append(ranks, r)
+		}
+	}
+	p[name] = ranks
+	return nil
+}
+
+func main() {
+	np := flag.Int("np", 4, "number of ranks")
+	ppn := flag.Int("ppn", 4, "ranks per node")
+	profileName := flag.String("profile", "jupiter", "cluster profile: jupiter, trinity, loopback")
+	app := flag.String("app", "hello", "application: hello, ring, psets")
+	cidMode := flag.String("cid", "excid", "CID mode: excid or consensus")
+	psets := psetFlags{}
+	flag.Var(psets, "pset", "extra process set, name:lo-hi or name:a,b,c (repeatable)")
+	flag.Parse()
+
+	var profile topo.Profile
+	switch *profileName {
+	case "trinity":
+		profile = topo.Trinity()
+	case "jupiter":
+		profile = topo.Jupiter()
+	default:
+		profile = topo.Loopback(*ppn)
+	}
+	mode := core.CIDExtended
+	if *cidMode == "consensus" {
+		mode = core.CIDConsensus
+	}
+	nodes := (*np + *ppn - 1) / *ppn
+	opts := runtime.Options{
+		Cluster: topo.New(profile, nodes),
+		NP:      *np,
+		PPN:     *ppn,
+		Psets:   psets,
+		Config:  core.Config{CIDMode: mode},
+	}
+
+	var main func(p *mpi.Process) error
+	switch *app {
+	case "hello":
+		main = helloApp
+	case "ring":
+		main = ringApp
+	case "psets":
+		main = psetsApp
+	default:
+		fmt.Fprintf(os.Stderr, "prun: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	if err := runtime.Run(opts, main); err != nil {
+		fmt.Fprintln(os.Stderr, "prun:", err)
+		os.Exit(1)
+	}
+}
+
+// helloApp: the Sessions flow of Fig. 1 plus a hello line per rank.
+func helloApp(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "prun.hello", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+	fmt.Printf("hello from rank %d of %d (session %s)\n", comm.Rank(), comm.Size(), sess.Name())
+	return comm.Barrier()
+}
+
+// ringApp: pass a token around a ring and have rank 0 report it.
+func ringApp(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "prun.ring", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+	me, n := comm.Rank(), comm.Size()
+	token := make([]byte, 8)
+	if me == 0 {
+		copy(token, "token!!!")
+		if err := comm.Send(token, (me+1)%n, 0); err != nil {
+			return err
+		}
+		if _, err := comm.Recv(token, (me-1+n)%n, 0); err != nil {
+			return err
+		}
+		fmt.Printf("ring of %d complete: %q\n", n, token)
+		return nil
+	}
+	if _, err := comm.Recv(token, (me-1+n)%n, 0); err != nil {
+		return err
+	}
+	return comm.Send(token, (me+1)%n, 0)
+}
+
+// psetsApp: enumerate the process sets the runtime advertises.
+func psetsApp(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	n, err := sess.NumPsets()
+	if err != nil {
+		return err
+	}
+	if p.JobRank() == 0 {
+		names := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			name, err := sess.PsetName(i)
+			if err != nil {
+				return err
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("%d process sets visible to rank 0:\n", n)
+		for _, name := range names {
+			info, err := sess.PsetInfo(name)
+			if err != nil {
+				return err
+			}
+			size, _ := info.Get("mpi_size")
+			fmt.Printf("  %-20s size=%s\n", name, size)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package gompi is a from-scratch Go reproduction of "MPI Sessions:
+// Evaluation of an Implementation in Open MPI" (Hjelm et al., IEEE CLUSTER
+// 2019): an MPI-like message-passing library with the MPI Sessions
+// extensions, the PMIx/PRRTE runtime substrate it depends on, and the
+// complete benchmark harness that regenerates the paper's evaluation.
+//
+// Public entry points live in the mpi and runtime packages; see README.md
+// for a quickstart and DESIGN.md for the system inventory.
+package gompi

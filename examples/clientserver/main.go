@@ -1,0 +1,141 @@
+// Client/server fault isolation (§II-C): server processes coordinate over
+// a communicator built from their own pset in their own session; client
+// processes come and go — and crash. Because the servers' resources are
+// isolated in their session and there is no MPI_COMM_WORLD connecting
+// everyone, a client failure is just a runtime event to the servers, not a
+// job-wide teardown.
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/pmix"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+func main() {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Jupiter(), 2),
+		PPN:     3,
+		Psets: map[string][]int{
+			"app://servers": {0, 1, 2},
+			"app://clients": {3, 4, 5},
+		},
+		Config: core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := job.LaunchRanks([]int{0, 1, 2}, server); err != nil {
+			log.Printf("server job: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// The client job reports rank 5's crash; that is expected.
+		if err := job.LaunchRanks([]int{3, 4, 5}, client); err != nil {
+			fmt.Printf("client job ended with (expected) failure: %v\n", err)
+		}
+	}()
+	wg.Wait()
+}
+
+func server(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset("app://servers")
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "srv.internal", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+
+	failures := make(chan pmix.Proc, 8)
+	p.Instance().Client().RegisterEventHandler(
+		[]pmix.EventCode{pmix.EventProcTerminated},
+		func(ev pmix.Event) { failures <- ev.Source },
+	)
+
+	// Serve "requests" (rounds of internal coordination) until the crash
+	// notice arrives, then keep serving: the failure must not cascade.
+	// Exit is agreed collectively so every server runs the same number of
+	// rounds.
+	served := 0
+	start := time.Now()
+	for {
+		var sawFailure int64
+		select {
+		case proc := <-failures:
+			sawFailure = 1
+			if comm.Rank() == 0 {
+				fmt.Printf("server: client rank %d failed; continuing service\n", proc.Rank)
+			}
+		default:
+		}
+		anyFailure, err := comm.AllreduceInt64(sawFailure, mpi.OpMax)
+		if err != nil {
+			return err
+		}
+		if anyFailure == 1 {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			return fmt.Errorf("server never observed the client failure")
+		}
+		served++
+		time.Sleep(time.Millisecond)
+	}
+	// Post-failure service proves the servers' session is unaffected.
+	total, err := comm.AllreduceInt64(int64(served), mpi.OpSum)
+	if err != nil {
+		return fmt.Errorf("post-failure collective failed: %w", err)
+	}
+	if comm.Rank() == 0 {
+		fmt.Printf("server: survived client crash; %d coordination rounds served\n", total)
+	}
+	return nil
+}
+
+func client(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return err
+	}
+	grp, err := sess.GroupFromPset("app://clients")
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "cli.pool", nil, nil)
+	if err != nil {
+		return err
+	}
+	// Rank 5 crashes mid-run; the runtime converts the panic into an abort
+	// and broadcasts the failure event.
+	if p.JobRank() == 5 {
+		time.Sleep(30 * time.Millisecond)
+		panic("client 5: segfault!")
+	}
+	time.Sleep(50 * time.Millisecond)
+	_ = comm.Free()
+	return sess.Finalize()
+}

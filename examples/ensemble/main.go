@@ -1,0 +1,89 @@
+// Ensemble: the fork-join "parallel regions" usage that motivates MPI
+// Sessions (§II-A) — the ECMWF/IFS pattern of initializing and
+// RE-initializing MPI once per ensemble member. Each member creates a
+// fresh session, runs a perturbed simulation on a communicator built for
+// just that member, and tears MPI all the way down before the next member
+// starts; something impossible with MPI_Init/MPI_Finalize.
+//
+//	go run ./examples/ensemble
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+const members = 4
+
+func main() {
+	opts := runtime.Options{
+		Cluster: topo.New(topo.Jupiter(), 2),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}
+	err := runtime.Run(opts, func(p *mpi.Process) error {
+		for member := 0; member < members; member++ {
+			if err := runMember(p, member); err != nil {
+				return fmt.Errorf("ensemble member %d: %w", member, err)
+			}
+			// MPI is now fully finalized; the instance generation counts
+			// complete init/finalize cycles.
+			if p.Instance().Active() {
+				return fmt.Errorf("member %d left MPI initialized", member)
+			}
+		}
+		if p.JobRank() == 0 {
+			fmt.Printf("ran %d members; MPI was initialized and torn down %d times\n",
+				members, p.Instance().Generation())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runMember is one ensemble member: a short "weather" simulation with a
+// perturbed initial condition, in its own MPI lifetime.
+func runMember(p *mpi.Process, member int) error {
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, fmt.Sprintf("member-%d", member), nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+
+	// Perturbed initial state, relaxed for a few steps with global norms.
+	state := math.Sin(float64(comm.Rank())) + 1e-3*float64(member)
+	for step := 0; step < 5; step++ {
+		mean, err := comm.AllreduceFloat64(state, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		mean /= float64(comm.Size())
+		state = 0.5 * (state + mean) // relax toward the ensemble mean
+	}
+	norm, err := comm.AllreduceFloat64(state*state, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	if comm.Rank() == 0 {
+		fmt.Printf("member %d finished: session %q, final norm %.6f\n",
+			member, sess.Name(), math.Sqrt(norm))
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Roll-forward recovery (§II-C): a process fails mid-computation; the
+// survivors finalize their session, RE-initialize MPI with a fresh
+// session, build a communicator over the surviving processes only, and
+// continue the computation — redistributing the lost work themselves. No
+// global restart, no MPI_COMM_WORLD single point of failure.
+//
+//	go run ./examples/rollforward
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/pmix"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+const victim = 3 // the rank that will fail
+
+func main() {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Jupiter(), 2),
+		PPN:     3,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	// The victim's job reports a crash; that is the point.
+	err = job.Launch(worker)
+	if err == nil {
+		log.Fatal("expected the victim's failure to be reported")
+	}
+	fmt.Printf("job ended; launcher saw: %v\n", err)
+}
+
+func worker(p *mpi.Process) error {
+	// ---- Epoch 1: everyone computes together. ----
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return err
+	}
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "epoch-1", nil, nil)
+	if err != nil {
+		return err
+	}
+
+	// Each rank owns a shard of 600 work items.
+	const items = 600
+	shard := items / comm.Size()
+	partial := int64(0)
+	for i := comm.Rank() * shard; i < (comm.Rank()+1)*shard; i++ {
+		partial += int64(i)
+	}
+
+	failed := make(chan pmix.Proc, 8)
+	p.Instance().Client().RegisterEventHandler(
+		[]pmix.EventCode{pmix.EventProcTerminated},
+		func(ev pmix.Event) { failed <- ev.Source },
+	)
+
+	if p.JobRank() == victim {
+		// The victim dies before contributing its shard.
+		time.Sleep(20 * time.Millisecond)
+		panic("rank 3: node failure")
+	}
+
+	// Survivors wait for the failure notification instead of deadlocking
+	// in a collective with the dead process.
+	select {
+	case proc := <-failed:
+		if p.JobRank() == 0 {
+			fmt.Printf("epoch 1 aborted: rank %d failed\n", proc.Rank)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("never observed the failure")
+	}
+
+	// ---- Roll forward: tear down epoch 1 completely. ----
+	if err := comm.Free(); err != nil {
+		return err
+	}
+	if err := sess.Finalize(); err != nil {
+		return err
+	}
+
+	// ---- Epoch 2: re-initialize with the survivors only. ----
+	sess2, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return err
+	}
+	defer sess2.Finalize()
+	survivors, err := sess2.SurvivorGroup(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm2, err := sess2.CommCreateFromGroup(survivors, "epoch-2", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm2.Free()
+
+	// Redistribute the dead rank's shard across the survivors and finish.
+	lost := int64(0)
+	for i := victim * shard; i < (victim+1)*shard; i++ {
+		lost += int64(i)
+	}
+	extra := int64(0)
+	if comm2.Rank() == 0 {
+		extra = lost // rank 0 adopts the lost shard
+	}
+	total, err := comm2.AllreduceInt64(partial+extra, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	want := int64(items) * (items - 1) / 2
+	if total != want {
+		return fmt.Errorf("recovered sum %d != %d", total, want)
+	}
+	if comm2.Rank() == 0 {
+		fmt.Printf("epoch 2 finished on %d survivors: sum(0..%d) = %d (correct)\n",
+			comm2.Size(), items-1, total)
+	}
+	return nil
+}

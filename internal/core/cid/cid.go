@@ -1,0 +1,161 @@
+// Package cid implements both communicator-identifier generation schemes
+// discussed in the paper:
+//
+//   - the baseline Open MPI consensus algorithm (§III-B2): a series of
+//     reduction rounds over a parent communicator that agrees on the lowest
+//     local array index free at every participant — fast while the CID
+//     space is compact, but requiring a parent communicator and degrading
+//     when the space fragments;
+//
+//   - the Sessions prototype's extended-CID generator (§III-B3): a 128-bit
+//     exCID whose high 64 bits hold a runtime-assigned PGCID and whose low
+//     64 bits are eight 8-bit subfields used to derive up to 2^8 children
+//     per level without contacting the runtime, with the local 16-bit CID
+//     freed from any global-consistency requirement.
+package cid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gompi/internal/pml"
+)
+
+// ErrExhausted indicates the exCID subfield space below this communicator
+// is used up (or derivation is otherwise disallowed) and a fresh PGCID must
+// be acquired from the runtime.
+var ErrExhausted = errors.New("cid: exCID subfields exhausted; new PGCID required")
+
+// MaxRounds bounds the consensus algorithm; in a heavily fragmented CID
+// space the algorithm may search a long time (the paper notes it "may end
+// up searching the entire CID space"), so we cap it defensively.
+const MaxRounds = 4096
+
+// Allreducer is the reduction service the consensus algorithm needs from
+// its parent communicator: a component-wise MAX allreduce over a pair of
+// 32-bit unsigned values (Open MPI reduces a small array the same way).
+type Allreducer interface {
+	AllreduceMax2Uint32(v [2]uint32) ([2]uint32, error)
+}
+
+// Consensus agrees on a communicator ID across all members of a parent
+// communicator. lowestFree(min) must return the caller's lowest unused
+// local CID that is >= min (without reserving it). Each round reduces the
+// pair (candidate, ^candidate) with MAX, yielding max(c) and — via the
+// complement — min(c); when they coincide every participant proposed the
+// same index and the algorithm terminates, otherwise the next round starts
+// from the observed maximum.
+func Consensus(parent Allreducer, lowestFree func(min uint16) uint16) (uint16, error) {
+	var min uint16
+	for round := 0; round < MaxRounds; round++ {
+		c := lowestFree(min)
+		r, err := parent.AllreduceMax2Uint32([2]uint32{uint32(c), uint32(^c)})
+		if err != nil {
+			return 0, fmt.Errorf("cid: consensus round %d: %w", round, err)
+		}
+		maxC := uint16(r[0])
+		minC := ^uint16(r[1])
+		if maxC == minC {
+			return maxC, nil
+		}
+		if maxC < min {
+			return 0, fmt.Errorf("cid: consensus diverged (max %d < floor %d)", maxC, min)
+		}
+		min = maxC
+	}
+	return 0, fmt.Errorf("cid: consensus did not converge in %d rounds (CID space fragmented)", MaxRounds)
+}
+
+// Gen manages the exCID subfield state of one communicator. The exCID
+// itself (PGCID + packed subfields) is the communicator's global identity;
+// the active-subfield index and the per-level counter are local bookkeeping
+// that every member advances identically because derivation is collective.
+type Gen struct {
+	mu     sync.Mutex
+	ex     pml.ExCID
+	active int // index of the subfield this communicator's children occupy
+}
+
+// NewFromPGCID builds the generator for a communicator that just obtained a
+// fresh PGCID from the runtime. Per the paper, the active subfield starts
+// at 7 (the most significant subfield).
+func NewFromPGCID(pgcid uint64) *Gen {
+	return &Gen{ex: pml.ExCID{PGCID: pgcid}, active: 7}
+}
+
+// NewBuiltin builds the generator for a built-in World Process Model
+// communicator. The paper sets the PGCID field to zero for built-ins (the
+// runtime guarantees real PGCIDs are non-zero); we distinguish the built-in
+// communicators from one another by a reserved value in subfield 7, and
+// start their active subfield at 6 so derivations never disturb it.
+func NewBuiltin(id uint8) *Gen {
+	if id == 0 {
+		panic("cid: builtin id must be non-zero")
+	}
+	return &Gen{
+		ex:     pml.ExCID{PGCID: 0, Sub: uint64(id) << 56},
+		active: 6,
+	}
+}
+
+// Restore rebuilds a generator from a known exCID and active index, used
+// when every member derives the same child collectively.
+func Restore(ex pml.ExCID, active int) *Gen {
+	return &Gen{ex: ex, active: active}
+}
+
+// Ex returns the communicator's 128-bit extended CID.
+func (g *Gen) Ex() pml.ExCID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ex
+}
+
+// Active returns the current active-subfield index.
+func (g *Gen) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}
+
+func subfield(sub uint64, idx int) uint8 {
+	return uint8(sub >> (8 * uint(idx)))
+}
+
+func setSubfield(sub uint64, idx int, v uint8) uint64 {
+	shift := 8 * uint(idx)
+	return (sub &^ (uint64(0xff) << shift)) | uint64(v)<<shift
+}
+
+// Derive allocates the exCID for a fully-participating derived communicator
+// (e.g. MPI_Comm_dup): the value in this communicator's active subfield is
+// incremented and assigned to the child, whose own active subfield is one
+// lower. It returns ErrExhausted when the paper's fallback conditions hold:
+// the active subfield index is 0, or the subfield value would reach 255 —
+// in which case the caller must acquire a new PGCID from the runtime.
+func (g *Gen) Derive() (*Gen, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active <= 0 {
+		return nil, ErrExhausted
+	}
+	v := subfield(g.ex.Sub, g.active)
+	if v == 255 {
+		return nil, ErrExhausted
+	}
+	g.ex.Sub = setSubfield(g.ex.Sub, g.active, v+1)
+	child := pml.ExCID{PGCID: g.ex.PGCID, Sub: g.ex.Sub}
+	return &Gen{ex: child, active: g.active - 1}, nil
+}
+
+// Remaining reports how many more children can be derived from this
+// communicator before a new PGCID is required.
+func (g *Gen) Remaining() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active <= 0 {
+		return 0
+	}
+	return 255 - int(subfield(g.ex.Sub, g.active))
+}

@@ -1,0 +1,322 @@
+package cid
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gompi/internal/pml"
+)
+
+// lockstepAllreduce simulates N participants running synchronized
+// Consensus rounds: each participant contributes through its own
+// Allreducer, and the coordinator releases the MAX once all arrive.
+type lockstepAllreduce struct {
+	n          int
+	mu         sync.Mutex
+	cond       *sync.Cond
+	arrived    int
+	maxVal     [2]uint32
+	gen        int
+	lastResult [2]uint32
+}
+
+func newLockstep(n int) *lockstepAllreduce {
+	l := &lockstepAllreduce{n: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+type lockstepPort struct{ l *lockstepAllreduce }
+
+func (p lockstepPort) AllreduceMax2Uint32(v [2]uint32) ([2]uint32, error) {
+	l := p.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	myGen := l.gen
+	for i := range v {
+		if v[i] > l.maxVal[i] {
+			l.maxVal[i] = v[i]
+		}
+	}
+	l.arrived++
+	if l.arrived == l.n {
+		l.arrived = 0
+		l.gen++
+		l.lastResult = l.maxVal
+		l.maxVal = [2]uint32{}
+		l.cond.Broadcast()
+		return l.lastResult, nil
+	}
+	for l.gen == myGen {
+		l.cond.Wait()
+	}
+	return l.lastResult, nil
+}
+
+func TestConsensusAllAgreeFirstRound(t *testing.T) {
+	const n = 4
+	l := newLockstep(n)
+	results := make([]uint16, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cid, err := Consensus(lockstepPort{l}, func(min uint16) uint16 {
+				if min < 3 {
+					return 3 // everyone's lowest free index is 3
+				}
+				return min
+			})
+			if err != nil {
+				t.Errorf("participant %d: %v", i, err)
+				return
+			}
+			results[i] = cid
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if results[i] != 3 {
+			t.Fatalf("participant %d agreed on %d, want 3", i, results[i])
+		}
+	}
+}
+
+func TestConsensusFragmentedConverges(t *testing.T) {
+	// Participants have different used sets; agreement must land on an
+	// index free at every one of them.
+	const n = 4
+	used := []map[uint16]bool{
+		{0: true, 1: true},
+		{0: true, 2: true},
+		{1: true, 3: true},
+		{0: true, 1: true, 2: true, 3: true, 4: true},
+	}
+	l := newLockstep(n)
+	results := make([]uint16, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cid, err := Consensus(lockstepPort{l}, func(min uint16) uint16 {
+				for c := min; ; c++ {
+					if !used[i][c] {
+						return c
+					}
+				}
+			})
+			if err != nil {
+				t.Errorf("participant %d: %v", i, err)
+				return
+			}
+			results[i] = cid
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("divergent CIDs: %v", results)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if used[i][results[0]] {
+			t.Fatalf("agreed CID %d is used at participant %d", results[0], i)
+		}
+	}
+	if results[0] != 5 {
+		t.Fatalf("agreed on %d, want 5 (lowest free everywhere)", results[0])
+	}
+}
+
+func TestConsensusRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		used := make([]map[uint16]bool, n)
+		for i := range used {
+			used[i] = make(map[uint16]bool)
+			for k := 0; k < rng.Intn(20); k++ {
+				used[i][uint16(rng.Intn(30))] = true
+			}
+		}
+		// Oracle: lowest index free at everyone.
+		var want uint16
+		for c := uint16(0); ; c++ {
+			free := true
+			for i := range used {
+				if used[i][c] {
+					free = false
+					break
+				}
+			}
+			if free {
+				want = c
+				break
+			}
+		}
+		l := newLockstep(n)
+		results := make([]uint16, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = Consensus(lockstepPort{l}, func(min uint16) uint16 {
+					for c := min; ; c++ {
+						if !used[i][c] {
+							return c
+						}
+					}
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("trial %d participant %d: %v", trial, i, errs[i])
+			}
+			if results[i] != want {
+				t.Fatalf("trial %d: participant %d got %d, oracle %d (all: %v)", trial, i, results[i], want, results)
+			}
+		}
+	}
+}
+
+func TestNewFromPGCIDInitialState(t *testing.T) {
+	g := NewFromPGCID(42)
+	if g.Ex().PGCID != 42 || g.Ex().Sub != 0 {
+		t.Fatalf("ex = %v", g.Ex())
+	}
+	if g.Active() != 7 {
+		t.Fatalf("active = %d, want 7 (paper: initialized to 7)", g.Active())
+	}
+}
+
+func TestBuiltinGenerators(t *testing.T) {
+	world := NewBuiltin(1)
+	self := NewBuiltin(2)
+	if world.Ex() == self.Ex() {
+		t.Fatal("builtin exCIDs must differ")
+	}
+	if world.Ex().PGCID != 0 || self.Ex().PGCID != 0 {
+		t.Fatal("builtin communicators must have PGCID 0")
+	}
+	if world.Active() != 6 {
+		t.Fatalf("builtin active = %d, want 6", world.Active())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuiltin(0) should panic")
+		}
+	}()
+	NewBuiltin(0)
+}
+
+func TestDeriveProducesUniqueChildren(t *testing.T) {
+	g := NewFromPGCID(7)
+	seen := map[pml.ExCID]bool{g.Ex(): true}
+	for i := 0; i < 255; i++ {
+		child, err := g.Derive()
+		if err != nil {
+			t.Fatalf("derive %d: %v", i, err)
+		}
+		if seen[child.Ex()] {
+			t.Fatalf("derive %d: duplicate exCID %v", i, child.Ex())
+		}
+		seen[child.Ex()] = true
+		if child.Active() != g.Active()-1 {
+			t.Fatalf("child active = %d, want parent-1 = %d", child.Active(), g.Active()-1)
+		}
+	}
+	// The 256th derivation must demand a new PGCID.
+	if _, err := g.Derive(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("256th derive err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestDeriveDepthExhaustion(t *testing.T) {
+	g := NewFromPGCID(1)
+	// Walk down the derivation chain: active 7 -> 6 -> ... -> 0.
+	cur := g
+	for depth := 0; depth < 7; depth++ {
+		child, err := cur.Derive()
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		cur = child
+	}
+	if cur.Active() != 0 {
+		t.Fatalf("active = %d, want 0 after 7 levels", cur.Active())
+	}
+	if _, err := cur.Derive(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("derive at depth 7 err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestDerivationTreeUniqueness(t *testing.T) {
+	// Randomly grow a derivation tree and assert global exCID uniqueness —
+	// the correctness property the subfield scheme is designed to give.
+	rng := rand.New(rand.NewSource(5))
+	root := NewFromPGCID(1234)
+	gens := []*Gen{root}
+	seen := map[pml.ExCID]bool{root.Ex(): true}
+	for i := 0; i < 3000; i++ {
+		g := gens[rng.Intn(len(gens))]
+		child, err := g.Derive()
+		if errors.Is(err, ErrExhausted) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[child.Ex()] {
+			t.Fatalf("iteration %d: duplicate exCID %v", i, child.Ex())
+		}
+		seen[child.Ex()] = true
+		gens = append(gens, child)
+	}
+	if len(seen) < 1000 {
+		t.Fatalf("tree too small to be meaningful: %d", len(seen))
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	g := NewFromPGCID(3)
+	if g.Remaining() != 255 {
+		t.Fatalf("fresh Remaining = %d, want 255", g.Remaining())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := g.Derive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Remaining() != 245 {
+		t.Fatalf("Remaining = %d, want 245", g.Remaining())
+	}
+	leaf := Restore(pml.ExCID{PGCID: 3}, 0)
+	if leaf.Remaining() != 0 {
+		t.Fatalf("leaf Remaining = %d, want 0", leaf.Remaining())
+	}
+}
+
+func TestRestore(t *testing.T) {
+	ex := pml.ExCID{PGCID: 9, Sub: 0x0102030405060708}
+	g := Restore(ex, 4)
+	if g.Ex() != ex || g.Active() != 4 {
+		t.Fatalf("Restore mismatch: %v active=%d", g.Ex(), g.Active())
+	}
+	child, err := g.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subfield 4 (byte value 0x04 at bits 32..39) increments.
+	want := pml.ExCID{PGCID: 9, Sub: 0x0102030505060708}
+	if child.Ex() != want {
+		t.Fatalf("child ex = %016x, want %016x", child.Ex().Sub, want.Sub)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"gompi/internal/pmix"
+	"gompi/internal/prrte"
+	"gompi/internal/simnet"
+	"gompi/internal/topo"
+)
+
+// testDeploy builds a DVM + servers + one instance per rank on loopback.
+func testDeploy(t *testing.T, nodes, ppn int, cfg Config) []*Instance {
+	t.Helper()
+	fabric := simnet.NewFabric(topo.New(topo.Loopback(ppn), nodes))
+	dvm := prrte.NewDVM(fabric)
+	job := prrte.JobMap{NP: nodes * ppn, PPN: ppn}
+	servers := make([]*pmix.Server, nodes)
+	for n := 0; n < nodes; n++ {
+		servers[n] = pmix.NewServer(dvm.Daemon(n), job, "job-0")
+	}
+	insts := make([]*Instance, job.NP)
+	for r := 0; r < job.NP; r++ {
+		insts[r] = NewInstance(Deps{Fabric: fabric, Server: servers[job.NodeOf(r)], Rank: r, Cfg: cfg})
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		dvm.Shutdown()
+	})
+	return insts
+}
+
+func TestAcquireReleaseLifecycle(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{})
+	inst := insts[0]
+	if inst.Active() {
+		t.Fatal("fresh instance active")
+	}
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Active() || inst.Client() == nil || inst.Engine() == nil {
+		t.Fatal("subsystems not live after acquire")
+	}
+	// Second acquire shares the subsystems.
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	eng := inst.Engine()
+	if err := inst.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Engine() != eng {
+		t.Fatal("engine torn down while a session is still live")
+	}
+	if err := inst.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Active() || inst.Client() != nil || inst.Engine() != nil {
+		t.Fatal("subsystems live after last release")
+	}
+	if inst.Generation() != 1 {
+		t.Fatalf("generation = %d", inst.Generation())
+	}
+}
+
+func TestReleaseWithoutAcquire(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	if err := insts[0].Release(); err == nil {
+		t.Fatal("release without acquire should fail")
+	}
+}
+
+func TestReinitGetsNewEndpoint(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	inst := insts[0]
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	addr1 := inst.Engine().Addr()
+	if err := inst.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+	addr2 := inst.Engine().Addr()
+	if addr1 == addr2 {
+		t.Fatal("re-initialized instance reused the closed endpoint")
+	}
+}
+
+func TestResolvePsetBuiltins(t *testing.T) {
+	insts := testDeploy(t, 2, 2, Config{})
+	inst := insts[2] // rank 2, node 1
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+	world, err := inst.ResolvePset(PsetWorld)
+	if err != nil || len(world) != 4 {
+		t.Fatalf("world = %v, %v", world, err)
+	}
+	self, err := inst.ResolvePset(PsetSelf)
+	if err != nil || len(self) != 1 || self[0] != 2 {
+		t.Fatalf("self = %v, %v", self, err)
+	}
+	shared, err := inst.ResolvePset(PsetShared)
+	if err != nil || len(shared) != 2 || shared[0] != 2 || shared[1] != 3 {
+		t.Fatalf("shared = %v, %v", shared, err)
+	}
+	// Pset name matching is case-insensitive for the builtins.
+	if _, err := inst.ResolvePset("MPI://WORLD"); err != nil {
+		t.Fatalf("case-insensitive world: %v", err)
+	}
+	if _, err := inst.ResolvePset("mpi://nope"); err == nil {
+		t.Fatal("unknown pset should fail")
+	}
+}
+
+func TestResolvePsetRequiresInit(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	if _, err := insts[0].ResolvePset(PsetWorld); err == nil {
+		t.Fatal("resolve before init should fail")
+	}
+	if _, err := insts[0].PsetNames(); err == nil {
+		t.Fatal("pset names before init should fail")
+	}
+}
+
+func TestPsetNamesIncludesBuiltinsFirst(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	inst := insts[0]
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+	names, err := inst.PsetNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 || names[0] != PsetWorld || names[1] != PsetSelf || names[2] != PsetShared {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestNextCommSeqMonotonic(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	inst := insts[0]
+	if inst.NextCommSeq("a") != 1 || inst.NextCommSeq("a") != 2 || inst.NextCommSeq("b") != 1 {
+		t.Fatal("per-tag sequences broken")
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	inst := insts[0]
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := inst.Acquire(); err != nil {
+				errs <- err
+				return
+			}
+			if err := inst.Release(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrCodec(t *testing.T) {
+	a := simnet.Addr{Node: 3, Slot: 17}
+	got, err := decodeAddr(encodeAddr(a))
+	if err != nil || got != a {
+		t.Fatalf("roundtrip = %v, %v", got, err)
+	}
+	if _, err := decodeAddr([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short address should fail")
+	}
+}
+
+func TestCIDModeString(t *testing.T) {
+	if CIDConsensus.String() != "consensus" || CIDExtended.String() != "excid" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestConfigTimeoutDefault(t *testing.T) {
+	var c Config
+	if c.timeout() <= 0 {
+		t.Fatal("default timeout must be positive")
+	}
+}
+
+func TestReleaseAfterCleanupFails(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{})
+	inst := insts[0]
+	if err := inst.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Release(); err != nil {
+		t.Fatal(err)
+	}
+	err := inst.Release()
+	if err == nil || !errors.Is(err, err) { // shape check: must be an error
+		t.Fatal("release after full teardown should fail")
+	}
+}

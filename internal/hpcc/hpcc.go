@@ -1,0 +1,194 @@
+// Package hpcc ports the HPC Challenge bandwidth/latency kernel
+// (main_bench_lat_bw) used in the paper's §IV-D: 8-byte natural-order and
+// random-order ring latency plus ring bandwidth.
+//
+// The paper's modification is reproduced faithfully in spirit: rather than
+// replacing MPI_Init/MPI_Finalize in the harness, the bandwidth/latency
+// component creates its *own* MPI session and communicator and leaves the
+// rest of the application untouched — demonstrating the
+// compartmentalization and backwards-compatibility of MPI Sessions.
+package hpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gompi/mpi"
+)
+
+// Result reports the ring measurements HPCC prints (Fig. 6 uses the two
+// 8-byte latencies).
+type Result struct {
+	NaturalLatency time.Duration // 8-byte natural-order ring
+	RandomLatency  time.Duration // 8-byte random-order ring (mean of trials)
+	NaturalBandBs  float64       // ring bandwidth, bytes/s per process
+}
+
+// Config tunes the kernel.
+type Config struct {
+	Iters        int // timed iterations per ring
+	RandomTrials int // number of random ring permutations
+	BandwidthLen int // message length for the bandwidth ring
+	Seed         int64
+}
+
+// DefaultConfig mirrors HPCC's defaults scaled for simulation.
+func DefaultConfig() Config {
+	return Config{Iters: 100, RandomTrials: 5, BandwidthLen: 1 << 20, Seed: 1}
+}
+
+// BenchLatBw runs the ring benchmark over comm (collective).
+func BenchLatBw(comm *mpi.Comm, cfg Config) (Result, error) {
+	if cfg.Iters <= 0 {
+		cfg = DefaultConfig()
+	}
+	var res Result
+
+	// Natural-order ring: neighbours by rank.
+	natural := identityRing(comm.Size())
+	lat, err := ringLatency(comm, natural, 8, cfg.Iters)
+	if err != nil {
+		return res, fmt.Errorf("hpcc: natural ring: %w", err)
+	}
+	res.NaturalLatency = lat
+
+	// Random-order rings: randomly permuted process orderings, identical
+	// at every rank (rank 0's permutation is broadcast).
+	var sum time.Duration
+	for trial := 0; trial < cfg.RandomTrials; trial++ {
+		perm, err := sharedPermutation(comm, cfg.Seed+int64(trial))
+		if err != nil {
+			return res, err
+		}
+		lat, err := ringLatency(comm, perm, 8, cfg.Iters)
+		if err != nil {
+			return res, fmt.Errorf("hpcc: random ring %d: %w", trial, err)
+		}
+		sum += lat
+	}
+	res.RandomLatency = sum / time.Duration(cfg.RandomTrials)
+
+	// Natural-ring bandwidth.
+	bwIters := cfg.Iters / 10
+	if bwIters < 3 {
+		bwIters = 3
+	}
+	blat, err := ringLatency(comm, natural, cfg.BandwidthLen, bwIters)
+	if err != nil {
+		return res, fmt.Errorf("hpcc: bandwidth ring: %w", err)
+	}
+	if blat > 0 {
+		res.NaturalBandBs = float64(cfg.BandwidthLen) / blat.Seconds()
+	}
+	return res, nil
+}
+
+// RunWithSessions is the paper's modified main_bench_lat_bw: it creates its
+// own session, builds a world communicator from it, runs the kernel, and
+// cleans up — leaving the enclosing application (which may be running under
+// plain MPI_Init) untouched.
+func RunWithSessions(p *mpi.Process, cfg Config) (Result, error) {
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return Result{}, err
+	}
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		_ = sess.Finalize()
+		return Result{}, err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "hpcc.latbw", nil, nil)
+	if err != nil {
+		_ = sess.Finalize()
+		return Result{}, err
+	}
+	res, benchErr := BenchLatBw(comm, cfg)
+	if err := comm.Free(); err != nil && benchErr == nil {
+		benchErr = err
+	}
+	if err := sess.Finalize(); err != nil && benchErr == nil {
+		benchErr = err
+	}
+	return res, benchErr
+}
+
+func identityRing(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sharedPermutation broadcasts rank 0's random permutation so every member
+// uses the same ring ordering.
+func sharedPermutation(comm *mpi.Comm, seed int64) ([]int, error) {
+	n := comm.Size()
+	perm64 := make([]int64, n)
+	if comm.Rank() == 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i, v := range rng.Perm(n) {
+			perm64[i] = int64(v)
+		}
+	}
+	buf := mpi.PackInt64s(perm64)
+	if err := comm.Bcast(buf, 0); err != nil {
+		return nil, err
+	}
+	got := mpi.UnpackInt64s(buf)
+	perm := make([]int, n)
+	for i, v := range got {
+		perm[i] = int(v)
+	}
+	return perm, nil
+}
+
+// ringLatency measures the mean per-message time around the given ring
+// ordering: every process sendrecvs with its successor and predecessor in
+// the permuted order, as HPCC's ring test does.
+func ringLatency(comm *mpi.Comm, order []int, size, iters int) (time.Duration, error) {
+	n := comm.Size()
+	if n < 2 {
+		return 0, fmt.Errorf("hpcc: ring needs >= 2 ranks")
+	}
+	// position of my rank in the ring ordering
+	pos := -1
+	for i, r := range order {
+		if r == comm.Rank() {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return 0, fmt.Errorf("hpcc: rank %d not in ring order", comm.Rank())
+	}
+	succ := order[(pos+1)%n]
+	pred := order[(pos-1+n)%n]
+	sbuf := make([]byte, size)
+	rbuf := make([]byte, size)
+
+	// Warm-up (also completes any exCID handshakes with ring neighbours,
+	// matching HPCC's untimed first iterations).
+	for i := 0; i < 2; i++ {
+		if _, err := comm.Sendrecv(sbuf, succ, 7, rbuf, pred, 7); err != nil {
+			return 0, err
+		}
+	}
+	if err := comm.Barrier(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := comm.Sendrecv(sbuf, succ, 7, rbuf, pred, 7); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	// Report the max across ranks (HPCC reports ring-wide numbers).
+	us, err := comm.AllreduceInt64(elapsed.Nanoseconds(), mpi.OpMax)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(us) / time.Duration(iters), nil
+}

@@ -1,0 +1,111 @@
+package hpcc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/hpcc"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+func testCfg() hpcc.Config {
+	return hpcc.Config{Iters: 20, RandomTrials: 2, BandwidthLen: 1 << 14, Seed: 7}
+}
+
+func TestBenchLatBwBaseline(t *testing.T) {
+	var mu sync.Mutex
+	var results []hpcc.Result
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(4), 2),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDConsensus},
+	}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		res, err := hpcc.BenchLatBw(p.CommWorld(), testCfg())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results = append(results, res)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.NaturalLatency <= 0 || r.RandomLatency <= 0 {
+			t.Fatalf("latencies = %+v", r)
+		}
+		if r.NaturalBandBs <= 0 {
+			t.Fatalf("bandwidth = %v", r.NaturalBandBs)
+		}
+	}
+	// All ranks report identical ring-wide numbers (max-reduced).
+	for _, r := range results[1:] {
+		if r.NaturalLatency != results[0].NaturalLatency {
+			t.Fatalf("ranks disagree on natural latency: %v vs %v", r.NaturalLatency, results[0].NaturalLatency)
+		}
+	}
+}
+
+func TestRunWithSessionsInsideWPMApp(t *testing.T) {
+	// The paper's compartmentalization demo: the enclosing "HPCC" app runs
+	// under MPI_Init; only the lat/bw component uses a session.
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		// Unmodified app traffic before...
+		if err := p.CommWorld().Barrier(); err != nil {
+			return err
+		}
+		res, err := hpcc.RunWithSessions(p, testCfg())
+		if err != nil {
+			return err
+		}
+		if res.NaturalLatency <= 0 || res.RandomLatency <= 0 {
+			return fmt.Errorf("results = %+v", res)
+		}
+		// ...and after the sessions component ran and cleaned up.
+		return p.CommWorld().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingNeedsTwoRanks(t *testing.T) {
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(1), 1),
+		PPN:     1,
+		Config:  core.Config{CIDMode: core.CIDConsensus},
+	}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		if _, err := hpcc.BenchLatBw(p.CommWorld(), testCfg()); err == nil {
+			return fmt.Errorf("single-rank ring should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

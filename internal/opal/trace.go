@@ -1,0 +1,106 @@
+package opal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight fixed-size ring buffer for middleware diagnostics,
+// the analogue of Open MPI's per-framework verbosity streams. It is cheap
+// enough to leave compiled in: a disabled tracer is a single atomic-free
+// boolean check.
+type Trace struct {
+	mu      sync.Mutex
+	enabled bool
+	ring    []TraceEvent
+	next    int
+	wrapped bool
+	seq     uint64
+}
+
+// TraceEvent is one recorded diagnostic event.
+type TraceEvent struct {
+	Seq   uint64
+	When  time.Time
+	Layer string // e.g. "pml", "pmix", "coll"
+	Msg   string
+}
+
+// NewTrace builds a tracer with the given capacity (minimum 16).
+func NewTrace(capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Trace{ring: make([]TraceEvent, capacity)}
+}
+
+// Enable turns event recording on or off. Events logged while disabled are
+// dropped.
+func (t *Trace) Enable(on bool) {
+	t.mu.Lock()
+	t.enabled = on
+	t.mu.Unlock()
+}
+
+// Enabled reports whether recording is on.
+func (t *Trace) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// Logf records one event if tracing is enabled.
+func (t *Trace) Logf(layer, format string, args ...any) {
+	t.mu.Lock()
+	if !t.enabled {
+		t.mu.Unlock()
+		return
+	}
+	t.seq++
+	t.ring[t.next] = TraceEvent{
+		Seq:   t.seq,
+		When:  time.Now(),
+		Layer: layer,
+		Msg:   fmt.Sprintf(format, args...),
+	}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events in order, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TraceEvent
+	if t.wrapped {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	// Filter zero entries (unwrapped, partially filled ring).
+	filtered := out[:0]
+	for _, ev := range out {
+		if ev.Seq != 0 {
+			filtered = append(filtered, ev)
+		}
+	}
+	cp := make([]TraceEvent, len(filtered))
+	copy(cp, filtered)
+	return cp
+}
+
+// Reset clears the buffer.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ring {
+		t.ring[i] = TraceEvent{}
+	}
+	t.next = 0
+	t.wrapped = false
+	t.seq = 0
+}

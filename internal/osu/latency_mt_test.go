@@ -1,0 +1,90 @@
+package osu_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/osu"
+	"gompi/mpi"
+)
+
+func TestLatencyMTSharedComm(t *testing.T) {
+	var mu sync.Mutex
+	var lat time.Duration
+	runJob(t, 1, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		d, err := osu.LatencyMT([]*mpi.Comm{p.CommWorld()}, 4, 8, 10, 2)
+		if err != nil {
+			return err
+		}
+		if p.JobRank() == 0 {
+			mu.Lock()
+			lat = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if lat <= 0 {
+		t.Fatalf("latency = %v", lat)
+	}
+}
+
+func TestLatencyMTPerSessionComms(t *testing.T) {
+	const threads = 3
+	runJob(t, 1, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		// One session + communicator per thread (§II-B isolation).
+		var comms []*mpi.Comm
+		var cleanups []func()
+		for th := 0; th < threads; th++ {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				return err
+			}
+			grp, err := sess.GroupFromPset(mpi.PsetWorld)
+			if err != nil {
+				return err
+			}
+			comm, err := sess.CommCreateFromGroup(grp, fmt.Sprintf("mt-%d", th), nil, nil)
+			if err != nil {
+				return err
+			}
+			comms = append(comms, comm)
+			cleanups = append(cleanups, func() { _ = comm.Free(); _ = sess.Finalize() })
+		}
+		defer func() {
+			for i := len(cleanups) - 1; i >= 0; i-- {
+				cleanups[i]()
+			}
+		}()
+		d, err := osu.LatencyMT(comms, threads, 16, 10, 2)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return fmt.Errorf("latency = %v", d)
+		}
+		return nil
+	})
+}
+
+func TestLatencyMTValidation(t *testing.T) {
+	runJob(t, 1, 4, core.Config{CIDMode: core.CIDConsensus}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		if _, err := osu.LatencyMT([]*mpi.Comm{p.CommWorld()}, 2, 8, 2, 0); err == nil {
+			return fmt.Errorf("4-rank comm accepted")
+		}
+		if _, err := osu.LatencyMT(nil, 2, 8, 2, 0); err == nil {
+			return fmt.Errorf("empty comm list accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,315 @@
+package osu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gompi/mpi"
+)
+
+// Additional OSU kernels beyond the three the paper modified: osu_bw
+// (single-pair windowed bandwidth) and the collective latency benchmarks
+// (osu_barrier / osu_bcast / osu_allreduce). They extend the harness's
+// coverage of the prototype's code paths.
+
+// BW runs the osu_bw kernel between comm ranks 0 and 1: windows of
+// nonblocking sends, one acknowledgement per window. The communicator must
+// have exactly two ranks. Results are returned at rank 0 (nil at rank 1).
+func BW(comm *mpi.Comm, sizes []int, window, iters, skip int) ([]BandwidthResult, error) {
+	if comm.Size() != 2 {
+		return nil, fmt.Errorf("osu: bw needs exactly 2 ranks, got %d", comm.Size())
+	}
+	me := comm.Rank()
+	var out []BandwidthResult
+	for _, size := range sizes {
+		sbuf := make([]byte, size)
+		rbuf := make([]byte, size)
+		ack := make([]byte, 4)
+		if err := comm.Barrier(); err != nil {
+			return nil, err
+		}
+		var start time.Time
+		for it := 0; it < iters+skip; it++ {
+			if it == skip {
+				start = time.Now()
+			}
+			if me == 0 {
+				reqs := make([]mpi.Request, 0, window)
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, comm.Isend(sbuf, 1, 100))
+				}
+				if err := mpi.WaitAll(reqs...); err != nil {
+					return nil, err
+				}
+				if _, err := comm.Recv(ack, 1, 101); err != nil {
+					return nil, err
+				}
+			} else {
+				reqs := make([]mpi.Request, 0, window)
+				for w := 0; w < window; w++ {
+					reqs = append(reqs, comm.Irecv(rbuf, 0, 100))
+				}
+				if err := mpi.WaitAll(reqs...); err != nil {
+					return nil, err
+				}
+				if err := comm.Send(ack, 0, 101); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if me == 0 {
+			elapsed := time.Since(start).Seconds()
+			bw := float64(size*iters*window) / elapsed
+			out = append(out, BandwidthResult{Size: size, BandwidthBs: bw, MsgRate: bw / float64(size)})
+		}
+	}
+	if err := comm.Barrier(); err != nil {
+		return nil, err
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// LatencyMT runs an osu_latency_mt-style kernel: threads goroutines per
+// process ping-pong concurrently. With perThreadComms set, each thread
+// uses its own communicator (the Sessions isolation model, §II-B); the
+// comms slice must then hold one communicator per thread. Otherwise every
+// thread shares comms[0] using distinct tags. Returns the mean per-message
+// one-way latency observed across threads at rank 0.
+func LatencyMT(comms []*mpi.Comm, threads, size, iters, skip int) (time.Duration, error) {
+	if len(comms) == 0 {
+		return 0, fmt.Errorf("osu: latency_mt needs at least one communicator")
+	}
+	commFor := func(th int) *mpi.Comm {
+		if len(comms) > 1 {
+			return comms[th%len(comms)]
+		}
+		return comms[0]
+	}
+	if commFor(0).Size() != 2 {
+		return 0, fmt.Errorf("osu: latency_mt needs 2-rank communicators")
+	}
+	me := commFor(0).Rank()
+	errs := make(chan error, threads)
+	durations := make(chan time.Duration, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			comm := commFor(th)
+			tag := 1
+			if len(comms) == 1 {
+				tag = 1 + th // share one comm: disambiguate by tag
+			}
+			sbuf := make([]byte, size)
+			rbuf := make([]byte, size)
+			var start time.Time
+			for i := 0; i < iters+skip; i++ {
+				if i == skip {
+					start = time.Now()
+				}
+				if me == 0 {
+					if err := comm.Send(sbuf, 1, tag); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := comm.Recv(rbuf, 1, tag); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := comm.Recv(rbuf, 0, tag); err != nil {
+						errs <- err
+						return
+					}
+					if err := comm.Send(sbuf, 0, tag); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			durations <- time.Since(start) / time.Duration(2*iters)
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	close(durations)
+	var sum time.Duration
+	n := 0
+	for d := range durations {
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("osu: latency_mt produced no samples")
+	}
+	return sum / time.Duration(n), nil
+}
+
+// RMAResult is one sample of a one-sided latency benchmark.
+type RMAResult struct {
+	Size    int
+	Latency time.Duration
+}
+
+// PutLatency runs an osu_put_latency-style kernel: rank 0 Puts into rank
+// 1's window under fence epochs. The window comm must have exactly 2
+// ranks; results are meaningful at rank 0.
+func PutLatency(win *mpi.Win, sizes []int, iters, skip int) ([]RMAResult, error) {
+	comm := win.Comm()
+	if comm.Size() != 2 {
+		return nil, fmt.Errorf("osu: put latency needs exactly 2 ranks")
+	}
+	var out []RMAResult
+	for _, size := range sizes {
+		if size > win.Size() {
+			return nil, fmt.Errorf("osu: message size %d exceeds window size %d", size, win.Size())
+		}
+		buf := make([]byte, size)
+		var start time.Time
+		for i := 0; i < iters+skip; i++ {
+			if i == skip {
+				if err := win.Fence(); err != nil {
+					return nil, err
+				}
+				start = time.Now()
+			}
+			if comm.Rank() == 0 {
+				if err := win.Put(1, 0, buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if err := win.Fence(); err != nil {
+			return nil, err
+		}
+		if comm.Rank() == 0 {
+			out = append(out, RMAResult{Size: size, Latency: elapsed / time.Duration(iters)})
+		}
+	}
+	if comm.Rank() != 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// GetLatency runs an osu_get_latency-style kernel: rank 0 Gets from rank
+// 1's window.
+func GetLatency(win *mpi.Win, sizes []int, iters, skip int) ([]RMAResult, error) {
+	comm := win.Comm()
+	if comm.Size() != 2 {
+		return nil, fmt.Errorf("osu: get latency needs exactly 2 ranks")
+	}
+	var out []RMAResult
+	for _, size := range sizes {
+		if size > win.Size() {
+			return nil, fmt.Errorf("osu: message size %d exceeds window size %d", size, win.Size())
+		}
+		buf := make([]byte, size)
+		var start time.Time
+		for i := 0; i < iters+skip; i++ {
+			if i == skip {
+				if err := win.Fence(); err != nil {
+					return nil, err
+				}
+				start = time.Now()
+			}
+			if comm.Rank() == 0 {
+				if err := win.Get(1, 0, buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if err := win.Fence(); err != nil {
+			return nil, err
+		}
+		if comm.Rank() == 0 {
+			out = append(out, RMAResult{Size: size, Latency: elapsed / time.Duration(iters)})
+		}
+	}
+	if comm.Rank() != 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// CollectiveResult is one sample of a collective latency benchmark.
+type CollectiveResult struct {
+	Size    int // message size in bytes (0 for barrier)
+	Latency time.Duration
+}
+
+// BarrierLatency runs the osu_barrier kernel: mean MPI_Barrier time.
+func BarrierLatency(comm *mpi.Comm, iters, skip int) (CollectiveResult, error) {
+	for i := 0; i < skip; i++ {
+		if err := comm.Barrier(); err != nil {
+			return CollectiveResult{}, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := comm.Barrier(); err != nil {
+			return CollectiveResult{}, err
+		}
+	}
+	return CollectiveResult{Latency: time.Since(start) / time.Duration(iters)}, nil
+}
+
+// BcastLatency runs the osu_bcast kernel for each message size.
+func BcastLatency(comm *mpi.Comm, sizes []int, iters, skip int) ([]CollectiveResult, error) {
+	var out []CollectiveResult
+	for _, size := range sizes {
+		buf := make([]byte, size)
+		for i := 0; i < skip; i++ {
+			if err := comm.Bcast(buf, 0); err != nil {
+				return nil, err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := comm.Bcast(buf, 0); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, CollectiveResult{Size: size, Latency: time.Since(start) / time.Duration(iters)})
+	}
+	return out, nil
+}
+
+// AllreduceLatency runs the osu_allreduce kernel for each element count of
+// float64 data.
+func AllreduceLatency(comm *mpi.Comm, counts []int, iters, skip int) ([]CollectiveResult, error) {
+	var out []CollectiveResult
+	for _, count := range counts {
+		in := make([]byte, count*8)
+		res := make([]byte, count*8)
+		for i := 0; i < skip; i++ {
+			if err := comm.Allreduce(in, res, count, mpi.Float64, mpi.OpSum); err != nil {
+				return nil, err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := comm.Allreduce(in, res, count, mpi.Float64, mpi.OpSum); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, CollectiveResult{Size: count * 8, Latency: time.Since(start) / time.Duration(iters)})
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package osu_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/osu"
+	"gompi/mpi"
+)
+
+func TestBWKernel(t *testing.T) {
+	var mu sync.Mutex
+	var got []osu.BandwidthResult
+	runJob(t, 1, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "bw", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		res, err := osu.BW(comm, []int{64, 4096}, 8, 10, 2)
+		if err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			mu.Lock()
+			got = res
+			mu.Unlock()
+		} else if res != nil {
+			return fmt.Errorf("rank 1 got results")
+		}
+		return nil
+	})
+	if len(got) != 2 {
+		t.Fatalf("results = %v", got)
+	}
+	if got[1].BandwidthBs <= got[0].BandwidthBs {
+		t.Fatalf("4K bandwidth (%v) should beat 64B (%v)", got[1].BandwidthBs, got[0].BandwidthBs)
+	}
+}
+
+func TestBWRejectsWrongSize(t *testing.T) {
+	runJob(t, 1, 4, core.Config{CIDMode: core.CIDConsensus}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		if _, err := osu.BW(p.CommWorld(), []int{1}, 2, 2, 0); err == nil {
+			return fmt.Errorf("4-rank bw should fail")
+		}
+		return nil
+	})
+}
+
+func TestCollectiveLatencyKernels(t *testing.T) {
+	var mu sync.Mutex
+	var barrier osu.CollectiveResult
+	var bcast, allreduce []osu.CollectiveResult
+	runJob(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		b, err := osu.BarrierLatency(world, 10, 2)
+		if err != nil {
+			return err
+		}
+		bc, err := osu.BcastLatency(world, []int{8, 1024}, 10, 2)
+		if err != nil {
+			return err
+		}
+		ar, err := osu.AllreduceLatency(world, []int{1, 64}, 10, 2)
+		if err != nil {
+			return err
+		}
+		if world.Rank() == 0 {
+			mu.Lock()
+			barrier, bcast, allreduce = b, bc, ar
+			mu.Unlock()
+		}
+		return nil
+	})
+	if barrier.Latency <= 0 {
+		t.Fatalf("barrier latency = %v", barrier.Latency)
+	}
+	if len(bcast) != 2 || bcast[0].Latency <= 0 {
+		t.Fatalf("bcast = %v", bcast)
+	}
+	if len(allreduce) != 2 || allreduce[1].Latency <= 0 {
+		t.Fatalf("allreduce = %v", allreduce)
+	}
+}

@@ -1,0 +1,111 @@
+package osu_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/osu"
+	"gompi/mpi"
+)
+
+func TestPutGetLatencyKernels(t *testing.T) {
+	var mu sync.Mutex
+	var puts, gets []osu.RMAResult
+	runJob(t, 1, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		// The direct (no intermediate communicator) constructor.
+		win, err := sess.WinAllocateFromGroup(grp, "rma", 4096)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		pr, err := osu.PutLatency(win, []int{8, 1024}, 10, 2)
+		if err != nil {
+			return err
+		}
+		gr, err := osu.GetLatency(win, []int{8, 1024}, 10, 2)
+		if err != nil {
+			return err
+		}
+		if win.Comm().Rank() == 0 {
+			mu.Lock()
+			puts, gets = pr, gr
+			mu.Unlock()
+		}
+		return nil
+	})
+	if len(puts) != 2 || len(gets) != 2 {
+		t.Fatalf("results = %v / %v", puts, gets)
+	}
+	for _, r := range append(puts, gets...) {
+		if r.Latency <= 0 {
+			t.Fatalf("latency for size %d = %v", r.Size, r.Latency)
+		}
+	}
+}
+
+func TestRMAKernelValidation(t *testing.T) {
+	runJob(t, 1, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		win, err := sess.WinAllocateFromGroup(grp, "small", 16)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		if _, err := osu.PutLatency(win, []int{64}, 2, 0); err == nil {
+			return fmt.Errorf("oversized message accepted")
+		}
+		// Keep both ranks aligned: the failed call above ran no fences.
+		return win.Fence()
+	})
+}
+
+func TestWinAllocateFromGroupDirect(t *testing.T) {
+	runJob(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		win, err := sess.WinAllocateFromGroup(grp, "direct", 32)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		me := win.Comm().Rank()
+		n := win.Comm().Size()
+		if err := win.Put((me+1)%n, 0, []byte{byte(me)}); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		left := (me - 1 + n) % n
+		if win.Local()[0] != byte(left) {
+			return fmt.Errorf("slot 0 = %d, want %d", win.Local()[0], left)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,27 @@
+package pmix
+
+import "testing"
+
+func TestClientAccessors(t *testing.T) {
+	e := newEnv(t, 2, 2)
+	c := e.clients[2] // rank 2, node 1
+	if c.Proc().Rank != 2 || c.Proc().Nspace != "job-0" {
+		t.Fatalf("Proc = %v", c.Proc())
+	}
+	if c.Rank() != 2 {
+		t.Fatalf("Rank = %d", c.Rank())
+	}
+	if c.JobSize() != 4 {
+		t.Fatalf("JobSize = %d", c.JobSize())
+	}
+	if c.NodeOf(0) != 0 || c.NodeOf(3) != 1 {
+		t.Fatalf("NodeOf = %d/%d", c.NodeOf(0), c.NodeOf(3))
+	}
+	locals := c.LocalRanks()
+	if len(locals) != 2 || locals[0] != 2 || locals[1] != 3 {
+		t.Fatalf("LocalRanks = %v", locals)
+	}
+	if (Proc{Nspace: "a", Rank: 1}).String() != "a:1" {
+		t.Fatal("Proc.String format")
+	}
+}

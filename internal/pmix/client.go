@@ -1,0 +1,385 @@
+package pmix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Client is one process's connection to its node-local PMIx server. All
+// methods are safe for concurrent use; in the Sessions model several
+// threads (or application components) of one process may drive PMIx
+// concurrently.
+type Client struct {
+	server *Server
+	proc   Proc
+
+	mu        sync.Mutex
+	staged    map[string][]byte
+	finalized bool
+	handlers  []eventHandler
+	nextHID   int
+
+	// invites buffers pending group invitations so GroupJoin may be called
+	// before or after the invitation arrives.
+	invites   map[string]Event
+	inviteSig chan struct{} // capacity 1, pulsed on new invitations
+
+	// watchedGroups maps group name -> members for groups constructed with
+	// NotifyOnTermination: a member's abnormal termination is re-delivered
+	// to handlers as EventGroupMemberFailed (paper §III-A).
+	watchedGroups map[string][]int
+}
+
+// nextSeq returns this rank's sequence number for the i-th collective of a
+// given kind over a given participant set. Collectives over one set are
+// totally ordered at every participating rank, so per-rank counters advance
+// in lockstep across the job and yield a globally consistent operation key
+// with no extra coordination. The counters live on the server keyed by
+// rank so they survive client reconnects (session re-initialization).
+func (c *Client) nextSeq(kind, set string) uint64 {
+	return c.server.nextSeqFor(c.proc.Rank, kind, set)
+}
+
+type eventHandler struct {
+	id    int
+	codes map[EventCode]bool
+	fn    func(Event)
+}
+
+// Proc returns the identity of this client's process.
+func (c *Client) Proc() Proc { return c.proc }
+
+// Rank returns the process's rank in its namespace.
+func (c *Client) Rank() int { return c.proc.Rank }
+
+// JobSize returns the number of ranks in the job.
+func (c *Client) JobSize() int { return c.server.job.NP }
+
+// LocalRanks returns the ranks hosted on this process's node, the basis of
+// the mpi://shared pset.
+func (c *Client) LocalRanks() []int { return c.server.job.RanksOn(c.server.Node()) }
+
+// NodeOf returns the node hosting a rank.
+func (c *Client) NodeOf(rank int) int { return c.server.job.NodeOf(rank) }
+
+// Put stages a key/value pair; it becomes visible to peers after Commit and
+// a Fence (or on-demand via direct modex).
+func (c *Client) Put(key string, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finalized {
+		return ErrNotConnected
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	c.staged[key] = cp
+	return nil
+}
+
+// Commit publishes all staged pairs to the local server.
+func (c *Client) Commit() error {
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return ErrNotConnected
+	}
+	staged := c.staged
+	c.staged = make(map[string][]byte)
+	c.mu.Unlock()
+	c.server.daemon.Fabric().RPCDelay()
+	c.server.publish(c.proc.Rank, staged)
+	return nil
+}
+
+// Get retrieves a key published by any rank. Data from remote nodes is
+// fetched on demand ("direct modex") and cached at the local server.
+func (c *Client) Get(rank int, key string, timeout time.Duration) ([]byte, error) {
+	c.server.daemon.Fabric().RPCDelay()
+	return c.server.get(rank, key, timeout)
+}
+
+// Fence blocks until every listed rank has entered a matching Fence. With
+// collect set, all committed data is exchanged so subsequent Gets for
+// participants resolve locally.
+func (c *Client) Fence(ranks []int, collect bool, timeout time.Duration) error {
+	if len(ranks) == 0 {
+		return fmt.Errorf("%w: empty fence", ErrBadArgument)
+	}
+	c.server.daemon.Fabric().RPCDelay()
+	key := setKey(ranks)
+	opKey := fmt.Sprintf("fence/%s/%d", key, c.nextSeq("fence", key))
+	return c.server.fence(c.proc.Rank, ranks, opKey, collect, timeout)
+}
+
+// GroupResult describes a constructed PMIx group.
+type GroupResult struct {
+	Name    string
+	PGCID   uint64
+	Members []int
+}
+
+// GroupOpts carries the construct-time directives from Fig. 2 of the paper.
+type GroupOpts struct {
+	// Timeout bounds the construct/destruct; zero waits forever.
+	Timeout time.Duration
+	// AssignContextID requests a PGCID from the resource manager. The MPI
+	// prototype always sets this.
+	AssignContextID bool
+	// NotifyOnTermination requests an event if a member terminates without
+	// leaving the group.
+	NotifyOnTermination bool
+}
+
+// GroupConstruct collectively constructs a group over the given ranks (which
+// must include the caller). It blocks until every member has called
+// GroupConstruct with the same name, following the three-stage hierarchical
+// pattern, and returns the group's PGCID.
+func (c *Client) GroupConstruct(name string, ranks []int, opts GroupOpts) (GroupResult, error) {
+	if len(ranks) == 0 {
+		return GroupResult{}, fmt.Errorf("%w: empty group", ErrBadArgument)
+	}
+	found := false
+	for _, r := range ranks {
+		if r == c.proc.Rank {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return GroupResult{}, fmt.Errorf("%w: caller rank %d not in group %q", ErrBadArgument, c.proc.Rank, name)
+	}
+	c.server.daemon.Fabric().RPCDelay()
+
+	key := setKey(ranks)
+	opKey := fmt.Sprintf("grp/%s/%s/%d", name, key, c.nextSeq("grp/"+name, key))
+	leaderAlloc := ""
+	if opts.AssignContextID {
+		leaderAlloc = name
+	}
+	prof := c.server.profile()
+	_, pgcid, err := c.server.collective(opKey, c.proc.Rank, ranks, nil, leaderAlloc, prof.GroupClientWork, prof.GroupNodeWork, opts.Timeout)
+	if err != nil {
+		return GroupResult{}, err
+	}
+	members := make([]int, len(ranks))
+	copy(members, ranks)
+	if opts.NotifyOnTermination {
+		c.mu.Lock()
+		if c.watchedGroups == nil {
+			c.watchedGroups = make(map[string][]int)
+		}
+		c.watchedGroups[name] = members
+		c.mu.Unlock()
+	}
+	return GroupResult{Name: name, PGCID: pgcid, Members: members}, nil
+}
+
+// GroupDestruct collectively destroys a group, invalidating its identifier
+// in the runtime and cleaning up internal state.
+func (c *Client) GroupDestruct(name string, ranks []int, timeout time.Duration) error {
+	if len(ranks) == 0 {
+		return fmt.Errorf("%w: empty group", ErrBadArgument)
+	}
+	c.server.daemon.Fabric().RPCDelay()
+	key := setKey(ranks)
+	opKey := fmt.Sprintf("grpdes/%s/%s/%d", name, key, c.nextSeq("grpdes/"+name, key))
+	prof := c.server.profile()
+	_, _, err := c.server.collective(opKey, c.proc.Rank, ranks, nil, "", prof.GroupClientWork, prof.GroupNodeWork, timeout)
+	if err != nil {
+		return err
+	}
+	// The leader's server deregisters the pset.
+	nodes := participantNodes(ranks, c.server.job.NodeOf)
+	if nodes[0] == c.server.Node() && c.isLowestLocal(ranks) {
+		return c.server.daemon.DeregisterPset(name)
+	}
+	return nil
+}
+
+func (c *Client) isLowestLocal(ranks []int) bool {
+	lowest := -1
+	for _, r := range ranks {
+		if c.server.job.NodeOf(r) == c.server.Node() && (lowest == -1 || r < lowest) {
+			lowest = r
+		}
+	}
+	return lowest == c.proc.Rank
+}
+
+// QueryNumPsets returns the number of process sets known to the runtime
+// (PMIX_QUERY_NUM_PSETS).
+func (c *Client) QueryNumPsets() (int, error) {
+	c.server.daemon.Fabric().RPCDelay()
+	psets, err := c.server.queryPsets()
+	if err != nil {
+		return 0, err
+	}
+	return len(psets), nil
+}
+
+// QueryPsetNames returns the names and memberships of all process sets
+// known to the runtime (PMIX_QUERY_PSET_NAMES).
+func (c *Client) QueryPsetNames() (map[string][]int, error) {
+	c.server.daemon.Fabric().RPCDelay()
+	return c.server.queryPsets()
+}
+
+// Publish stores a key/value pair in the runtime's global name service
+// (PMIx_Publish). Published data is visible job-wide via Lookup; MPI-style
+// port names are the canonical use.
+func (c *Client) Publish(key string, value []byte) error {
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return ErrNotConnected
+	}
+	c.mu.Unlock()
+	c.server.daemon.Fabric().RPCDelay()
+	return c.server.daemon.PublishGlobal(key, value)
+}
+
+// Lookup retrieves a globally published value (PMIx_Lookup). It returns
+// ErrKeyNotFound if nothing has been published under key.
+func (c *Client) Lookup(key string, timeout time.Duration) ([]byte, error) {
+	c.server.daemon.Fabric().RPCDelay()
+	v, ok, err := c.server.daemon.LookupGlobal(key, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: published key %q", ErrKeyNotFound, key)
+	}
+	return v, nil
+}
+
+// Unpublish removes a published key (PMIx_Unpublish).
+func (c *Client) Unpublish(key string) error {
+	c.server.daemon.Fabric().RPCDelay()
+	return c.server.daemon.UnpublishGlobal(key)
+}
+
+// TerminatedRanks returns the ranks this process's server knows to have
+// terminated abnormally, in ascending order. Survivor-side recovery code
+// uses it to build replacement groups after a failure (the paper's
+// "re-initialize MPI after each failure, potentially with fewer processes"
+// direction, §II-C).
+func (c *Client) TerminatedRanks() []int {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	out := make([]int, 0, len(c.server.terminated))
+	for r := range c.server.terminated {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RegisterEventHandler registers fn for the given event codes (nil/empty
+// means all codes) and returns a handle for deregistration. Handlers run on
+// the server's dispatcher goroutine and must not block indefinitely.
+func (c *Client) RegisterEventHandler(codes []EventCode, fn func(Event)) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextHID++
+	set := make(map[EventCode]bool, len(codes))
+	for _, code := range codes {
+		set[code] = true
+	}
+	c.handlers = append(c.handlers, eventHandler{id: c.nextHID, codes: set, fn: fn})
+	return c.nextHID
+}
+
+// DeregisterEventHandler removes a previously registered handler.
+func (c *Client) DeregisterEventHandler(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, h := range c.handlers {
+		if h.id == id {
+			c.handlers = append(c.handlers[:i], c.handlers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Client) deliverEvent(ev Event) {
+	if ev.Target != (Proc{}) && ev.Target != c.proc {
+		return
+	}
+	if ev.Code == EventGroupInvite {
+		c.mu.Lock()
+		if c.invites == nil {
+			c.invites = make(map[string]Event)
+		}
+		c.invites[ev.Group] = ev
+		sig := c.inviteSig
+		c.mu.Unlock()
+		if sig != nil {
+			select {
+			case sig <- struct{}{}:
+			default:
+			}
+		}
+	}
+	c.mu.Lock()
+	hs := make([]eventHandler, len(c.handlers))
+	copy(hs, c.handlers)
+	// A watched group member's termination is surfaced as a synthesized
+	// group-member-failed event, once per affected group.
+	var synthesized []Event
+	if ev.Code == EventProcTerminated {
+		for name, members := range c.watchedGroups {
+			for _, m := range members {
+				if m == ev.Source.Rank {
+					synthesized = append(synthesized, Event{
+						Code:    EventGroupMemberFailed,
+						Source:  ev.Source,
+						Group:   name,
+						Members: members,
+					})
+					break
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range hs {
+		if len(h.codes) == 0 || h.codes[ev.Code] {
+			h.fn(ev)
+		}
+		for _, sev := range synthesized {
+			if len(h.codes) == 0 || h.codes[sev.Code] {
+				h.fn(sev)
+			}
+		}
+	}
+}
+
+// UnwatchGroup stops member-failure notifications for a group (called on
+// group destruct or departure).
+func (c *Client) UnwatchGroup(name string) {
+	c.mu.Lock()
+	delete(c.watchedGroups, name)
+	c.mu.Unlock()
+}
+
+// Abort reports abnormal termination of this process to the runtime: the
+// failure event is broadcast and pending local collectives involving the
+// process fail.
+func (c *Client) Abort() {
+	c.mu.Lock()
+	c.finalized = true
+	c.mu.Unlock()
+	c.server.abort(c.proc.Rank)
+}
+
+// Finalize disconnects the client cleanly.
+func (c *Client) Finalize() {
+	c.mu.Lock()
+	c.finalized = true
+	c.mu.Unlock()
+	c.server.mu.Lock()
+	delete(c.server.clients, c.proc.Rank)
+	c.server.mu.Unlock()
+}

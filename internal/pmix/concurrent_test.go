@@ -1,0 +1,88 @@
+package pmix
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentGroupConstructsDifferentNames is the PMIx-level regression
+// test for the multi-threaded Sessions pattern: several "threads" per rank
+// construct differently-named groups concurrently, and the constructs may
+// complete in any order. No process-wide ordering may be assumed.
+func TestConcurrentGroupConstructsDifferentNames(t *testing.T) {
+	const groups = 5
+	e := newEnv(t, 2, 2)
+	ranks := allRanks(4)
+	type key struct{ g, r int }
+	results := make(map[key]uint64)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		for _, r := range ranks {
+			wg.Add(1)
+			go func(g, r int) {
+				defer wg.Done()
+				name := fmt.Sprintf("conc-%d", g)
+				res, err := e.clients[r].GroupConstruct(name, ranks, GroupOpts{AssignContextID: true, Timeout: 10 * time.Second})
+				if err != nil {
+					t.Errorf("group %d rank %d: %v", g, r, err)
+					return
+				}
+				mu.Lock()
+				results[key{g, r}] = res.PGCID
+				mu.Unlock()
+			}(g, r)
+		}
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for g := 0; g < groups; g++ {
+		base := results[key{g, 0}]
+		if base == 0 {
+			t.Fatalf("group %d: zero PGCID", g)
+		}
+		for _, r := range ranks {
+			if results[key{g, r}] != base {
+				t.Fatalf("group %d: rank %d PGCID %d != %d", g, r, results[key{g, r}], base)
+			}
+		}
+		if prev, dup := seen[base]; dup {
+			t.Fatalf("groups %d and %d share PGCID %d", prev, g, base)
+		}
+		seen[base] = g
+	}
+}
+
+// TestConcurrentMixedCollectives interleaves fences and group constructs
+// from separate goroutines per rank.
+func TestConcurrentMixedCollectives(t *testing.T) {
+	e := newEnv(t, 2, 1)
+	ranks := []int{0, 1}
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := e.clients[r].Fence(ranks, false, 10*time.Second); err != nil {
+					t.Errorf("rank %d fence %d: %v", r, i, err)
+					return
+				}
+			}
+		}(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				name := fmt.Sprintf("mix-%d", i)
+				if _, err := e.clients[r].GroupConstruct(name, ranks, GroupOpts{AssignContextID: true, Timeout: 10 * time.Second}); err != nil {
+					t.Errorf("rank %d construct %d: %v", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

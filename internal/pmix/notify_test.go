@@ -1,0 +1,103 @@
+package pmix
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNotifyOnTerminationDeliversGroupMemberFailed(t *testing.T) {
+	e := newEnv(t, 2, 2)
+	ranks := []int{0, 1, 2}
+	opts := GroupOpts{AssignContextID: true, NotifyOnTermination: true, Timeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := e.clients[r].GroupConstruct("watched", ranks, opts); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	got := make(chan Event, 4)
+	e.clients[0].RegisterEventHandler([]EventCode{EventGroupMemberFailed}, func(ev Event) {
+		got <- ev
+	})
+	// Rank 3 is NOT a member: its failure must not synthesize an event.
+	e.clients[3].Abort()
+	select {
+	case ev := <-got:
+		t.Fatalf("non-member failure produced %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Rank 2 IS a member.
+	e.clients[2].Abort()
+	select {
+	case ev := <-got:
+		if ev.Group != "watched" || ev.Source.Rank != 2 {
+			t.Fatalf("event = %+v", ev)
+		}
+		if len(ev.Members) != 3 {
+			t.Fatalf("members = %v", ev.Members)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("member failure did not synthesize group event")
+	}
+}
+
+func TestUnwatchGroupStopsNotifications(t *testing.T) {
+	e := newEnv(t, 1, 3)
+	ranks := []int{0, 1}
+	opts := GroupOpts{AssignContextID: true, NotifyOnTermination: true, Timeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := e.clients[r].GroupConstruct("transient", ranks, opts); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	got := make(chan Event, 2)
+	e.clients[0].RegisterEventHandler([]EventCode{EventGroupMemberFailed}, func(ev Event) {
+		got <- ev
+	})
+	e.clients[0].UnwatchGroup("transient")
+	e.clients[1].Abort()
+	select {
+	case ev := <-got:
+		t.Fatalf("unwatched group produced %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestGroupWithoutNotifyFlagSynthesizesNothing(t *testing.T) {
+	e := newEnv(t, 1, 2)
+	ranks := []int{0, 1}
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := e.clients[r].GroupConstruct("plain", ranks, GroupOpts{AssignContextID: true, Timeout: 5 * time.Second}); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	got := make(chan Event, 2)
+	e.clients[0].RegisterEventHandler([]EventCode{EventGroupMemberFailed}, func(ev Event) {
+		got <- ev
+	})
+	e.clients[1].Abort()
+	select {
+	case ev := <-got:
+		t.Fatalf("plain group produced %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

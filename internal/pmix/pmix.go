@@ -1,0 +1,217 @@
+// Package pmix is a from-scratch Go implementation of the subset of the
+// Process Management Interface for Exascale used by the paper's MPI Sessions
+// prototype (§III-A): client/server key-value exchange ("modex"), fences,
+// event notification, pset queries, and — centrally — PMIx groups with
+// collective construction/destruction, resource-manager-assigned 64-bit
+// PGCIDs, completion timeouts, and an asynchronous invite/join mode.
+//
+// One Server runs per node (hosted on that node's PRRTE daemon); each MPI
+// process holds a Client connected to its local server. Collective
+// operations follow the paper's three-stage hierarchical pattern: local
+// participants notify their server; once all local participants have
+// arrived, the server joins an all-to-all exchange with the other
+// participating servers; finally each server releases its local waiters.
+package pmix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Proc identifies one process: a namespace (job) plus a rank within it.
+type Proc struct {
+	Nspace string
+	Rank   int
+}
+
+func (p Proc) String() string { return fmt.Sprintf("%s:%d", p.Nspace, p.Rank) }
+
+// Well-known info keys (mirroring PMIX_* attribute names).
+const (
+	KeyQueryNumPsets   = "pmix.qry.num_psets"
+	KeyQueryPsetNames  = "pmix.qry.pset_names"
+	KeyGroupContextID  = "pmix.grp.ctxid"
+	KeyTimeout         = "pmix.timeout"
+	KeyGroupAssignCtx  = "pmix.grp.gid.assign"
+	KeyGroupNotifyTerm = "pmix.grp.notifyterm"
+)
+
+// Status is a PMIx-style status code.
+type Status int
+
+// Status codes used by this implementation.
+const (
+	OK Status = iota
+	ErrTimeoutStatus
+	ErrProcTerminated
+	ErrNotFound
+	ErrInvalid
+	ErrShutdownStatus
+)
+
+// Errors returned by client operations.
+var (
+	ErrTimeout      = errors.New("pmix: operation timed out")
+	ErrTerminated   = errors.New("pmix: participant terminated")
+	ErrKeyNotFound  = errors.New("pmix: key not found")
+	ErrNotConnected = errors.New("pmix: client not initialized")
+	ErrBadArgument  = errors.New("pmix: invalid argument")
+)
+
+// EventCode classifies runtime events.
+type EventCode int
+
+const (
+	// EventProcTerminated is raised when a process aborts or exits without
+	// finalizing; the source identifies the failed process.
+	EventProcTerminated EventCode = iota + 1
+	// EventGroupMemberFailed is raised to members of a group whose peer
+	// terminated without first leaving the group.
+	EventGroupMemberFailed
+	// EventGroupInvite is delivered to a process invited to join a group
+	// asynchronously.
+	EventGroupInvite
+	// EventGroupJoinResponse is delivered to an invite initiator when an
+	// invitee accepts or declines.
+	EventGroupJoinResponse
+	// EventGroupConstructed is delivered to accepted invitees when the
+	// asynchronous group construct completes.
+	EventGroupConstructed
+	// EventGroupMemberLeft is raised when a process departs a group.
+	EventGroupMemberLeft
+)
+
+// Event is one runtime notification. Target, when non-zero, restricts
+// delivery to a single process on the receiving node.
+type Event struct {
+	Code    EventCode
+	Source  Proc
+	Target  Proc
+	Group   string
+	PGCID   uint64
+	Accept  bool
+	Members []int
+	Payload []byte
+}
+
+func encodeEvent(ev Event) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ev); err != nil {
+		panic(fmt.Sprintf("pmix: event encode: %v", err)) // events are plain data; cannot fail
+	}
+	return buf.Bytes()
+}
+
+func decodeEvent(data []byte) (Event, error) {
+	var ev Event
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ev)
+	return ev, err
+}
+
+// Info is an ordered list of key/value directives, the PMIx (and MPI)
+// mechanism for passing optional parameters.
+type Info struct {
+	keys []string
+	vals map[string]string
+}
+
+// NewInfo returns an empty Info.
+func NewInfo() *Info { return &Info{vals: make(map[string]string)} }
+
+// Set stores a key/value pair, replacing any existing value.
+func (i *Info) Set(key, value string) {
+	if i.vals == nil {
+		i.vals = make(map[string]string)
+	}
+	if _, ok := i.vals[key]; !ok {
+		i.keys = append(i.keys, key)
+	}
+	i.vals[key] = value
+}
+
+// Get returns the value for key.
+func (i *Info) Get(key string) (string, bool) {
+	if i == nil || i.vals == nil {
+		return "", false
+	}
+	v, ok := i.vals[key]
+	return v, ok
+}
+
+// Keys returns the keys in insertion order.
+func (i *Info) Keys() []string {
+	if i == nil {
+		return nil
+	}
+	out := make([]string, len(i.keys))
+	copy(out, i.keys)
+	return out
+}
+
+// Delete removes a key if present.
+func (i *Info) Delete(key string) {
+	if i == nil || i.vals == nil {
+		return
+	}
+	if _, ok := i.vals[key]; !ok {
+		return
+	}
+	delete(i.vals, key)
+	for n, k := range i.keys {
+		if k == key {
+			i.keys = append(i.keys[:n], i.keys[n+1:]...)
+			break
+		}
+	}
+}
+
+// Dup returns a deep copy.
+func (i *Info) Dup() *Info {
+	out := NewInfo()
+	if i == nil {
+		return out
+	}
+	for _, k := range i.keys {
+		out.Set(k, i.vals[k])
+	}
+	return out
+}
+
+// Len returns the number of stored keys.
+func (i *Info) Len() int {
+	if i == nil {
+		return 0
+	}
+	return len(i.keys)
+}
+
+// setKey builds a stable key identifying a set of ranks, used to sequence
+// collective operations over identical participant sets.
+func setKey(ranks []int) string {
+	cp := make([]int, len(ranks))
+	copy(cp, ranks)
+	sort.Ints(cp)
+	var buf bytes.Buffer
+	for _, r := range cp {
+		fmt.Fprintf(&buf, "%d,", r)
+	}
+	return buf.String()
+}
+
+// participantNodes returns the sorted distinct nodes hosting the ranks.
+func participantNodes(ranks []int, nodeOf func(int) int) []int {
+	seen := make(map[int]bool)
+	var nodes []int
+	for _, r := range ranks {
+		n := nodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
+}

@@ -1,0 +1,482 @@
+package pmix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"gompi/internal/prrte"
+	"gompi/internal/simnet"
+	"gompi/internal/topo"
+)
+
+// Server is the PMIx server for one node. It is hosted on the node's PRRTE
+// daemon and services the clients of all local ranks.
+type Server struct {
+	daemon *prrte.Daemon
+	job    prrte.JobMap
+	nspace string
+
+	mu          sync.Mutex
+	clients     map[int]*Client
+	published   map[int]map[string][]byte // committed per local rank
+	remoteCache map[string][]byte         // "modex/<rank>/<key>" -> value
+	colls       map[string]*collOp
+	seqs        map[string]uint64
+	terminated  map[int]bool
+	pendingEvs  map[int][]Event // targeted events for not-yet-connected ranks
+
+	evq    chan Event
+	closed chan struct{}
+
+	// workMu serializes modeled server-side processing: real PMIx servers
+	// handle local client requests one at a time, which is why collective
+	// runtime operations scale with the number of local participants.
+	workMu sync.Mutex
+}
+
+// work charges d of serialized server processing time.
+func (s *Server) work(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.workMu.Lock()
+	simnet.Delay(d)
+	s.workMu.Unlock()
+}
+
+func (s *Server) profile() topo.Profile {
+	return s.daemon.Fabric().Cluster().Profile
+}
+
+// collOp is the local rendezvous state for one collective instance.
+type collOp struct {
+	need     int
+	ranks    []int // all participants (across nodes)
+	contribs map[int][]byte
+	executed bool
+	done     chan struct{}
+	result   map[int][]byte // per-rank data from all participants
+	pgcid    uint64
+	err      error
+}
+
+func (op *collOp) expects(rank int) bool {
+	for _, r := range op.ranks {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// NewServer creates the PMIx server for the daemon's node and attaches it
+// as the daemon's handler for inbound fetches and events.
+func NewServer(daemon *prrte.Daemon, job prrte.JobMap, nspace string) *Server {
+	s := &Server{
+		daemon:      daemon,
+		job:         job,
+		nspace:      nspace,
+		clients:     make(map[int]*Client),
+		published:   make(map[int]map[string][]byte),
+		remoteCache: make(map[string][]byte),
+		colls:       make(map[string]*collOp),
+		seqs:        make(map[string]uint64),
+		terminated:  make(map[int]bool),
+		pendingEvs:  make(map[int][]Event),
+		evq:         make(chan Event, 1024),
+		closed:      make(chan struct{}),
+	}
+	daemon.AttachServer(s)
+	go s.dispatchEvents()
+	return s
+}
+
+// Node returns the node this server manages.
+func (s *Server) Node() int { return s.daemon.Node() }
+
+// Job returns the job map.
+func (s *Server) Job() prrte.JobMap { return s.job }
+
+// Close stops the server's event dispatcher.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}
+
+// Connect registers a client for a local rank and returns it. Connecting a
+// rank that is not mapped to this node is a wiring bug and panics.
+func (s *Server) Connect(rank int) *Client {
+	if s.job.NodeOf(rank) != s.Node() {
+		panic(fmt.Sprintf("pmix: rank %d is mapped to node %d, not node %d", rank, s.job.NodeOf(rank), s.Node()))
+	}
+	s.work(s.profile().ClientConnectWork)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[rank]; ok {
+		return c
+	}
+	c := &Client{
+		server: s,
+		proc:   Proc{Nspace: s.nspace, Rank: rank},
+		staged: make(map[string][]byte),
+	}
+	s.clients[rank] = c
+	delete(s.terminated, rank)
+	pending := s.pendingEvs[rank]
+	delete(s.pendingEvs, rank)
+	s.mu.Unlock()
+	// Replay targeted events (e.g. group invitations) that arrived before
+	// the process connected.
+	for _, ev := range pending {
+		c.deliverEvent(ev)
+	}
+	s.mu.Lock()
+	return c
+}
+
+// HandleFetch implements prrte.ServerHandler: it serves direct-modex
+// requests for data published by local ranks.
+func (s *Server) HandleFetch(key string) ([]byte, bool) {
+	var rank int
+	var sub string
+	if _, err := fmt.Sscanf(key, "modex/%d/%s", &rank, &sub); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kv, ok := s.published[rank]; ok {
+		if v, ok := kv[sub]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// HandleEvent implements prrte.ServerHandler: broadcast events are queued
+// for asynchronous dispatch to local clients' handlers.
+func (s *Server) HandleEvent(data []byte) {
+	ev, err := decodeEvent(data)
+	if err != nil {
+		return
+	}
+	select {
+	case s.evq <- ev:
+	case <-s.closed:
+	}
+}
+
+func (s *Server) dispatchEvents() {
+	for {
+		select {
+		case ev := <-s.evq:
+			s.mu.Lock()
+			if ev.Code == EventProcTerminated {
+				s.terminated[ev.Source.Rank] = true
+			}
+			// A targeted event for a local rank that has not connected yet
+			// is held until it does (it may still be initializing).
+			if t := ev.Target; t != (Proc{}) && s.job.NodeOf(t.Rank) == s.Node() {
+				if _, connected := s.clients[t.Rank]; !connected && !s.terminated[t.Rank] {
+					s.pendingEvs[t.Rank] = append(s.pendingEvs[t.Rank], ev)
+					s.mu.Unlock()
+					continue
+				}
+			}
+			clients := make([]*Client, 0, len(s.clients))
+			for _, c := range s.clients {
+				clients = append(clients, c)
+			}
+			s.mu.Unlock()
+			for _, c := range clients {
+				c.deliverEvent(ev)
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// nextSeqFor hands out rank-scoped collective sequence numbers; see
+// Client.nextSeq for the consistency argument.
+func (s *Server) nextSeqFor(rank int, kind, set string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := fmt.Sprintf("%d|%s|%s", rank, kind, set)
+	s.seqs[k]++
+	return s.seqs[k]
+}
+
+// publish commits a client's staged data.
+func (s *Server) publish(rank int, kv map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := s.published[rank]
+	if dst == nil {
+		dst = make(map[string][]byte)
+		s.published[rank] = dst
+	}
+	for k, v := range kv {
+		dst[k] = v
+	}
+}
+
+// get resolves a key for a proc: local published data first, then the
+// remote cache, then a direct fetch from the proc's node (charged on the
+// fabric). This mirrors Open MPI's on-demand add_procs behaviour (§III-B1):
+// remote processes are discovered on first communication.
+func (s *Server) get(rank int, key string, timeout time.Duration) ([]byte, error) {
+	node := s.job.NodeOf(rank)
+	cacheKey := fmt.Sprintf("modex/%d/%s", rank, key)
+	s.mu.Lock()
+	if node == s.Node() {
+		if kv, ok := s.published[rank]; ok {
+			if v, ok := kv[key]; ok {
+				s.mu.Unlock()
+				return v, nil
+			}
+		}
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s for rank %d", ErrKeyNotFound, key, rank)
+	}
+	if v, ok := s.remoteCache[cacheKey]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+
+	data, ok, err := s.daemon.Fetch(node, cacheKey, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s for rank %d", ErrKeyNotFound, key, rank)
+	}
+	s.mu.Lock()
+	s.remoteCache[cacheKey] = data
+	s.mu.Unlock()
+	return data, nil
+}
+
+// collective runs the three-stage hierarchical pattern for one local
+// participant (rank) of the operation identified by opKey:
+//
+//	stage 1: local participants rendezvous at their server;
+//	stage 2: the last local arriver drives the inter-server all-to-all
+//	         (and, if leaderAlloc is set and this node is the leader,
+//	         obtains a PGCID from the resource manager first);
+//	stage 3: all local participants are released with the merged result.
+//
+// contrib is this rank's contribution; the returned map holds every
+// participant rank's contribution. ranks lists all participants.
+// clientWork is the modeled serialized server cost per local arrival;
+// nodeWork per remote node contribution processed by the executor.
+func (s *Server) collective(opKey string, rank int, ranks []int, contrib []byte, leaderAlloc string, clientWork, nodeWork time.Duration, timeout time.Duration) (map[int][]byte, uint64, error) {
+	s.work(clientWork)
+	nodes := participantNodes(ranks, s.job.NodeOf)
+	needLocal := 0
+	for _, r := range ranks {
+		if s.job.NodeOf(r) == s.Node() {
+			needLocal++
+		}
+	}
+	if needLocal == 0 {
+		return nil, 0, fmt.Errorf("%w: rank %d not hosted on node %d", ErrBadArgument, rank, s.Node())
+	}
+
+	s.mu.Lock()
+	op := s.colls[opKey]
+	if op == nil {
+		op = &collOp{need: needLocal, ranks: ranks, contribs: make(map[int][]byte), done: make(chan struct{})}
+		s.colls[opKey] = op
+	}
+	if _, dup := op.contribs[rank]; dup {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: rank %d joined %q twice", ErrBadArgument, rank, opKey)
+	}
+	op.contribs[rank] = contrib
+	isExecutor := len(op.contribs) == op.need && !op.executed
+	if isExecutor {
+		op.executed = true
+	}
+	s.mu.Unlock()
+
+	if isExecutor {
+		s.executeCollective(opKey, op, nodes, leaderAlloc, ranks, nodeWork, timeout)
+	}
+
+	// Stage 3: wait for completion.
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case <-op.done:
+		case <-timer.C:
+			return nil, 0, fmt.Errorf("pmix: collective %q: %w", opKey, ErrTimeout)
+		}
+	} else {
+		<-op.done
+	}
+	if op.err != nil {
+		return nil, 0, op.err
+	}
+	return op.result, op.pgcid, nil
+}
+
+// executeCollective runs stage 2 on behalf of all local participants.
+func (s *Server) executeCollective(opKey string, op *collOp, nodes []int, leaderAlloc string, ranks []int, nodeWork, timeout time.Duration) {
+	defer close(op.done)
+
+	// Leader obtains the PGCID from the resource manager before the
+	// exchange so it can ride along with the leader's contribution.
+	var pgcid uint64
+	if leaderAlloc != "" && nodes[0] == s.Node() {
+		id, err := s.daemon.AllocPGCID(leaderAlloc, ranks)
+		if err != nil {
+			op.err = err
+			return
+		}
+		pgcid = id
+	}
+
+	s.mu.Lock()
+	local := nodeBlob{PGCID: pgcid, Data: make(map[int][]byte, len(op.contribs))}
+	for r, c := range op.contribs {
+		local.Data[r] = c
+	}
+	delete(s.colls, opKey)
+	s.mu.Unlock()
+
+	contribution := encodeNodeBlob(local)
+	results, err := s.daemon.Exchange(opKey, nodes, contribution, timeout)
+	if err != nil {
+		op.err = err
+		return
+	}
+	// Process each remote node's contribution (modeled serialized cost).
+	s.work(nodeWork * time.Duration(len(nodes)-1))
+	merged := make(map[int][]byte)
+	var gotPGCID uint64
+	for _, blob := range results {
+		nb, err := decodeNodeBlob(blob)
+		if err != nil {
+			op.err = fmt.Errorf("pmix: collective %q: corrupt contribution: %w", opKey, err)
+			return
+		}
+		if nb.PGCID != 0 {
+			gotPGCID = nb.PGCID
+		}
+		for r, c := range nb.Data {
+			merged[r] = c
+		}
+	}
+	op.result = merged
+	op.pgcid = gotPGCID
+}
+
+// nodeBlob is the per-node contribution to an inter-server exchange.
+type nodeBlob struct {
+	PGCID uint64
+	Data  map[int][]byte
+}
+
+func encodeNodeBlob(nb nodeBlob) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(nb); err != nil {
+		panic(fmt.Sprintf("pmix: node blob encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeNodeBlob(data []byte) (nodeBlob, error) {
+	var nb nodeBlob
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&nb)
+	return nb, err
+}
+
+// fence implements PMIx_Fence for one local participant. With collect set,
+// every participant's committed data is exchanged and cached so later Gets
+// are local.
+func (s *Server) fence(rank int, ranks []int, opKey string, collect bool, timeout time.Duration) error {
+	var contrib []byte
+	if collect {
+		s.mu.Lock()
+		kv := s.published[rank]
+		cp := make(map[string][]byte, len(kv))
+		for k, v := range kv {
+			cp[k] = v
+		}
+		s.mu.Unlock()
+		contrib = encodeKV(cp)
+	}
+	prof := s.profile()
+	result, _, err := s.collective(opKey, rank, ranks, contrib, "", prof.FenceClientWork, prof.FenceNodeWork, timeout)
+	if err != nil {
+		return err
+	}
+	if collect {
+		s.mu.Lock()
+		for r, blob := range result {
+			if len(blob) == 0 || s.job.NodeOf(r) == s.Node() {
+				continue
+			}
+			kv, err := decodeKV(blob)
+			if err != nil {
+				continue
+			}
+			for k, v := range kv {
+				s.remoteCache[fmt.Sprintf("modex/%d/%s", r, k)] = v
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func encodeKV(kv map[string][]byte) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(kv); err != nil {
+		panic(fmt.Sprintf("pmix: kv encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeKV(data []byte) (map[string][]byte, error) {
+	var kv map[string][]byte
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&kv)
+	return kv, err
+}
+
+// abort marks a local rank terminated and broadcasts the failure to every
+// node. Pending local collectives that expected the rank fail immediately;
+// remote participants are protected by their operation timeouts, matching
+// the deadlock-avoidance design described in the paper.
+func (s *Server) abort(rank int) {
+	s.mu.Lock()
+	s.terminated[rank] = true
+	delete(s.clients, rank)
+	for key, op := range s.colls {
+		if op.executed || !op.expects(rank) {
+			continue
+		}
+		op.err = fmt.Errorf("%w: rank %d", ErrTerminated, rank)
+		op.executed = true
+		close(op.done)
+		delete(s.colls, key)
+	}
+	s.mu.Unlock()
+	s.daemon.BroadcastEvent(encodeEvent(Event{
+		Code:   EventProcTerminated,
+		Source: Proc{Nspace: s.nspace, Rank: rank},
+	}))
+}
+
+// queryPsets returns the runtime's pset registry.
+func (s *Server) queryPsets() (map[string][]int, error) {
+	return s.daemon.QueryPsets()
+}

@@ -1,0 +1,804 @@
+package pml
+
+import (
+	"fmt"
+	"sync"
+
+	"gompi/internal/simnet"
+)
+
+// DefaultEagerLimit is the message size above which the rendezvous protocol
+// is used instead of eager delivery.
+const DefaultEagerLimit = 4096
+
+// Config tunes an Engine.
+type Config struct {
+	// EagerLimit is the eager/rendezvous switch point in bytes; zero means
+	// DefaultEagerLimit.
+	EagerLimit int
+}
+
+// Stats counts messages by header kind, used by tests and by the Fig. 5c
+// analysis of how many messages travelled with extended headers.
+type Stats struct {
+	FastSent   uint64 // messages sent with the 14-byte header only
+	ExtSent    uint64 // messages sent with the extended header
+	AcksSent   uint64
+	AcksRecved uint64
+	Rendezvous uint64 // rendezvous transfers initiated
+}
+
+// Engine is one process's ob1-style messaging engine. It owns the process's
+// data endpoint, runs a progress goroutine that drains it, and performs MPI
+// tag matching for every communicator (Channel) registered with it.
+type Engine struct {
+	ep         *simnet.Endpoint
+	resolve    func(globalRank int) (simnet.Addr, error)
+	eagerLimit int
+
+	mu          sync.Mutex
+	cond        *sync.Cond // signaled on unexpected-queue arrivals and close
+	comms       map[uint16]*Channel
+	byEx        map[ExCID]*Channel
+	addrs       map[int]simnet.Addr
+	pendSend    map[uint64]*pendingSend
+	pendRecv    map[uint64]*postedRecv
+	orphans     map[uint16][][]byte // fast-path packets for not-yet-registered CIDs
+	orphansEx   map[ExCID][][]byte  // ext packets for not-yet-registered exCIDs
+	failedPeers map[int]bool        // global ranks declared dead by the runtime
+	nextReq     uint64
+	nextCID     uint16
+	closed      bool
+	stats       Stats
+}
+
+type pendingSend struct {
+	req        *Request
+	payload    []byte
+	destGlobal int
+}
+
+type postedRecv struct {
+	ch  *Channel
+	src int
+	tag int
+	buf []byte
+	req *Request
+	// resSrc/resTag are the matched message's actual source and tag, fixed
+	// when a rendezvous match is made (src/tag may be wildcards).
+	resSrc int
+	resTag int
+}
+
+// inbound is one unexpected (not yet matched) message.
+type inbound struct {
+	src          int
+	tag          int
+	seq          uint16
+	payload      []byte
+	rndv         bool
+	rndvLen      uint64
+	sendReqID    uint64
+	senderGlobal int
+}
+
+// peerState tracks the exCID handshake and sequencing with one peer of one
+// channel.
+type peerState struct {
+	sendSeq   uint16
+	remoteCID uint16 // peer's local CID for this comm, learned from its ACK
+	haveACK   bool   // we received the peer's ACK: fast path usable
+	ackSent   bool   // we already acknowledged the peer's first ext message
+}
+
+// Channel is the PML view of one communicator: a local CID, an optional
+// exCID, and the comm-rank to global-rank translation.
+type Channel struct {
+	eng      *Engine
+	localCID uint16
+	ex       ExCID
+	useEx    bool
+	myRank   int
+	ranks    []int // comm rank -> global rank
+	peers    []peerState
+
+	posted     []*postedRecv
+	unexpected []*inbound
+}
+
+// NewEngine creates an engine on the given endpoint. resolve maps a global
+// rank to its data endpoint address; it is consulted lazily on first
+// communication with each peer and its result cached, mirroring Open MPI's
+// on-demand add_procs (§III-B1).
+func NewEngine(ep *simnet.Endpoint, resolve func(int) (simnet.Addr, error), cfg Config) *Engine {
+	if cfg.EagerLimit <= 0 {
+		cfg.EagerLimit = DefaultEagerLimit
+	}
+	e := &Engine{
+		ep:          ep,
+		resolve:     resolve,
+		eagerLimit:  cfg.EagerLimit,
+		comms:       make(map[uint16]*Channel),
+		byEx:        make(map[ExCID]*Channel),
+		addrs:       make(map[int]simnet.Addr),
+		pendSend:    make(map[uint64]*pendingSend),
+		pendRecv:    make(map[uint64]*postedRecv),
+		orphans:     make(map[uint16][][]byte),
+		orphansEx:   make(map[ExCID][][]byte),
+		failedPeers: make(map[int]bool),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.progress()
+	return e
+}
+
+// Addr returns the engine's data endpoint address (published via modex).
+func (e *Engine) Addr() simnet.Addr { return e.ep.Addr() }
+
+// Stats returns a snapshot of the engine's message counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// EagerLimit returns the configured eager/rendezvous threshold.
+func (e *Engine) EagerLimit() int { return e.eagerLimit }
+
+// Close shuts down the engine: the endpoint is closed, the progress
+// goroutine exits, and all pending requests fail with ErrClosed.
+func (e *Engine) Close() {
+	e.ep.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var reqs []*Request
+	for _, ch := range e.comms {
+		for _, pr := range ch.posted {
+			reqs = append(reqs, pr.req)
+		}
+		ch.posted = nil
+	}
+	for _, ps := range e.pendSend {
+		reqs = append(reqs, ps.req)
+	}
+	for _, pr := range e.pendRecv {
+		reqs = append(reqs, pr.req)
+	}
+	e.pendSend = map[uint64]*pendingSend{}
+	e.pendRecv = map[uint64]*postedRecv{}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, r := range reqs {
+		r.complete(Status{}, ErrClosed)
+	}
+}
+
+// FailPeer reacts to a runtime process-failure notification: every posted
+// receive naming the dead process as its specific source fails with
+// ErrPeerFailed, as do rendezvous operations pending toward it. Wildcard
+// receives are left posted — they may still match other senders.
+func (e *Engine) FailPeer(globalRank int) {
+	var victims []*Request
+
+	e.mu.Lock()
+	e.failedPeers[globalRank] = true
+	for _, ch := range e.comms {
+		commRank := -1
+		for i, r := range ch.ranks {
+			if r == globalRank {
+				commRank = i
+				break
+			}
+		}
+		if commRank < 0 {
+			continue
+		}
+		kept := ch.posted[:0]
+		for _, pr := range ch.posted {
+			if pr.src == commRank {
+				victims = append(victims, pr.req)
+			} else {
+				kept = append(kept, pr)
+			}
+		}
+		ch.posted = kept
+	}
+	for id, ps := range e.pendSend {
+		if ps.destGlobal == globalRank {
+			victims = append(victims, ps.req)
+			delete(e.pendSend, id)
+		}
+	}
+	e.mu.Unlock()
+
+	for _, r := range victims {
+		r.complete(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, globalRank))
+	}
+}
+
+// AllocCID returns the lowest unused local CID at or above min, reserving
+// nothing: the caller must register a channel to claim it. It mirrors Open
+// MPI's "lowest available index in the local communicator array" step of
+// the consensus algorithm.
+func (e *Engine) AllocCID(min uint16) uint16 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lowestFreeCID(min)
+}
+
+func (e *Engine) lowestFreeCID(min uint16) uint16 {
+	for cid := min; ; cid++ {
+		if _, used := e.comms[cid]; !used {
+			return cid
+		}
+	}
+}
+
+// AddChannel registers a communicator with the matching engine. localCID
+// must be unused. For exCID communicators (useEx), ex must be unique.
+// Packets that raced ahead of the registration (a peer finished creating
+// the communicator first and already sent) are replayed.
+func (e *Engine) AddChannel(localCID uint16, ex ExCID, useEx bool, myRank int, ranks []int) (*Channel, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := e.comms[localCID]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("pml: local CID %d already in use", localCID)
+	}
+	if useEx {
+		if _, dup := e.byEx[ex]; dup {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("pml: exCID %v already in use", ex)
+		}
+	}
+	ch := &Channel{
+		eng:      e,
+		localCID: localCID,
+		ex:       ex,
+		useEx:    useEx,
+		myRank:   myRank,
+		ranks:    append([]int(nil), ranks...),
+		peers:    make([]peerState, len(ranks)),
+	}
+	e.comms[localCID] = ch
+	var replay [][]byte
+	if useEx {
+		e.byEx[ex] = ch
+		replay = e.orphansEx[ex]
+		delete(e.orphansEx, ex)
+	} else {
+		replay = e.orphans[localCID]
+		delete(e.orphans, localCID)
+	}
+	e.mu.Unlock()
+	for _, pkt := range replay {
+		e.handlePacket(pkt, simnet.Addr{})
+	}
+	return ch, nil
+}
+
+// RemoveChannel deregisters a communicator. Posted receives on it fail.
+func (e *Engine) RemoveChannel(ch *Channel) {
+	e.mu.Lock()
+	delete(e.comms, ch.localCID)
+	if ch.useEx {
+		delete(e.byEx, ch.ex)
+	}
+	posted := ch.posted
+	ch.posted = nil
+	ch.unexpected = nil
+	e.mu.Unlock()
+	for _, pr := range posted {
+		pr.req.complete(Status{}, ErrClosed)
+	}
+}
+
+// LocalCID returns the channel's local communicator ID.
+func (ch *Channel) LocalCID() uint16 { return ch.localCID }
+
+// Ex returns the channel's extended CID (zero-valued if not in use).
+func (ch *Channel) Ex() ExCID { return ch.ex }
+
+// Size returns the number of ranks in the channel.
+func (ch *Channel) Size() int { return len(ch.ranks) }
+
+// Rank returns the calling process's rank within the channel.
+func (ch *Channel) Rank() int { return ch.myRank }
+
+// GlobalRank translates a comm rank to the job-global rank.
+func (ch *Channel) GlobalRank(commRank int) int { return ch.ranks[commRank] }
+
+// PeerConnected reports whether the exCID handshake with a peer has
+// completed (always true for consensus-CID channels).
+func (ch *Channel) PeerConnected(commRank int) bool {
+	if !ch.useEx {
+		return true
+	}
+	ch.eng.mu.Lock()
+	defer ch.eng.mu.Unlock()
+	return ch.peers[commRank].haveACK
+}
+
+func (e *Engine) addrOf(globalRank int) (simnet.Addr, error) {
+	e.mu.Lock()
+	if a, ok := e.addrs[globalRank]; ok {
+		e.mu.Unlock()
+		return a, nil
+	}
+	e.mu.Unlock()
+	a, err := e.resolve(globalRank)
+	if err != nil {
+		return simnet.Addr{}, err
+	}
+	e.mu.Lock()
+	e.addrs[globalRank] = a
+	e.mu.Unlock()
+	return a, nil
+}
+
+// Isend starts a nonblocking send of buf to dest (a comm rank) with tag.
+// Eager messages complete as soon as they are injected; larger messages use
+// the rendezvous protocol and complete when the receiver has drained them.
+func (ch *Channel) Isend(dest, tag int, buf []byte) *Request {
+	return ch.isend(dest, tag, buf, false)
+}
+
+// Issend starts a nonblocking synchronous-mode send (MPI_Issend): the
+// request completes only after the receiver has matched the message. It
+// always uses the rendezvous protocol, whose CTS is exactly the
+// matched-notification synchronous mode needs.
+func (ch *Channel) Issend(dest, tag int, buf []byte) *Request {
+	return ch.isend(dest, tag, buf, true)
+}
+
+// Ssend is the blocking form of Issend (MPI_Ssend).
+func (ch *Channel) Ssend(dest, tag int, buf []byte) error {
+	_, err := ch.Issend(dest, tag, buf).Wait()
+	return err
+}
+
+func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
+	e := ch.eng
+	if dest < 0 || dest >= len(ch.ranks) {
+		return completedRequest(Status{}, fmt.Errorf("pml: send dest %d out of range [0,%d)", dest, len(ch.ranks)))
+	}
+	destGlobal := ch.ranks[dest]
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return completedRequest(Status{}, ErrClosed)
+	}
+	if e.failedPeers[destGlobal] {
+		e.mu.Unlock()
+		return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, destGlobal))
+	}
+	ps := &ch.peers[dest]
+	seq := ps.sendSeq
+	ps.sendSeq++
+	ext := false
+	ctx := ch.localCID
+	if ch.useEx {
+		if ps.haveACK {
+			ctx = ps.remoteCID
+		} else {
+			ext = true
+		}
+	}
+	eager := len(buf) <= e.eagerLimit && !synchronous
+	var reqID uint64
+	var req *Request
+	if !eager {
+		e.nextReq++
+		reqID = e.nextReq
+		req = newRequest()
+		e.pendSend[reqID] = &pendingSend{req: req, payload: buf, destGlobal: destGlobal}
+		e.stats.Rendezvous++
+	}
+	if ext {
+		e.stats.ExtSent++
+	} else {
+		e.stats.FastSent++
+	}
+	e.mu.Unlock()
+
+	hdr := matchHeader{ctx: ctx, src: uint32(ch.myRank), tag: int32(tag), seq: seq}
+	if ext {
+		hdr.flags |= flagExt
+	}
+
+	var pkt []byte
+	if eager {
+		hdr.typ = hdrMatch
+		pkt = buildPacket(hdr, ch, ext, buf, nil)
+	} else {
+		hdr.typ = hdrRTS
+		var info [rndvInfoLen]byte
+		putRndvInfo(info[:], rndvInfo{length: uint64(len(buf)), sendReqID: reqID})
+		pkt = buildPacket(hdr, ch, ext, info[:], nil)
+	}
+
+	addr, err := e.addrOf(destGlobal)
+	if err == nil {
+		err = e.ep.Send(addr, simnet.Message{Payload: pkt})
+	}
+	if err != nil {
+		if !eager {
+			e.mu.Lock()
+			delete(e.pendSend, reqID)
+			e.mu.Unlock()
+			req.complete(Status{}, err)
+			return req
+		}
+		return completedRequest(Status{}, err)
+	}
+	if eager {
+		return completedRequest(Status{Source: ch.myRank, Tag: tag, Count: len(buf)}, nil)
+	}
+	return req
+}
+
+// buildPacket assembles header(s) + body (+extra appended after body).
+func buildPacket(hdr matchHeader, ch *Channel, ext bool, body, extra []byte) []byte {
+	n := matchHeaderLen
+	if ext {
+		n += extHeaderLen
+	}
+	pkt := make([]byte, n+len(body)+len(extra))
+	putMatchHeader(pkt, hdr)
+	off := matchHeaderLen
+	if ext {
+		putExtHeader(pkt[off:], extHeader{ex: ch.ex, localCID: ch.localCID, commSize: uint32(len(ch.ranks))})
+		off += extHeaderLen
+	}
+	copy(pkt[off:], body)
+	copy(pkt[off+len(body):], extra)
+	return pkt
+}
+
+// Send is the blocking form of Isend.
+func (ch *Channel) Send(dest, tag int, buf []byte) error {
+	_, err := ch.Isend(dest, tag, buf).Wait()
+	return err
+}
+
+// Irecv posts a nonblocking receive from src (comm rank or AnySource) with
+// tag (or AnyTag) into buf.
+func (ch *Channel) Irecv(src, tag int, buf []byte) *Request {
+	e := ch.eng
+	if src != AnySource && (src < 0 || src >= len(ch.ranks)) {
+		return completedRequest(Status{}, fmt.Errorf("pml: recv src %d out of range [0,%d)", src, len(ch.ranks)))
+	}
+	req := newRequest()
+	pr := &postedRecv{ch: ch, src: src, tag: tag, buf: buf, req: req}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return completedRequest(Status{}, ErrClosed)
+	}
+	if src != AnySource && e.failedPeers[ch.ranks[src]] {
+		// The runtime already declared this peer dead; any message it sent
+		// before dying may still be in the unexpected queue, so drain that
+		// first, but never block waiting for a new one.
+		for i, msg := range ch.unexpected {
+			if matches(src, tag, msg.src, msg.tag) {
+				ch.unexpected = append(ch.unexpected[:i], ch.unexpected[i+1:]...)
+				e.consumeUnexpectedLocked(pr, msg)
+				return req
+			}
+		}
+		e.mu.Unlock()
+		return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, ch.ranks[src]))
+	}
+	// Search the unexpected queue first (in arrival order).
+	for i, msg := range ch.unexpected {
+		if matches(src, tag, msg.src, msg.tag) {
+			ch.unexpected = append(ch.unexpected[:i], ch.unexpected[i+1:]...)
+			e.consumeUnexpectedLocked(pr, msg)
+			return req
+		}
+	}
+	ch.posted = append(ch.posted, pr)
+	e.mu.Unlock()
+	return req
+}
+
+// Recv is the blocking form of Irecv.
+func (ch *Channel) Recv(src, tag int, buf []byte) (Status, error) {
+	return ch.Irecv(src, tag, buf).Wait()
+}
+
+// consumeUnexpectedLocked finishes matching a posted receive against an
+// unexpected message. Called with e.mu held; releases it.
+func (e *Engine) consumeUnexpectedLocked(pr *postedRecv, msg *inbound) {
+	if !msg.rndv {
+		e.mu.Unlock()
+		finishEager(pr, msg)
+		return
+	}
+	// Rendezvous: register the receive and send CTS.
+	e.nextReq++
+	recvID := e.nextReq
+	pr.resSrc, pr.resTag = msg.src, msg.tag
+	e.pendRecv[recvID] = pr
+	e.mu.Unlock()
+	e.sendCTS(pr.ch, msg, recvID)
+}
+
+func finishEager(pr *postedRecv, msg *inbound) {
+	n := copy(pr.buf, msg.payload)
+	st := Status{Source: msg.src, Tag: msg.tag, Count: n}
+	if len(msg.payload) > len(pr.buf) {
+		pr.req.complete(st, ErrTruncate)
+		return
+	}
+	pr.req.complete(st, nil)
+}
+
+func (e *Engine) sendCTS(ch *Channel, msg *inbound, recvID uint64) {
+	hdr := matchHeader{typ: hdrCTS, ctx: 0, src: uint32(ch.myRank)}
+	var info [ctsInfoLen]byte
+	putCTSInfo(info[:], ctsInfo{sendReqID: msg.sendReqID, recvReqID: recvID})
+	pkt := make([]byte, matchHeaderLen+ctsInfoLen)
+	putMatchHeader(pkt, hdr)
+	copy(pkt[matchHeaderLen:], info[:])
+	addr, err := e.addrOf(msg.senderGlobal)
+	if err == nil {
+		err = e.ep.Send(addr, simnet.Message{Payload: pkt})
+	}
+	if err != nil {
+		e.mu.Lock()
+		pr := e.pendRecv[recvID]
+		delete(e.pendRecv, recvID)
+		e.mu.Unlock()
+		if pr != nil {
+			pr.req.complete(Status{}, err)
+		}
+	}
+}
+
+// matches implements MPI matching rules: wildcard source matches any rank;
+// wildcard tag matches only non-negative (application) tags.
+func matches(wantSrc, wantTag, src, tag int) bool {
+	if wantSrc != AnySource && wantSrc != src {
+		return false
+	}
+	if wantTag == AnyTag {
+		return tag >= 0
+	}
+	return wantTag == tag
+}
+
+// Iprobe checks for a matching unexpected message without receiving it.
+func (ch *Channel) Iprobe(src, tag int) (Status, bool) {
+	e := ch.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, msg := range ch.unexpected {
+		if matches(src, tag, msg.src, msg.tag) {
+			n := len(msg.payload)
+			if msg.rndv {
+				n = int(msg.rndvLen)
+			}
+			return Status{Source: msg.src, Tag: msg.tag, Count: n}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matching message is available (without consuming it).
+func (ch *Channel) Probe(src, tag int) (Status, error) {
+	e := ch.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return Status{}, ErrClosed
+		}
+		for _, msg := range ch.unexpected {
+			if matches(src, tag, msg.src, msg.tag) {
+				n := len(msg.payload)
+				if msg.rndv {
+					n = int(msg.rndvLen)
+				}
+				return Status{Source: msg.src, Tag: msg.tag, Count: n}, nil
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// progress drains the endpoint until it is closed.
+func (e *Engine) progress() {
+	for {
+		m, err := e.ep.Recv(0)
+		if err != nil {
+			return
+		}
+		e.handlePacket(m.Payload, m.From)
+	}
+}
+
+// handlePacket decodes and dispatches one wire packet.
+func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
+	if len(pkt) < matchHeaderLen {
+		return
+	}
+	hdr := getMatchHeader(pkt)
+	body := pkt[matchHeaderLen:]
+
+	switch hdr.typ {
+	case hdrMatch, hdrRTS:
+		var ch *Channel
+		var needAck bool
+		var ackTo int
+		e.mu.Lock()
+		if hdr.flags&flagExt != 0 {
+			if len(body) < extHeaderLen {
+				e.mu.Unlock()
+				return
+			}
+			ext := getExtHeader(body)
+			body = body[extHeaderLen:]
+			ch = e.byEx[ext.ex]
+			if ch == nil {
+				// The communicator is still being constructed locally:
+				// buffer and replay on AddChannel.
+				e.orphansEx[ext.ex] = append(e.orphansEx[ext.ex], pkt)
+				e.mu.Unlock()
+				return
+			}
+			ps := &ch.peers[hdr.src]
+			if !ps.ackSent {
+				ps.ackSent = true
+				needAck = true
+				ackTo = ch.ranks[hdr.src]
+				e.stats.AcksSent++
+			}
+		} else {
+			ch = e.comms[hdr.ctx]
+			if ch == nil {
+				e.orphans[hdr.ctx] = append(e.orphans[hdr.ctx], pkt)
+				e.mu.Unlock()
+				return
+			}
+		}
+		msg := &inbound{
+			src:          int(hdr.src),
+			tag:          int(hdr.tag),
+			seq:          hdr.seq,
+			senderGlobal: ch.ranks[hdr.src],
+		}
+		if hdr.typ == hdrRTS {
+			if len(body) < rndvInfoLen {
+				e.mu.Unlock()
+				return
+			}
+			ri := getRndvInfo(body)
+			msg.rndv = true
+			msg.rndvLen = ri.length
+			msg.sendReqID = ri.sendReqID
+		} else {
+			msg.payload = body
+		}
+		// Match against posted receives, in post order.
+		var matched *postedRecv
+		for i, pr := range ch.posted {
+			if matches(pr.src, pr.tag, msg.src, msg.tag) {
+				matched = pr
+				ch.posted = append(ch.posted[:i], ch.posted[i+1:]...)
+				break
+			}
+		}
+		var ack []byte
+		if needAck {
+			ack = e.buildCIDAckLocked(ch)
+		}
+		if matched != nil {
+			e.consumeUnexpectedLocked(matched, msg) // unlocks
+		} else {
+			ch.unexpected = append(ch.unexpected, msg)
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}
+		if ack != nil {
+			if addr, err := e.addrOf(ackTo); err == nil {
+				_ = e.ep.Send(addr, simnet.Message{Payload: ack})
+			}
+		}
+
+	case hdrCTS:
+		if len(body) < ctsInfoLen {
+			return
+		}
+		ci := getCTSInfo(body)
+		e.mu.Lock()
+		ps := e.pendSend[ci.sendReqID]
+		delete(e.pendSend, ci.sendReqID)
+		e.mu.Unlock()
+		if ps == nil {
+			return
+		}
+		// Ship the payload tagged with the receiver's request ID.
+		dhdr := matchHeader{typ: hdrData}
+		pkt := make([]byte, matchHeaderLen+dataInfoLen+len(ps.payload))
+		putMatchHeader(pkt, dhdr)
+		putUint64(pkt[matchHeaderLen:], ci.recvReqID)
+		copy(pkt[matchHeaderLen+dataInfoLen:], ps.payload)
+		addr, err := e.addrOf(ps.destGlobal)
+		if err == nil {
+			err = e.ep.Send(addr, simnet.Message{Payload: pkt})
+		}
+		if err != nil {
+			ps.req.complete(Status{}, err)
+			return
+		}
+		ps.req.complete(Status{Count: len(ps.payload)}, nil)
+
+	case hdrData:
+		if len(body) < dataInfoLen {
+			return
+		}
+		recvID := getUint64(body)
+		data := body[dataInfoLen:]
+		e.mu.Lock()
+		pr := e.pendRecv[recvID]
+		delete(e.pendRecv, recvID)
+		e.mu.Unlock()
+		if pr == nil {
+			return
+		}
+		n := copy(pr.buf, data)
+		st := Status{Source: pr.resSrc, Tag: pr.resTag, Count: n}
+		if len(data) > len(pr.buf) {
+			pr.req.complete(st, ErrTruncate)
+			return
+		}
+		pr.req.complete(st, nil)
+
+	case hdrCIDAck:
+		if len(body) < cidAckLen {
+			return
+		}
+		a := getCIDAck(body)
+		e.mu.Lock()
+		if ch := e.byEx[a.ex]; ch != nil && int(a.commRank) < len(ch.peers) {
+			ps := &ch.peers[a.commRank]
+			ps.remoteCID = a.localCID
+			ps.haveACK = true
+		}
+		e.stats.AcksRecved++
+		e.mu.Unlock()
+	}
+}
+
+// buildCIDAckLocked assembles the handshake ACK for a channel. Called with
+// e.mu held.
+func (e *Engine) buildCIDAckLocked(ch *Channel) []byte {
+	pkt := make([]byte, matchHeaderLen+cidAckLen)
+	putMatchHeader(pkt, matchHeader{typ: hdrCIDAck})
+	putCIDAck(pkt[matchHeaderLen:], cidAck{ex: ch.ex, localCID: ch.localCID, commRank: uint32(ch.myRank)})
+	return pkt
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

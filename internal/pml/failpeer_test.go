@@ -1,0 +1,80 @@
+package pml
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFailPeerCompletesSpecificRecvs(t *testing.T) {
+	tn := newTestNet(t, 3, Config{})
+	chs := tn.worldChannels(t, 0)
+	// Engine 0 posts a receive from rank 1 (will die) and one from rank 2.
+	fromDead := chs[0].Irecv(1, 5, make([]byte, 4))
+	fromAlive := chs[0].Irecv(2, 5, make([]byte, 4))
+
+	tn.engines[0].FailPeer(1)
+
+	st, err := fromDead.Wait()
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("recv from dead rank: st=%+v err=%v, want ErrPeerFailed", st, err)
+	}
+	if done, _, _ := fromAlive.Test(); done {
+		t.Fatal("receive from a live rank was failed")
+	}
+	// The live receive still completes normally.
+	if err := chs[2].Send(0, 5, []byte("okay")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fromAlive.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailPeerSparesWildcardRecvs(t *testing.T) {
+	tn := newTestNet(t, 3, Config{})
+	chs := tn.worldChannels(t, 0)
+	wild := chs[0].Irecv(AnySource, AnyTag, make([]byte, 4))
+	tn.engines[0].FailPeer(1)
+	if done, _, _ := wild.Test(); done {
+		t.Fatal("wildcard receive failed on peer death")
+	}
+	if err := chs[2].Send(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := wild.Wait()
+	if err != nil || st.Source != 2 {
+		t.Fatalf("wildcard recv: st=%+v err=%v", st, err)
+	}
+}
+
+func TestFailPeerCompletesPendingRendezvous(t *testing.T) {
+	tn := newTestNet(t, 2, Config{EagerLimit: 8})
+	chs := tn.worldChannels(t, 0)
+	// A rendezvous send whose receiver never posts: RTS pending for CTS.
+	sreq := chs[0].Isend(1, 3, make([]byte, 100))
+	time.Sleep(10 * time.Millisecond)
+	if done, _, _ := sreq.Test(); done {
+		t.Fatal("rendezvous completed without a receive")
+	}
+	tn.engines[0].FailPeer(1)
+	if _, err := sreq.Wait(); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("pending rendezvous err = %v, want ErrPeerFailed", err)
+	}
+}
+
+func TestFailPeerUnknownRankIsNoop(t *testing.T) {
+	tn := newTestNet(t, 2, Config{})
+	chs := tn.worldChannels(t, 0)
+	req := chs[0].Irecv(1, 1, make([]byte, 1))
+	tn.engines[0].FailPeer(99) // not in any channel
+	if done, _, _ := req.Test(); done {
+		t.Fatal("unrelated failure completed a receive")
+	}
+	if err := chs[1].Send(0, 1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package pml implements the point-to-point messaging layer of the
+// reproduction, modelled on Open MPI's ob1 PML as modified by the Sessions
+// prototype (paper §III-B2–§III-B4).
+//
+// Messages carry a compact 14-byte match header, exactly as ob1 does. For
+// communicators identified by a 128-bit extended CID (exCID), the first
+// message(s) to a peer additionally carry a 22-byte extended header holding
+// the exCID and the sender's local CID; the receiver resolves the exCID to
+// its own local communicator, records the sender's CID, and replies with a
+// CID ACK carrying its local CID. Once the ACK arrives, the sender switches
+// to the standard 14-byte header whose context field is the *receiver's*
+// local CID, restoring the fully optimized matching path. This is the
+// mechanism behind the paper's Fig. 5 results.
+package pml
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header types.
+const (
+	hdrMatch   = 1 // eager send: match header + payload
+	hdrRTS     = 2 // rendezvous request-to-send: match header + rndv info
+	hdrCTS     = 3 // rendezvous clear-to-send (control, not matched)
+	hdrData    = 4 // rendezvous data (control, not matched)
+	hdrCIDAck  = 5 // exCID handshake acknowledgement (control, not matched)
+	hdrBarrier = 0 // unused; reserved
+)
+
+// Header flags.
+const (
+	flagExt = 0x01 // an extended header follows the match header
+)
+
+// matchHeaderLen is the size of the ob1-style compact match header. The
+// paper describes it as "a 14-byte matching header attached to the user
+// data", and this layout matches that size exactly:
+//
+//	offset 0: type    (uint8)
+//	offset 1: flags   (uint8)
+//	offset 2: ctx     (uint16) — receiver-local communicator ID
+//	offset 4: src     (uint32) — sender's rank within the communicator
+//	offset 8: tag     (int32)
+//	offset 12: seq    (uint16) — per (comm,peer) ordering sequence
+const matchHeaderLen = 14
+
+// extHeaderLen is the size of the extended header introduced for exCID
+// communicators: the 16-byte exCID plus the sender's local CID, plus the
+// sender's comm size used as a sanity check (4 bytes).
+//
+//	offset 0:  exCID.PGCID (uint64)
+//	offset 8:  exCID.Sub   (uint64)
+//	offset 16: senderLocalCID (uint16)
+//	offset 18: commSize   (uint32)
+const extHeaderLen = 22
+
+// ExCID is the 128-bit extended communicator identifier (paper §III-B3).
+// PGCID is the runtime-assigned process group context ID (zero only for the
+// built-in World Process Model communicators); Sub packs the eight 8-bit
+// subfields used to derive children without a new PGCID.
+type ExCID struct {
+	PGCID uint64
+	Sub   uint64
+}
+
+// IsZero reports whether the exCID is entirely unset.
+func (e ExCID) IsZero() bool { return e.PGCID == 0 && e.Sub == 0 }
+
+func (e ExCID) String() string { return fmt.Sprintf("excid(%d:%016x)", e.PGCID, e.Sub) }
+
+// matchHeader is the decoded form of the wire match header.
+type matchHeader struct {
+	typ   uint8
+	flags uint8
+	ctx   uint16
+	src   uint32
+	tag   int32
+	seq   uint16
+}
+
+// extHeader is the decoded form of the wire extended header.
+type extHeader struct {
+	ex       ExCID
+	localCID uint16
+	commSize uint32
+}
+
+func putMatchHeader(b []byte, h matchHeader) {
+	b[0] = h.typ
+	b[1] = h.flags
+	binary.LittleEndian.PutUint16(b[2:], h.ctx)
+	binary.LittleEndian.PutUint32(b[4:], h.src)
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.tag))
+	binary.LittleEndian.PutUint16(b[12:], h.seq)
+}
+
+func getMatchHeader(b []byte) matchHeader {
+	return matchHeader{
+		typ:   b[0],
+		flags: b[1],
+		ctx:   binary.LittleEndian.Uint16(b[2:]),
+		src:   binary.LittleEndian.Uint32(b[4:]),
+		tag:   int32(binary.LittleEndian.Uint32(b[8:])),
+		seq:   binary.LittleEndian.Uint16(b[12:]),
+	}
+}
+
+func putExtHeader(b []byte, h extHeader) {
+	binary.LittleEndian.PutUint64(b[0:], h.ex.PGCID)
+	binary.LittleEndian.PutUint64(b[8:], h.ex.Sub)
+	binary.LittleEndian.PutUint16(b[16:], h.localCID)
+	binary.LittleEndian.PutUint32(b[18:], h.commSize)
+}
+
+func getExtHeader(b []byte) extHeader {
+	return extHeader{
+		ex:       ExCID{PGCID: binary.LittleEndian.Uint64(b[0:]), Sub: binary.LittleEndian.Uint64(b[8:])},
+		localCID: binary.LittleEndian.Uint16(b[16:]),
+		commSize: binary.LittleEndian.Uint32(b[18:]),
+	}
+}
+
+// cidAck is the payload of an hdrCIDAck control message:
+//
+//	offset 0:  exCID.PGCID (uint64)
+//	offset 8:  exCID.Sub   (uint64)
+//	offset 16: responder's local CID (uint16)
+//	offset 18: responder's comm rank (uint32)
+const cidAckLen = 22
+
+type cidAck struct {
+	ex       ExCID
+	localCID uint16
+	commRank uint32
+}
+
+func putCIDAck(b []byte, a cidAck) {
+	binary.LittleEndian.PutUint64(b[0:], a.ex.PGCID)
+	binary.LittleEndian.PutUint64(b[8:], a.ex.Sub)
+	binary.LittleEndian.PutUint16(b[16:], a.localCID)
+	binary.LittleEndian.PutUint32(b[18:], a.commRank)
+}
+
+func getCIDAck(b []byte) cidAck {
+	return cidAck{
+		ex:       ExCID{PGCID: binary.LittleEndian.Uint64(b[0:]), Sub: binary.LittleEndian.Uint64(b[8:])},
+		localCID: binary.LittleEndian.Uint16(b[16:]),
+		commRank: binary.LittleEndian.Uint32(b[18:]),
+	}
+}
+
+// rndvInfo is the extra payload of an RTS message:
+//
+//	offset 0: total message length (uint64)
+//	offset 8: sender request ID (uint64)
+const rndvInfoLen = 16
+
+type rndvInfo struct {
+	length    uint64
+	sendReqID uint64
+}
+
+func putRndvInfo(b []byte, r rndvInfo) {
+	binary.LittleEndian.PutUint64(b[0:], r.length)
+	binary.LittleEndian.PutUint64(b[8:], r.sendReqID)
+}
+
+func getRndvInfo(b []byte) rndvInfo {
+	return rndvInfo{
+		length:    binary.LittleEndian.Uint64(b[0:]),
+		sendReqID: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// ctsInfo is the payload of a CTS control message:
+//
+//	offset 0: sender request ID  (uint64)
+//	offset 8: receiver request ID (uint64)
+const ctsInfoLen = 16
+
+type ctsInfo struct {
+	sendReqID uint64
+	recvReqID uint64
+}
+
+func putCTSInfo(b []byte, c ctsInfo) {
+	binary.LittleEndian.PutUint64(b[0:], c.sendReqID)
+	binary.LittleEndian.PutUint64(b[8:], c.recvReqID)
+}
+
+func getCTSInfo(b []byte) ctsInfo {
+	return ctsInfo{
+		sendReqID: binary.LittleEndian.Uint64(b[0:]),
+		recvReqID: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// dataInfo prefixes an hdrData payload: the receiver request ID (uint64).
+const dataInfoLen = 8

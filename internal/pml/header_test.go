@@ -1,0 +1,88 @@
+package pml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchHeaderSize(t *testing.T) {
+	// The paper describes ob1's match header as 14 bytes; keep it exact.
+	if matchHeaderLen != 14 {
+		t.Fatalf("matchHeaderLen = %d, want 14", matchHeaderLen)
+	}
+}
+
+func TestMatchHeaderRoundTrip(t *testing.T) {
+	f := func(typ, flags uint8, ctx uint16, src uint32, tag int32, seq uint16) bool {
+		h := matchHeader{typ: typ, flags: flags, ctx: ctx, src: src, tag: tag, seq: seq}
+		var b [matchHeaderLen]byte
+		putMatchHeader(b[:], h)
+		return getMatchHeader(b[:]) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtHeaderRoundTrip(t *testing.T) {
+	f := func(pgcid, sub uint64, cid uint16, size uint32) bool {
+		h := extHeader{ex: ExCID{PGCID: pgcid, Sub: sub}, localCID: cid, commSize: size}
+		var b [extHeaderLen]byte
+		putExtHeader(b[:], h)
+		return getExtHeader(b[:]) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIDAckRoundTrip(t *testing.T) {
+	f := func(pgcid, sub uint64, cid uint16, rank uint32) bool {
+		a := cidAck{ex: ExCID{PGCID: pgcid, Sub: sub}, localCID: cid, commRank: rank}
+		var b [cidAckLen]byte
+		putCIDAck(b[:], a)
+		return getCIDAck(b[:]) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRndvAndCTSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		ri := rndvInfo{length: rng.Uint64(), sendReqID: rng.Uint64()}
+		var b [rndvInfoLen]byte
+		putRndvInfo(b[:], ri)
+		if getRndvInfo(b[:]) != ri {
+			t.Fatalf("rndvInfo roundtrip failed: %+v", ri)
+		}
+		ci := ctsInfo{sendReqID: rng.Uint64(), recvReqID: rng.Uint64()}
+		var c [ctsInfoLen]byte
+		putCTSInfo(c[:], ci)
+		if getCTSInfo(c[:]) != ci {
+			t.Fatalf("ctsInfo roundtrip failed: %+v", ci)
+		}
+	}
+}
+
+func TestUint64Helpers(t *testing.T) {
+	f := func(v uint64) bool {
+		var b [8]byte
+		putUint64(b[:], v)
+		return getUint64(b[:]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExCIDZero(t *testing.T) {
+	if !(ExCID{}).IsZero() {
+		t.Fatal("zero ExCID should report IsZero")
+	}
+	if (ExCID{PGCID: 1}).IsZero() || (ExCID{Sub: 1}).IsZero() {
+		t.Fatal("non-zero ExCID reported IsZero")
+	}
+}

@@ -1,0 +1,104 @@
+package pml
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTruncate is reported when an incoming message is longer than the
+// posted receive buffer (MPI_ERR_TRUNCATE).
+var ErrTruncate = errors.New("pml: message truncated: receive buffer too small")
+
+// ErrClosed is reported on requests outstanding when the engine shuts down.
+var ErrClosed = errors.New("pml: engine closed")
+
+// ErrPeerFailed is reported on operations pending toward a process the
+// runtime has declared dead (the ULFM-style MPI_ERR_PROC_FAILED), so
+// survivors unblock instead of hanging in receives that can never
+// complete — a prerequisite of the paper's §II-C roll-forward model.
+var ErrPeerFailed = errors.New("pml: peer process failed")
+
+// AnySource matches a message from any rank (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// AnyTag matches any application tag, i.e. any tag >= 0 (MPI_ANY_TAG).
+// Negative tags are reserved for internal (collective) traffic and are
+// never matched by AnyTag.
+const AnyTag = -2147483648
+
+// Status describes a completed receive (source and tag are comm-relative).
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes received
+}
+
+// Request is the completion handle for a nonblocking operation.
+type Request struct {
+	mu        sync.Mutex
+	done      chan struct{}
+	completed bool
+	err       error
+	status    Status
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+// completedRequest returns an already-finished request (eager sends).
+func completedRequest(st Status, err error) *Request {
+	r := newRequest()
+	r.complete(st, err)
+	return r
+}
+
+func (r *Request) complete(st Status, err error) {
+	r.mu.Lock()
+	if r.completed {
+		r.mu.Unlock()
+		return
+	}
+	r.completed = true
+	r.status = st
+	r.err = err
+	r.mu.Unlock()
+	close(r.done)
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() (bool, Status, error) {
+	select {
+	case <-r.done:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return true, r.status, r.err
+	default:
+		return false, Status{}, nil
+	}
+}
+
+// Done exposes the completion channel for select-based waiting.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,102 @@
+package pml
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSsendWaitsForMatch(t *testing.T) {
+	tn := newTestNet(t, 2, Config{})
+	chs := tn.worldChannels(t, 0)
+
+	req := chs[0].Issend(1, 3, []byte("abc")) // small message, still rendezvous
+	time.Sleep(20 * time.Millisecond)
+	if done, _, _ := req.Test(); done {
+		t.Fatal("Issend completed before the receive was posted")
+	}
+	buf := make([]byte, 3)
+	st, err := chs[1].Recv(0, 3, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 || string(buf) != "abc" {
+		t.Fatalf("st=%+v buf=%q", st, buf)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tn.engines[0].Stats(); s.Rendezvous != 1 {
+		t.Fatalf("synchronous send should use rendezvous: %+v", s)
+	}
+}
+
+func TestSsendBlockingForm(t *testing.T) {
+	tn := newTestNet(t, 2, Config{})
+	chs := tn.worldChannels(t, 0)
+	done := make(chan error, 1)
+	go func() {
+		done <- chs[0].Ssend(1, 1, []byte("x"))
+	}()
+	select {
+	case <-done:
+		t.Fatal("Ssend returned before the receive was posted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	buf := make([]byte, 1)
+	if _, err := chs[1].Recv(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSsendOnExCIDChannel(t *testing.T) {
+	tn := newTestNet(t, 2, Config{})
+	chs := tn.exChannels(t, ExCID{PGCID: 77}, 40)
+	buf := make([]byte, 2)
+	req := chs[1].Irecv(0, 2, buf)
+	if err := chs[0].Ssend(1, 2, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("buf = %q", buf)
+	}
+	// The RTS carried the extended header (first message on the channel).
+	if s := tn.engines[0].Stats(); s.ExtSent != 1 {
+		t.Fatalf("ExtSent = %d, want 1", s.ExtSent)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tn := newTestNet(t, 2, Config{EagerLimit: 16})
+	chs := tn.worldChannels(t, 0)
+	buf := make([]byte, 100)
+	req := chs[1].Irecv(0, 1, buf)
+	if err := chs[0].Send(1, 1, make([]byte, 100)); err != nil { // rendezvous
+		t.Fatal(err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chs[0].Send(1, 2, []byte("hi")); err != nil { // eager
+		t.Fatal(err)
+	}
+	small := make([]byte, 2)
+	if _, err := chs[1].Recv(0, 2, small); err != nil {
+		t.Fatal(err)
+	}
+	s := tn.engines[0].Stats()
+	if s.Rendezvous != 1 {
+		t.Fatalf("Rendezvous = %d, want 1", s.Rendezvous)
+	}
+	if s.FastSent < 2 { // RTS + eager at minimum
+		t.Fatalf("FastSent = %d, want >= 2", s.FastSent)
+	}
+	if s.ExtSent != 0 || s.AcksSent != 0 {
+		t.Fatalf("consensus channel used exCID machinery: %+v", s)
+	}
+}

@@ -1,0 +1,77 @@
+package prrte
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type countingHandler struct {
+	mu     sync.Mutex
+	events [][]byte
+}
+
+func (h *countingHandler) HandleFetch(string) ([]byte, bool) { return nil, false }
+func (h *countingHandler) HandleEvent(data []byte) {
+	h.mu.Lock()
+	h.events = append(h.events, data)
+	h.mu.Unlock()
+}
+func (h *countingHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+// TestRoutedBroadcastReachesAllNodesOnce covers the binomial relay at node
+// counts including non-powers of two and non-zero roots.
+func TestRoutedBroadcastReachesAllNodesOnce(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 8, 13} {
+		for _, origin := range []int{0, nodes - 1, nodes / 2} {
+			dvm := testDVM(t, nodes)
+			handlers := make([]*countingHandler, nodes)
+			for i := range handlers {
+				handlers[i] = &countingHandler{}
+				dvm.Daemon(i).AttachServer(handlers[i])
+			}
+			dvm.Daemon(origin).BroadcastEvent([]byte{byte(origin)})
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				all := true
+				for _, h := range handlers {
+					if h.count() != 1 {
+						all = false
+						break
+					}
+				}
+				if all {
+					break
+				}
+				if time.Now().After(deadline) {
+					counts := make([]int, nodes)
+					for i, h := range handlers {
+						counts[i] = h.count()
+					}
+					t.Fatalf("nodes=%d origin=%d: counts=%v, want all 1", nodes, origin, counts)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// No duplicates after settling.
+			time.Sleep(10 * time.Millisecond)
+			for i, h := range handlers {
+				if h.count() != 1 {
+					t.Fatalf("nodes=%d origin=%d: node %d got %d deliveries", nodes, origin, i, h.count())
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 32: 5}
+	for n, want := range cases {
+		if got := BroadcastDepth(n); got != want {
+			t.Errorf("BroadcastDepth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package prrte
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/simnet"
+	"gompi/internal/topo"
+)
+
+func testDVM(t *testing.T, nodes int) *DVM {
+	t.Helper()
+	dvm := NewDVM(simnet.NewFabric(topo.New(topo.Loopback(4), nodes)))
+	t.Cleanup(dvm.Shutdown)
+	return dvm
+}
+
+func TestJobMapBlockMapping(t *testing.T) {
+	m := JobMap{NP: 10, PPN: 4}
+	if m.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3", m.Nodes())
+	}
+	cases := []struct{ rank, node int }{{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {9, 2}}
+	for _, c := range cases {
+		if got := m.NodeOf(c.rank); got != c.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", c.rank, got, c.node)
+		}
+	}
+	if got := m.RanksOn(2); len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Fatalf("RanksOn(2) = %v, want [8 9]", got)
+	}
+	if got := m.RanksOn(0); len(got) != 4 {
+		t.Fatalf("RanksOn(0) = %v, want 4 ranks", got)
+	}
+	if m.LocalCount(2) != 2 {
+		t.Fatalf("LocalCount(2) = %d, want 2", m.LocalCount(2))
+	}
+}
+
+func TestExchangeAllToAll(t *testing.T) {
+	const nodes = 4
+	dvm := testDVM(t, nodes)
+	participants := []int{0, 1, 2, 3}
+	var wg sync.WaitGroup
+	results := make([]map[int][]byte, nodes)
+	errs := make([]error, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			results[n], errs[n] = dvm.Daemon(n).Exchange("op-1", participants, []byte{byte(n)}, 5*time.Second)
+		}(n)
+	}
+	wg.Wait()
+	for n := 0; n < nodes; n++ {
+		if errs[n] != nil {
+			t.Fatalf("daemon %d: %v", n, errs[n])
+		}
+		if len(results[n]) != nodes {
+			t.Fatalf("daemon %d got %d contributions, want %d", n, len(results[n]), nodes)
+		}
+		for src, data := range results[n] {
+			if len(data) != 1 || data[0] != byte(src) {
+				t.Fatalf("daemon %d: contribution from %d = %v", n, src, data)
+			}
+		}
+	}
+}
+
+func TestExchangeSubsetOfNodes(t *testing.T) {
+	dvm := testDVM(t, 4)
+	participants := []int{1, 3}
+	var wg sync.WaitGroup
+	var r1, r3 map[int][]byte
+	var e1, e3 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r1, e1 = dvm.Daemon(1).Exchange("sub", participants, []byte("a"), time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		r3, e3 = dvm.Daemon(3).Exchange("sub", participants, []byte("b"), time.Second)
+	}()
+	wg.Wait()
+	if e1 != nil || e3 != nil {
+		t.Fatalf("errors: %v %v", e1, e3)
+	}
+	if string(r1[3]) != "b" || string(r3[1]) != "a" {
+		t.Fatalf("wrong data: r1=%v r3=%v", r1, r3)
+	}
+}
+
+func TestExchangeSingleNode(t *testing.T) {
+	dvm := testDVM(t, 1)
+	res, err := dvm.Daemon(0).Exchange("solo", []int{0}, []byte("x"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0]) != "x" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestExchangeTimeout(t *testing.T) {
+	dvm := testDVM(t, 2)
+	// Daemon 1 never participates.
+	_, err := dvm.Daemon(0).Exchange("late", []int{0, 1}, nil, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestPGCIDUniqueNonZero(t *testing.T) {
+	dvm := testDVM(t, 3)
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		for i := 0; i < 10; i++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				id, err := dvm.Daemon(n).AllocPGCID("", nil)
+				if err != nil {
+					t.Errorf("AllocPGCID: %v", err)
+					return
+				}
+				if id == 0 {
+					t.Error("PGCID must be non-zero")
+				}
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate PGCID %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}(n)
+		}
+	}
+	wg.Wait()
+	if len(seen) != 30 {
+		t.Fatalf("got %d unique PGCIDs, want 30", len(seen))
+	}
+}
+
+func TestPsetRegistryAndQuery(t *testing.T) {
+	dvm := testDVM(t, 2)
+	dvm.RegisterPset("app://ocean", []int{0, 1, 2})
+	// Dynamic registration through PGCID allocation from a non-master node.
+	if _, err := dvm.Daemon(1).AllocPGCID("grp/ocean-split", []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	psets, err := dvm.Daemon(1).QueryPsets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := psets["app://ocean"]; len(got) != 3 {
+		t.Fatalf("app://ocean = %v", got)
+	}
+	if got := psets["grp/ocean-split"]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("grp/ocean-split = %v, want [0 2]", got)
+	}
+	// Deregistration removes the dynamic pset.
+	if err := dvm.Daemon(1).DeregisterPset("grp/ocean-split"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		psets, err = dvm.Daemon(0).QueryPsets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := psets["grp/ocean-split"]; !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pset not deregistered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type fetchHandler struct {
+	mu     sync.Mutex
+	data   map[string][]byte
+	events [][]byte
+}
+
+func (h *fetchHandler) HandleFetch(key string) ([]byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.data[key]
+	return d, ok
+}
+
+func (h *fetchHandler) HandleEvent(data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = append(h.events, data)
+}
+
+func (h *fetchHandler) eventCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+func TestFetchRemoteAndLocal(t *testing.T) {
+	dvm := testDVM(t, 2)
+	h := &fetchHandler{data: map[string][]byte{"k": []byte("v")}}
+	dvm.Daemon(1).AttachServer(h)
+
+	data, ok, err := dvm.Daemon(0).Fetch(1, "k", time.Second)
+	if err != nil || !ok || string(data) != "v" {
+		t.Fatalf("remote fetch: data=%q ok=%v err=%v", data, ok, err)
+	}
+	_, ok, err = dvm.Daemon(0).Fetch(1, "missing", time.Second)
+	if err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	data, ok, err = dvm.Daemon(1).Fetch(1, "k", time.Second)
+	if err != nil || !ok || string(data) != "v" {
+		t.Fatalf("local fetch: data=%q ok=%v err=%v", data, ok, err)
+	}
+}
+
+func TestBroadcastEventReachesAllNodes(t *testing.T) {
+	dvm := testDVM(t, 3)
+	handlers := make([]*fetchHandler, 3)
+	for i := range handlers {
+		handlers[i] = &fetchHandler{}
+		dvm.Daemon(i).AttachServer(handlers[i])
+	}
+	dvm.Daemon(1).BroadcastEvent([]byte("proc-failed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for _, h := range handlers {
+			if h.eventCount() != 1 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			counts := make([]int, 3)
+			for i, h := range handlers {
+				counts[i] = h.eventCount()
+			}
+			t.Fatalf("event counts = %v, want [1 1 1]", counts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShutdownFailsOperations(t *testing.T) {
+	dvm := NewDVM(simnet.NewFabric(topo.New(topo.Loopback(4), 2)))
+	dvm.Shutdown()
+	if _, err := dvm.Daemon(0).Exchange("x", []int{0, 1}, nil, time.Second); err == nil {
+		t.Fatal("Exchange after shutdown should fail")
+	}
+	if _, err := dvm.Daemon(0).AllocPGCID("", nil); err == nil {
+		t.Fatal("AllocPGCID after shutdown should fail")
+	}
+	if _, err := dvm.Daemon(1).QueryPsets(); err == nil {
+		t.Fatal("QueryPsets after shutdown should fail")
+	}
+}
+
+func TestConcurrentExchangesDistinctKeys(t *testing.T) {
+	const nodes = 3
+	const ops = 8
+	dvm := testDVM(t, nodes)
+	participants := []int{0, 1, 2}
+	var wg sync.WaitGroup
+	for op := 0; op < ops; op++ {
+		for n := 0; n < nodes; n++ {
+			wg.Add(1)
+			go func(op, n int) {
+				defer wg.Done()
+				key := fmt.Sprintf("op-%d", op)
+				res, err := dvm.Daemon(n).Exchange(key, participants, []byte{byte(op), byte(n)}, 5*time.Second)
+				if err != nil {
+					t.Errorf("op %d daemon %d: %v", op, n, err)
+					return
+				}
+				for src, data := range res {
+					if data[0] != byte(op) || data[1] != byte(src) {
+						t.Errorf("op %d daemon %d: bad contribution from %d: %v", op, n, src, data)
+					}
+				}
+			}(op, n)
+		}
+	}
+	wg.Wait()
+}

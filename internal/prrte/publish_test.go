@@ -1,0 +1,120 @@
+package prrte
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublishLookupImmediate(t *testing.T) {
+	dvm := testDVM(t, 3)
+	if err := dvm.Daemon(1).PublishGlobal("svc/port", []byte("ep:2.7")); err != nil {
+		t.Fatal(err)
+	}
+	// Publish is asynchronous from a non-master daemon; poll until visible.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v, ok, err := dvm.Daemon(2).LookupGlobal("svc/port", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if string(v) != "ep:2.7" {
+				t.Fatalf("value = %q", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("published key never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Master-local lookup.
+	v, ok, err := dvm.Daemon(0).LookupGlobal("svc/port", 0)
+	if err != nil || !ok || string(v) != "ep:2.7" {
+		t.Fatalf("master lookup = %q,%v,%v", v, ok, err)
+	}
+	// Missing key polls false.
+	if _, ok, err := dvm.Daemon(0).LookupGlobal("missing", 0); ok || err != nil {
+		t.Fatalf("missing = %v,%v", ok, err)
+	}
+}
+
+func TestBlockingLookupWaitsForPublish(t *testing.T) {
+	dvm := testDVM(t, 2)
+	got := make(chan []byte, 1)
+	go func() {
+		v, ok, err := dvm.Daemon(1).LookupGlobal("late/key", 5*time.Second)
+		if err != nil || !ok {
+			t.Errorf("blocking lookup: %v %v", ok, err)
+			return
+		}
+		got <- v
+	}()
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("lookup returned before publish")
+	default:
+	}
+	if err := dvm.Daemon(0).PublishGlobal("late/key", []byte("now")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if string(v) != "now" {
+			t.Fatalf("value = %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking lookup never released")
+	}
+}
+
+func TestBlockingLookupTimeout(t *testing.T) {
+	dvm := testDVM(t, 2)
+	start := time.Now()
+	_, ok, err := dvm.Daemon(1).LookupGlobal("never", 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("lookup found an unpublished key")
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("returned before the timeout")
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	dvm := testDVM(t, 2)
+	if err := dvm.Daemon(0).PublishGlobal("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dvm.Daemon(1).UnpublishGlobal("k"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, ok, err := dvm.Daemon(0).LookupGlobal("k", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("key still published after unpublish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPublishAfterShutdownFails(t *testing.T) {
+	dvm := testDVM(t, 1)
+	dvm.Shutdown()
+	if err := dvm.Daemon(0).PublishGlobal("k", nil); err == nil {
+		t.Fatal("publish after shutdown accepted")
+	}
+	if _, _, err := dvm.Daemon(0).LookupGlobal("k", 0); err == nil {
+		t.Fatal("lookup after shutdown accepted")
+	}
+}

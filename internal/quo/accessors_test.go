@@ -1,0 +1,37 @@
+package quo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/quo"
+	"gompi/mpi"
+)
+
+func TestAccessorsAndStrings(t *testing.T) {
+	if quo.BarrierNative.String() != "native" || quo.BarrierSessionsIbarrier.String() != "sessions-ibarrier" {
+		t.Fatal("barrier mode strings")
+	}
+	runJob(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		ctx, err := quo.CreateWithSession(p)
+		if err != nil {
+			return err
+		}
+		defer ctx.Free()
+		if ctx.NodeComm() == nil || ctx.NodeComm().Size() != 2 {
+			return fmt.Errorf("NodeComm size = %d", ctx.NodeComm().Size())
+		}
+		if ctx.Comm() == nil || ctx.Comm().Size() != 4 {
+			return fmt.Errorf("Comm size = %d", ctx.Comm().Size())
+		}
+		if ctx.Rank() != ctx.Comm().Rank() {
+			return fmt.Errorf("Rank mismatch")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,335 @@
+// Package simnet provides the simulated interconnect fabric that stands in
+// for the Aries network and node-local shared memory used in the paper's
+// evaluation (see DESIGN.md, substitution table).
+//
+// Every communicating entity in the reproduction — MPI rank, PMIx server,
+// PRRTE daemon — owns one or more Endpoints on a Fabric. An Endpoint is an
+// addressable, unbounded mailbox. Sending between endpoints charges the
+// sender a delay computed from the cluster Profile: one-way latency plus a
+// per-byte serialization cost, with intra-node (shared memory) and
+// inter-node (wire) costs distinguished. With the Loopback profile all
+// delay injection is disabled, so unit tests measure only the real Go code
+// paths.
+//
+// The delay model is deliberately simple (LogP-style o+L lumped at the
+// sender). The paper's results are relative comparisons between two software
+// stacks on the same fabric, so the model only needs to charge both stacks
+// identically and to scale with message count, message size, and the
+// intra/inter-node distinction — which this does.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompi/internal/topo"
+)
+
+// ErrClosed is returned when sending to or receiving from a closed Endpoint.
+// A closed endpoint models a failed (terminated) process.
+var ErrClosed = errors.New("simnet: endpoint closed")
+
+// ErrTimeout is returned by Recv when the deadline expires with no message.
+var ErrTimeout = errors.New("simnet: receive timed out")
+
+// Addr identifies an Endpoint on a Fabric.
+type Addr struct {
+	// Node is the index of the simulated compute node hosting the endpoint.
+	Node int
+	// Slot is the per-node endpoint index.
+	Slot int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("ep(%d.%d)", a.Node, a.Slot) }
+
+// Message is one unit of traffic on the fabric.
+//
+// Data-plane traffic (the PML) uses Payload, whose length is the wire size.
+// Control-plane traffic (PMIx RPCs, daemon exchanges) passes a typed value
+// in Ctrl and reports its modeled wire size in Size; this keeps the control
+// plane readable while still charging realistic costs.
+type Message struct {
+	From    Addr
+	Payload []byte
+	Ctrl    any
+	Size    int
+}
+
+func (m Message) wireSize() int {
+	if m.Payload != nil {
+		return len(m.Payload)
+	}
+	return m.Size
+}
+
+// Stats aggregates fabric traffic counters, useful in tests and ablations.
+type Stats struct {
+	Messages      uint64
+	Bytes         uint64
+	IntraNodeMsgs uint64
+	InterNodeMsgs uint64
+}
+
+// Fabric is one simulated cluster interconnect.
+type Fabric struct {
+	cluster topo.Cluster
+
+	mu    sync.Mutex
+	nodes [][]*Endpoint // per node, per slot; nil entries are closed endpoints
+
+	msgs      atomic.Uint64
+	bytes     atomic.Uint64
+	intraMsgs atomic.Uint64
+	interMsgs atomic.Uint64
+
+	// globalBusy[g] is the time (UnixNano) until which dragonfly group g's
+	// global link is occupied; cross-group senders queue behind it.
+	globalMu   sync.Mutex
+	globalBusy []int64
+}
+
+// NewFabric builds a fabric for the given cluster.
+func NewFabric(cluster topo.Cluster) *Fabric {
+	return &Fabric{
+		cluster: cluster,
+		nodes:   make([][]*Endpoint, cluster.Nodes),
+	}
+}
+
+// Cluster returns the topology this fabric was built from.
+func (f *Fabric) Cluster() topo.Cluster { return f.cluster }
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Messages:      f.msgs.Load(),
+		Bytes:         f.bytes.Load(),
+		IntraNodeMsgs: f.intraMsgs.Load(),
+		InterNodeMsgs: f.interMsgs.Load(),
+	}
+}
+
+// NewEndpoint allocates a new endpoint on the given node. It panics if node
+// is out of range: endpoints are created during job setup where a bad node
+// index is a programming error, not a runtime condition.
+func (f *Fabric) NewEndpoint(node int) *Endpoint {
+	if node < 0 || node >= f.cluster.Nodes {
+		panic(fmt.Sprintf("simnet: node %d out of range [0,%d)", node, f.cluster.Nodes))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep := &Endpoint{
+		fab:  f,
+		addr: Addr{Node: node, Slot: len(f.nodes[node])},
+	}
+	ep.ready = make(chan struct{}, 1)
+	f.nodes[node] = append(f.nodes[node], ep)
+	return ep
+}
+
+func (f *Fabric) lookup(a Addr) *Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if a.Node < 0 || a.Node >= len(f.nodes) || a.Slot < 0 || a.Slot >= len(f.nodes[a.Node]) {
+		return nil
+	}
+	return f.nodes[a.Node][a.Slot]
+}
+
+// delayFor returns the modeled transfer cost for nbytes between two nodes.
+func (f *Fabric) delayFor(src, dst int, nbytes int) time.Duration {
+	p := f.cluster.Profile
+	var lat time.Duration
+	var bw float64
+	if src == dst {
+		lat, bw = p.IntraNodeLatency, p.IntraNodeBandwidth
+	} else {
+		lat, bw = p.InterNodeLatency, p.InterNodeBandwidth
+	}
+	d := lat
+	if src != dst && !p.SameDragonflyGroup(src, dst) {
+		d += p.GlobalHopLatency + f.reserveGlobalLink(src, p)
+	}
+	if bw > 0 && nbytes > 0 {
+		d += time.Duration(float64(nbytes) / bw * float64(time.Second))
+	}
+	return d
+}
+
+// reserveGlobalLink queues a message on the source group's global link and
+// returns the extra waiting time caused by earlier traffic. Each message
+// occupies the link for GlobalLinkOccupancy.
+func (f *Fabric) reserveGlobalLink(srcNode int, p topo.Profile) time.Duration {
+	if p.GlobalLinkOccupancy <= 0 || p.DragonflyGroupSize <= 0 {
+		return 0
+	}
+	group := srcNode / p.DragonflyGroupSize
+	now := time.Now().UnixNano()
+	f.globalMu.Lock()
+	for len(f.globalBusy) <= group {
+		f.globalBusy = append(f.globalBusy, 0)
+	}
+	start := f.globalBusy[group]
+	if start < now {
+		start = now
+	}
+	f.globalBusy[group] = start + int64(p.GlobalLinkOccupancy)
+	f.globalMu.Unlock()
+	return time.Duration(start - now)
+}
+
+// Delay charges the calling goroutine an arbitrary modeled cost. It is used
+// for software overheads that are not tied to a message (e.g. MCA component
+// loading). Delays up to spinThreshold busy-wait (yielding) to preserve
+// microsecond-scale accuracy — time.Sleep jitter on a loaded host is on
+// the order of a millisecond, which would swamp the modeled costs; longer
+// delays sleep for the bulk and spin out the remainder.
+func Delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const spinThreshold = time.Millisecond
+	deadline := time.Now().Add(d)
+	if d > spinThreshold {
+		time.Sleep(d - spinThreshold)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// RPCDelay charges the profile's client/server RPC software overhead.
+func (f *Fabric) RPCDelay() { Delay(f.cluster.Profile.RPCOverhead) }
+
+// ComponentLoadDelay charges the cost of loading n MCA components.
+func (f *Fabric) ComponentLoadDelay(n int) {
+	Delay(time.Duration(n) * f.cluster.Profile.ComponentLoadCost)
+}
+
+// Endpoint is an addressable unbounded mailbox on a Fabric.
+type Endpoint struct {
+	fab  *Fabric
+	addr Addr
+
+	mu     sync.Mutex
+	queue  []Message
+	closed bool
+	ready  chan struct{} // capacity 1; signaled on enqueue and on close
+}
+
+// Addr returns the endpoint's fabric address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Send delivers a message to dst, charging the sender the modeled wire cost.
+// It returns ErrClosed if the destination endpoint has been closed (the
+// destination process failed) or does not exist.
+func (e *Endpoint) Send(dst Addr, m Message) error {
+	dep := e.fab.lookup(dst)
+	if dep == nil {
+		return ErrClosed
+	}
+	m.From = e.addr
+	n := m.wireSize()
+	Delay(e.fab.delayFor(e.addr.Node, dst.Node, n))
+
+	e.fab.msgs.Add(1)
+	e.fab.bytes.Add(uint64(n))
+	if e.addr.Node == dst.Node {
+		e.fab.intraMsgs.Add(1)
+	} else {
+		e.fab.interMsgs.Add(1)
+	}
+	return dep.enqueue(m)
+}
+
+func (e *Endpoint) enqueue(m Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.queue = append(e.queue, m)
+	e.mu.Unlock()
+	select {
+	case e.ready <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Recv blocks until a message arrives, the timeout expires (timeout > 0), or
+// the endpoint is closed. A zero timeout means wait forever.
+func (e *Endpoint) Recv(timeout time.Duration) (Message, error) {
+	var timer *time.Timer
+	var expiry <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expiry = timer.C
+	}
+	for {
+		e.mu.Lock()
+		if len(e.queue) > 0 {
+			m := e.queue[0]
+			e.queue = e.queue[1:]
+			e.mu.Unlock()
+			return m, nil
+		}
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return Message{}, ErrClosed
+		}
+		select {
+		case <-e.ready:
+		case <-expiry:
+			return Message{}, ErrTimeout
+		}
+	}
+}
+
+// TryRecv returns a queued message without blocking; ok is false when the
+// mailbox is empty. It returns ErrClosed once the endpoint is closed and
+// fully drained.
+func (e *Endpoint) TryRecv() (Message, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) > 0 {
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		return m, true, nil
+	}
+	if e.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
+// Close marks the endpoint dead. Pending and future Recv calls return
+// ErrClosed once the queue is drained; future Sends to it fail. Closing an
+// already-closed endpoint is a no-op.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.queue = nil
+	e.mu.Unlock()
+	select {
+	case e.ready <- struct{}{}:
+	default:
+	}
+}
+
+// Closed reports whether Close has been called.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

@@ -1,0 +1,182 @@
+// Package topo describes simulated cluster topologies.
+//
+// A Cluster is the static description of the machine a job runs on: how many
+// nodes, how many cores per node, and the performance profile of the
+// interconnect and the node-local memory system. The profiles shipped here
+// model the two Cray systems used in the paper's evaluation (Table I):
+// Trinity (XC40) and Jupiter (XC30), both with an Aries interconnect.
+//
+// Absolute constants are calibrated for *shape*, not for matching the paper's
+// absolute numbers: what matters for the reproduction is that both the
+// baseline ("MPI_Init") and the Sessions code paths run over the identical
+// fabric so their relative costs are meaningful.
+package topo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile captures the performance-relevant characteristics of a cluster.
+type Profile struct {
+	// Name identifies the profile (e.g. "trinity", "jupiter").
+	Name string
+
+	// Model is the human-readable machine model (Table I).
+	Model string
+
+	// CoresPerNode is the number of cores in one compute node.
+	CoresPerNode int
+
+	// InterNodeLatency is the one-way wire latency between two nodes in
+	// the same dragonfly group (Aries electrical links).
+	InterNodeLatency time.Duration
+
+	// DragonflyGroupSize is the number of nodes sharing a dragonfly group;
+	// zero disables the topology (all inter-node hops cost the same).
+	DragonflyGroupSize int
+
+	// GlobalHopLatency is the extra one-way latency charged when two nodes
+	// are in different dragonfly groups (optical global links).
+	GlobalHopLatency time.Duration
+
+	// GlobalLinkOccupancy is the serialization time one message holds a
+	// group's global link. Concurrent cross-group traffic from one group
+	// queues behind it — the congestion that makes random-order rings
+	// slower than natural-order rings on dragonfly networks.
+	GlobalLinkOccupancy time.Duration
+
+	// IntraNodeLatency is the one-way latency between two processes on the
+	// same node (shared-memory transport).
+	IntraNodeLatency time.Duration
+
+	// InterNodeBandwidth is the per-link bandwidth in bytes/second.
+	InterNodeBandwidth float64
+
+	// IntraNodeBandwidth is the shared-memory copy bandwidth in bytes/second.
+	IntraNodeBandwidth float64
+
+	// RPCOverhead is the software overhead of one PMIx client<->server RPC
+	// (marshalling, queueing) on top of wire latency.
+	RPCOverhead time.Duration
+
+	// ComponentLoadCost models the cost of loading one MCA component's
+	// shared object at startup. The paper attributes its high absolute init
+	// times to components being installed on a slow NFS file system; this is
+	// charged identically on every init path.
+	ComponentLoadCost time.Duration
+
+	// The following model serialized work at a node's PMIx server. Each
+	// client request occupies the server for the given duration, so costs
+	// accumulate with the number of local clients — the effect behind the
+	// paper's observation that communicator construction dominates Sessions
+	// startup at 28 processes per node while session-handle initialization
+	// dominates at 1 process per node (§IV-C1).
+
+	// ClientConnectWork is charged per client connecting to its server.
+	ClientConnectWork time.Duration
+	// FenceClientWork is charged per local participant entering a fence.
+	FenceClientWork time.Duration
+	// FenceNodeWork is charged per remote node contribution processed
+	// during a fence's inter-server exchange.
+	FenceNodeWork time.Duration
+	// GroupClientWork is charged per local participant joining a PMIx
+	// group construct/destruct (the unoptimized constructor the paper
+	// identifies as the main Sessions startup overhead).
+	GroupClientWork time.Duration
+	// GroupNodeWork is charged per remote node contribution processed
+	// during a group construct's inter-server exchange.
+	GroupNodeWork time.Duration
+}
+
+// Trinity returns a profile modelled on the LANL Trinity system: Cray XC40,
+// 2x 16-core Intel E5-2698 v3, 128 GB RAM, Aries interconnect (Table I).
+func Trinity() Profile {
+	return Profile{
+		Name:                "trinity",
+		Model:               "Cray XC40 (simulated)",
+		CoresPerNode:        32,
+		DragonflyGroupSize:  4,
+		GlobalHopLatency:    900 * time.Nanosecond,
+		GlobalLinkOccupancy: 400 * time.Nanosecond,
+		InterNodeLatency:    1300 * time.Nanosecond,
+		IntraNodeLatency:    250 * time.Nanosecond,
+		InterNodeBandwidth:  10e9,
+		IntraNodeBandwidth:  6e9,
+		RPCOverhead:         700 * time.Nanosecond,
+		ComponentLoadCost:   120 * time.Microsecond,
+		ClientConnectWork:   30 * time.Microsecond,
+		FenceClientWork:     250 * time.Microsecond,
+		FenceNodeWork:       100 * time.Microsecond,
+		GroupClientWork:     350 * time.Microsecond,
+		GroupNodeWork:       150 * time.Microsecond,
+	}
+}
+
+// Jupiter returns a profile modelled on the Jupiter system: Cray XC30,
+// 2x 14-core Intel E5-2690 v4, 64 GB RAM, Aries interconnect (Table I).
+func Jupiter() Profile {
+	return Profile{
+		Name:                "jupiter",
+		Model:               "Cray XC30 (simulated)",
+		CoresPerNode:        28,
+		DragonflyGroupSize:  4,
+		GlobalHopLatency:    1000 * time.Nanosecond,
+		GlobalLinkOccupancy: 500 * time.Nanosecond,
+		InterNodeLatency:    1500 * time.Nanosecond,
+		IntraNodeLatency:    300 * time.Nanosecond,
+		InterNodeBandwidth:  8e9,
+		IntraNodeBandwidth:  5e9,
+		RPCOverhead:         800 * time.Nanosecond,
+		ComponentLoadCost:   120 * time.Microsecond,
+		ClientConnectWork:   30 * time.Microsecond,
+		FenceClientWork:     250 * time.Microsecond,
+		FenceNodeWork:       100 * time.Microsecond,
+		GroupClientWork:     350 * time.Microsecond,
+		GroupNodeWork:       150 * time.Microsecond,
+	}
+}
+
+// Loopback returns a zero-latency profile for unit tests: all delay
+// injection is disabled so tests run at full speed and measure only the
+// implementation's real code paths.
+func Loopback(coresPerNode int) Profile {
+	return Profile{
+		Name:         "loopback",
+		Model:        "zero-latency test fabric",
+		CoresPerNode: coresPerNode,
+	}
+}
+
+// SameDragonflyGroup reports whether two nodes share a dragonfly group
+// (always true when the topology is disabled).
+func (p Profile) SameDragonflyGroup(a, b int) bool {
+	if p.DragonflyGroupSize <= 0 {
+		return true
+	}
+	return a/p.DragonflyGroupSize == b/p.DragonflyGroupSize
+}
+
+// Cluster is a set of identical nodes sharing one interconnect profile.
+type Cluster struct {
+	Profile Profile
+	Nodes   int
+}
+
+// New builds a Cluster with the given number of nodes. It panics if nodes is
+// not positive, since a cluster with no nodes cannot host a job.
+func New(profile Profile, nodes int) Cluster {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("topo: cluster must have at least one node, got %d", nodes))
+	}
+	return Cluster{Profile: profile, Nodes: nodes}
+}
+
+// MaxProcs is the total number of cores in the cluster, i.e. the largest
+// fully-subscribed job it can host.
+func (c Cluster) MaxProcs() int { return c.Nodes * c.Profile.CoresPerNode }
+
+// String renders a one-line description, e.g. "trinity: 4 nodes x 32 cores".
+func (c Cluster) String() string {
+	return fmt.Sprintf("%s: %d nodes x %d cores", c.Profile.Name, c.Nodes, c.Profile.CoresPerNode)
+}

@@ -1,0 +1,51 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{Trinity(), Jupiter()} {
+		if p.CoresPerNode <= 0 {
+			t.Errorf("%s: cores = %d", p.Name, p.CoresPerNode)
+		}
+		if p.InterNodeLatency <= p.IntraNodeLatency {
+			t.Errorf("%s: inter-node latency must exceed intra-node", p.Name)
+		}
+		if p.InterNodeBandwidth <= 0 || p.IntraNodeBandwidth <= 0 {
+			t.Errorf("%s: zero bandwidth", p.Name)
+		}
+		if p.GroupClientWork <= p.FenceClientWork-200e3 {
+			t.Errorf("%s: group construct should not be cheaper than fence", p.Name)
+		}
+	}
+	// Trinity is the 32-core XC40; Jupiter the 28-core XC30 (Table I).
+	if Trinity().CoresPerNode != 32 || Jupiter().CoresPerNode != 28 {
+		t.Fatalf("cores = %d/%d, want 32/28", Trinity().CoresPerNode, Jupiter().CoresPerNode)
+	}
+}
+
+func TestLoopbackIsFree(t *testing.T) {
+	p := Loopback(4)
+	if p.InterNodeLatency != 0 || p.IntraNodeLatency != 0 ||
+		p.ComponentLoadCost != 0 || p.FenceClientWork != 0 || p.GroupClientWork != 0 {
+		t.Fatal("loopback profile must inject no delays")
+	}
+}
+
+func TestClusterConstruction(t *testing.T) {
+	c := New(Trinity(), 4)
+	if c.MaxProcs() != 128 {
+		t.Fatalf("MaxProcs = %d, want 128", c.MaxProcs())
+	}
+	if !strings.Contains(c.String(), "4 nodes") {
+		t.Fatalf("String = %q", c.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node cluster should panic")
+		}
+	}()
+	New(Trinity(), 0)
+}

@@ -1,0 +1,84 @@
+package twomesh
+
+import (
+	"fmt"
+
+	"gompi/mpi"
+)
+
+// Checkpoint/restart for the 2MESH proxy, in the spirit of the MPI Stages
+// work the paper relates to (§V): application state is saved through the
+// MPI file layer so a run can roll forward from the last completed phase
+// after a failure, combined with the Sessions re-initialization story.
+//
+// Layout of a checkpoint file:
+//
+//	offset 0:                 completed phase count (int64, written by rank 0)
+//	offset 8 + rank*gridSize: the rank's L0 grid (float64s)
+
+const ckptHeader = 8
+
+// SaveCheckpoint collectively writes the current state after `phase`
+// completed phases. Collective over comm.
+func SaveCheckpoint(comm *mpi.Comm, name string, s *l0State, phase int) error {
+	f, err := mpi.FileOpen(comm, name)
+	if err != nil {
+		return fmt.Errorf("twomesh: open checkpoint: %w", err)
+	}
+	gridBytes := 8 * len(s.grid)
+	if comm.Rank() == 0 {
+		if err := f.WriteAt(0, mpi.PackInt64s([]int64{int64(phase)})); err != nil {
+			return err
+		}
+	}
+	off := ckptHeader + comm.Rank()*gridBytes
+	if err := f.WriteAt(off, mpi.PackFloat64s(s.grid)); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint collectively reads a checkpoint written by SaveCheckpoint,
+// returning the restored grid state and the number of completed phases.
+// The problem's block size must match the one that wrote the file.
+func LoadCheckpoint(comm *mpi.Comm, name string, block int) (*l0State, int, error) {
+	f, err := mpi.FileOpen(comm, name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("twomesh: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, ckptHeader)
+	if n, err := f.ReadAt(0, hdr); err != nil || n != ckptHeader {
+		return nil, 0, fmt.Errorf("twomesh: read checkpoint header: n=%d err=%v", n, err)
+	}
+	phase := int(mpi.UnpackInt64s(hdr)[0])
+
+	s := newL0(block, comm.Rank())
+	gridBytes := 8 * len(s.grid)
+	buf := make([]byte, gridBytes)
+	off := ckptHeader + comm.Rank()*gridBytes
+	if n, err := f.ReadAt(off, buf); err != nil || n != gridBytes {
+		return nil, 0, fmt.Errorf("twomesh: read checkpoint grid: n=%d err=%v", n, err)
+	}
+	copy(s.grid, mpi.UnpackFloat64s(buf))
+	return s, phase, nil
+}
+
+// RunFromCheckpoint resumes a run whose first `completed` phases were
+// already executed and whose state was restored into s, executing the
+// remaining phases of prob with identical physics (including the absolute
+// phase numbering that drives the refinement schedule).
+func RunFromCheckpoint(p *mpi.Process, prob Problem, useSessions bool, threads int, name string) (Report, error) {
+	world := p.CommWorld()
+	if world == nil {
+		return Report{}, fmt.Errorf("twomesh: world not initialized")
+	}
+	l0, completed, err := LoadCheckpoint(world, name, prob.L0Block)
+	if err != nil {
+		return Report{}, err
+	}
+	return runPhases(p, prob, useSessions, threads, l0, completed)
+}

@@ -1,0 +1,133 @@
+package twomesh_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/internal/twomesh"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// TestCheckpointRestartMatchesUninterruptedRun: phases 0..1 run and
+// checkpoint in one launch; a second launch (fresh MPI processes on the
+// same job, as after a failure) resumes from the file and finishes; the
+// final residual must be bit-identical to an uninterrupted run.
+func TestCheckpointRestartMatchesUninterruptedRun(t *testing.T) {
+	prob := twomesh.Tiny()
+	prob.Phases = 4
+
+	// Reference: uninterrupted run on its own substrate.
+	var mu sync.Mutex
+	var want float64
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(4), 1),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		rep, err := twomesh.Run(p, prob, true, 2)
+		if err != nil {
+			return err
+		}
+		if p.JobRank() == 0 {
+			mu.Lock()
+			want = rep.Residual
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("reference run produced zero residual")
+	}
+
+	// Interrupted + resumed run: two launches over one job substrate (the
+	// simulated file system lives in the job's runtime).
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(4), 1),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	firstHalf := prob
+	firstHalf.Phases = 2
+	firstHalf.CheckpointName = "2mesh.ckpt"
+	firstHalf.CheckpointEvery = 2
+	err = job.Launch(func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		rep, err := twomesh.Run(p, firstHalf, true, 2)
+		if err != nil {
+			return err
+		}
+		if rep.Checkpoints != 1 {
+			return fmt.Errorf("checkpoints = %d, want 1", rep.Checkpoints)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got float64
+	err = job.Launch(func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		rep, err := twomesh.RunFromCheckpoint(p, prob, true, 2, "2mesh.ckpt")
+		if err != nil {
+			return err
+		}
+		if p.JobRank() == 0 {
+			mu.Lock()
+			got = rep.Residual
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0 {
+		t.Fatalf("resumed residual %v != uninterrupted %v", got, want)
+	}
+}
+
+// TestLoadCheckpointMissingFile: restoring from a never-written checkpoint
+// must fail cleanly.
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 1),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		if _, err := twomesh.RunFromCheckpoint(p, twomesh.Tiny(), true, 1, "no-such-ckpt"); err == nil {
+			return fmt.Errorf("missing checkpoint accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

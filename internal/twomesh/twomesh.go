@@ -1,0 +1,333 @@
+// Package twomesh is a synthetic proxy for the LANL multi-physics
+// production code "2MESH" used in the paper's application evaluation
+// (§IV-E). The original is closed; this proxy preserves the structure the
+// paper measures (see DESIGN.md's substitution table):
+//
+//   - library L0 simulates one physics on a block-structured, adaptively
+//     refined mesh, parallelized MPI-everywhere: every rank advances its
+//     block with a stencil kernel, exchanges halos with neighbours, and
+//     joins a global reduction each step;
+//   - library L1 simulates a different physics on a separate structured
+//     mesh, parallelized MPI+threads: one process per node expands into a
+//     worker-goroutine team ("OpenMP threads") while its node-mates
+//     quiesce in QUO_barrier;
+//   - phases interleave L0 and L1, with QUO orchestrating the transitions.
+//
+// Two executables are built from this package: the Baseline configuration
+// (World Process Model initialization, QUO 1.3 native quiescence) and the
+// Sessions configuration (L1's QUO context created through
+// quo.CreateWithSession, quiescing via the sessions-aware Ibarrier loop) —
+// the two bars of the paper's Fig. 7.
+package twomesh
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gompi/internal/quo"
+	"gompi/internal/simnet"
+	"gompi/mpi"
+)
+
+// Problem describes one 2MESH run configuration. The paper uses three
+// problems: P1 and P2 at 256 processes and P3 at 1,024, fully subscribing
+// 32-core nodes. Scaled-down variants are provided for tests.
+type Problem struct {
+	Name string
+	// Phases is the number of interleaved L0/L1 phase pairs.
+	Phases int
+	// L0Block is the per-rank block edge length for L0's mesh.
+	L0Block int
+	// L0Steps is the number of stencil steps per L0 phase.
+	L0Steps int
+	// L1Block is the per-leader block edge for L1's mesh.
+	L1Block int
+	// L1Steps is the number of stencil steps per L1 phase.
+	L1Steps int
+	// RefineEvery adds adaptive refinement: every k-th phase, ranks whose
+	// index is divisible by 4 do double L0 work (load imbalance).
+	RefineEvery int
+	// L0StepCost / L1StepCost are the modeled per-step physics costs. The
+	// real Jacobi kernel above provides the numerics; the modeled cost
+	// provides the (deterministic) duty cycle of the production physics
+	// packages, so the middleware overheads Fig. 7 studies are measured
+	// against a stable denominator. Zero disables the model (tests).
+	L0StepCost time.Duration
+	L1StepCost time.Duration
+	// CheckpointName/CheckpointEvery enable phase checkpointing through
+	// the MPI file layer: after every CheckpointEvery-th phase the L0
+	// state is saved, enabling RunFromCheckpoint roll-forward.
+	CheckpointName  string
+	CheckpointEvery int
+}
+
+// P1 is a small advection-dominated problem (paper: 256 processes).
+func P1() Problem {
+	return Problem{Name: "P1", Phases: 6, L0Block: 48, L0Steps: 4, L1Block: 96, L1Steps: 3, RefineEvery: 3,
+		L0StepCost: 1200 * time.Microsecond, L1StepCost: 2500 * time.Microsecond}
+}
+
+// P2 is a diffusion-dominated problem with heavier L1 phases (256 procs).
+func P2() Problem {
+	return Problem{Name: "P2", Phases: 6, L0Block: 32, L0Steps: 6, L1Block: 128, L1Steps: 4, RefineEvery: 2,
+		L0StepCost: 900 * time.Microsecond, L1StepCost: 3500 * time.Microsecond}
+}
+
+// P3 is the large configuration (paper: 1,024 processes).
+func P3() Problem {
+	return Problem{Name: "P3", Phases: 4, L0Block: 40, L0Steps: 5, L1Block: 112, L1Steps: 3, RefineEvery: 2,
+		L0StepCost: 1500 * time.Microsecond, L1StepCost: 3000 * time.Microsecond}
+}
+
+// Tiny is a fast configuration for unit tests.
+func Tiny() Problem {
+	return Problem{Name: "tiny", Phases: 2, L0Block: 12, L0Steps: 2, L1Block: 16, L1Steps: 2, RefineEvery: 2}
+}
+
+// Report summarizes one run.
+type Report struct {
+	Problem     string
+	Mode        string // "baseline" or "sessions"
+	Total       time.Duration
+	L0Time      time.Duration
+	L1Time      time.Duration
+	Quiesce     time.Duration
+	Residual    float64 // final L0 residual, for numerical cross-checking
+	Barriers    int
+	PollCount   int
+	Checkpoints int
+}
+
+// l0State is one rank's piece of the L0 mesh.
+type l0State struct {
+	n    int
+	grid []float64
+	next []float64
+}
+
+func newL0(n, rank int) *l0State {
+	s := &l0State{n: n, grid: make([]float64, n*n), next: make([]float64, n*n)}
+	for i := range s.grid {
+		s.grid[i] = math.Sin(float64(i+rank)) * 0.5
+	}
+	return s
+}
+
+// step advances the block one Jacobi step and returns the local residual.
+// Borders are carried over unchanged, so the full state is determined by
+// the grid alone (a checkpoint needs only the grid, not the scratch
+// buffer).
+func (s *l0State) step() float64 {
+	n := s.n
+	var res float64
+	copy(s.next[:n], s.grid[:n])
+	copy(s.next[(n-1)*n:], s.grid[(n-1)*n:])
+	for y := 1; y < n-1; y++ {
+		s.next[y*n] = s.grid[y*n]
+		s.next[y*n+n-1] = s.grid[y*n+n-1]
+		for x := 1; x < n-1; x++ {
+			i := y*n + x
+			v := 0.25 * (s.grid[i-1] + s.grid[i+1] + s.grid[i-n] + s.grid[i+n])
+			d := v - s.grid[i]
+			res += d * d
+			s.next[i] = v
+		}
+	}
+	s.grid, s.next = s.next, s.grid
+	return res
+}
+
+// exchangeHalos swaps boundary rows with ring neighbours over comm.
+func (s *l0State) exchangeHalos(comm *mpi.Comm) error {
+	n := s.n
+	size := comm.Size()
+	if size == 1 {
+		return nil
+	}
+	right := (comm.Rank() + 1) % size
+	left := (comm.Rank() - 1 + size) % size
+	top := mpi.PackFloat64s(s.grid[:n])
+	bottom := mpi.PackFloat64s(s.grid[(n-1)*n:])
+	inTop := make([]byte, len(top))
+	inBottom := make([]byte, len(bottom))
+	// Send bottom to right, receive new top from left; then the reverse.
+	if _, err := comm.Sendrecv(bottom, right, 101, inTop, left, 101); err != nil {
+		return err
+	}
+	if _, err := comm.Sendrecv(top, left, 102, inBottom, right, 102); err != nil {
+		return err
+	}
+	copy(s.grid[:n], mpi.UnpackFloat64s(inTop))
+	copy(s.grid[(n-1)*n:], mpi.UnpackFloat64s(inBottom))
+	return nil
+}
+
+// runL0Phase executes one MPI-everywhere phase: steps of stencil + halo
+// exchange + global residual reduction.
+func runL0Phase(comm *mpi.Comm, s *l0State, steps int, refined bool, stepCost time.Duration) (float64, error) {
+	work := 1
+	if refined && comm.Rank()%4 == 0 {
+		work = 2 // adaptively refined blocks do double duty
+	}
+	var residual float64
+	for st := 0; st < steps; st++ {
+		var local float64
+		for w := 0; w < work; w++ {
+			local = s.step()
+			simnet.Delay(stepCost)
+		}
+		if err := s.exchangeHalos(comm); err != nil {
+			return 0, err
+		}
+		global, err := comm.AllreduceFloat64(local, mpi.OpSum)
+		if err != nil {
+			return 0, err
+		}
+		residual = global
+	}
+	return residual, nil
+}
+
+// runL1Phase executes one MPI+threads phase: node leaders expand into a
+// worker team over their block while the other ranks quiesce in
+// QUO_barrier. Leaders also reduce across nodes at phase end.
+func runL1Phase(ctx *quo.Context, block, steps, threads int, stepCost time.Duration) (time.Duration, error) {
+	selected := ctx.Selected(quo.PolicyOnePerNode)
+	var quiesce time.Duration
+	if selected {
+		ctx.BindPush("QUO_BIND_PUSH_OBJ:MACHINE")
+		s := newL0(block, ctx.Rank())
+		for st := 0; st < steps; st++ {
+			parallelStep(s, threads)
+			simnet.Delay(stepCost)
+		}
+		if err := ctx.BindPop(); err != nil {
+			return 0, err
+		}
+	}
+	// Everyone meets at the quiescence barrier; for non-selected ranks the
+	// time spent here is the quiesce cost the paper studies.
+	start := time.Now()
+	if err := ctx.Barrier(); err != nil {
+		return 0, err
+	}
+	if !selected {
+		quiesce = time.Since(start)
+	}
+	return quiesce, nil
+}
+
+// parallelStep divides the rows of one Jacobi step across a goroutine team
+// (the "OpenMP threads" of the MPI+X phase).
+func parallelStep(s *l0State, threads int) {
+	n := s.n
+	if threads < 1 {
+		threads = 1
+	}
+	copy(s.next[:n], s.grid[:n])
+	copy(s.next[(n-1)*n:], s.grid[(n-1)*n:])
+	for y := 1; y < n-1; y++ {
+		s.next[y*n] = s.grid[y*n]
+		s.next[y*n+n-1] = s.grid[y*n+n-1]
+	}
+	var wg sync.WaitGroup
+	rows := n - 2
+	chunk := (rows + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := 1 + t*chunk
+		hi := lo + chunk
+		if hi > n-1 {
+			hi = n - 1
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for y := lo; y < hi; y++ {
+				for x := 1; x < n-1; x++ {
+					i := y*n + x
+					s.next[i] = 0.25 * (s.grid[i-1] + s.grid[i+1] + s.grid[i-n] + s.grid[i+n])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	s.grid, s.next = s.next, s.grid
+}
+
+// Run executes the coupled application on one rank. useSessions selects the
+// Sessions executable: L1's QUO context is created through
+// quo.CreateWithSession (which initializes its own MPI session), exactly
+// the integration path the paper used. The caller must have initialized
+// the World Process Model (both executables start with MPI_Init_thread).
+func Run(p *mpi.Process, prob Problem, useSessions bool, threads int) (Report, error) {
+	world := p.CommWorld()
+	if world == nil {
+		return Report{}, fmt.Errorf("twomesh: world not initialized")
+	}
+	l0 := newL0(prob.L0Block, world.Rank())
+	return runPhases(p, prob, useSessions, threads, l0, 0)
+}
+
+// runPhases executes phases startPhase..Phases-1 on pre-built L0 state.
+func runPhases(p *mpi.Process, prob Problem, useSessions bool, threads int, l0 *l0State, startPhase int) (Report, error) {
+	world := p.CommWorld()
+	if world == nil {
+		return Report{}, fmt.Errorf("twomesh: world not initialized")
+	}
+	var (
+		ctx *quo.Context
+		err error
+	)
+	if useSessions {
+		ctx, err = quo.CreateWithSession(p)
+	} else {
+		ctx, err = quo.Create(p, world)
+	}
+	if err != nil {
+		return Report{}, fmt.Errorf("twomesh: QUO create: %w", err)
+	}
+	defer ctx.Free()
+
+	mode := "baseline"
+	if useSessions {
+		mode = "sessions"
+	}
+	rep := Report{Problem: prob.Name, Mode: mode}
+
+	start := time.Now()
+	for phase := startPhase; phase < prob.Phases; phase++ {
+		refined := prob.RefineEvery > 0 && phase%prob.RefineEvery == prob.RefineEvery-1
+
+		t0 := time.Now()
+		res, err := runL0Phase(world, l0, prob.L0Steps, refined, prob.L0StepCost)
+		if err != nil {
+			return rep, fmt.Errorf("twomesh: L0 phase %d: %w", phase, err)
+		}
+		rep.Residual = res
+		rep.L0Time += time.Since(t0)
+
+		t1 := time.Now()
+		q, err := runL1Phase(ctx, prob.L1Block, prob.L1Steps, threads, prob.L1StepCost)
+		if err != nil {
+			return rep, fmt.Errorf("twomesh: L1 phase %d: %w", phase, err)
+		}
+		rep.L1Time += time.Since(t1)
+		rep.Quiesce += q
+
+		if prob.CheckpointEvery > 0 && prob.CheckpointName != "" &&
+			(phase+1)%prob.CheckpointEvery == 0 {
+			if err := SaveCheckpoint(world, prob.CheckpointName, l0, phase+1); err != nil {
+				return rep, fmt.Errorf("twomesh: checkpoint after phase %d: %w", phase, err)
+			}
+			rep.Checkpoints++
+		}
+	}
+	rep.Total = time.Since(start)
+	rep.Barriers, rep.PollCount = ctx.Stats()
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package twomesh_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/internal/twomesh"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+func runProblem(t *testing.T, nodes, ppn int, cfg core.Config, prob twomesh.Problem, sessions bool) []twomesh.Report {
+	t.Helper()
+	var mu sync.Mutex
+	var reps []twomesh.Report
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(ppn), nodes),
+		PPN:     ppn,
+		Config:  cfg,
+	}, func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		rep, err := twomesh.Run(p, prob, sessions, 2)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		reps = append(reps, rep)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps
+}
+
+func TestBaselineRun(t *testing.T) {
+	reps := runProblem(t, 2, 2, core.Config{CIDMode: core.CIDConsensus}, twomesh.Tiny(), false)
+	if len(reps) != 4 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for _, r := range reps {
+		if r.Mode != "baseline" {
+			t.Fatalf("mode = %q", r.Mode)
+		}
+		if r.Total <= 0 || r.L0Time <= 0 || r.L1Time <= 0 {
+			t.Fatalf("empty timings: %+v", r)
+		}
+		if r.Barriers != twomesh.Tiny().Phases {
+			t.Fatalf("barriers = %d, want %d", r.Barriers, twomesh.Tiny().Phases)
+		}
+	}
+}
+
+func TestSessionsRun(t *testing.T) {
+	reps := runProblem(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, twomesh.Tiny(), true)
+	for _, r := range reps {
+		if r.Mode != "sessions" {
+			t.Fatalf("mode = %q", r.Mode)
+		}
+	}
+}
+
+func TestBaselineAndSessionsAgreeNumerically(t *testing.T) {
+	// The two executables must compute the same physics: identical final
+	// L0 residuals (the L0 path is bytewise identical; only middleware
+	// differs).
+	base := runProblem(t, 1, 4, core.Config{CIDMode: core.CIDConsensus}, twomesh.Tiny(), false)
+	sess := runProblem(t, 1, 4, core.Config{CIDMode: core.CIDExtended}, twomesh.Tiny(), true)
+	if len(base) == 0 || len(sess) == 0 {
+		t.Fatal("missing reports")
+	}
+	// All ranks agree on the global residual within a run.
+	for _, r := range base[1:] {
+		if r.Residual != base[0].Residual {
+			t.Fatalf("baseline ranks disagree: %v vs %v", r.Residual, base[0].Residual)
+		}
+	}
+	if math.Abs(base[0].Residual-sess[0].Residual) > 1e-12 {
+		t.Fatalf("baseline residual %v != sessions residual %v", base[0].Residual, sess[0].Residual)
+	}
+	if base[0].Residual == 0 {
+		t.Fatal("residual is zero; kernel did no work")
+	}
+}
+
+func TestProblemCatalog(t *testing.T) {
+	for _, p := range []twomesh.Problem{twomesh.P1(), twomesh.P2(), twomesh.P3(), twomesh.Tiny()} {
+		if p.Phases <= 0 || p.L0Block <= 2 || p.L1Block <= 2 {
+			t.Fatalf("degenerate problem %+v", p)
+		}
+		if p.Name == "" {
+			t.Fatal("unnamed problem")
+		}
+	}
+}
+
+func TestRunRequiresInit(t *testing.T) {
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(1), 1),
+		PPN:     1,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		if _, err := twomesh.Run(p, twomesh.Tiny(), false, 1); err == nil {
+			return fmt.Errorf("Run without Init should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// Accessor and string-method smoke coverage: cheap guarantees that the
+// small public surface behaves, caught here rather than in user code.
+func TestSmallAccessors(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		// Package-level constructor spelling.
+		comm, err := mpi.CommCreateFromGroup(sess, grp, "accessors", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		if comm.Session() != sess {
+			return fmt.Errorf("Session() mismatch")
+		}
+		comm.SetErrhandler(nil) // nil resets to ErrorsReturn
+		if err := comm.Send(nil, 99, 0); err == nil {
+			return fmt.Errorf("errors should still return after SetErrhandler(nil)")
+		}
+		comm.SetErrhandler(mpi.ErrorsReturn())
+
+		cart, err := comm.CartCreate([]int{2}, []bool{true}, false)
+		if err != nil {
+			return err
+		}
+		defer cart.Free()
+		d := cart.Dims()
+		if len(d) != 1 || d[0] != 2 {
+			return fmt.Errorf("Dims = %v", d)
+		}
+		d[0] = 99
+		if cart.Dims()[0] != 2 {
+			return fmt.Errorf("Dims aliases internal state")
+		}
+		return nil
+	})
+}
+
+func TestDatatypeAndLevelStrings(t *testing.T) {
+	for dt, want := range map[string]string{
+		mpi.Byte.String():    "MPI_BYTE",
+		mpi.Int32.String():   "MPI_INT32_T",
+		mpi.Int64.String():   "MPI_INT64_T",
+		mpi.Uint32.String():  "MPI_UINT32_T",
+		mpi.Uint64.String():  "MPI_UINT64_T",
+		mpi.Float32.String(): "MPI_FLOAT",
+		mpi.Float64.String(): "MPI_DOUBLE",
+	} {
+		if dt != want {
+			t.Errorf("datatype string %q != %q", dt, want)
+		}
+	}
+	for lvl, want := range map[mpi.ThreadLevel]string{
+		mpi.ThreadSingle:     "MPI_THREAD_SINGLE",
+		mpi.ThreadFunneled:   "MPI_THREAD_FUNNELED",
+		mpi.ThreadSerialized: "MPI_THREAD_SERIALIZED",
+		mpi.ThreadMultiple:   "MPI_THREAD_MULTIPLE",
+	} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q", lvl, lvl.String())
+		}
+	}
+	for op, want := range map[mpi.Op]string{
+		mpi.OpSum: "MPI_SUM", mpi.OpProd: "MPI_PROD", mpi.OpMax: "MPI_MAX",
+		mpi.OpMin: "MPI_MIN", mpi.OpLAnd: "MPI_LAND", mpi.OpLOr: "MPI_LOR",
+		mpi.OpBAnd: "MPI_BAND", mpi.OpBOr: "MPI_BOR",
+	} {
+		if op.String() != want {
+			t.Errorf("op string = %q, want %q", op.String(), want)
+		}
+	}
+	for class, want := range map[mpi.ErrorClass]string{
+		mpi.ErrSuccess: "MPI_SUCCESS", mpi.ErrClassTruncate: "MPI_ERR_TRUNCATE",
+		mpi.ErrClassProcFailed: "MPI_ERR_PROC_FAILED", mpi.ErrClassOther: "MPI_ERR_OTHER",
+	} {
+		if class.String() != want {
+			t.Errorf("class string = %q, want %q", class.String(), want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestAllreduceBothAlgorithms exercises the recursive-doubling path
+// (power-of-two sizes) and the reduce+bcast fallback (other sizes) against
+// the same oracle.
+func TestAllreduceBothAlgorithms(t *testing.T) {
+	for _, ppn := range []int{4, 6} { // 4 = recursive doubling, 6 = fallback
+		ppn := ppn
+		t.Run(fmt.Sprintf("size-%d", ppn), func(t *testing.T) {
+			withWorld(t, 1, ppn, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+				n := int64(world.Size())
+				r := int64(world.Rank())
+				for _, tc := range []struct {
+					op   mpi.Op
+					in   int64
+					want int64
+				}{
+					{mpi.OpSum, r + 1, n * (n + 1) / 2},
+					{mpi.OpMax, r * 3, (n - 1) * 3},
+					{mpi.OpMin, r + 10, 10},
+					{mpi.OpBOr, 1 << uint(r), (1 << uint(n)) - 1},
+				} {
+					got, err := world.AllreduceInt64(tc.in, tc.op)
+					if err != nil {
+						return err
+					}
+					if got != tc.want {
+						return fmt.Errorf("size %d %v: got %d want %d", n, tc.op, got, tc.want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestAllreduceFloatDeterministic: every member must end with the
+// bit-identical float result, regardless of algorithm.
+func TestAllreduceFloatDeterministic(t *testing.T) {
+	for _, ppn := range []int{4, 6} {
+		ppn := ppn
+		t.Run(fmt.Sprintf("size-%d", ppn), func(t *testing.T) {
+			var mu sync.Mutex
+			var results []float64
+			withWorld(t, 1, ppn, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+				// Values chosen so different summation orders WOULD differ
+				// in floating point if members bracketed differently.
+				v := 0.1*float64(world.Rank()+1) + 1e-9/float64(world.Rank()+1)
+				got, err := world.AllreduceFloat64(v, mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				results = append(results, got)
+				mu.Unlock()
+				return nil
+			})
+			for _, v := range results[1:] {
+				if v != results[0] {
+					t.Fatalf("members disagree: %v", results)
+				}
+			}
+		})
+	}
+}
+
+// TestAllreduceVector exercises multi-element payloads on both paths.
+func TestAllreduceVector(t *testing.T) {
+	for _, ppn := range []int{4, 3} {
+		ppn := ppn
+		t.Run(fmt.Sprintf("size-%d", ppn), func(t *testing.T) {
+			withWorld(t, 1, ppn, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+				const count = 17
+				in := make([]int64, count)
+				for i := range in {
+					in[i] = int64(world.Rank()*100 + i)
+				}
+				out := make([]byte, count*8)
+				if err := world.Allreduce(mpi.PackInt64s(in), out, count, mpi.Int64, mpi.OpSum); err != nil {
+					return err
+				}
+				got := mpi.UnpackInt64s(out)
+				n := int64(world.Size())
+				sumRanks := n * (n - 1) / 2
+				for i := range got {
+					want := 100*sumRanks + n*int64(i)
+					if got[i] != want {
+						return fmt.Errorf("element %d: %d != %d", i, got[i], want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllreduceShortSendBuffer(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		out := make([]byte, 16)
+		if err := world.Allreduce(make([]byte, 4), out, 2, mpi.Int64, mpi.OpSum); err == nil {
+			return fmt.Errorf("short send buffer accepted")
+		}
+		return nil
+	})
+}

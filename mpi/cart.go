@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Cartesian process topologies (MPI_Cart_*), the structured-mesh
+// decomposition used by applications like 2MESH's L0 library.
+
+// CartComm is a communicator with an attached Cartesian topology.
+type CartComm struct {
+	*Comm
+	dims    []int
+	periods []bool
+}
+
+// CartCreate attaches an ndims-dimensional Cartesian topology to the
+// members of c (MPI_Cart_create). The product of dims must equal the
+// communicator size; reorder is accepted for API parity but ranks are
+// never reordered (as most MPI implementations also choose).
+func (c *Comm) CartCreate(dims []int, periods []bool, reorder bool) (*CartComm, error) {
+	if err := c.checkLive(); err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	if len(dims) == 0 || len(dims) != len(periods) {
+		return nil, c.errh.invoke(fmt.Errorf("mpi: cart dims/periods length mismatch"))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, c.errh.invoke(fmt.Errorf("mpi: cart dimension %d not positive", d))
+		}
+		n *= d
+	}
+	if n != c.Size() {
+		return nil, c.errh.invoke(fmt.Errorf("mpi: cart grid %d != comm size %d", n, c.Size()))
+	}
+	dup, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	cart := &CartComm{
+		Comm:    dup,
+		dims:    append([]int(nil), dims...),
+		periods: append([]bool(nil), periods...),
+	}
+	cart.SetName(fmt.Sprintf("%s+cart%v", c.Name(), dims))
+	return cart, nil
+}
+
+// DimsCreate factors nnodes into ndims balanced dimensions
+// (MPI_Dims_create). Dimensions fixed to non-zero values in dims are kept.
+func DimsCreate(nnodes, ndims int, dims []int) ([]int, error) {
+	if len(dims) == 0 {
+		dims = make([]int, ndims)
+	}
+	if len(dims) != ndims {
+		return nil, fmt.Errorf("mpi: dims length %d != ndims %d", len(dims), ndims)
+	}
+	out := append([]int(nil), dims...)
+	remaining := nnodes
+	free := 0
+	for _, d := range out {
+		switch {
+		case d < 0:
+			return nil, fmt.Errorf("mpi: negative dimension %d", d)
+		case d > 0:
+			if remaining%d != 0 {
+				return nil, fmt.Errorf("mpi: fixed dims do not divide %d", nnodes)
+			}
+			remaining /= d
+		default:
+			free++
+		}
+	}
+	if free == 0 {
+		if remaining != 1 {
+			return nil, fmt.Errorf("mpi: fixed dims do not multiply to %d", nnodes)
+		}
+		return out, nil
+	}
+	// Greedy balanced factorization: repeatedly assign the largest prime
+	// factor to the currently smallest free dimension.
+	factors := primeFactors(remaining)
+	vals := make([]int, free)
+	for i := range vals {
+		vals[i] = 1
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		min := 0
+		for j := 1; j < free; j++ {
+			if vals[j] < vals[min] {
+				min = j
+			}
+		}
+		vals[min] *= factors[i]
+	}
+	// Larger dimensions first, matching common MPI behaviour.
+	for i := 0; i < free; i++ {
+		for j := i + 1; j < free; j++ {
+			if vals[j] > vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	k := 0
+	for i, d := range out {
+		if d == 0 {
+			out[i] = vals[k]
+			k++
+		}
+	}
+	return out, nil
+}
+
+func primeFactors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			out = append(out, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Dims returns the topology's dimensions.
+func (c *CartComm) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Coords returns the Cartesian coordinates of a rank (MPI_Cart_coords).
+func (c *CartComm) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= c.Size() {
+		return nil, fmt.Errorf("mpi: cart rank %d out of range", rank)
+	}
+	coords := make([]int, len(c.dims))
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % c.dims[i]
+		rank /= c.dims[i]
+	}
+	return coords, nil
+}
+
+// CartRank returns the rank at the given coordinates (MPI_Cart_rank).
+// Coordinates in periodic dimensions wrap; out-of-range coordinates in
+// non-periodic dimensions are an error.
+func (c *CartComm) CartRank(coords []int) (int, error) {
+	if len(coords) != len(c.dims) {
+		return 0, fmt.Errorf("mpi: cart coords length %d != ndims %d", len(coords), len(c.dims))
+	}
+	rank := 0
+	for i, v := range coords {
+		d := c.dims[i]
+		if c.periods[i] {
+			v = ((v % d) + d) % d
+		} else if v < 0 || v >= d {
+			return 0, fmt.Errorf("mpi: coordinate %d out of range in non-periodic dim %d", v, i)
+		}
+		rank = rank*d + v
+	}
+	return rank, nil
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift). In non-periodic dimensions a neighbour
+// off the grid is ProcNull.
+func (c *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(c.dims) {
+		return 0, 0, fmt.Errorf("mpi: cart dim %d out of range", dim)
+	}
+	coords, err := c.Coords(c.Rank())
+	if err != nil {
+		return 0, 0, err
+	}
+	neighbour := func(delta int) int {
+		cc := append([]int(nil), coords...)
+		cc[dim] += delta
+		if !c.periods[dim] && (cc[dim] < 0 || cc[dim] >= c.dims[dim]) {
+			return ProcNull
+		}
+		r, err := c.CartRank(cc)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return neighbour(-disp), neighbour(disp), nil
+}
+
+// ProcNull is the null process rank (MPI_PROC_NULL): sends to it and
+// receives from it are no-ops at the CartComm convenience layer.
+const ProcNull = -3
+
+// SendrecvShift exchanges buffers with the two neighbours along a
+// dimension, the canonical halo-exchange step. ProcNull neighbours are
+// skipped (the corresponding recv buffer is left untouched).
+func (c *CartComm) SendrecvShift(dim, disp int, sendUp, recvDown, sendDown, recvUp []byte, tag int) error {
+	src, dst, err := c.Shift(dim, disp)
+	if err != nil {
+		return err
+	}
+	// Exchange "up" (toward dst) then "down" (toward src).
+	if err := c.halfExchange(dst, src, sendUp, recvDown, tag); err != nil {
+		return err
+	}
+	return c.halfExchange(src, dst, sendDown, recvUp, tag+1)
+}
+
+func (c *CartComm) halfExchange(to, from int, sendBuf, recvBuf []byte, tag int) error {
+	var rreq, sreq Request
+	if from != ProcNull {
+		rreq = c.Irecv(recvBuf, from, tag)
+	}
+	if to != ProcNull {
+		sreq = c.Isend(sendBuf, to, tag)
+	}
+	return WaitAll(sreq, rreq)
+}

@@ -1,0 +1,304 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		nnodes, ndims int
+		fixed         []int
+		want          []int
+	}{
+		{12, 2, nil, []int{4, 3}},
+		{8, 3, nil, []int{2, 2, 2}},
+		{7, 2, nil, []int{7, 1}},
+		{12, 2, []int{0, 2}, []int{6, 2}},
+		{16, 1, nil, []int{16}},
+	}
+	for _, c := range cases {
+		got, err := mpi.DimsCreate(c.nnodes, c.ndims, c.fixed)
+		if err != nil {
+			t.Fatalf("DimsCreate(%d,%d,%v): %v", c.nnodes, c.ndims, c.fixed, err)
+		}
+		prod := 1
+		for i, d := range got {
+			prod *= d
+			if c.want != nil && got[i] != c.want[i] {
+				t.Errorf("DimsCreate(%d,%d,%v) = %v, want %v", c.nnodes, c.ndims, c.fixed, got, c.want)
+				break
+			}
+		}
+		if prod != c.nnodes {
+			t.Errorf("DimsCreate(%d,...) = %v: product %d", c.nnodes, got, prod)
+		}
+	}
+	if _, err := mpi.DimsCreate(10, 2, []int{3, 0}); err == nil {
+		t.Fatal("non-dividing fixed dim accepted")
+	}
+	if _, err := mpi.DimsCreate(10, 2, []int{-1, 0}); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+	if _, err := mpi.DimsCreate(10, 2, []int{5, 3}); err == nil {
+		t.Fatal("non-multiplying fixed dims accepted")
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	withWorld(t, 1, 6, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		cart, err := world.CartCreate([]int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			return err
+		}
+		defer cart.Free()
+		for r := 0; r < cart.Size(); r++ {
+			coords, err := cart.Coords(r)
+			if err != nil {
+				return err
+			}
+			back, err := cart.CartRank(coords)
+			if err != nil {
+				return err
+			}
+			if back != r {
+				return fmt.Errorf("rank %d -> %v -> %d", r, coords, back)
+			}
+		}
+		// Periodic wrap in dim 1.
+		r, err := cart.CartRank([]int{0, -1})
+		if err != nil {
+			return err
+		}
+		if r != 2 { // (0,2)
+			return fmt.Errorf("wrapped rank = %d, want 2", r)
+		}
+		// Non-periodic out of range in dim 0.
+		if _, err := cart.CartRank([]int{2, 0}); err == nil {
+			return fmt.Errorf("out-of-range non-periodic coordinate accepted")
+		}
+		return nil
+	})
+}
+
+func TestCartShiftAndProcNull(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		// 1-D non-periodic chain of 4.
+		cart, err := world.CartCreate([]int{4}, []bool{false}, false)
+		if err != nil {
+			return err
+		}
+		defer cart.Free()
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		switch cart.Rank() {
+		case 0:
+			if src != mpi.ProcNull || dst != 1 {
+				return fmt.Errorf("rank 0 shift = %d,%d", src, dst)
+			}
+		case 3:
+			if src != 2 || dst != mpi.ProcNull {
+				return fmt.Errorf("rank 3 shift = %d,%d", src, dst)
+			}
+		default:
+			if src != cart.Rank()-1 || dst != cart.Rank()+1 {
+				return fmt.Errorf("rank %d shift = %d,%d", cart.Rank(), src, dst)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCartShiftPeriodicRing(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		cart, err := world.CartCreate([]int{4}, []bool{true}, false)
+		if err != nil {
+			return err
+		}
+		defer cart.Free()
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		wantSrc := (cart.Rank() + 3) % 4
+		wantDst := (cart.Rank() + 1) % 4
+		if src != wantSrc || dst != wantDst {
+			return fmt.Errorf("rank %d shift = %d,%d want %d,%d", cart.Rank(), src, dst, wantSrc, wantDst)
+		}
+		return nil
+	})
+}
+
+func TestCartHaloExchange(t *testing.T) {
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		// 1-D non-periodic chain; halo exchange with both neighbours.
+		cart, err := world.CartCreate([]int{4}, []bool{false}, false)
+		if err != nil {
+			return err
+		}
+		defer cart.Free()
+		me := byte(cart.Rank())
+		sendUp := []byte{me}
+		sendDown := []byte{me + 100}
+		recvDown := []byte{255}
+		recvUp := []byte{255}
+		if err := cart.SendrecvShift(0, 1, sendUp, recvDown, sendDown, recvUp, 50); err != nil {
+			return err
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if src != mpi.ProcNull {
+			if recvDown[0] != byte(src) {
+				return fmt.Errorf("rank %d recvDown = %d, want %d", cart.Rank(), recvDown[0], src)
+			}
+		} else if recvDown[0] != 255 {
+			return fmt.Errorf("rank %d recvDown modified with no neighbour", cart.Rank())
+		}
+		if dst != mpi.ProcNull {
+			if recvUp[0] != byte(dst)+100 {
+				return fmt.Errorf("rank %d recvUp = %d, want %d", cart.Rank(), recvUp[0], byte(dst)+100)
+			}
+		} else if recvUp[0] != 255 {
+			return fmt.Errorf("rank %d recvUp modified with no neighbour", cart.Rank())
+		}
+		return nil
+	})
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if _, err := world.CartCreate([]int{3}, []bool{false}, false); err == nil {
+			return fmt.Errorf("grid/size mismatch accepted")
+		}
+		if _, err := world.CartCreate([]int{2, 2}, []bool{false}, false); err == nil {
+			return fmt.Errorf("dims/periods mismatch accepted")
+		}
+		if _, err := world.CartCreate([]int{-4}, []bool{false}, false); err == nil {
+			return fmt.Errorf("negative dim accepted")
+		}
+		return nil
+	})
+}
+
+func TestCommCreateSubset(t *testing.T) {
+	for _, mode := range []string{"consensus", "excid"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			cfg := conCfg()
+			if mode == "excid" {
+				cfg = exCfg()
+			}
+			withWorld(t, 1, 4, cfg, func(p *mpi.Process, world *mpi.Comm) error {
+				grp := world.Group()
+				evens, err := grp.Incl([]int{0, 2})
+				if err != nil {
+					return err
+				}
+				sub, err := world.Create(evens)
+				if err != nil {
+					return err
+				}
+				if world.Rank()%2 == 1 {
+					if sub != nil {
+						return fmt.Errorf("non-member got a communicator")
+					}
+					return nil
+				}
+				defer sub.Free()
+				if sub.Size() != 2 {
+					return fmt.Errorf("size = %d", sub.Size())
+				}
+				sum, err := sub.AllreduceInt64(int64(world.Rank()), mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				if sum != 2 {
+					return fmt.Errorf("sum = %d", sum)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestCommSplitTypeShared(t *testing.T) {
+	withWorld(t, 2, 3, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		node, err := world.SplitType(mpi.SplitTypeShared, world.Rank())
+		if err != nil {
+			return err
+		}
+		defer node.Free()
+		if node.Size() != 3 {
+			return fmt.Errorf("node comm size = %d, want 3 (ppn)", node.Size())
+		}
+		// All members of the node comm share my node: verify with shared
+		// pset from a session... simpler: their global ranks are a
+		// contiguous block of 3 starting at a multiple of 3.
+		g := node.Group().GlobalRanks()
+		base := g[0]
+		if base%3 != 0 {
+			return fmt.Errorf("node block starts at %d", base)
+		}
+		for i, r := range g {
+			if r != base+i {
+				return fmt.Errorf("node ranks = %v", g)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGroupRangeInclExcl(t *testing.T) {
+	withWorld(t, 1, 8, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		grp := world.Group()
+		in, err := grp.RangeIncl([][3]int{{0, 6, 2}}) // 0,2,4,6
+		if err != nil {
+			return err
+		}
+		if in.Size() != 4 || in.GlobalRanks()[1] != 2 {
+			return fmt.Errorf("RangeIncl = %v", in.GlobalRanks())
+		}
+		down, err := grp.RangeIncl([][3]int{{7, 5, -1}}) // 7,6,5
+		if err != nil {
+			return err
+		}
+		if down.Size() != 3 || down.GlobalRanks()[0] != 7 {
+			return fmt.Errorf("descending RangeIncl = %v", down.GlobalRanks())
+		}
+		ex, err := grp.RangeExcl([][3]int{{0, 7, 2}}) // drop evens
+		if err != nil {
+			return err
+		}
+		if ex.Size() != 4 || ex.GlobalRanks()[0] != 1 {
+			return fmt.Errorf("RangeExcl = %v", ex.GlobalRanks())
+		}
+		if _, err := grp.RangeIncl([][3]int{{0, 4, 0}}); err == nil {
+			return fmt.Errorf("zero stride accepted")
+		}
+		return nil
+	})
+}
+
+func TestIdup(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		req, ch, err := world.Idup()
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		dup := <-ch
+		defer dup.Free()
+		if dup.Size() != world.Size() {
+			return fmt.Errorf("idup size = %d", dup.Size())
+		}
+		return dup.Barrier()
+	})
+}

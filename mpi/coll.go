@@ -1,0 +1,372 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Collective operations. All collectives are implemented over the PML with
+// internal (negative) tags sequenced per communicator, so back-to-back
+// collectives and overlapping point-to-point traffic cannot cross-match.
+//
+// Tree shapes follow Open MPI's defaults for small and medium
+// communicators: binomial trees for barrier/bcast/reduce, a ring for
+// allgather, and pairwise exchange for alltoall.
+
+// Barrier blocks until every member has entered (MPI_Barrier): a binomial
+// fan-in to rank 0 followed by a binomial fan-out.
+func (c *Comm) Barrier() error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	tag := c.nextCollTag()
+	return c.errh.invoke(c.barrierWithTag(tag))
+}
+
+// Ibarrier starts a nonblocking barrier (MPI_Ibarrier). The returned
+// request completes once every member has entered. The QUO quiescence
+// pattern polls it with Test while sleeping (paper §IV-E).
+func (c *Comm) Ibarrier() (Request, error) {
+	if err := c.checkLive(); err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	tag := c.nextCollTag()
+	return startGoRequest(func() error { return c.barrierWithTag(tag) }), nil
+}
+
+func (c *Comm) barrierWithTag(tag int) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	var token [1]byte
+	// Fan-in to rank 0.
+	mask := 1
+	for mask < size {
+		if rank&mask != 0 {
+			if err := c.sendT(token[:], rank-mask, tag); err != nil {
+				return err
+			}
+			break
+		}
+		if peer := rank + mask; peer < size {
+			if err := c.recvT(token[:], peer, tag); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	// Fan-out from rank 0.
+	mask = 1
+	for mask < size {
+		if rank&mask != 0 {
+			if err := c.recvT(token[:], rank-mask, tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if peer := rank + mask; peer < size && rank&(mask-1) == 0 && rank&mask == 0 {
+			if err := c.sendT(token[:], peer, tag); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to every member (MPI_Bcast) along a
+// binomial tree.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	if root < 0 || root >= c.Size() {
+		return c.errh.invoke(fmt.Errorf("mpi: bcast root %d out of range", root))
+	}
+	tag := c.nextCollTag()
+	return c.errh.invoke(c.bcastWithTag(buf, root, tag))
+}
+
+func (c *Comm) bcastWithTag(buf []byte, root, tag int) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (rank - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			if err := c.recvT(buf, toReal(vrank-mask), tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if peer := vrank + mask; peer < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
+			if err := c.sendT(buf, toReal(peer), tag); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Reduce combines count elements of datatype dt from every member with op,
+// leaving the result in recvBuf at root (MPI_Reduce). recvBuf is ignored at
+// non-root members (may be nil).
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root int) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	if root < 0 || root >= c.Size() {
+		return c.errh.invoke(fmt.Errorf("mpi: reduce root %d out of range", root))
+	}
+	nbytes := count * dt.Size()
+	if len(sendBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: reduce send buffer %d < %d bytes", len(sendBuf), nbytes))
+	}
+	tag := c.nextCollTag()
+	return c.errh.invoke(c.reduceWithTag(sendBuf, recvBuf, count, dt, op, root, tag))
+}
+
+func (c *Comm) reduceWithTag(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root, tag int) error {
+	rank, size := c.Rank(), c.Size()
+	nbytes := count * dt.Size()
+	acc := make([]byte, nbytes)
+	copy(acc, sendBuf[:nbytes])
+	if size > 1 {
+		vrank := (rank - root + size) % size
+		toReal := func(v int) int { return (v + root) % size }
+		tmp := make([]byte, nbytes)
+		mask := 1
+		for mask < size {
+			if vrank&mask != 0 {
+				if err := c.sendT(acc, toReal(vrank-mask), tag); err != nil {
+					return err
+				}
+				break
+			}
+			if peer := vrank + mask; peer < size {
+				if err := c.recvT(tmp, toReal(peer), tag); err != nil {
+					return err
+				}
+				if err := reduce(op, dt, acc, tmp, count); err != nil {
+					return err
+				}
+			}
+			mask <<= 1
+		}
+	}
+	if rank == root {
+		if len(recvBuf) < nbytes {
+			return fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes)
+		}
+		copy(recvBuf, acc)
+	}
+	return nil
+}
+
+// Allreduce combines like Reduce but leaves the result at every member
+// (MPI_Allreduce). Power-of-two communicators use recursive doubling (the
+// "tuned" algorithm: log2(N) rounds, no root bottleneck); other sizes fall
+// back to reduce + broadcast ("basic").
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	nbytes := count * dt.Size()
+	if len(sendBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: allreduce send buffer %d < %d bytes", len(sendBuf), nbytes))
+	}
+	if len(recvBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: allreduce recv buffer %d < %d bytes", len(recvBuf), nbytes))
+	}
+	size := c.Size()
+	if size&(size-1) == 0 {
+		tag := c.nextCollTag()
+		return c.errh.invoke(c.allreduceRD(sendBuf, recvBuf, count, dt, op, tag))
+	}
+	rtag := c.nextCollTag()
+	btag := c.nextCollTag()
+	if err := c.reduceWithTag(sendBuf, recvBuf, count, dt, op, 0, rtag); err != nil {
+		return c.errh.invoke(err)
+	}
+	return c.errh.invoke(c.bcastWithTag(recvBuf[:nbytes], 0, btag))
+}
+
+// allreduceRD is the recursive-doubling allreduce for power-of-two sizes.
+// For non-commutative reproducibility, each round applies the lower-rank
+// operand first, so every member computes the same bracketing.
+func (c *Comm) allreduceRD(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, tag int) error {
+	rank, size := c.Rank(), c.Size()
+	nbytes := count * dt.Size()
+	copy(recvBuf[:nbytes], sendBuf[:nbytes])
+	if size == 1 {
+		return nil
+	}
+	tmp := make([]byte, nbytes)
+	for mask := 1; mask < size; mask <<= 1 {
+		partner := rank ^ mask
+		if err := c.sendrecvT(recvBuf[:nbytes], partner, tmp, partner, tag); err != nil {
+			return err
+		}
+		if partner < rank {
+			// acc = op(partner_acc, acc): lower rank on the left.
+			if err := reduce(op, dt, tmp, recvBuf[:nbytes], count); err != nil {
+				return err
+			}
+			copy(recvBuf[:nbytes], tmp)
+		} else {
+			if err := reduce(op, dt, recvBuf[:nbytes], tmp, count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Allgather concatenates each member's sendBuf into recvBuf at every member
+// (MPI_Allgather), using a ring. Every member must pass equal-sized
+// sendBuf; recvBuf must hold size*len(sendBuf) bytes.
+func (c *Comm) Allgather(sendBuf, recvBuf []byte) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	rank, size := c.Rank(), c.Size()
+	blk := len(sendBuf)
+	if len(recvBuf) < size*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: allgather recv buffer %d < %d bytes", len(recvBuf), size*blk))
+	}
+	tag := c.nextCollTag()
+	copy(recvBuf[rank*blk:], sendBuf)
+	if size == 1 {
+		return nil
+	}
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	// Step i: forward the block that originated at (rank - i).
+	for i := 0; i < size-1; i++ {
+		sendBlk := (rank - i + size) % size
+		recvBlk := (rank - i - 1 + size) % size
+		if err := c.sendrecvT(recvBuf[sendBlk*blk:sendBlk*blk+blk], right,
+			recvBuf[recvBlk*blk:recvBlk*blk+blk], left, tag); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	return nil
+}
+
+// Gather concentrates each member's sendBuf at root (MPI_Gather). recvBuf
+// must hold size*len(sendBuf) bytes at root; it is ignored elsewhere.
+func (c *Comm) Gather(sendBuf, recvBuf []byte, root int) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	rank, size := c.Rank(), c.Size()
+	blk := len(sendBuf)
+	tag := c.nextCollTag()
+	if rank != root {
+		return c.errh.invoke(c.sendT(sendBuf, root, tag))
+	}
+	if len(recvBuf) < size*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: gather recv buffer %d < %d bytes", len(recvBuf), size*blk))
+	}
+	copy(recvBuf[rank*blk:], sendBuf)
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		if err := c.recvT(recvBuf[r*blk:r*blk+blk], r, tag); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	return nil
+}
+
+// Scatter distributes size equal blocks of sendBuf from root (MPI_Scatter).
+// sendBuf is ignored at non-roots.
+func (c *Comm) Scatter(sendBuf, recvBuf []byte, root int) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	rank, size := c.Rank(), c.Size()
+	blk := len(recvBuf)
+	tag := c.nextCollTag()
+	if rank != root {
+		return c.errh.invoke(c.recvT(recvBuf, root, tag))
+	}
+	if len(sendBuf) < size*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: scatter send buffer %d < %d bytes", len(sendBuf), size*blk))
+	}
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		if err := c.sendT(sendBuf[r*blk:r*blk+blk], r, tag); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	copy(recvBuf, sendBuf[rank*blk:rank*blk+blk])
+	return nil
+}
+
+// Alltoall exchanges the i-th block of sendBuf with member i
+// (MPI_Alltoall) using pairwise exchange. Both buffers hold size equal
+// blocks of len(sendBuf)/size bytes.
+func (c *Comm) Alltoall(sendBuf, recvBuf []byte) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	rank, size := c.Rank(), c.Size()
+	if len(sendBuf)%size != 0 {
+		return c.errh.invoke(fmt.Errorf("mpi: alltoall send buffer %d not divisible by %d", len(sendBuf), size))
+	}
+	blk := len(sendBuf) / size
+	if len(recvBuf) < size*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: alltoall recv buffer %d < %d bytes", len(recvBuf), size*blk))
+	}
+	tag := c.nextCollTag()
+	copy(recvBuf[rank*blk:rank*blk+blk], sendBuf[rank*blk:rank*blk+blk])
+	for i := 1; i < size; i++ {
+		to := (rank + i) % size
+		from := (rank - i + size) % size
+		if err := c.sendrecvT(sendBuf[to*blk:to*blk+blk], to,
+			recvBuf[from*blk:from*blk+blk], from, tag); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	return nil
+}
+
+// Typed convenience collectives used throughout the benchmarks and
+// example applications.
+
+// AllreduceFloat64 reduces a single float64 across the communicator.
+func (c *Comm) AllreduceFloat64(v float64, op Op) (float64, error) {
+	in := PackFloat64s([]float64{v})
+	out := make([]byte, 8)
+	if err := c.Allreduce(in, out, 1, Float64, op); err != nil {
+		return 0, err
+	}
+	return UnpackFloat64s(out)[0], nil
+}
+
+// AllreduceInt64 reduces a single int64 across the communicator.
+func (c *Comm) AllreduceInt64(v int64, op Op) (int64, error) {
+	in := PackInt64s([]int64{v})
+	out := make([]byte, 8)
+	if err := c.Allreduce(in, out, 1, Int64, op); err != nil {
+		return 0, err
+	}
+	return UnpackInt64s(out)[0], nil
+}

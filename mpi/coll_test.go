@@ -1,0 +1,294 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+// withWorld runs body on every rank with an initialized world communicator.
+func withWorld(t *testing.T, nodes, ppn int, cfg core.Config, body func(p *mpi.Process, world *mpi.Comm) error) {
+	t.Helper()
+	run(t, nodes, ppn, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		return body(p, p.CommWorld())
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			var entered atomic.Int32
+			withWorld(t, 2, 2, cfg, func(p *mpi.Process, world *mpi.Comm) error {
+				if world.Rank() == 2 {
+					time.Sleep(30 * time.Millisecond)
+				}
+				entered.Add(1)
+				if err := world.Barrier(); err != nil {
+					return err
+				}
+				if got := entered.Load(); got != 4 {
+					return fmt.Errorf("rank %d left barrier with %d entered", world.Rank(), got)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	withWorld(t, 2, 3, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		for _, root := range []int{0, 3, 5} {
+			for _, n := range []int{1, 100, 10000} {
+				buf := make([]byte, n)
+				if world.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(i*31 + root)
+					}
+				}
+				if err := world.Bcast(buf, root); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != byte(i*31+root) {
+						return fmt.Errorf("root %d size %d: byte %d corrupt", root, n, i)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduceOpsAndRoots(t *testing.T) {
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		r := int64(world.Rank())
+		n := int64(world.Size())
+		sum, err := world.AllreduceInt64(r+1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != n*(n+1)/2 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		max, err := world.AllreduceInt64(r, mpi.OpMax)
+		if err != nil {
+			return err
+		}
+		if max != n-1 {
+			return fmt.Errorf("max = %d", max)
+		}
+		min, err := world.AllreduceInt64(r, mpi.OpMin)
+		if err != nil {
+			return err
+		}
+		if min != 0 {
+			return fmt.Errorf("min = %d", min)
+		}
+		prod, err := world.AllreduceInt64(r+1, mpi.OpProd)
+		if err != nil {
+			return err
+		}
+		if prod != 24 { // 4!
+			return fmt.Errorf("prod = %d", prod)
+		}
+		f, err := world.AllreduceFloat64(0.5, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if f != 2.0 {
+			return fmt.Errorf("fsum = %v", f)
+		}
+		return nil
+	})
+}
+
+func TestReduceVectorToNonzeroRoot(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		const root = 2
+		const count = 5
+		in := make([]int64, count)
+		for i := range in {
+			in[i] = int64(world.Rank() + i)
+		}
+		var out []byte
+		if world.Rank() == root {
+			out = make([]byte, count*8)
+		}
+		if err := world.Reduce(mpi.PackInt64s(in), out, count, mpi.Int64, mpi.OpSum, root); err != nil {
+			return err
+		}
+		if world.Rank() == root {
+			got := mpi.UnpackInt64s(out)
+			for i := range got {
+				want := int64(0+1+2+3) + int64(4*i)
+				if got[i] != want {
+					return fmt.Errorf("element %d = %d, want %d", i, got[i], want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRing(t *testing.T) {
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		const blk = 3
+		mine := bytes.Repeat([]byte{byte('A' + world.Rank())}, blk)
+		all := make([]byte, blk*world.Size())
+		if err := world.Allgather(mine, all); err != nil {
+			return err
+		}
+		for r := 0; r < world.Size(); r++ {
+			for i := 0; i < blk; i++ {
+				if all[r*blk+i] != byte('A'+r) {
+					return fmt.Errorf("block %d = %q", r, all[r*blk:(r+1)*blk])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		const root = 1
+		mine := []byte{byte(world.Rank() * 10)}
+		var gathered []byte
+		if world.Rank() == root {
+			gathered = make([]byte, world.Size())
+		}
+		if err := world.Gather(mine, gathered, root); err != nil {
+			return err
+		}
+		if world.Rank() == root {
+			for r := 0; r < world.Size(); r++ {
+				if gathered[r] != byte(r*10) {
+					return fmt.Errorf("gathered[%d] = %d", r, gathered[r])
+				}
+			}
+			// Double each value, then scatter back.
+			for i := range gathered {
+				gathered[i] *= 2
+			}
+		}
+		back := make([]byte, 1)
+		if err := world.Scatter(gathered, back, root); err != nil {
+			return err
+		}
+		if back[0] != byte(world.Rank()*20) {
+			return fmt.Errorf("scattered = %d, want %d", back[0], world.Rank()*20)
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		n := world.Size()
+		send := make([]byte, n)
+		for i := range send {
+			send[i] = byte(world.Rank()*16 + i)
+		}
+		recv := make([]byte, n)
+		if err := world.Alltoall(send, recv); err != nil {
+			return err
+		}
+		for i := range recv {
+			// Block I received from rank i is i's block for me.
+			want := byte(i*16 + world.Rank())
+			if recv[i] != want {
+				return fmt.Errorf("recv[%d] = %d, want %d", i, recv[i], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestIbarrierQuiescencePattern(t *testing.T) {
+	// The QUO pattern from §IV-E: loop over Ibarrier Test + nanosleep.
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if world.Rank() == 3 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		req, err := world.Ibarrier()
+		if err != nil {
+			return err
+		}
+		polls := 0
+		for {
+			done, _, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			polls++
+			time.Sleep(100 * time.Microsecond)
+		}
+		if world.Rank() == 0 && polls == 0 {
+			// Rank 0 should have had to wait for the delayed rank 3.
+			return fmt.Errorf("ibarrier completed without any polling")
+		}
+		return nil
+	})
+}
+
+func TestCollectivesBackToBack(t *testing.T) {
+	// Stress internal tag sequencing: many collectives of different kinds
+	// in a row must never cross-match.
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		for i := 0; i < 30; i++ {
+			v, err := world.AllreduceInt64(int64(i), mpi.OpMax)
+			if err != nil {
+				return err
+			}
+			if v != int64(i) {
+				return fmt.Errorf("iter %d: max = %d", i, v)
+			}
+			buf := []byte{byte(i)}
+			if err := world.Bcast(buf, i%world.Size()); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("iter %d: bcast = %d", i, buf[0])
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestLargeMessageCollective(t *testing.T) {
+	// Rendezvous-size payloads through bcast and allgather.
+	withWorld(t, 2, 1, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		big := make([]byte, 64*1024)
+		if world.Rank() == 0 {
+			for i := range big {
+				big[i] = byte(i % 251)
+			}
+		}
+		if err := world.Bcast(big, 0); err != nil {
+			return err
+		}
+		for i := range big {
+			if big[i] != byte(i%251) {
+				return fmt.Errorf("bcast corrupt at %d", i)
+			}
+		}
+		return nil
+	})
+}

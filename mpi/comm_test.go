@@ -1,0 +1,339 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+func TestCommDupConsensusMode(t *testing.T) {
+	withWorld(t, 2, 2, conCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		dup, err := world.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.UsesExCID() {
+			return fmt.Errorf("consensus dup should not use exCID")
+		}
+		if dup.Size() != world.Size() || dup.Rank() != world.Rank() {
+			return fmt.Errorf("dup shape mismatch")
+		}
+		// Consensus guarantees a globally consistent CID: verify by
+		// allreducing (cid, ^cid) and checking max == min.
+		v := uint32(dup.LocalCID())
+		in := mpi.PackUint32s([]uint32{v, ^v})
+		out := make([]byte, 8)
+		if err := world.Allreduce(in, out, 2, mpi.Uint32, mpi.OpMax); err != nil {
+			return err
+		}
+		r := mpi.UnpackUint32s(out)
+		if r[0] != ^r[1] {
+			return fmt.Errorf("consensus CIDs inconsistent: max %d min %d", r[0], ^r[1])
+		}
+		// Traffic on the dup works and is isolated from world.
+		sum, err := dup.AllreduceInt64(1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != int64(dup.Size()) {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		if err := dup.Free(); err != nil {
+			return err
+		}
+		if _, err := dup.Dup(); !errors.Is(err, mpi.ErrCommFreed) {
+			return fmt.Errorf("dup of freed comm: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestCommDupExCIDPrototypeMode(t *testing.T) {
+	// Default prototype behaviour: every dup acquires a fresh PGCID.
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "dup-base", nil, nil)
+		if err != nil {
+			return err
+		}
+		d1, err := comm.Dup()
+		if err != nil {
+			return err
+		}
+		d2, err := comm.Dup()
+		if err != nil {
+			return err
+		}
+		if d1.ExCID().PGCID == comm.ExCID().PGCID || d2.ExCID().PGCID == d1.ExCID().PGCID {
+			return fmt.Errorf("prototype dup should allocate fresh PGCIDs: %v %v %v",
+				comm.ExCID(), d1.ExCID(), d2.ExCID())
+		}
+		sum, err := d2.AllreduceInt64(2, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 8 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		for _, c := range []*mpi.Comm{d2, d1, comm} {
+			if err := c.Free(); err != nil {
+				return err
+			}
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestCommDupExCIDSubfieldMode(t *testing.T) {
+	// The §III-B3 optimization: derived communicators reuse the parent's
+	// PGCID via the 8-bit subfields, with no runtime round-trip.
+	cfg := core.Config{CIDMode: core.CIDExtended, DupUseSubfields: true}
+	run(t, 2, 2, cfg, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "dup-sub", nil, nil)
+		if err != nil {
+			return err
+		}
+		var comms []*mpi.Comm
+		prev := comm
+		for i := 0; i < 5; i++ {
+			d, err := prev.Dup()
+			if err != nil {
+				return fmt.Errorf("dup %d: %w", i, err)
+			}
+			if d.ExCID().PGCID != comm.ExCID().PGCID {
+				return fmt.Errorf("dup %d changed PGCID: %v vs %v", i, d.ExCID(), comm.ExCID())
+			}
+			if d.ExCID() == prev.ExCID() {
+				return fmt.Errorf("dup %d: exCID not unique", i)
+			}
+			comms = append(comms, d)
+			prev = d
+		}
+		// Each derived communicator works.
+		for i, d := range comms {
+			sum, err := d.AllreduceInt64(1, mpi.OpSum)
+			if err != nil {
+				return fmt.Errorf("comm %d: %w", i, err)
+			}
+			if sum != 4 {
+				return fmt.Errorf("comm %d sum = %d", i, sum)
+			}
+		}
+		for i := len(comms) - 1; i >= 0; i-- {
+			if err := comms[i].Free(); err != nil {
+				return err
+			}
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestCommSplit(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			withWorld(t, 2, 2, cfg, func(p *mpi.Process, world *mpi.Comm) error {
+				color := world.Rank() % 2
+				sub, err := world.Split(color, world.Rank())
+				if err != nil {
+					return err
+				}
+				if sub.Size() != 2 {
+					return fmt.Errorf("sub size = %d", sub.Size())
+				}
+				// Even ranks 0,2 -> subranks 0,1; odd ranks 1,3 -> 0,1.
+				wantRank := world.Rank() / 2
+				if sub.Rank() != wantRank {
+					return fmt.Errorf("sub rank = %d, want %d", sub.Rank(), wantRank)
+				}
+				sum, err := sub.AllreduceInt64(int64(world.Rank()), mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				want := int64(0 + 2)
+				if color == 1 {
+					want = 1 + 3
+				}
+				if sum != want {
+					return fmt.Errorf("color %d sum = %d, want %d", color, sum, want)
+				}
+				return sub.Free()
+			})
+		})
+	}
+}
+
+func TestCommSplitUndefined(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			withWorld(t, 1, 4, cfg, func(p *mpi.Process, world *mpi.Comm) error {
+				color := 0
+				if world.Rank() == 3 {
+					color = mpi.Undefined
+				}
+				sub, err := world.Split(color, 0)
+				if err != nil {
+					return err
+				}
+				if world.Rank() == 3 {
+					if sub != nil {
+						return fmt.Errorf("undefined color should yield nil comm")
+					}
+					return nil
+				}
+				if sub.Size() != 3 {
+					return fmt.Errorf("sub size = %d", sub.Size())
+				}
+				if err := sub.Barrier(); err != nil {
+					return err
+				}
+				return sub.Free()
+			})
+		})
+	}
+}
+
+func TestCommSplitKeyOrdering(t *testing.T) {
+	withWorld(t, 1, 4, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		// Reverse the rank order via the key.
+		sub, err := world.Split(0, -world.Rank())
+		if err != nil {
+			return err
+		}
+		wantRank := world.Size() - 1 - world.Rank()
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("sub rank = %d, want %d", sub.Rank(), wantRank)
+		}
+		return sub.Free()
+	})
+}
+
+func TestCommCreateGroup(t *testing.T) {
+	withWorld(t, 2, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		grp := world.Group()
+		odd, err := grp.Incl([]int{1, 3})
+		if err != nil {
+			return err
+		}
+		if world.Rank()%2 == 0 {
+			// Non-members do not call: create_group is collective only over
+			// the subgroup (§III-B3).
+			return nil
+		}
+		sub, err := world.CreateGroup(odd, 42)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("size = %d", sub.Size())
+		}
+		sum, err := sub.AllreduceInt64(int64(world.Rank()), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 4 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		return sub.Free()
+	})
+}
+
+func TestCommCompareAndAttrs(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if world.Compare(world) != mpi.Ident {
+			return fmt.Errorf("world != world")
+		}
+		dup, err := world.Dup()
+		if err != nil {
+			return err
+		}
+		defer dup.Free()
+		if world.Compare(dup) != mpi.Congruent {
+			return fmt.Errorf("dup should be Congruent")
+		}
+		kv := p.KeyvalCreate()
+		world.AttrSet(kv, 123)
+		if v, ok := world.AttrGet(kv); !ok || v != 123 {
+			return fmt.Errorf("attr = %v,%v", v, ok)
+		}
+		if _, ok := dup.AttrGet(kv); ok {
+			return fmt.Errorf("attributes must not propagate to dup")
+		}
+		world.AttrDelete(kv)
+		if _, ok := world.AttrGet(kv); ok {
+			return fmt.Errorf("attr survived delete")
+		}
+		world.SetName("my-world")
+		if world.Name() != "my-world" {
+			return fmt.Errorf("name = %q", world.Name())
+		}
+		return nil
+	})
+}
+
+func TestCommP2PValidation(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if err := world.Send(nil, 9, 0); err == nil {
+			return fmt.Errorf("send to invalid rank should fail")
+		}
+		if _, err := world.Recv(nil, 9, 0); err == nil {
+			return fmt.Errorf("recv from invalid rank should fail")
+		}
+		if err := mpi.WaitAll(world.Isend(nil, -3, 0)); err == nil {
+			return fmt.Errorf("isend to negative rank should fail")
+		}
+		return nil
+	})
+}
+
+func TestProbeAtMPILevel(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if world.Rank() == 0 {
+			return world.Send([]byte("xyz"), 1, 3)
+		}
+		st, err := world.Probe(0, 3)
+		if err != nil {
+			return err
+		}
+		if st.Count != 3 || st.Tag != 3 {
+			return fmt.Errorf("probe st = %+v", st)
+		}
+		buf := make([]byte, st.Count)
+		if _, err := world.Recv(buf, st.Source, st.Tag); err != nil {
+			return err
+		}
+		if string(buf) != "xyz" {
+			return fmt.Errorf("buf = %q", buf)
+		}
+		_, ok, err := world.Iprobe(0, 99)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("iprobe matched nothing pending")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,214 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/mpi"
+)
+
+// Spec-oriented conformance checks for the Sessions proposal, in the
+// spirit of the companion mpi_sessions_tests repository the paper cites.
+
+// Conformance: MPI_Session_init must be thread-safe and callable
+// concurrently (§II-A: "can be called multiple times and must always be
+// thread-safe").
+func TestConformanceSessionInitThreadSafe(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		const threads = 8
+		var wg sync.WaitGroup
+		sessions := make([]*mpi.Session, threads)
+		errs := make([]error, threads)
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sessions[i], errs[i] = p.SessionInit(nil, mpi.ErrorsReturn())
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < threads; i++ {
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		// Concurrent finalization must also be safe.
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = sessions[i].Finalize()
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < threads; i++ {
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	})
+}
+
+// Conformance: the implementation must support the mpi://world and
+// mpi://self process sets (and this prototype additionally defines
+// mpi://shared, §III-B6).
+func TestConformanceRequiredPsets(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		for _, required := range []string{"mpi://world", "mpi://self"} {
+			g, err := sess.GroupFromPset(required)
+			if err != nil {
+				return fmt.Errorf("required pset %q: %w", required, err)
+			}
+			if g.Size() == 0 {
+				return fmt.Errorf("required pset %q is empty", required)
+			}
+		}
+		return nil
+	})
+}
+
+// Conformance: MPI_Session_init and MPI_Group_from_session_pset are local
+// operations — a single process completing them alone must not block on
+// any peer (§I: "local and light-weight").
+func TestConformanceLocalOperationsDoNotBlock(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		if p.JobRank() != 2 {
+			// Everyone else does nothing MPI-related at all.
+			return nil
+		}
+		done := make(chan error, 1)
+		go func() {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				done <- err
+				return
+			}
+			if _, err := sess.GroupFromPset(mpi.PsetWorld); err != nil {
+				done <- err
+				return
+			}
+			if _, err := sess.NumPsets(); err != nil {
+				done <- err
+				return
+			}
+			done <- sess.Finalize()
+		}()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("local session operations blocked on peers")
+		}
+	})
+}
+
+// Conformance: pset name matching is case-insensitive for the reserved
+// mpi:// names (the proposal specifies case-insensitive pset names).
+func TestConformancePsetNamesCaseInsensitive(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		g1, err := sess.GroupFromPset("MPI://WORLD")
+		if err != nil {
+			return err
+		}
+		g2, err := sess.GroupFromPset("mpi://world")
+		if err != nil {
+			return err
+		}
+		if g1.Compare(g2) != mpi.Ident {
+			return fmt.Errorf("case variants resolved to different groups")
+		}
+		return nil
+	})
+}
+
+// Conformance: objects derived from different sessions must be usable
+// concurrently without any cross-session ordering (§II-B), and finalizing
+// one session must not disturb the other.
+func TestConformanceSessionIsolationOnFinalize(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		s1, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		s2, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		g1, err := s1.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		c1, err := s1.CommCreateFromGroup(g1, "iso1", nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := c1.Free(); err != nil {
+			return err
+		}
+		if err := s1.Finalize(); err != nil {
+			return err
+		}
+		// Session 2 is created before s1's finalize but used only after:
+		// must be fully functional.
+		g2, err := s2.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		c2, err := s2.CommCreateFromGroup(g2, "iso2", nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := c2.Barrier(); err != nil {
+			return err
+		}
+		if err := c2.Free(); err != nil {
+			return err
+		}
+		return s2.Finalize()
+	})
+}
+
+// Conformance: the WPM cannot be re-initialized, but sessions can be
+// created after MPI_Finalize (§III-B5's init cycle applies to sessions).
+func TestConformanceSessionsAfterWPMFinalize(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		if err := p.Finalize(); err != nil {
+			return err
+		}
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return fmt.Errorf("session after MPI_Finalize: %w", err)
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "post-wpm", nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		return sess.Finalize()
+	})
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Derived datatypes (MPI_Type_contiguous / MPI_Type_vector): descriptions
+// of non-contiguous memory layouts. In this library application buffers are
+// []byte, so a derived datatype describes how to gather ("pack") bytes out
+// of a buffer for sending and scatter ("unpack") them on receipt — exactly
+// MPI_Pack/MPI_Unpack semantics. The canonical use is sending a column of
+// a row-major grid.
+
+// DerivedType describes a strided layout of a base datatype.
+type DerivedType struct {
+	base     Datatype
+	count    int // number of blocks
+	blocklen int // elements per block
+	stride   int // elements between block starts
+	name     string
+}
+
+// TypeContiguous builds a contiguous block of n base elements
+// (MPI_Type_contiguous).
+func TypeContiguous(n int, base Datatype) (*DerivedType, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: contiguous type needs positive count, got %d", n)
+	}
+	return &DerivedType{
+		base: base, count: 1, blocklen: n, stride: n,
+		name: fmt.Sprintf("contig(%d x %s)", n, base),
+	}, nil
+}
+
+// TypeVector builds count blocks of blocklen base elements, with block
+// starts stride elements apart (MPI_Type_vector). stride must be at least
+// blocklen.
+func TypeVector(count, blocklen, stride int, base Datatype) (*DerivedType, error) {
+	if count <= 0 || blocklen <= 0 {
+		return nil, fmt.Errorf("mpi: vector type needs positive count/blocklen (%d, %d)", count, blocklen)
+	}
+	if stride < blocklen {
+		return nil, fmt.Errorf("mpi: vector stride %d < blocklen %d (overlap)", stride, blocklen)
+	}
+	return &DerivedType{
+		base: base, count: count, blocklen: blocklen, stride: stride,
+		name: fmt.Sprintf("vector(%dx%d/%d %s)", count, blocklen, stride, base),
+	}, nil
+}
+
+// String returns the type's description.
+func (d *DerivedType) String() string { return d.name }
+
+// Size returns the number of payload bytes the type selects
+// (MPI_Type_size).
+func (d *DerivedType) Size() int { return d.count * d.blocklen * d.base.Size() }
+
+// Extent returns the span in bytes the type covers in the source buffer
+// (MPI_Type_get_extent): the distance from the first selected byte to one
+// past the last.
+func (d *DerivedType) Extent() int {
+	if d.count == 0 {
+		return 0
+	}
+	return ((d.count-1)*d.stride + d.blocklen) * d.base.Size()
+}
+
+// Pack gathers the selected bytes from src into a new contiguous buffer
+// (MPI_Pack).
+func (d *DerivedType) Pack(src []byte) ([]byte, error) {
+	if len(src) < d.Extent() {
+		return nil, fmt.Errorf("mpi: pack source %d bytes < extent %d", len(src), d.Extent())
+	}
+	es := d.base.Size()
+	out := make([]byte, 0, d.Size())
+	for b := 0; b < d.count; b++ {
+		off := b * d.stride * es
+		out = append(out, src[off:off+d.blocklen*es]...)
+	}
+	return out, nil
+}
+
+// Unpack scatters a contiguous buffer into dst according to the layout
+// (MPI_Unpack).
+func (d *DerivedType) Unpack(dst, packed []byte) error {
+	if len(packed) < d.Size() {
+		return fmt.Errorf("mpi: unpack input %d bytes < type size %d", len(packed), d.Size())
+	}
+	if len(dst) < d.Extent() {
+		return fmt.Errorf("mpi: unpack destination %d bytes < extent %d", len(dst), d.Extent())
+	}
+	es := d.base.Size()
+	for b := 0; b < d.count; b++ {
+		off := b * d.stride * es
+		copy(dst[off:off+d.blocklen*es], packed[b*d.blocklen*es:(b+1)*d.blocklen*es])
+	}
+	return nil
+}
+
+// SendTyped packs the layout out of buf and sends it (the typed
+// MPI_Send). The receiver may use RecvTyped with a different layout of the
+// same size, or a plain Recv of Size() bytes.
+func (c *Comm) SendTyped(buf []byte, dt *DerivedType, dest, tag int) error {
+	if err := c.checkP2P(dest, tag, false); err != nil {
+		return c.errh.invoke(err)
+	}
+	packed, err := dt.Pack(buf)
+	if err != nil {
+		return c.errh.invoke(err)
+	}
+	return c.errh.invoke(c.ch.Send(dest, tag, packed))
+}
+
+// RecvTyped receives into the layout described by dt (the typed MPI_Recv).
+func (c *Comm) RecvTyped(buf []byte, dt *DerivedType, src, tag int) (Status, error) {
+	if err := c.checkP2P(src, tag, true); err != nil {
+		return Status{}, c.errh.invoke(err)
+	}
+	packed := make([]byte, dt.Size())
+	st, err := c.ch.Recv(src, tag, packed)
+	if err != nil {
+		return fromPML(st), c.errh.invoke(err)
+	}
+	if st.Count != dt.Size() {
+		return fromPML(st), c.errh.invoke(fmt.Errorf("mpi: typed recv got %d bytes, layout needs %d", st.Count, dt.Size()))
+	}
+	if err := dt.Unpack(buf, packed); err != nil {
+		return fromPML(st), c.errh.invoke(err)
+	}
+	return fromPML(st), nil
+}

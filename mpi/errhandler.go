@@ -1,0 +1,60 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Errhandler determines how errors raised on a session or communicator are
+// treated. Like info objects, error handlers may be created and destroyed
+// before MPI initialization and are always thread-safe (paper §III-B5).
+type Errhandler struct {
+	mu   sync.Mutex
+	name string
+	fn   func(error)
+}
+
+// ErrorsAreFatal returns the MPI_ERRORS_ARE_FATAL handler: any error panics
+// the calling goroutine, the closest Go analogue to aborting the job.
+func ErrorsAreFatal() *Errhandler {
+	return &Errhandler{
+		name: "MPI_ERRORS_ARE_FATAL",
+		fn:   func(err error) { panic(fmt.Sprintf("mpi: fatal error: %v", err)) },
+	}
+}
+
+// ErrorsReturn returns the MPI_ERRORS_RETURN handler: errors are simply
+// returned to the caller (the natural Go behaviour).
+func ErrorsReturn() *Errhandler {
+	return &Errhandler{name: "MPI_ERRORS_RETURN"}
+}
+
+// ErrhandlerCreate builds a user-defined error handler
+// (MPI_Session_create_errhandler / MPI_Comm_create_errhandler).
+func ErrhandlerCreate(name string, fn func(error)) *Errhandler {
+	return &Errhandler{name: name, fn: fn}
+}
+
+// Name returns the handler's name.
+func (e *Errhandler) Name() string {
+	if e == nil {
+		return "MPI_ERRORS_RETURN"
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.name
+}
+
+// invoke runs the handler on err (nil-safe) and passes the error through.
+func (e *Errhandler) invoke(err error) error {
+	if err == nil || e == nil {
+		return err
+	}
+	e.mu.Lock()
+	fn := e.fn
+	e.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
+	return err
+}

@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"errors"
+
+	"gompi/internal/pmix"
+	"gompi/internal/pml"
+)
+
+// MPI error classes (MPI_ERR_*). ErrorClass maps any error produced by
+// this library onto the closest MPI class, for applications porting
+// MPI_Error_class-driven handling.
+type ErrorClass int
+
+const (
+	ErrSuccess ErrorClass = iota
+	ErrClassComm
+	ErrClassGroup
+	ErrClassRank
+	ErrClassTag
+	ErrClassTruncate
+	ErrClassBuffer
+	ErrClassSession
+	ErrClassUnsupported
+	ErrClassTimedOut
+	ErrClassProcFailed
+	ErrClassOther
+)
+
+// String returns the MPI-style name of the class.
+func (c ErrorClass) String() string {
+	switch c {
+	case ErrSuccess:
+		return "MPI_SUCCESS"
+	case ErrClassComm:
+		return "MPI_ERR_COMM"
+	case ErrClassGroup:
+		return "MPI_ERR_GROUP"
+	case ErrClassRank:
+		return "MPI_ERR_RANK"
+	case ErrClassTag:
+		return "MPI_ERR_TAG"
+	case ErrClassTruncate:
+		return "MPI_ERR_TRUNCATE"
+	case ErrClassBuffer:
+		return "MPI_ERR_BUFFER"
+	case ErrClassSession:
+		return "MPI_ERR_SESSION"
+	case ErrClassUnsupported:
+		return "MPI_ERR_UNSUPPORTED_OPERATION"
+	case ErrClassTimedOut:
+		return "MPI_ERR_PENDING" // closest standard class for a timeout
+	case ErrClassProcFailed:
+		return "MPI_ERR_PROC_FAILED"
+	}
+	return "MPI_ERR_OTHER"
+}
+
+// ErrorClassOf classifies an error (MPI_Error_class).
+func ErrorClassOf(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ErrSuccess
+	case errors.Is(err, pml.ErrTruncate):
+		return ErrClassTruncate
+	case errors.Is(err, ErrCommFreed), errors.Is(err, pml.ErrClosed):
+		return ErrClassComm
+	case errors.Is(err, ErrSessionFinalized), errors.Is(err, ErrAlreadyInitialized),
+		errors.Is(err, ErrNotInitialized), errors.Is(err, ErrFinalized):
+		return ErrClassSession
+	case errors.Is(err, ErrUnsupported):
+		return ErrClassUnsupported
+	case errors.Is(err, pmix.ErrTimeout):
+		return ErrClassTimedOut
+	case errors.Is(err, pmix.ErrTerminated), errors.Is(err, pml.ErrPeerFailed):
+		return ErrClassProcFailed
+	}
+	return ErrClassOther
+}
+
+// ErrorString renders an error the way MPI_Error_string would: the class
+// name followed by the detailed message.
+func ErrorString(err error) string {
+	if err == nil {
+		return ErrSuccess.String()
+	}
+	return ErrorClassOf(err).String() + ": " + err.Error()
+}

@@ -1,0 +1,132 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestErrorClassification(t *testing.T) {
+	if mpi.ErrorClassOf(nil) != mpi.ErrSuccess {
+		t.Fatal("nil should be MPI_SUCCESS")
+	}
+	cases := []struct {
+		err  error
+		want mpi.ErrorClass
+	}{
+		{mpi.ErrCommFreed, mpi.ErrClassComm},
+		{mpi.ErrSessionFinalized, mpi.ErrClassSession},
+		{mpi.ErrFinalized, mpi.ErrClassSession},
+		{mpi.ErrUnsupported, mpi.ErrClassUnsupported},
+		{errors.New("anything else"), mpi.ErrClassOther},
+		{fmt.Errorf("wrapped: %w", mpi.ErrCommFreed), mpi.ErrClassComm},
+	}
+	for _, c := range cases {
+		if got := mpi.ErrorClassOf(c.err); got != c.want {
+			t.Errorf("ErrorClassOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if s := mpi.ErrorString(mpi.ErrCommFreed); s == "" || s == "MPI_SUCCESS" {
+		t.Fatalf("ErrorString = %q", s)
+	}
+	if mpi.ErrorString(nil) != "MPI_SUCCESS" {
+		t.Fatal("nil ErrorString should be MPI_SUCCESS")
+	}
+}
+
+func TestErrorClassTruncate(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if world.Rank() == 0 {
+			return world.Send([]byte("too much data"), 1, 1)
+		}
+		small := make([]byte, 2)
+		_, err := world.Recv(small, 0, 1)
+		if mpi.ErrorClassOf(err) != mpi.ErrClassTruncate {
+			return fmt.Errorf("truncation classified as %v", mpi.ErrorClassOf(err))
+		}
+		return nil
+	})
+}
+
+func TestCreatePsetDiscoverableJobWide(t *testing.T) {
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		world, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		evens, err := world.Incl([]int{0, 2})
+		if err != nil {
+			return err
+		}
+		// Members register the pset collectively.
+		if p.JobRank()%2 == 0 {
+			if err := sess.CreatePset("app://evens", evens); err != nil {
+				return err
+			}
+		}
+		// Everyone (including non-members) can resolve it once registered;
+		// non-members poll since registration is collective over members
+		// only.
+		var grp *mpi.Group
+		for {
+			grp, err = sess.GroupFromPset("app://evens")
+			if err == nil {
+				break
+			}
+			if p.JobRank()%2 == 0 {
+				return err // members must see it immediately
+			}
+		}
+		if grp.Size() != 2 {
+			return fmt.Errorf("pset size = %d", grp.Size())
+		}
+		// Members build a communicator from it.
+		if p.JobRank()%2 == 0 {
+			comm, err := sess.CommCreateFromGroup(grp, "evens.comm", nil, nil)
+			if err != nil {
+				return err
+			}
+			defer comm.Free()
+			sum, err := comm.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			if sum != 2 {
+				return fmt.Errorf("sum = %d", sum)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCreatePsetValidation(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		world, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if err := sess.CreatePset("", world); err == nil {
+			return fmt.Errorf("empty name accepted")
+		}
+		other, err := world.Excl([]int{p.JobRank()})
+		if err != nil {
+			return err
+		}
+		if err := sess.CreatePset("app://not-me", other); err == nil {
+			return fmt.Errorf("non-member registration accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// Example demonstrates the paper's Figure 1 flow: session → process set →
+// group → communicator, followed by a collective.
+func Example() {
+	opts := runtime.Options{
+		Cluster: topo.New(topo.Loopback(4), 1),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}
+	err := runtime.Run(opts, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		group, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(group, "example", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		sum, err := comm.AllreduceInt64(int64(comm.Rank()), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			fmt.Printf("sum of ranks 0..%d = %d\n", comm.Size()-1, sum)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum of ranks 0..3 = 6
+}
+
+// ExampleProcess_SessionInit shows MPI being initialized, finalized, and
+// re-initialized — the capability MPI_Init cannot provide.
+func ExampleProcess_SessionInit() {
+	opts := runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 1),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}
+	err := runtime.Run(opts, func(p *mpi.Process) error {
+		for cycle := 0; cycle < 3; cycle++ {
+			sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+			if err != nil {
+				return err
+			}
+			if err := sess.Finalize(); err != nil {
+				return err
+			}
+		}
+		if p.JobRank() == 0 {
+			fmt.Printf("completed %d init/finalize cycles\n", p.Instance().Generation())
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: completed 3 init/finalize cycles
+}
+
+// ExampleComm_Split partitions a communicator by color.
+func ExampleComm_Split() {
+	opts := runtime.Options{
+		Cluster: topo.New(topo.Loopback(4), 1),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}
+	err := runtime.Run(opts, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		half, err := world.Split(world.Rank()%2, world.Rank())
+		if err != nil {
+			return err
+		}
+		defer half.Free()
+		n, err := half.AllreduceInt64(1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if world.Rank() == 0 {
+			fmt.Printf("my half has %d members\n", n)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: my half has 2 members
+}

@@ -1,0 +1,83 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/pml"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// TestRecvFromFailedRankUnblocks: the MPI-level §II-C behaviour — a pending
+// receive from a process that dies completes with a proc-failed error
+// instead of hanging, letting the survivor roll forward.
+func TestRecvFromFailedRankUnblocks(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(3), 1),
+		PPN:     3,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var unblocked sync.WaitGroup
+	unblocked.Add(1)
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "fp", nil, nil)
+		if err != nil {
+			return err
+		}
+		// Deliberately no deferred Free/Finalize: a crashing process does
+		// not clean up, and a deferred Finalize would count as a CLEAN
+		// disconnect, suppressing the failure notification (correctly).
+		cleanup := func() {
+			_ = comm.Free()
+			_ = sess.Finalize()
+		}
+		switch p.JobRank() {
+		case 2:
+			time.Sleep(20 * time.Millisecond)
+			panic("rank 2 dies")
+		case 0:
+			// Blocking receive from the doomed rank.
+			buf := make([]byte, 4)
+			start := time.Now()
+			_, err := comm.Recv(buf, 2, 7)
+			if !errors.Is(err, pml.ErrPeerFailed) {
+				return fmt.Errorf("recv returned %v, want ErrPeerFailed", err)
+			}
+			if mpi.ErrorClassOf(err) != mpi.ErrClassProcFailed {
+				return fmt.Errorf("class = %v, want MPI_ERR_PROC_FAILED", mpi.ErrorClassOf(err))
+			}
+			if time.Since(start) > 10*time.Second {
+				return fmt.Errorf("unblocked only by timeout")
+			}
+			unblocked.Done()
+			cleanup()
+			return nil
+		default:
+			cleanup()
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("expected the injected failure to be reported")
+	}
+	unblocked.Wait()
+}

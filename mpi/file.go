@@ -1,0 +1,282 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MPI file support. Files created from a group (MPI_File_open_from_group in
+// the Sessions proposal) follow the prototype's pattern (§III-B6): build an
+// intermediate communicator from the group, open with that parent, free the
+// intermediate. The "file system" is simulated: the communicator's rank 0
+// hosts the bytes and services read/write RPCs, standing in for a shared
+// parallel file system visible to all members.
+
+const (
+	fileTagReq = -1000011
+	fileTagAck = -1000013
+)
+
+const (
+	fileOpRead = iota + 1
+	fileOpWrite
+	fileOpSize
+	fileOpStop
+)
+
+// ErrFileClosed is returned when using a closed file.
+var ErrFileClosed = errors.New("mpi: file has been closed")
+
+// File is a simulated shared file opened collectively (MPI_File).
+type File struct {
+	comm *Comm
+	name string
+
+	mu      sync.Mutex
+	closed  bool
+	svcDone chan struct{}
+	data    []byte // host side only (rank 0)
+}
+
+// FileOpenFromGroup opens a shared file collectively over a group, per the
+// Sessions proposal. Collective over the group's members.
+func (s *Session) FileOpenFromGroup(group *Group, tag, name string) (*File, error) {
+	if err := s.checkLive(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	inter, err := s.CommCreateFromGroup(group, "file/"+tag, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := FileOpen(inter, name)
+	if err != nil {
+		_ = inter.Free()
+		return nil, s.errh.invoke(err)
+	}
+	if err := inter.Free(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	return f, nil
+}
+
+// FileOpen opens a shared file over an existing communicator
+// (MPI_File_open). Collective. File contents persist in the runtime's
+// global name service across close/re-open — the simulated analogue of a
+// parallel file system — so checkpoint/restart patterns work across
+// independent opens.
+func FileOpen(comm *Comm, name string) (*File, error) {
+	priv, err := comm.Dup()
+	if err != nil {
+		return nil, err
+	}
+	f := &File{comm: priv, name: name, svcDone: make(chan struct{})}
+	if priv.Rank() == 0 {
+		// Restore any persisted contents before serving.
+		if data, err := comm.p.inst.Client().Lookup(fileStoreKey(name), 0); err == nil {
+			f.data = append([]byte(nil), data...)
+		}
+		go f.service()
+	} else {
+		close(f.svcDone)
+	}
+	if err := priv.Barrier(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func fileStoreKey(name string) string { return "mpi.file/" + name }
+
+// FileDelete removes a persisted file from the simulated file system
+// (MPI_File_delete). Local operation.
+func FileDelete(p *Process, name string) error {
+	client := p.inst.Client()
+	if client == nil {
+		return ErrNotInitialized
+	}
+	return client.Unpublish(fileStoreKey(name))
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+func (f *File) service() {
+	defer close(f.svcDone)
+	buf := make([]byte, 1<<20)
+	for {
+		st, err := f.comm.ch.Recv(AnySource, fileTagReq, buf)
+		if err != nil {
+			return
+		}
+		req := buf[:st.Count]
+		switch req[0] {
+		case fileOpStop:
+			return
+		case fileOpWrite:
+			off := int(binary.LittleEndian.Uint64(req[1:]))
+			payload := req[17:]
+			f.mu.Lock()
+			if need := off + len(payload); need > len(f.data) {
+				grown := make([]byte, need)
+				copy(grown, f.data)
+				f.data = grown
+			}
+			copy(f.data[off:], payload)
+			f.mu.Unlock()
+			_ = f.comm.ch.Send(st.Source, fileTagAck, []byte{1})
+		case fileOpRead:
+			off := int(binary.LittleEndian.Uint64(req[1:]))
+			length := int(binary.LittleEndian.Uint64(req[9:]))
+			f.mu.Lock()
+			out := make([]byte, 0, length)
+			if off < len(f.data) {
+				end := off + length
+				if end > len(f.data) {
+					end = len(f.data)
+				}
+				out = append(out, f.data[off:end]...)
+			}
+			f.mu.Unlock()
+			_ = f.comm.ch.Send(st.Source, fileTagAck, out)
+		case fileOpSize:
+			f.mu.Lock()
+			n := uint64(len(f.data))
+			f.mu.Unlock()
+			var resp [8]byte
+			binary.LittleEndian.PutUint64(resp[:], n)
+			_ = f.comm.ch.Send(st.Source, fileTagAck, resp[:])
+		}
+	}
+}
+
+func (f *File) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFileClosed
+	}
+	return nil
+}
+
+// WriteAt writes data at the given offset (MPI_File_write_at).
+func (f *File) WriteAt(offset int, data []byte) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if offset < 0 {
+		return fmt.Errorf("mpi: negative file offset")
+	}
+	if f.comm.Rank() == 0 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if need := offset + len(data); need > len(f.data) {
+			grown := make([]byte, need)
+			copy(grown, f.data)
+			f.data = grown
+		}
+		copy(f.data[offset:], data)
+		return nil
+	}
+	req := make([]byte, 17+len(data))
+	req[0] = fileOpWrite
+	binary.LittleEndian.PutUint64(req[1:], uint64(offset))
+	binary.LittleEndian.PutUint64(req[9:], uint64(len(data)))
+	copy(req[17:], data)
+	if err := f.comm.ch.Send(0, fileTagReq, req); err != nil {
+		return err
+	}
+	var ack [1]byte
+	_, err := f.comm.ch.Recv(0, fileTagAck, ack[:])
+	return err
+}
+
+// ReadAt reads up to len(buf) bytes at offset, returning the count read
+// (MPI_File_read_at).
+func (f *File) ReadAt(offset int, buf []byte) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if offset < 0 {
+		return 0, fmt.Errorf("mpi: negative file offset")
+	}
+	if f.comm.Rank() == 0 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if offset >= len(f.data) {
+			return 0, nil
+		}
+		return copy(buf, f.data[offset:]), nil
+	}
+	req := make([]byte, 17)
+	req[0] = fileOpRead
+	binary.LittleEndian.PutUint64(req[1:], uint64(offset))
+	binary.LittleEndian.PutUint64(req[9:], uint64(len(buf)))
+	if err := f.comm.ch.Send(0, fileTagReq, req); err != nil {
+		return 0, err
+	}
+	st, err := f.comm.ch.Recv(0, fileTagAck, buf)
+	if err != nil {
+		return 0, err
+	}
+	return st.Count, nil
+}
+
+// Size returns the current file size (MPI_File_get_size).
+func (f *File) Size() (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if f.comm.Rank() == 0 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.data), nil
+	}
+	req := []byte{fileOpSize, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if err := f.comm.ch.Send(0, fileTagReq, req); err != nil {
+		return 0, err
+	}
+	var resp [8]byte
+	if _, err := f.comm.ch.Recv(0, fileTagAck, resp[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint64(resp[:])), nil
+}
+
+// Sync is a barrier ensuring all members' preceding writes are applied
+// (MPI_File_sync): writes are synchronous RPCs, so a barrier suffices.
+func (f *File) Sync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	return f.comm.Barrier()
+}
+
+// Close closes the file collectively (MPI_File_close), persisting its
+// contents to the simulated file system.
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFileClosed
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if err := f.comm.Barrier(); err != nil {
+		return err
+	}
+	if f.comm.Rank() == 0 {
+		_ = f.comm.ch.Send(0, fileTagReq, []byte{fileOpStop})
+		<-f.svcDone
+		f.mu.Lock()
+		data := f.data
+		f.mu.Unlock()
+		if err := f.comm.p.inst.Client().Publish(fileStoreKey(f.name), data); err != nil {
+			return err
+		}
+	} else {
+		<-f.svcDone
+	}
+	return f.comm.Free()
+}

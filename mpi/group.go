@@ -1,0 +1,199 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undefined is returned by rank queries when the process is not a member
+// (MPI_UNDEFINED).
+const Undefined = -32766
+
+// Group is an ordered set of processes, identified here by their job-global
+// ranks. Groups are immutable values; the set operations return new groups.
+// A group created from a session pset remembers its originating process so
+// communicator constructors can reach the runtime.
+type Group struct {
+	p     *Process
+	ranks []int // position (group rank) -> global rank
+}
+
+// newGroup copies ranks defensively.
+func newGroup(p *Process, ranks []int) *Group {
+	cp := make([]int, len(ranks))
+	copy(cp, ranks)
+	return &Group{p: p, ranks: cp}
+}
+
+// Size returns the number of processes in the group (MPI_Group_size).
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Rank returns the calling process's rank within the group, or Undefined
+// if it is not a member (MPI_Group_rank).
+func (g *Group) Rank() int {
+	if g.p == nil {
+		return Undefined
+	}
+	for i, r := range g.ranks {
+		if r == g.p.rank {
+			return i
+		}
+	}
+	return Undefined
+}
+
+// GlobalRanks returns the members' job-global ranks in group order.
+func (g *Group) GlobalRanks() []int {
+	out := make([]int, len(g.ranks))
+	copy(out, g.ranks)
+	return out
+}
+
+// Incl returns the subgroup consisting of the listed group ranks, in that
+// order (MPI_Group_incl).
+func (g *Group) Incl(groupRanks []int) (*Group, error) {
+	out := make([]int, 0, len(groupRanks))
+	for _, r := range groupRanks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("mpi: group rank %d out of range [0,%d)", r, len(g.ranks))
+		}
+		out = append(out, g.ranks[r])
+	}
+	return &Group{p: g.p, ranks: out}, nil
+}
+
+// Excl returns the subgroup without the listed group ranks, preserving
+// order (MPI_Group_excl).
+func (g *Group) Excl(groupRanks []int) (*Group, error) {
+	drop := make(map[int]bool, len(groupRanks))
+	for _, r := range groupRanks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("mpi: group rank %d out of range [0,%d)", r, len(g.ranks))
+		}
+		drop[r] = true
+	}
+	var out []int
+	for i, gr := range g.ranks {
+		if !drop[i] {
+			out = append(out, gr)
+		}
+	}
+	return &Group{p: g.p, ranks: out}, nil
+}
+
+// Union returns members of g followed by members of other not already in g
+// (MPI_Group_union).
+func (g *Group) Union(other *Group) *Group {
+	seen := make(map[int]bool, len(g.ranks))
+	out := make([]int, 0, len(g.ranks)+other.Size())
+	for _, r := range g.ranks {
+		seen[r] = true
+		out = append(out, r)
+	}
+	for _, r := range other.ranks {
+		if !seen[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{p: pick(g.p, other.p), ranks: out}
+}
+
+// Intersection returns members of g that are also in other, in g's order
+// (MPI_Group_intersection).
+func (g *Group) Intersection(other *Group) *Group {
+	in := make(map[int]bool, other.Size())
+	for _, r := range other.ranks {
+		in[r] = true
+	}
+	var out []int
+	for _, r := range g.ranks {
+		if in[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{p: pick(g.p, other.p), ranks: out}
+}
+
+// Difference returns members of g not in other, in g's order
+// (MPI_Group_difference).
+func (g *Group) Difference(other *Group) *Group {
+	in := make(map[int]bool, other.Size())
+	for _, r := range other.ranks {
+		in[r] = true
+	}
+	var out []int
+	for _, r := range g.ranks {
+		if !in[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{p: pick(g.p, other.p), ranks: out}
+}
+
+func pick(a, b *Process) *Process {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// TranslateRanks maps group ranks in g to the corresponding ranks in other,
+// yielding Undefined where a process is not in other
+// (MPI_Group_translate_ranks).
+func (g *Group) TranslateRanks(ranks []int, other *Group) ([]int, error) {
+	pos := make(map[int]int, other.Size())
+	for i, r := range other.ranks {
+		pos[r] = i
+	}
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("mpi: group rank %d out of range [0,%d)", r, len(g.ranks))
+		}
+		if p, ok := pos[g.ranks[r]]; ok {
+			out[i] = p
+		} else {
+			out[i] = Undefined
+		}
+	}
+	return out, nil
+}
+
+// Comparison results (MPI_Group_compare).
+const (
+	Ident     = 0 // same members, same order
+	Similar   = 1 // same members, different order
+	Unequal   = 2 // different members
+	Congruent = 3 // communicators: same group, different context
+)
+
+// Compare relates two groups (MPI_Group_compare).
+func (g *Group) Compare(other *Group) int {
+	if len(g.ranks) != len(other.ranks) {
+		return Unequal
+	}
+	ident := true
+	for i := range g.ranks {
+		if g.ranks[i] != other.ranks[i] {
+			ident = false
+			break
+		}
+	}
+	if ident {
+		return Ident
+	}
+	a := append([]int(nil), g.ranks...)
+	b := append([]int(nil), other.ranks...)
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return Unequal
+		}
+	}
+	return Similar
+}
+
+// Free releases the group (MPI_Group_free). Groups are garbage-collected
+// values in Go; Free exists for API parity and is a no-op.
+func (g *Group) Free() {}

@@ -1,0 +1,217 @@
+package mpi
+
+import "testing"
+
+func g(ranks ...int) *Group { return newGroup(nil, ranks) }
+
+func TestGroupSizeAndRanks(t *testing.T) {
+	grp := g(4, 2, 9)
+	if grp.Size() != 3 {
+		t.Fatalf("Size = %d", grp.Size())
+	}
+	got := grp.GlobalRanks()
+	want := []int{4, 2, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GlobalRanks = %v", got)
+		}
+	}
+	// Mutating the returned slice must not affect the group.
+	got[0] = 99
+	if grp.GlobalRanks()[0] != 4 {
+		t.Fatal("GlobalRanks aliases internal state")
+	}
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	grp := g(10, 11, 12, 13)
+	in, err := grp.Incl([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Size() != 2 || in.GlobalRanks()[0] != 13 || in.GlobalRanks()[1] != 11 {
+		t.Fatalf("Incl = %v", in.GlobalRanks())
+	}
+	if _, err := grp.Incl([]int{4}); err == nil {
+		t.Fatal("Incl out of range should fail")
+	}
+	ex, err := grp.Excl([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Size() != 2 || ex.GlobalRanks()[0] != 11 || ex.GlobalRanks()[1] != 13 {
+		t.Fatalf("Excl = %v", ex.GlobalRanks())
+	}
+	if _, err := grp.Excl([]int{-1}); err == nil {
+		t.Fatal("Excl out of range should fail")
+	}
+}
+
+func TestGroupSetAlgebra(t *testing.T) {
+	a := g(1, 2, 3)
+	b := g(3, 4)
+	u := a.Union(b)
+	if u.Size() != 4 {
+		t.Fatalf("Union = %v", u.GlobalRanks())
+	}
+	i := a.Intersection(b)
+	if i.Size() != 1 || i.GlobalRanks()[0] != 3 {
+		t.Fatalf("Intersection = %v", i.GlobalRanks())
+	}
+	d := a.Difference(b)
+	if d.Size() != 2 || d.GlobalRanks()[0] != 1 || d.GlobalRanks()[1] != 2 {
+		t.Fatalf("Difference = %v", d.GlobalRanks())
+	}
+	// Algebraic identities.
+	if a.Intersection(a).Compare(a) != Ident {
+		t.Fatal("A ∩ A != A")
+	}
+	if a.Union(a).Compare(a) != Ident {
+		t.Fatal("A ∪ A != A")
+	}
+	if a.Difference(a).Size() != 0 {
+		t.Fatal("A \\ A != ∅")
+	}
+}
+
+func TestGroupTranslateRanks(t *testing.T) {
+	a := g(5, 6, 7)
+	b := g(7, 5)
+	out, err := a.TranslateRanks([]int{0, 1, 2}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != Undefined || out[2] != 0 {
+		t.Fatalf("TranslateRanks = %v", out)
+	}
+	if _, err := a.TranslateRanks([]int{3}, b); err == nil {
+		t.Fatal("out-of-range translate should fail")
+	}
+}
+
+func TestGroupCompare(t *testing.T) {
+	a := g(1, 2, 3)
+	if a.Compare(g(1, 2, 3)) != Ident {
+		t.Fatal("identical groups not Ident")
+	}
+	if a.Compare(g(3, 2, 1)) != Similar {
+		t.Fatal("permuted groups not Similar")
+	}
+	if a.Compare(g(1, 2)) != Unequal {
+		t.Fatal("different-size groups not Unequal")
+	}
+	if a.Compare(g(1, 2, 4)) != Unequal {
+		t.Fatal("different members not Unequal")
+	}
+}
+
+func TestGroupRankUndefinedWithoutProcess(t *testing.T) {
+	if got := g(1, 2).Rank(); got != Undefined {
+		t.Fatalf("Rank = %d, want Undefined", got)
+	}
+}
+
+func TestReduceKernels(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpSum, 3, 4, 7},
+		{OpProd, 3, 4, 12},
+		{OpMax, 3, 4, 4},
+		{OpMin, 3, 4, 3},
+		{OpLAnd, 1, 0, 0},
+		{OpLAnd, 2, 3, 1},
+		{OpLOr, 0, 0, 0},
+		{OpLOr, 0, 5, 1},
+		{OpBAnd, 6, 3, 2},
+		{OpBOr, 6, 3, 7},
+	}
+	for _, tc := range cases {
+		inout := PackInt64s([]int64{tc.a})
+		in := PackInt64s([]int64{tc.b})
+		if err := reduce(tc.op, Int64, inout, in, 1); err != nil {
+			t.Fatalf("%v: %v", tc.op, err)
+		}
+		if got := UnpackInt64s(inout)[0]; got != tc.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Float64 path.
+	inout := PackFloat64s([]float64{2.5})
+	in := PackFloat64s([]float64{4.0})
+	if err := reduce(OpSum, Float64, inout, in, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := UnpackFloat64s(inout)[0]; got != 6.5 {
+		t.Fatalf("float sum = %v", got)
+	}
+	// Bitwise ops on floats are rejected.
+	if err := reduce(OpBAnd, Float64, inout, in, 1); err == nil {
+		t.Fatal("bitwise op on float should fail")
+	}
+	// Uint32 vector path (used by the CID consensus adapter).
+	io2 := PackUint32s([]uint32{1, 200})
+	in2 := PackUint32s([]uint32{7, 100})
+	if err := reduce(OpMax, Uint32, io2, in2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := UnpackUint32s(io2); got[0] != 7 || got[1] != 200 {
+		t.Fatalf("uint32 max = %v", got)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := []float64{1.5, -2.25, 3e100}
+	if got := UnpackFloat64s(PackFloat64s(f)); len(got) != 3 || got[2] != 3e100 {
+		t.Fatalf("float64 roundtrip = %v", got)
+	}
+	i := []int64{-1, 0, 1 << 40}
+	if got := UnpackInt64s(PackInt64s(i)); got[0] != -1 || got[2] != 1<<40 {
+		t.Fatalf("int64 roundtrip = %v", got)
+	}
+}
+
+func TestInfoPreInit(t *testing.T) {
+	// Info objects work standalone — before any initialization (§III-B5).
+	info := NewInfo()
+	info.Set("thread_level", "MPI_THREAD_MULTIPLE")
+	info.Set("a", "1")
+	if v, ok := info.Get("thread_level"); !ok || v != "MPI_THREAD_MULTIPLE" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	d := info.Dup()
+	info.Delete("a")
+	if _, ok := d.Get("a"); !ok {
+		t.Fatal("Dup lost a key")
+	}
+	if info.Len() != 1 || d.Len() != 2 {
+		t.Fatalf("Len = %d/%d", info.Len(), d.Len())
+	}
+	var nilInfo *Info
+	if nilInfo.Dup().Len() != 0 {
+		t.Fatal("nil Dup should be empty")
+	}
+}
+
+func TestErrhandlerPreInit(t *testing.T) {
+	var captured error
+	h := ErrhandlerCreate("custom", func(err error) { captured = err })
+	if h.Name() != "custom" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	err := h.invoke(ErrNotInitialized)
+	if err != ErrNotInitialized || captured != ErrNotInitialized {
+		t.Fatal("handler not invoked")
+	}
+	if h.invoke(nil) != nil {
+		t.Fatal("nil error should pass through untouched")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ErrorsAreFatal should panic")
+		}
+	}()
+	_ = ErrorsAreFatal().invoke(ErrNotInitialized)
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import "sync"
+
+// Info is an MPI info object: an ordered set of key/value string pairs.
+//
+// Per the Sessions proposal (paper §III-B5), info objects may be created,
+// duplicated, modified, and freed *before* MPI is initialized, and those
+// operations must be thread-safe even before a thread level is chosen — so
+// the lock is always enabled. None of these paths are on the critical
+// communication path.
+type Info struct {
+	mu   sync.Mutex
+	keys []string
+	vals map[string]string
+}
+
+// NewInfo creates an empty info object (MPI_Info_create). It is legal to
+// call before any session or world initialization.
+func NewInfo() *Info {
+	return &Info{vals: make(map[string]string)}
+}
+
+// Set stores a key/value pair (MPI_Info_set).
+func (i *Info) Set(key, value string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, ok := i.vals[key]; !ok {
+		i.keys = append(i.keys, key)
+	}
+	i.vals[key] = value
+}
+
+// Get returns the value for key (MPI_Info_get).
+func (i *Info) Get(key string) (string, bool) {
+	if i == nil {
+		return "", false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	v, ok := i.vals[key]
+	return v, ok
+}
+
+// Delete removes a key (MPI_Info_delete). Deleting an absent key is a
+// no-op, unlike MPI's error; Go callers can probe with Get first.
+func (i *Info) Delete(key string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, ok := i.vals[key]; !ok {
+		return
+	}
+	delete(i.vals, key)
+	for n, k := range i.keys {
+		if k == key {
+			i.keys = append(i.keys[:n], i.keys[n+1:]...)
+			break
+		}
+	}
+}
+
+// Dup deep-copies the info object (MPI_Info_dup).
+func (i *Info) Dup() *Info {
+	out := NewInfo()
+	if i == nil {
+		return out
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, k := range i.keys {
+		out.keys = append(out.keys, k)
+		out.vals[k] = i.vals[k]
+	}
+	return out
+}
+
+// Keys returns the keys in insertion order (MPI_Info_get_nthkey).
+func (i *Info) Keys() []string {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, len(i.keys))
+	copy(out, i.keys)
+	return out
+}
+
+// Len returns the number of keys (MPI_Info_get_nkeys).
+func (i *Info) Len() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.keys)
+}

@@ -1,0 +1,241 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// interSetup builds the two disjoint groups (even/odd job ranks) and the
+// intercommunicator between them, from each side's perspective.
+func interSetup(p *mpi.Process, sess *mpi.Session, tag string) (*mpi.InterComm, error) {
+	world, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return nil, err
+	}
+	var evens, odds []int
+	for i := 0; i < world.Size(); i++ {
+		if i%2 == 0 {
+			evens = append(evens, i)
+		} else {
+			odds = append(odds, i)
+		}
+	}
+	eg, err := world.Incl(evens)
+	if err != nil {
+		return nil, err
+	}
+	og, err := world.Incl(odds)
+	if err != nil {
+		return nil, err
+	}
+	if p.JobRank()%2 == 0 {
+		return sess.InterCommCreateFromGroups(eg, og, tag, nil)
+	}
+	return sess.InterCommCreateFromGroups(og, eg, tag, nil)
+}
+
+func TestInterCommCreateAndShape(t *testing.T) {
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		ic, err := interSetup(p, sess, "shape")
+		if err != nil {
+			return err
+		}
+		defer ic.Free()
+		if ic.Size() != 2 || ic.RemoteSize() != 2 {
+			return fmt.Errorf("sizes = %d/%d", ic.Size(), ic.RemoteSize())
+		}
+		wantLocal := p.JobRank() / 2
+		if ic.Rank() != wantLocal {
+			return fmt.Errorf("rank = %d, want %d", ic.Rank(), wantLocal)
+		}
+		lg := ic.LocalGroup().GlobalRanks()
+		rg := ic.RemoteGroup().GlobalRanks()
+		if p.JobRank()%2 == 0 {
+			if lg[0] != 0 || rg[0] != 1 {
+				return fmt.Errorf("groups = %v / %v", lg, rg)
+			}
+		} else {
+			if lg[0] != 1 || rg[0] != 0 {
+				return fmt.Errorf("groups = %v / %v", lg, rg)
+			}
+		}
+		return ic.Barrier()
+	})
+}
+
+func TestInterCommPingPong(t *testing.T) {
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		ic, err := interSetup(p, sess, "pp")
+		if err != nil {
+			return err
+		}
+		defer ic.Free()
+		me := ic.Rank()
+		buf := make([]byte, 2)
+		if p.JobRank()%2 == 0 {
+			// Evens send to their same-index odd partner.
+			if err := ic.Send([]byte{byte(me), 7}, me, 3); err != nil {
+				return err
+			}
+			st, err := ic.Recv(buf, me, 4)
+			if err != nil {
+				return err
+			}
+			if st.Source != me || buf[0] != byte(me) || buf[1] != 8 {
+				return fmt.Errorf("pong st=%+v buf=%v", st, buf)
+			}
+		} else {
+			st, err := ic.Recv(buf, mpi.AnySource, 3)
+			if err != nil {
+				return err
+			}
+			if st.Source != me {
+				return fmt.Errorf("ping from remote rank %d, want %d", st.Source, me)
+			}
+			buf[1]++
+			if err := mpi.WaitAll(ic.Isend(buf, st.Source, 4)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestInterCommBcastBothDirections(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		ic, err := interSetup(p, sess, "bcast")
+		if err != nil {
+			return err
+		}
+		defer ic.Free()
+		even := p.JobRank()%2 == 0
+
+		// Round 1: even group's rank 1 broadcasts to the odd group.
+		buf := []byte{0, 0}
+		if even {
+			if ic.Rank() == 1 {
+				buf = []byte{42, 43}
+			}
+			if err := ic.Bcast(buf, 1, true); err != nil {
+				return err
+			}
+		} else {
+			if err := ic.Bcast(buf, 1, false); err != nil {
+				return err
+			}
+			if buf[0] != 42 || buf[1] != 43 {
+				return fmt.Errorf("odd side got %v", buf)
+			}
+		}
+		// Round 2: odd group's rank 0 broadcasts to the even group.
+		buf2 := []byte{0}
+		if even {
+			if err := ic.Bcast(buf2, 0, false); err != nil {
+				return err
+			}
+			if buf2[0] != 99 {
+				return fmt.Errorf("even side got %v", buf2)
+			}
+		} else {
+			if ic.Rank() == 0 {
+				buf2[0] = 99
+			}
+			if err := ic.Bcast(buf2, 0, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestInterCommMerge(t *testing.T) {
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		ic, err := interSetup(p, sess, "merge")
+		if err != nil {
+			return err
+		}
+		defer ic.Free()
+		// Evens low, odds high: merged order = evens then odds.
+		merged, err := ic.Merge(p.JobRank()%2 == 1)
+		if err != nil {
+			return err
+		}
+		defer merged.Free()
+		if merged.Size() != 4 {
+			return fmt.Errorf("merged size = %d", merged.Size())
+		}
+		wantRank := p.JobRank() / 2
+		if p.JobRank()%2 == 1 {
+			wantRank += 2
+		}
+		if merged.Rank() != wantRank {
+			return fmt.Errorf("merged rank = %d, want %d", merged.Rank(), wantRank)
+		}
+		sum, err := merged.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			return fmt.Errorf("merged sum = %d", sum)
+		}
+		return nil
+	})
+}
+
+func TestInterCommValidation(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		world, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		// Overlapping groups must be rejected (local check, no collective).
+		half, err := world.Incl([]int{0, 1, 2})
+		if err != nil {
+			return err
+		}
+		if _, err := sess.InterCommCreateFromGroups(world, half, "bad", nil); err == nil {
+			return fmt.Errorf("overlapping groups accepted")
+		}
+		// Caller must be in the local group.
+		notMe, err := world.Excl([]int{world.Rank()})
+		if err != nil {
+			return err
+		}
+		me, err := world.Incl([]int{world.Rank()})
+		if err != nil {
+			return err
+		}
+		_ = me
+		if _, err := sess.InterCommCreateFromGroups(notMe, me, "bad2", nil); err == nil {
+			return fmt.Errorf("non-member local group accepted")
+		}
+		return nil
+	})
+}

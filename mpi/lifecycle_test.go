@@ -1,0 +1,505 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// run launches a loopback job and fails the test on any rank error.
+func run(t *testing.T, nodes, ppn int, cfg core.Config, main func(p *mpi.Process) error) {
+	t.Helper()
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(ppn), nodes),
+		PPN:     ppn,
+		Config:  cfg,
+	}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func exCfg() core.Config  { return core.Config{CIDMode: core.CIDExtended} }
+func conCfg() core.Config { return core.Config{CIDMode: core.CIDConsensus} }
+
+func TestWPMInitFinalize(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			run(t, 2, 2, cfg, func(p *mpi.Process) error {
+				if p.Initialized() {
+					return fmt.Errorf("initialized before Init")
+				}
+				if err := p.Init(); err != nil {
+					return err
+				}
+				if !p.Initialized() {
+					return fmt.Errorf("not initialized after Init")
+				}
+				world := p.CommWorld()
+				if world.Size() != 4 || world.Rank() != p.JobRank() {
+					return fmt.Errorf("world size=%d rank=%d", world.Size(), world.Rank())
+				}
+				self := p.CommSelf()
+				if self.Size() != 1 || self.Rank() != 0 {
+					return fmt.Errorf("self size=%d rank=%d", self.Size(), self.Rank())
+				}
+				if err := p.Init(); !errors.Is(err, mpi.ErrAlreadyInitialized) {
+					return fmt.Errorf("double init: %v", err)
+				}
+				if err := p.Finalize(); err != nil {
+					return err
+				}
+				if !p.Finalized() {
+					return fmt.Errorf("not finalized")
+				}
+				if err := p.Finalize(); !errors.Is(err, mpi.ErrFinalized) {
+					return fmt.Errorf("double finalize: %v", err)
+				}
+				if err := p.Init(); !errors.Is(err, mpi.ErrFinalized) {
+					return fmt.Errorf("init after finalize: %v", err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestWPMPingPong(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			run(t, 2, 1, cfg, func(p *mpi.Process) error {
+				if err := p.Init(); err != nil {
+					return err
+				}
+				defer p.Finalize()
+				world := p.CommWorld()
+				buf := make([]byte, 8)
+				if world.Rank() == 0 {
+					copy(buf, "pingpong")
+					if err := world.Send(buf, 1, 7); err != nil {
+						return err
+					}
+					if _, err := world.Recv(buf, 1, 8); err != nil {
+						return err
+					}
+					if string(buf) != "PONGPING" {
+						return fmt.Errorf("got %q", buf)
+					}
+				} else {
+					st, err := world.Recv(buf, 0, 7)
+					if err != nil {
+						return err
+					}
+					if st.Source != 0 || st.Count != 8 {
+						return fmt.Errorf("status %+v", st)
+					}
+					if err := world.Send([]byte("PONGPING"), 0, 8); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		if sess.Finalized() {
+			return fmt.Errorf("fresh session reports finalized")
+		}
+		if err := sess.Finalize(); err != nil {
+			return err
+		}
+		if err := sess.Finalize(); !errors.Is(err, mpi.ErrSessionFinalized) {
+			return fmt.Errorf("double finalize: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestSessionPsets(t *testing.T) {
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Psets:   map[string][]int{"app://ocean": {0, 1, 2}},
+		Config:  exCfg(),
+	}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		n, err := sess.NumPsets()
+		if err != nil {
+			return err
+		}
+		if n < 4 { // world, self, shared + ocean
+			return fmt.Errorf("NumPsets = %d, want >= 4", n)
+		}
+		names := map[string]bool{}
+		for i := 0; i < n; i++ {
+			name, err := sess.PsetName(i)
+			if err != nil {
+				return err
+			}
+			names[name] = true
+		}
+		for _, want := range []string{mpi.PsetWorld, mpi.PsetSelf, mpi.PsetShared, "app://ocean"} {
+			if !names[want] {
+				return fmt.Errorf("pset %q missing from %v", want, names)
+			}
+		}
+		if _, err := sess.PsetName(n + 5); err == nil {
+			return fmt.Errorf("out-of-range PsetName should fail")
+		}
+		// Pset info carries size.
+		info, err := sess.PsetInfo("app://ocean")
+		if err != nil {
+			return err
+		}
+		if v, _ := info.Get("mpi_size"); v != "3" {
+			return fmt.Errorf("mpi_size = %q", v)
+		}
+		// Groups from psets.
+		wg, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if wg.Size() != 4 || wg.Rank() != p.JobRank() {
+			return fmt.Errorf("world group size=%d rank=%d", wg.Size(), wg.Rank())
+		}
+		sg, err := sess.GroupFromPset(mpi.PsetSelf)
+		if err != nil {
+			return err
+		}
+		if sg.Size() != 1 {
+			return fmt.Errorf("self group size=%d", sg.Size())
+		}
+		shg, err := sess.GroupFromPset(mpi.PsetShared)
+		if err != nil {
+			return err
+		}
+		if shg.Size() != 2 {
+			return fmt.Errorf("shared group size=%d (2 ranks per node)", shg.Size())
+		}
+		if _, err := sess.GroupFromPset("mpi://nonexistent"); err == nil {
+			return fmt.Errorf("unknown pset should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCommFromGroupFigure1Flow(t *testing.T) {
+	// The full Figure 1 sequence: session -> pset -> group -> communicator.
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "test.fig1", nil, nil)
+		if err != nil {
+			return err
+		}
+		if comm.Size() != 4 || comm.Rank() != p.JobRank() {
+			return fmt.Errorf("comm size=%d rank=%d", comm.Size(), comm.Rank())
+		}
+		if !comm.UsesExCID() {
+			return fmt.Errorf("sessions comm should use exCID")
+		}
+		if comm.ExCID().PGCID == 0 {
+			return fmt.Errorf("sessions comm must carry a non-zero PGCID")
+		}
+		// Use it: ring send.
+		right := (comm.Rank() + 1) % comm.Size()
+		left := (comm.Rank() - 1 + comm.Size()) % comm.Size()
+		out := []byte{byte(comm.Rank())}
+		in := make([]byte, 1)
+		if _, err := comm.Sendrecv(out, right, 1, in, left, 1); err != nil {
+			return err
+		}
+		if in[0] != byte(left) {
+			return fmt.Errorf("ring got %d, want %d", in[0], left)
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestSessionFinalizeWithLiveCommsFails(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "t", nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := sess.Finalize(); err == nil {
+			return fmt.Errorf("finalize with live comm should fail")
+		}
+		if sess.LiveComms() != 1 {
+			return fmt.Errorf("LiveComms = %d", sess.LiveComms())
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestReinitializationCycles(t *testing.T) {
+	// The headline Sessions capability (§II-A): initialize, finalize, and
+	// re-initialize MPI multiple times in one process lifetime.
+	run(t, 2, 2, exCfg(), func(p *mpi.Process) error {
+		for cycle := 0; cycle < 3; cycle++ {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			grp, err := sess.GroupFromPset(mpi.PsetWorld)
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			comm, err := sess.CommCreateFromGroup(grp, fmt.Sprintf("cycle-%d", cycle), nil, nil)
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			sum, err := comm.AllreduceInt64(int64(comm.Rank()), mpi.OpSum)
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			if sum != 6 { // 0+1+2+3
+				return fmt.Errorf("cycle %d: sum=%d", cycle, sum)
+			}
+			if err := comm.Free(); err != nil {
+				return err
+			}
+			if err := sess.Finalize(); err != nil {
+				return fmt.Errorf("cycle %d finalize: %w", cycle, err)
+			}
+			if p.Instance().Active() {
+				return fmt.Errorf("cycle %d: instance still active after last finalize", cycle)
+			}
+		}
+		if gen := p.Instance().Generation(); gen != 3 {
+			return fmt.Errorf("generation = %d, want 3 full cycles", gen)
+		}
+		return nil
+	})
+}
+
+func TestConcurrentSessionsAreIsolated(t *testing.T) {
+	// Two sessions live at once in each process, each with its own
+	// communicator over the same ranks: traffic must not cross.
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		s1, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		s2, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		g1, err := s1.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		g2, err := s2.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		c1, err := s1.CommCreateFromGroup(g1, "iso", nil, nil)
+		if err != nil {
+			return err
+		}
+		c2, err := s2.CommCreateFromGroup(g2, "iso", nil, nil)
+		if err != nil {
+			return err
+		}
+		if c1.ExCID() == c2.ExCID() {
+			return fmt.Errorf("distinct communicators share an exCID")
+		}
+		// Same-tag traffic on both comms concurrently.
+		done := make(chan error, 2)
+		for i, comm := range []*mpi.Comm{c1, c2} {
+			go func(i int, comm *mpi.Comm) {
+				marker := byte(100 + i)
+				buf := make([]byte, 1)
+				var err error
+				if comm.Rank() == 0 {
+					err = comm.Send([]byte{marker}, 1, 5)
+				} else if comm.Rank() == 1 {
+					_, err = comm.Recv(buf, 0, 5)
+					if err == nil && buf[0] != marker {
+						err = fmt.Errorf("comm %d received %d, want %d (cross-session leak)", i, buf[0], marker)
+					}
+				}
+				done <- err
+			}(i, comm)
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		if err := c1.Free(); err != nil {
+			return err
+		}
+		if err := s1.Finalize(); err != nil {
+			return err
+		}
+		// Session 2 still fully usable after session 1 is gone.
+		sum, err := c2.AllreduceInt64(1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 4 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		if err := c2.Free(); err != nil {
+			return err
+		}
+		return s2.Finalize()
+	})
+}
+
+func TestWPMAndSessionsCoexist(t *testing.T) {
+	// The 2MESH usage: the application initializes via MPI_Init_thread,
+	// then a component library creates its own session (paper §IV-E).
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		world := p.CommWorld()
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		libComm, err := sess.CommCreateFromGroup(grp, "lib.l1", nil, nil)
+		if err != nil {
+			return err
+		}
+		// Both communicators usable.
+		if err := world.Barrier(); err != nil {
+			return err
+		}
+		sum, err := libComm.AllreduceInt64(int64(libComm.Rank()), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			return fmt.Errorf("lib comm sum = %d", sum)
+		}
+		if err := libComm.Free(); err != nil {
+			return err
+		}
+		if err := sess.Finalize(); err != nil {
+			return err
+		}
+		// WPM still alive after the library session is gone.
+		if err := world.Barrier(); err != nil {
+			return err
+		}
+		return p.Finalize()
+	})
+}
+
+func TestSessionsUnsupportedInConsensusMode(t *testing.T) {
+	run(t, 1, 2, conCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.CommCreateFromGroup(grp, "x", nil, nil); !errors.Is(err, mpi.ErrUnsupported) {
+			return fmt.Errorf("err = %v, want ErrUnsupported", err)
+		}
+		return nil
+	})
+}
+
+func TestPreInitObjects(t *testing.T) {
+	// Info, error handlers, and attribute caching all work before any
+	// initialization call (§III-B5).
+	run(t, 1, 1, exCfg(), func(p *mpi.Process) error {
+		info := mpi.NewInfo()
+		info.Set("mpi_thread_support_level", "MPI_THREAD_MULTIPLE")
+		h := mpi.ErrhandlerCreate("log", func(error) {})
+		kv := p.KeyvalCreate()
+		p.AttrSet(kv, "cached-before-init")
+		if v, ok := p.AttrGet(kv); !ok || v != "cached-before-init" {
+			return fmt.Errorf("attr = %v,%v", v, ok)
+		}
+		p.AttrDelete(kv)
+		if _, ok := p.AttrGet(kv); ok {
+			return fmt.Errorf("attr survived delete")
+		}
+		sess, err := p.SessionInit(info, h)
+		if err != nil {
+			return err
+		}
+		if v, _ := sess.Info().Get("mpi_thread_support_level"); v != "MPI_THREAD_MULTIPLE" {
+			return fmt.Errorf("session info lost key")
+		}
+		if sess.Errhandler().Name() != "log" {
+			return fmt.Errorf("errhandler = %q", sess.Errhandler().Name())
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestRankErrorPropagation(t *testing.T) {
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 1),
+		PPN:     2,
+		Config:  exCfg(),
+	}, func(p *mpi.Process) error {
+		if p.JobRank() == 1 {
+			return fmt.Errorf("deliberate failure")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("err = %v, want rank 1 failure", err)
+	}
+	var je *runtime.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err type = %T", err)
+	}
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Neighborhood collectives on Cartesian topologies (MPI_Neighbor_*): each
+// process exchanges with its 2*ndims topological neighbours, the
+// communication pattern of structured halo exchanges. Neighbour order
+// follows MPI: for each dimension, the negative-displacement source first,
+// then the positive-displacement destination.
+
+// NeighborCount returns the number of neighbour slots (2 per dimension;
+// off-grid neighbours in non-periodic dimensions still occupy a slot, as
+// MPI_PROC_NULL does).
+func (c *CartComm) NeighborCount() int { return 2 * len(c.dims) }
+
+// Neighbors lists the neighbour ranks in MPI order; ProcNull marks
+// off-grid slots.
+func (c *CartComm) Neighbors() ([]int, error) {
+	out := make([]int, 0, c.NeighborCount())
+	for dim := range c.dims {
+		src, dst, err := c.Shift(dim, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, src, dst)
+	}
+	return out, nil
+}
+
+// NeighborAllgather gathers sendBuf from every neighbour
+// (MPI_Neighbor_allgather): recvBuf holds NeighborCount() blocks of
+// len(sendBuf) bytes, in neighbour order; blocks for ProcNull slots are
+// left untouched.
+func (c *CartComm) NeighborAllgather(sendBuf, recvBuf []byte) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	blk := len(sendBuf)
+	n := c.NeighborCount()
+	if len(recvBuf) < n*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: neighbor_allgather recv buffer %d < %d bytes", len(recvBuf), n*blk))
+	}
+	neighbors, err := c.Neighbors()
+	if err != nil {
+		return c.errh.invoke(err)
+	}
+	tag := c.nextCollTag()
+	// Post all receives, then all sends; symmetric neighbour relations
+	// guarantee a matching send for every posted receive.
+	var reqs []Request
+	for i, nb := range neighbors {
+		if nb == ProcNull {
+			continue
+		}
+		reqs = append(reqs, pmlRequest{c.ch.Irecv(nb, tag, recvBuf[i*blk:(i+1)*blk])})
+	}
+	for _, nb := range neighbors {
+		if nb == ProcNull {
+			continue
+		}
+		if err := c.sendT(sendBuf, nb, tag); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	return c.errh.invoke(WaitAll(reqs...))
+}
+
+// NeighborAlltoall sends block i of sendBuf to neighbour i and receives
+// block i of recvBuf from neighbour i (MPI_Neighbor_alltoall). Both
+// buffers hold NeighborCount() equal blocks.
+func (c *CartComm) NeighborAlltoall(sendBuf, recvBuf []byte) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	n := c.NeighborCount()
+	if len(sendBuf)%n != 0 {
+		return c.errh.invoke(fmt.Errorf("mpi: neighbor_alltoall send buffer %d not divisible by %d", len(sendBuf), n))
+	}
+	blk := len(sendBuf) / n
+	if len(recvBuf) < n*blk {
+		return c.errh.invoke(fmt.Errorf("mpi: neighbor_alltoall recv buffer %d < %d bytes", len(recvBuf), n*blk))
+	}
+	neighbors, err := c.Neighbors()
+	if err != nil {
+		return c.errh.invoke(err)
+	}
+	tag := c.nextCollTag()
+	// A message to the neighbour in slot i arrives at that neighbour's
+	// OPPOSITE slot: slot pairs (2d, 2d+1) swap. Tag by the receiver's
+	// slot so a rank adjacent to one peer in several dimensions (tiny
+	// periodic grids) still matches blocks correctly.
+	var reqs []Request
+	for i, nb := range neighbors {
+		if nb == ProcNull {
+			continue
+		}
+		reqs = append(reqs, pmlRequest{c.ch.Irecv(nb, tag-i, recvBuf[i*blk:(i+1)*blk])})
+	}
+	for i, nb := range neighbors {
+		if nb == ProcNull {
+			continue
+		}
+		opposite := i ^ 1
+		if err := c.sendT(sendBuf[i*blk:(i+1)*blk], nb, tag-opposite); err != nil {
+			return c.errh.invoke(err)
+		}
+	}
+	return c.errh.invoke(WaitAll(reqs...))
+}

@@ -1,0 +1,72 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+// TestNonOb1PMLFallsBackToConsensus covers the paper's fallback rule
+// (§III-B3): the exCID generator is used exclusively when the ob1 PML is
+// in use; with another PML the library reverts to the consensus algorithm
+// and Sessions communicator constructors are unavailable.
+func TestNonOb1PMLFallsBackToConsensus(t *testing.T) {
+	cfg := core.Config{CIDMode: core.CIDExtended, PML: "cm"}
+	run(t, 1, 2, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if world.UsesExCID() {
+			return fmt.Errorf("cm PML must not use exCID matching")
+		}
+		// Consensus dup still works.
+		dup, err := world.Dup()
+		if err != nil {
+			return err
+		}
+		defer dup.Free()
+		if dup.UsesExCID() {
+			return fmt.Errorf("dup under cm PML used exCID")
+		}
+		// Sessions constructors are unavailable.
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.CommCreateFromGroup(grp, "x", nil, nil); !errors.Is(err, mpi.ErrUnsupported) {
+			return fmt.Errorf("CommCreateFromGroup under cm PML: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestEffectiveCIDMode(t *testing.T) {
+	cases := []struct {
+		cfg  core.Config
+		want core.CIDMode
+	}{
+		{core.Config{CIDMode: core.CIDExtended}, core.CIDExtended},
+		{core.Config{CIDMode: core.CIDExtended, PML: "ob1"}, core.CIDExtended},
+		{core.Config{CIDMode: core.CIDExtended, PML: "cm"}, core.CIDConsensus},
+		{core.Config{CIDMode: core.CIDConsensus, PML: "cm"}, core.CIDConsensus},
+		{core.Config{CIDMode: core.CIDConsensus}, core.CIDConsensus},
+	}
+	for _, c := range cases {
+		if got := c.cfg.EffectiveCIDMode(); got != c.want {
+			t.Errorf("EffectiveCIDMode(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+	if (core.Config{}).PMLName() != "ob1" {
+		t.Error("default PML should be ob1")
+	}
+}

@@ -1,0 +1,73 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestPMLStatsExposeHandshake is the MPI-level assertion of the Fig. 5
+// mechanism: on an exCID communicator the first message to a peer carries
+// the extended header and exactly one ACK flows back; steady-state traffic
+// uses the fast header.
+func TestPMLStatsExposeHandshake(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		if p.PMLStatsSnapshot() != (mpi.PMLStats{}) {
+			return fmt.Errorf("stats non-zero before init")
+		}
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "stats", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+
+		buf := make([]byte, 1)
+		const msgs = 10
+		if comm.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := comm.Send([]byte{byte(i)}, 1, 1); err != nil {
+					return err
+				}
+				// Wait for the echo so the ACK has certainly arrived after
+				// the first round trip.
+				if _, err := comm.Recv(buf, 1, 2); err != nil {
+					return err
+				}
+			}
+			st := p.PMLStatsSnapshot()
+			if st.ExtSent != 1 {
+				return fmt.Errorf("ExtSent = %d, want exactly 1 (first message only)", st.ExtSent)
+			}
+			if st.FastSent != msgs-1 {
+				return fmt.Errorf("FastSent = %d, want %d", st.FastSent, msgs-1)
+			}
+			if st.AcksReceived != 1 {
+				return fmt.Errorf("AcksReceived = %d, want 1", st.AcksReceived)
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			if _, err := comm.Recv(buf, 0, 1); err != nil {
+				return err
+			}
+			if err := comm.Send(buf, 0, 2); err != nil {
+				return err
+			}
+		}
+		st := p.PMLStatsSnapshot()
+		if st.AcksSent != 1 {
+			return fmt.Errorf("receiver AcksSent = %d, want 1", st.AcksSent)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,181 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// portJob runs server ranks {0,1} and client ranks {2,3} concurrently.
+func portJob(t *testing.T, server, client func(p *mpi.Process) error) {
+	t.Helper()
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Psets: map[string][]int{
+			"app://server": {0, 1},
+			"app://client": {2, 3},
+		},
+		Config: core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var srvErr, cliErr error
+	go func() {
+		defer wg.Done()
+		srvErr = job.LaunchRanks([]int{0, 1}, server)
+	}()
+	go func() {
+		defer wg.Done()
+		cliErr = job.LaunchRanks([]int{2, 3}, client)
+	}()
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	if cliErr != nil {
+		t.Fatalf("client: %v", cliErr)
+	}
+}
+
+// componentComm builds a session + pset communicator for one side.
+func componentComm(p *mpi.Process, pset, tag string) (*mpi.Comm, func(), error) {
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return nil, nil, err
+	}
+	grp, err := sess.GroupFromPset(pset)
+	if err != nil {
+		_ = sess.Finalize()
+		return nil, nil, err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, tag, nil, nil)
+	if err != nil {
+		_ = sess.Finalize()
+		return nil, nil, err
+	}
+	return comm, func() { _ = comm.Free(); _ = sess.Finalize() }, nil
+}
+
+func TestCommAcceptConnect(t *testing.T) {
+	portJob(t,
+		func(p *mpi.Process) error { // server
+			comm, cleanup, err := componentComm(p, "app://server", "srv")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			ic, err := comm.Accept("calc-service", 0, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			defer ic.Free()
+			if ic.RemoteSize() != 2 {
+				return fmt.Errorf("remote size = %d", ic.RemoteSize())
+			}
+			// Serve one request from the same-index client.
+			req := make([]byte, 8)
+			if _, err := ic.Recv(req, ic.Rank(), 1); err != nil {
+				return err
+			}
+			v := mpi.UnpackInt64s(req)[0]
+			return ic.Send(mpi.PackInt64s([]int64{v * v}), ic.Rank(), 2)
+		},
+		func(p *mpi.Process) error { // client
+			comm, cleanup, err := componentComm(p, "app://client", "cli")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			ic, err := comm.Connect("calc-service", 0, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			defer ic.Free()
+			in := int64(comm.Rank() + 5)
+			if err := ic.Send(mpi.PackInt64s([]int64{in}), ic.Rank(), 1); err != nil {
+				return err
+			}
+			resp := make([]byte, 8)
+			if _, err := ic.Recv(resp, ic.Rank(), 2); err != nil {
+				return err
+			}
+			if got := mpi.UnpackInt64s(resp)[0]; got != in*in {
+				return fmt.Errorf("service returned %d, want %d", got, in*in)
+			}
+			return nil
+		})
+}
+
+func TestSequentialAcceptsOnOnePort(t *testing.T) {
+	portJob(t,
+		func(p *mpi.Process) error { // server accepts twice
+			comm, cleanup, err := componentComm(p, "app://server", "srv2")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			for round := 0; round < 2; round++ {
+				ic, err := comm.Accept("multi", 0, 10*time.Second)
+				if err != nil {
+					return fmt.Errorf("round %d: %w", round, err)
+				}
+				if err := ic.Barrier(); err != nil {
+					return err
+				}
+				if err := ic.Free(); err != nil {
+					return err
+				}
+			}
+			return comm.ClosePort("multi")
+		},
+		func(p *mpi.Process) error { // client connects twice
+			comm, cleanup, err := componentComm(p, "app://client", "cli2")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			for round := 0; round < 2; round++ {
+				ic, err := comm.Connect("multi", 0, 10*time.Second)
+				if err != nil {
+					return fmt.Errorf("round %d: %w", round, err)
+				}
+				if err := ic.Barrier(); err != nil {
+					return err
+				}
+				if err := ic.Free(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+func TestConnectTimeoutOnMissingPort(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		comm, cleanup, err := componentComm(p, mpi.PsetWorld, "lonely")
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		start := time.Now()
+		_, err = comm.Connect("no-such-port", 0, 100*time.Millisecond)
+		if err == nil {
+			return fmt.Errorf("connect to missing port succeeded")
+		}
+		if time.Since(start) < 80*time.Millisecond {
+			return fmt.Errorf("connect returned before its timeout")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,337 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) for the pure data-structure layers:
+// datatype packing, reduction-operation algebra, info objects, and group
+// set algebra checked against map/set oracles.
+
+func TestQuickPackFloat64RoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		got := UnpackFloat64s(PackFloat64s(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(math.IsNaN(got[i]) && math.IsNaN(v[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPackInt64RoundTrip(t *testing.T) {
+	f := func(v []int64) bool {
+		got := UnpackInt64s(PackInt64s(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPackUint32RoundTrip(t *testing.T) {
+	f := func(v []uint32) bool {
+		got := UnpackUint32s(PackUint32s(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reduceOne applies op to two scalars through the []byte kernel.
+func reduceOne(t *testing.T, op Op, a, b int64) int64 {
+	t.Helper()
+	inout := PackInt64s([]int64{a})
+	in := PackInt64s([]int64{b})
+	if err := reduce(op, Int64, inout, in, 1); err != nil {
+		t.Fatal(err)
+	}
+	return UnpackInt64s(inout)[0]
+}
+
+func TestQuickReduceCommutative(t *testing.T) {
+	for _, op := range []Op{OpSum, OpProd, OpMax, OpMin, OpBAnd, OpBOr, OpLAnd, OpLOr} {
+		op := op
+		f := func(a, b int64) bool {
+			return reduceOne(t, op, a, b) == reduceOne(t, op, b, a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%v not commutative: %v", op, err)
+		}
+	}
+}
+
+func TestQuickReduceAssociative(t *testing.T) {
+	// Associativity for the ops MPI assumes associative (integer Sum/Prod
+	// wrap around, which preserves associativity in two's complement).
+	for _, op := range []Op{OpSum, OpProd, OpMax, OpMin, OpBAnd, OpBOr} {
+		op := op
+		f := func(a, b, c int64) bool {
+			left := reduceOne(t, op, reduceOne(t, op, a, b), c)
+			right := reduceOne(t, op, a, reduceOne(t, op, b, c))
+			return left == right
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%v not associative: %v", op, err)
+		}
+	}
+}
+
+func TestQuickReduceIdentities(t *testing.T) {
+	f := func(a int64) bool {
+		return reduceOne(t, OpSum, a, 0) == a &&
+			reduceOne(t, OpProd, a, 1) == a &&
+			reduceOne(t, OpMax, a, math.MinInt64) == a &&
+			reduceOne(t, OpMin, a, math.MaxInt64) == a &&
+			reduceOne(t, OpBOr, a, 0) == a &&
+			reduceOne(t, OpBAnd, a, -1) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReduceVectorMatchesScalar(t *testing.T) {
+	// The vectorized kernel must agree with element-by-element application.
+	f := func(a, b []int64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		inout := PackInt64s(a[:n])
+		in := PackInt64s(b[:n])
+		if err := reduce(OpSum, Int64, inout, in, n); err != nil {
+			return false
+		}
+		got := UnpackInt64s(inout)
+		for i := 0; i < n; i++ {
+			if got[i] != a[i]+b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInfoMatchesMapOracle(t *testing.T) {
+	type opcode struct {
+		Kind  uint8
+		Key   uint8 // small key space to force collisions
+		Value string
+	}
+	f := func(ops []opcode) bool {
+		info := NewInfo()
+		oracle := map[string]string{}
+		for _, op := range ops {
+			key := string(rune('a' + op.Key%5))
+			switch op.Kind % 3 {
+			case 0:
+				info.Set(key, op.Value)
+				oracle[key] = op.Value
+			case 1:
+				info.Delete(key)
+				delete(oracle, key)
+			case 2:
+				v, ok := info.Get(key)
+				ov, ook := oracle[key]
+				if ok != ook || v != ov {
+					return false
+				}
+			}
+		}
+		if info.Len() != len(oracle) {
+			return false
+		}
+		for _, k := range info.Keys() {
+			if _, ok := oracle[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallRanks maps arbitrary bytes into small rank sets with duplicates
+// removed (groups hold each process at most once).
+func smallRanks(bs []byte) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, b := range bs {
+		r := int(b % 16)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestQuickGroupAlgebraMatchesSetOracle(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := newGroup(nil, smallRanks(aRaw))
+		b := newGroup(nil, smallRanks(bRaw))
+		setA := map[int]bool{}
+		for _, r := range a.ranks {
+			setA[r] = true
+		}
+		setB := map[int]bool{}
+		for _, r := range b.ranks {
+			setB[r] = true
+		}
+
+		toSet := func(g *Group) map[int]bool {
+			s := map[int]bool{}
+			for _, r := range g.ranks {
+				s[r] = true
+			}
+			return s
+		}
+		eq := func(s map[int]bool, want func(r int) bool) bool {
+			universe := map[int]bool{}
+			for r := range setA {
+				universe[r] = true
+			}
+			for r := range setB {
+				universe[r] = true
+			}
+			for r := range universe {
+				if s[r] != want(r) {
+					return false
+				}
+			}
+			for r := range s {
+				if !universe[r] {
+					return false
+				}
+			}
+			return true
+		}
+
+		if !eq(toSet(a.Union(b)), func(r int) bool { return setA[r] || setB[r] }) {
+			return false
+		}
+		if !eq(toSet(a.Intersection(b)), func(r int) bool { return setA[r] && setB[r] }) {
+			return false
+		}
+		if !eq(toSet(a.Difference(b)), func(r int) bool { return setA[r] && !setB[r] }) {
+			return false
+		}
+		// Union preserves A's order as a prefix.
+		u := a.Union(b)
+		for i, r := range a.ranks {
+			if u.ranks[i] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGroupCompareSymmetry(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := newGroup(nil, smallRanks(aRaw))
+		b := newGroup(nil, smallRanks(bRaw))
+		ab := a.Compare(b)
+		ba := b.Compare(a)
+		if ab != ba {
+			return false
+		}
+		// Self-comparison is Ident; sorted-equal permutations are Similar
+		// or Ident.
+		if a.Compare(a) != Ident {
+			return false
+		}
+		as := append([]int(nil), a.ranks...)
+		bs := append([]int(nil), b.ranks...)
+		sort.Ints(as)
+		sort.Ints(bs)
+		sameMembers := len(as) == len(bs)
+		if sameMembers {
+			for i := range as {
+				if as[i] != bs[i] {
+					sameMembers = false
+					break
+				}
+			}
+		}
+		if sameMembers != (ab == Ident || ab == Similar) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDatatypeSizes(t *testing.T) {
+	// Pack length invariants for arbitrary slices.
+	f := func(v []int64, w []float64, u []uint32) bool {
+		return len(PackInt64s(v)) == 8*len(v) &&
+			len(PackFloat64s(w)) == 8*len(w) &&
+			len(PackUint32s(u)) == 4*len(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReduceByteIdempotentOps(t *testing.T) {
+	// MAX/MIN/BAND/BOR are idempotent: op(a,a) == a, on the byte kernel.
+	f := func(data []byte) bool {
+		for _, op := range []Op{OpMax, OpMin, OpBAnd, OpBOr} {
+			inout := append([]byte(nil), data...)
+			in := append([]byte(nil), data...)
+			if err := reduce(op, Byte, inout, in, len(data)); err != nil {
+				return false
+			}
+			if !bytes.Equal(inout, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

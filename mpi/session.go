@@ -1,0 +1,257 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"gompi/internal/core"
+	"gompi/internal/pmix"
+)
+
+// Predefined process-set names (paper §III-B6).
+const (
+	PsetWorld  = core.PsetWorld
+	PsetSelf   = core.PsetSelf
+	PsetShared = core.PsetShared
+)
+
+// Session is an MPI session: a handle to an isolated stream of MPI usage
+// within one process (paper §II). Sessions are created with
+// Process.SessionInit, queried for process sets, and used — via
+// GroupFromPset and CommCreateFromGroup — to build communicators without
+// any global state such as MPI_COMM_WORLD.
+type Session struct {
+	p    *Process
+	name string
+	info *Info
+	errh *Errhandler
+
+	mu        sync.Mutex
+	finalized bool
+	liveComms int
+}
+
+// Name returns the session's name (for diagnostics).
+func (s *Session) Name() string { return s.name }
+
+// InfoKeyThreadLevel is the info key requesting a thread support level at
+// SessionInit ("mpi_thread_support_level" in the proposal).
+const InfoKeyThreadLevel = "mpi_thread_support_level"
+
+// ThreadLevel returns the thread support level granted to this session.
+// The Go implementation always grants what was requested, up to its
+// natural MPI_THREAD_MULTIPLE.
+func (s *Session) ThreadLevel() ThreadLevel {
+	if v, ok := s.info.Get(InfoKeyThreadLevel); ok {
+		switch v {
+		case "MPI_THREAD_SINGLE":
+			return ThreadSingle
+		case "MPI_THREAD_FUNNELED":
+			return ThreadFunneled
+		case "MPI_THREAD_SERIALIZED":
+			return ThreadSerialized
+		}
+	}
+	return ThreadMultiple
+}
+
+// Info returns a copy of the info the session was created with
+// (MPI_Session_get_info).
+func (s *Session) Info() *Info { return s.info.Dup() }
+
+// Errhandler returns the session's error handler.
+func (s *Session) Errhandler() *Errhandler { return s.errh }
+
+func (s *Session) checkLive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return ErrSessionFinalized
+	}
+	return nil
+}
+
+// NumPsets returns the number of process sets available to this session
+// (MPI_Session_get_num_psets). The three built-in psets are always
+// included.
+func (s *Session) NumPsets() (int, error) {
+	if err := s.checkLive(); err != nil {
+		return 0, s.errh.invoke(err)
+	}
+	names, err := s.p.inst.PsetNames()
+	if err != nil {
+		return 0, s.errh.invoke(err)
+	}
+	return len(names), nil
+}
+
+// PsetName returns the n-th process-set name (MPI_Session_get_nth_pset).
+func (s *Session) PsetName(n int) (string, error) {
+	if err := s.checkLive(); err != nil {
+		return "", s.errh.invoke(err)
+	}
+	names, err := s.p.inst.PsetNames()
+	if err != nil {
+		return "", s.errh.invoke(err)
+	}
+	if n < 0 || n >= len(names) {
+		return "", s.errh.invoke(fmt.Errorf("mpi: pset index %d out of range [0,%d)", n, len(names)))
+	}
+	return names[n], nil
+}
+
+// PsetInfo returns an info object describing a pset, including its
+// "mpi_size" key (MPI_Session_get_pset_info).
+func (s *Session) PsetInfo(name string) (*Info, error) {
+	if err := s.checkLive(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	ranks, err := s.p.inst.ResolvePset(name)
+	if err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	info := NewInfo()
+	info.Set("mpi_size", fmt.Sprintf("%d", len(ranks)))
+	info.Set("pset_name", name)
+	return info, nil
+}
+
+// GroupFromPset builds an MPI group from a process-set name
+// (MPI_Group_from_session_pset). This is a local, light-weight operation:
+// built-in psets resolve from launch information; runtime-defined psets
+// query the resource manager.
+func (s *Session) GroupFromPset(name string) (*Group, error) {
+	if err := s.checkLive(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	ranks, err := s.p.inst.ResolvePset(name)
+	if err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	return newGroup(s.p, ranks), nil
+}
+
+// CreatePset registers a user-defined process set with the runtime
+// (collective over the group's members): afterwards any session in the job
+// can resolve the name with GroupFromPset, discover it via NumPsets /
+// PsetName, and build communicators from it. This is the dynamic pset
+// creation direction the Sessions working group pursued after the paper
+// ("additional implementation-specific or site-specific process set
+// names", §I).
+func (s *Session) CreatePset(name string, group *Group) error {
+	if err := s.checkLive(); err != nil {
+		return s.errh.invoke(err)
+	}
+	if name == "" || group.Size() == 0 {
+		return s.errh.invoke(fmt.Errorf("mpi: pset needs a name and a non-empty group"))
+	}
+	if group.Rank() == Undefined {
+		return s.errh.invoke(fmt.Errorf("mpi: calling process not in the pset group"))
+	}
+	// A PMIx group construct both synchronizes the members and registers
+	// the name in the runtime's pset registry.
+	_, err := s.p.inst.Client().GroupConstruct(name, group.GlobalRanks(), pmix.GroupOpts{
+		AssignContextID: true,
+		Timeout:         s.p.inst.Timeout(),
+	})
+	return s.errh.invoke(err)
+}
+
+// SurvivorGroup builds a group from a process set with all processes known
+// to have terminated abnormally removed. It is the building block of the
+// roll-forward recovery pattern the paper sketches in §II-C: after a
+// failure, the application finalizes its sessions, re-initializes MPI with
+// a fresh session, and continues on whatever processes remain.
+func (s *Session) SurvivorGroup(pset string) (*Group, error) {
+	if err := s.checkLive(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	ranks, err := s.p.inst.ResolvePset(pset)
+	if err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	client := s.p.inst.Client()
+	dead := make(map[int]bool)
+	for _, r := range client.TerminatedRanks() {
+		dead[r] = true
+	}
+	var alive []int
+	for _, r := range ranks {
+		if !dead[r] {
+			alive = append(alive, r)
+		}
+	}
+	if len(alive) == 0 {
+		return nil, s.errh.invoke(fmt.Errorf("mpi: no survivors in pset %q", pset))
+	}
+	return newGroup(s.p, alive), nil
+}
+
+// CommCreateFromGroup builds a communicator over the processes of group
+// (MPI_Comm_create_from_group). The call is collective over the group's
+// members, which must all supply the same tag; the runtime's PMIx group
+// constructor provides the unique PGCID from which the communicator's
+// exCID is formed (paper §III-B3). Requires the exCID CID mode.
+func (s *Session) CommCreateFromGroup(group *Group, tag string, info *Info, errh *Errhandler) (*Comm, error) {
+	if err := s.checkLive(); err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	if errh == nil {
+		errh = s.errh
+	}
+	c, err := newCommFromGroup(s, group, tag, errh)
+	if err != nil {
+		return nil, s.errh.invoke(err)
+	}
+	return c, nil
+}
+
+func (s *Session) commCreated() {
+	s.mu.Lock()
+	s.liveComms++
+	s.mu.Unlock()
+}
+
+func (s *Session) commFreed() {
+	s.mu.Lock()
+	if s.liveComms > 0 {
+		s.liveComms--
+	}
+	s.mu.Unlock()
+}
+
+// LiveComms reports the number of communicators created from this session
+// that have not been freed.
+func (s *Session) LiveComms() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveComms
+}
+
+// Finalize releases the session (MPI_Session_finalize). All communicators
+// (and objects derived from them) created from the session must be freed
+// first. When the last live session of the process is finalized, the
+// instance's cleanup callbacks run and MPI is fully torn down, ready to be
+// initialized again (paper §III-B5).
+func (s *Session) Finalize() error {
+	s.mu.Lock()
+	if s.finalized {
+		s.mu.Unlock()
+		return s.errh.invoke(ErrSessionFinalized)
+	}
+	if s.liveComms > 0 {
+		n := s.liveComms
+		s.mu.Unlock()
+		return s.errh.invoke(fmt.Errorf("mpi: session %s has %d live communicators at finalize", s.name, n))
+	}
+	s.finalized = true
+	s.mu.Unlock()
+	return s.p.inst.Release()
+}
+
+// Finalized reports whether the session has been finalized.
+func (s *Session) Finalized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finalized
+}

@@ -1,0 +1,71 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestSessionThreadLevel(t *testing.T) {
+	run(t, 1, 1, exCfg(), func(p *mpi.Process) error {
+		info := mpi.NewInfo()
+		info.Set(mpi.InfoKeyThreadLevel, "MPI_THREAD_FUNNELED")
+		sess, err := p.SessionInit(info, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		if sess.ThreadLevel() != mpi.ThreadFunneled {
+			return fmt.Errorf("level = %v", sess.ThreadLevel())
+		}
+		// No request: full thread support.
+		s2, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer s2.Finalize()
+		if s2.ThreadLevel() != mpi.ThreadMultiple {
+			return fmt.Errorf("default level = %v", s2.ThreadLevel())
+		}
+		return nil
+	})
+}
+
+func TestTestanyAndTestsome(t *testing.T) {
+	withWorld(t, 1, 2, exCfg(), func(p *mpi.Process, world *mpi.Comm) error {
+		if world.Rank() == 1 {
+			if err := world.Send([]byte{1}, 0, 1); err != nil {
+				return err
+			}
+			if err := world.Send([]byte{2}, 0, 2); err != nil {
+				return err
+			}
+			// Tag 3 is never sent.
+			return world.Barrier()
+		}
+		b1, b2, b3 := make([]byte, 1), make([]byte, 1), make([]byte, 1)
+		reqs := []mpi.Request{world.Irecv(b1, 1, 1), world.Irecv(b2, 1, 2), world.Irecv(b3, 1, 3)}
+		// Eventually tags 1 and 2 complete; tag 3 never does.
+		var got []int
+		for len(got) < 2 {
+			var err error
+			got, err = mpi.Testsome(reqs)
+			if err != nil {
+				return err
+			}
+		}
+		if got[0] != 0 || got[1] != 1 {
+			return fmt.Errorf("testsome = %v", got)
+		}
+		i, _, ok, err := mpi.Testany(reqs)
+		if err != nil || !ok || (i != 0 && i != 1) {
+			return fmt.Errorf("testany = %d,%v,%v", i, ok, err)
+		}
+		// All-nil and never-completing entries.
+		if i, _, ok, _ := mpi.Testany([]mpi.Request{nil}); ok || i != mpi.Undefined {
+			return fmt.Errorf("nil testany = %d,%v", i, ok)
+		}
+		return world.Barrier()
+	})
+}

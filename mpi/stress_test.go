@@ -1,0 +1,185 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestStressRandomizedWorkload drives a randomized schedule of communicator
+// creation, collectives, point-to-point traffic, and frees across the whole
+// stack. Every rank derives the identical schedule from a shared seed, so
+// collective call order stays consistent while the operation mix varies.
+func TestStressRandomizedWorkload(t *testing.T) {
+	const iters = 40
+	run(t, 2, 4, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		worldGrp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		world, err := sess.CommCreateFromGroup(worldGrp, "stress", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer world.Free()
+		n := world.Size()
+		me := world.Rank()
+
+		rng := rand.New(rand.NewSource(20260706)) // identical at every rank
+		for it := 0; it < iters; it++ {
+			switch rng.Intn(5) {
+			case 0: // subgroup communicator + allreduce + free
+				k := 2 + rng.Intn(n-1)
+				perm := rng.Perm(n)[:k]
+				sub, err := worldGrp.Incl(perm)
+				if err != nil {
+					return err
+				}
+				if sub.Rank() == mpi.Undefined {
+					continue
+				}
+				comm, err := world.CreateGroup(sub, it)
+				if err != nil {
+					return fmt.Errorf("iter %d create_group: %w", it, err)
+				}
+				want := int64(0)
+				for _, r := range perm {
+					want += int64(r)
+				}
+				got, err := comm.AllreduceInt64(int64(me), mpi.OpSum)
+				if err != nil {
+					return fmt.Errorf("iter %d allreduce: %w", it, err)
+				}
+				if got != want {
+					return fmt.Errorf("iter %d: sum %d != %d", it, got, want)
+				}
+				if err := comm.Free(); err != nil {
+					return err
+				}
+			case 1: // split by random color map
+				colors := make([]int, n)
+				for i := range colors {
+					colors[i] = rng.Intn(2)
+				}
+				sub, err := world.Split(colors[me], me)
+				if err != nil {
+					return fmt.Errorf("iter %d split: %w", it, err)
+				}
+				if sub != nil {
+					if err := sub.Barrier(); err != nil {
+						return err
+					}
+					if err := sub.Free(); err != nil {
+						return err
+					}
+				}
+			case 2: // ring p2p with random payload size
+				size := 1 + rng.Intn(6000) // spans eager and rendezvous
+				right := (me + 1) % n
+				left := (me - 1 + n) % n
+				out := make([]byte, size)
+				for i := range out {
+					out[i] = byte(me + i)
+				}
+				in := make([]byte, size)
+				if _, err := world.Sendrecv(out, right, it, in, left, it); err != nil {
+					return fmt.Errorf("iter %d ring: %w", it, err)
+				}
+				for i := range in {
+					if in[i] != byte(left+i) {
+						return fmt.Errorf("iter %d: ring corrupt at %d", it, i)
+					}
+				}
+			case 3: // broadcast from a random root
+				root := rng.Intn(n)
+				buf := make([]byte, 1+rng.Intn(100))
+				if me == root {
+					for i := range buf {
+						buf[i] = byte(it)
+					}
+				}
+				if err := world.Bcast(buf, root); err != nil {
+					return fmt.Errorf("iter %d bcast: %w", it, err)
+				}
+				for i := range buf {
+					if buf[i] != byte(it) {
+						return fmt.Errorf("iter %d: bcast corrupt", it)
+					}
+				}
+			case 4: // dup, use, free
+				dup, err := world.Dup()
+				if err != nil {
+					return fmt.Errorf("iter %d dup: %w", it, err)
+				}
+				v, err := dup.AllreduceInt64(1, mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				if v != int64(n) {
+					return fmt.Errorf("iter %d: dup sum %d", it, v)
+				}
+				if err := dup.Free(); err != nil {
+					return err
+				}
+			}
+		}
+		return world.Barrier()
+	})
+}
+
+// TestStressSessionChurn cycles sessions rapidly while another session's
+// communicator stays in use, validating isolation of lifecycles.
+func TestStressSessionChurn(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		stable, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		defer stable.Finalize()
+		grp, err := stable.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := stable.CommCreateFromGroup(grp, "stable", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+
+		for i := 0; i < 10; i++ {
+			s, err := p.SessionInit(nil, mpi.ErrorsReturn())
+			if err != nil {
+				return fmt.Errorf("churn %d: %w", i, err)
+			}
+			g, err := s.GroupFromPset(mpi.PsetShared)
+			if err != nil {
+				return err
+			}
+			c, err := s.CommCreateFromGroup(g, fmt.Sprintf("churn-%d", i), nil, nil)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.Free(); err != nil {
+				return err
+			}
+			if err := s.Finalize(); err != nil {
+				return err
+			}
+			// The stable session's communicator still works.
+			if _, err := comm.AllreduceInt64(1, mpi.OpSum); err != nil {
+				return fmt.Errorf("churn %d broke stable comm: %w", i, err)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,138 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestThreadsEachWithOwnSession exercises the §II-B isolation model:
+// several threads of one process drive MPI concurrently, each through
+// objects from its own session, with no cross-thread coordination. The
+// sessions isolate their resources, so this is legal even at funneled /
+// serialized thread levels in the proposal.
+func TestThreadsEachWithOwnSession(t *testing.T) {
+	const threads = 4
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, threads)
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer sess.Finalize()
+				grp, err := sess.GroupFromPset(mpi.PsetWorld)
+				if err != nil {
+					errs <- err
+					return
+				}
+				comm, err := sess.CommCreateFromGroup(grp, fmt.Sprintf("thread-%d", th), nil, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer comm.Free()
+				// Ping-pong on this thread's private communicator.
+				me := comm.Rank()
+				peer := 1 - me
+				buf := make([]byte, 4)
+				for i := 0; i < 20; i++ {
+					if me == 0 {
+						out := []byte{byte(th), byte(i), 0, 0}
+						if err := comm.Send(out, peer, i); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := comm.Recv(buf, peer, i); err != nil {
+							errs <- err
+							return
+						}
+						if buf[0] != byte(th) || buf[1] != byte(i+1) {
+							errs <- fmt.Errorf("thread %d iter %d: cross-session leak? got %v", th, i, buf)
+							return
+						}
+					} else {
+						if _, err := comm.Recv(buf, peer, i); err != nil {
+							errs <- err
+							return
+						}
+						buf[1]++
+						if err := comm.Send(buf, peer, i); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	})
+}
+
+// TestThreadsSharedCommThreadMultiple drives one communicator from many
+// goroutines concurrently (MPI_THREAD_MULTIPLE semantics), using distinct
+// tags per thread so matching is deterministic.
+func TestThreadsSharedCommThreadMultiple(t *testing.T) {
+	const threads = 6
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		var wg sync.WaitGroup
+		errs := make(chan error, threads)
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				buf := make([]byte, 1)
+				tag := 1000 + th
+				for i := 0; i < 15; i++ {
+					if world.Rank() == 0 {
+						if err := world.Send([]byte{byte(th)}, 1, tag); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := world.Recv(buf, 1, tag); err != nil {
+							errs <- err
+							return
+						}
+						if buf[0] != byte(th)+1 {
+							errs <- fmt.Errorf("thread %d: got %d", th, buf[0])
+							return
+						}
+					} else {
+						if _, err := world.Recv(buf, 0, tag); err != nil {
+							errs <- err
+							return
+						}
+						buf[0]++
+						if err := world.Send(buf, 0, tag); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	})
+}

@@ -1,0 +1,65 @@
+package mpi_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+func TestInstanceTraceRecordsLifecycle(t *testing.T) {
+	cfg := core.Config{CIDMode: core.CIDExtended, Trace: true}
+	run(t, 1, 2, cfg, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "traced", nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		if err := sess.Finalize(); err != nil {
+			return err
+		}
+		evs := p.Instance().Trace().Events()
+		var sawAcquire, sawComm, sawFinal bool
+		for _, ev := range evs {
+			switch {
+			case ev.Layer == "core" && strings.Contains(ev.Msg, "acquired"):
+				sawAcquire = true
+			case ev.Layer == "comm" && strings.Contains(ev.Msg, `"traced"`):
+				sawComm = true
+			case ev.Layer == "core" && strings.Contains(ev.Msg, "finalized"):
+				sawFinal = true
+			}
+		}
+		if !sawAcquire || !sawComm || !sawFinal {
+			return fmt.Errorf("trace missing events (acquire=%v comm=%v final=%v): %v",
+				sawAcquire, sawComm, sawFinal, evs)
+		}
+		return nil
+	})
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	run(t, 1, 1, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		if n := len(p.Instance().Trace().Events()); n != 0 {
+			return fmt.Errorf("trace recorded %d events while disabled", n)
+		}
+		return nil
+	})
+}

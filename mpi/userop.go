@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// User-defined reduction operations (MPI_Op_create). A UserOp combines
+// elements with an application-supplied function; as in MPI, the function
+// must be associative, and the implementation may apply it in any
+// associative bracketing. With root 0 the operands combine in ascending
+// rank order (left to right); other roots rotate that order, so
+// non-commutative combiners should reduce to root 0.
+type UserOp struct {
+	name string
+	fn   func(inout, in []byte, count int, dt Datatype) error
+}
+
+// OpCreate builds a user-defined reduction operation. fn must implement
+// inout[i] = fn(inout[i], in[i]) element-wise for count elements of dt.
+func OpCreate(name string, fn func(inout, in []byte, count int, dt Datatype) error) *UserOp {
+	return &UserOp{name: name, fn: fn}
+}
+
+// Name returns the operation's name.
+func (o *UserOp) Name() string { return o.name }
+
+// reducerFn is the internal element-wise combiner used by the reduction
+// trees: inout = op(inout, in).
+type reducerFn func(inout, in []byte, count int) error
+
+func builtinReducer(op Op, dt Datatype) reducerFn {
+	return func(inout, in []byte, count int) error {
+		return reduce(op, dt, inout, in, count)
+	}
+}
+
+func userReducer(op *UserOp, dt Datatype) reducerFn {
+	return func(inout, in []byte, count int) error {
+		return op.fn(inout, in, count, dt)
+	}
+}
+
+// ReduceUser is MPI_Reduce with a user-defined operation.
+func (c *Comm) ReduceUser(sendBuf, recvBuf []byte, count int, dt Datatype, op *UserOp, root int) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	if op == nil {
+		return c.errh.invoke(fmt.Errorf("mpi: nil user operation"))
+	}
+	if root < 0 || root >= c.Size() {
+		return c.errh.invoke(fmt.Errorf("mpi: reduce root %d out of range", root))
+	}
+	nbytes := count * dt.Size()
+	if len(sendBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: reduce send buffer %d < %d bytes", len(sendBuf), nbytes))
+	}
+	tag := c.nextCollTag()
+	return c.errh.invoke(c.reduceTreeWithFn(sendBuf, recvBuf, count, dt, userReducer(op, dt), root, tag))
+}
+
+// AllreduceUser is MPI_Allreduce with a user-defined operation.
+func (c *Comm) AllreduceUser(sendBuf, recvBuf []byte, count int, dt Datatype, op *UserOp) error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	if op == nil {
+		return c.errh.invoke(fmt.Errorf("mpi: nil user operation"))
+	}
+	nbytes := count * dt.Size()
+	if len(sendBuf) < nbytes || len(recvBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: allreduce buffers too small for %d x %s", count, dt))
+	}
+	rtag := c.nextCollTag()
+	btag := c.nextCollTag()
+	if err := c.reduceTreeWithFn(sendBuf, recvBuf, count, dt, userReducer(op, dt), 0, rtag); err != nil {
+		return c.errh.invoke(err)
+	}
+	return c.errh.invoke(c.bcastWithTag(recvBuf[:nbytes], 0, btag))
+}
+
+// reduceTreeWithFn is the binomial reduction generalized over a combiner.
+// For non-commutative combiners, operands are ordered so that lower ranks
+// appear on the left, matching the builtin path's bracketing.
+func (c *Comm) reduceTreeWithFn(sendBuf, recvBuf []byte, count int, dt Datatype, fn reducerFn, root, tag int) error {
+	rank, size := c.Rank(), c.Size()
+	nbytes := count * dt.Size()
+	acc := make([]byte, nbytes)
+	copy(acc, sendBuf[:nbytes])
+	if size > 1 {
+		vrank := (rank - root + size) % size
+		toReal := func(v int) int { return (v + root) % size }
+		tmp := make([]byte, nbytes)
+		mask := 1
+		for mask < size {
+			if vrank&mask != 0 {
+				if err := c.sendT(acc, toReal(vrank-mask), tag); err != nil {
+					return err
+				}
+				break
+			}
+			if peer := vrank + mask; peer < size {
+				if err := c.recvT(tmp, toReal(peer), tag); err != nil {
+					return err
+				}
+				// acc holds lower ranks' contribution: acc = fn(acc, tmp).
+				if err := fn(acc, tmp, count); err != nil {
+					return err
+				}
+			}
+			mask <<= 1
+		}
+	}
+	if rank == root {
+		if len(recvBuf) < nbytes {
+			return fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes)
+		}
+		copy(recvBuf, acc)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package mpi_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// withSessionComm runs body with a session and a world-spanning
+// sessions-model communicator.
+func withSession(t *testing.T, nodes, ppn int, body func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error) {
+	t.Helper()
+	run(t, nodes, ppn, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if err := body(p, sess, grp); err != nil {
+			return err
+		}
+		return sess.Finalize()
+	})
+}
+
+func TestWinCreateFromGroupPutGet(t *testing.T) {
+	withSession(t, 2, 2, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "t1", 64)
+		if err != nil {
+			return err
+		}
+		me := win.Comm().Rank()
+		n := win.Comm().Size()
+		// Everyone puts its rank byte into the right neighbour's slot 0.
+		right := (me + 1) % n
+		if err := win.Put(right, 0, []byte{byte(me)}); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		left := (me - 1 + n) % n
+		if win.Local()[0] != byte(left) {
+			return fmt.Errorf("local[0] = %d, want %d", win.Local()[0], left)
+		}
+		// Get the left neighbour's slot 0 (holds its left neighbour's rank).
+		var got [1]byte
+		if err := win.Get(left, 0, got[:]); err != nil {
+			return err
+		}
+		if got[0] != byte((left-1+n)%n) {
+			return fmt.Errorf("get = %d", got[0])
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}
+
+func TestWinAccumulate(t *testing.T) {
+	withSession(t, 1, 4, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "acc", 8)
+		if err != nil {
+			return err
+		}
+		// All ranks accumulate their rank+1 into rank 0's counter.
+		one := mpi.PackInt64s([]int64{int64(win.Comm().Rank() + 1)})
+		if err := win.Accumulate(0, 0, one, mpi.OpSum); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if win.Comm().Rank() == 0 {
+			got := mpi.UnpackInt64s(win.Local())[0]
+			if got != 10 { // 1+2+3+4
+				return fmt.Errorf("accumulated = %d, want 10", got)
+			}
+		}
+		return win.Free()
+	})
+}
+
+func TestWinSelfOpsAndValidation(t *testing.T) {
+	withSession(t, 1, 2, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "self", 16)
+		if err != nil {
+			return err
+		}
+		me := win.Comm().Rank()
+		if err := win.Put(me, 4, []byte("ab")); err != nil {
+			return err
+		}
+		var buf [2]byte
+		if err := win.Get(me, 4, buf[:]); err != nil {
+			return err
+		}
+		if string(buf[:]) != "ab" {
+			return fmt.Errorf("self get = %q", buf)
+		}
+		if err := win.Put(99, 0, nil); err == nil {
+			return fmt.Errorf("put to invalid target should fail")
+		}
+		if err := win.Put(me, -1, nil); err == nil {
+			return fmt.Errorf("negative offset should fail")
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if err := win.Free(); err != nil {
+			return err
+		}
+		if err := win.Put(0, 0, []byte{1}); !errors.Is(err, mpi.ErrWinFreed) {
+			return fmt.Errorf("put after free: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestFileOpenFromGroupReadWrite(t *testing.T) {
+	withSession(t, 2, 2, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		f, err := s.FileOpenFromGroup(g, "t", "results.dat")
+		if err != nil {
+			return err
+		}
+		if f.Name() != "results.dat" {
+			return fmt.Errorf("name = %q", f.Name())
+		}
+		me := p.JobRank()
+		// Each rank writes an 8-byte record at its slot.
+		rec := bytes.Repeat([]byte{byte('0' + me)}, 8)
+		if err := f.WriteAt(me*8, rec); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		// Everyone reads the whole file and checks every record.
+		size, err := f.Size()
+		if err != nil {
+			return err
+		}
+		if size != 32 {
+			return fmt.Errorf("size = %d, want 32", size)
+		}
+		all := make([]byte, size)
+		n, err := f.ReadAt(0, all)
+		if err != nil {
+			return err
+		}
+		if n != 32 {
+			return fmt.Errorf("read %d bytes", n)
+		}
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 8; i++ {
+				if all[r*8+i] != byte('0'+r) {
+					return fmt.Errorf("record %d corrupt: %q", r, all[r*8:(r+1)*8])
+				}
+			}
+		}
+		// Read past EOF returns 0.
+		if n, err := f.ReadAt(1000, make([]byte, 4)); err != nil || n != 0 {
+			return fmt.Errorf("eof read = %d,%v", n, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if _, err := f.ReadAt(0, all); !errors.Is(err, mpi.ErrFileClosed) {
+			return fmt.Errorf("read after close: %v", err)
+		}
+		return nil
+	})
+}

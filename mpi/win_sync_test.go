@@ -1,0 +1,157 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestWinPSCWEpoch(t *testing.T) {
+	withSession(t, 1, 4, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "pscw", 16)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		comm := win.Comm()
+		me := comm.Rank()
+
+		// Ranks 1..3 (origins) put into rank 0 (target) under PSCW.
+		worldGroup := comm.Group()
+		origins, err := worldGroup.Incl([]int{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		targets, err := worldGroup.Incl([]int{0})
+		if err != nil {
+			return err
+		}
+		if me == 0 {
+			if err := win.Post(origins); err != nil {
+				return err
+			}
+			if err := win.WaitEpoch(origins); err != nil {
+				return err
+			}
+			for r := 1; r <= 3; r++ {
+				if win.Local()[r] != byte(10*r) {
+					return fmt.Errorf("slot %d = %d, want %d", r, win.Local()[r], 10*r)
+				}
+			}
+			return nil
+		}
+		if err := win.Start(targets); err != nil {
+			return err
+		}
+		if err := win.Put(0, me, []byte{byte(10 * me)}); err != nil {
+			return err
+		}
+		return win.Complete()
+	})
+}
+
+func TestWinCompleteWithoutStartFails(t *testing.T) {
+	withSession(t, 1, 2, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "nostart", 8)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		if err := win.Complete(); err == nil {
+			return fmt.Errorf("Complete without Start accepted")
+		}
+		return nil
+	})
+}
+
+func TestWinLockExclusiveCounter(t *testing.T) {
+	withSession(t, 1, 4, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "lock", 8)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		comm := win.Comm()
+		// Every rank increments the counter at rank 0 under an exclusive
+		// lock, read-modify-write: without mutual exclusion updates would
+		// be lost.
+		const itersPerRank = 8
+		for i := 0; i < itersPerRank; i++ {
+			if err := win.Lock(mpi.LockExclusive, 0); err != nil {
+				return err
+			}
+			var cur [8]byte
+			if err := win.Get(0, 0, cur[:]); err != nil {
+				return err
+			}
+			v := mpi.UnpackInt64s(cur[:])[0]
+			if err := win.Put(0, 0, mpi.PackInt64s([]int64{v + 1})); err != nil {
+				return err
+			}
+			if err := win.Unlock(0); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			got := mpi.UnpackInt64s(win.Local()[:8])[0]
+			want := int64(itersPerRank * comm.Size())
+			if got != want {
+				return fmt.Errorf("counter = %d, want %d (lost updates)", got, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestWinLockSharedReaders(t *testing.T) {
+	withSession(t, 1, 3, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "shared", 8)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		comm := win.Comm()
+		if comm.Rank() == 0 {
+			copy(win.Local(), mpi.PackInt64s([]int64{777}))
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// All ranks read rank 0 under shared locks concurrently.
+		if err := win.Lock(mpi.LockShared, 0); err != nil {
+			return err
+		}
+		var buf [8]byte
+		if err := win.Get(0, 0, buf[:]); err != nil {
+			return err
+		}
+		if err := win.Unlock(0); err != nil {
+			return err
+		}
+		if v := mpi.UnpackInt64s(buf[:])[0]; v != 777 {
+			return fmt.Errorf("read %d under shared lock", v)
+		}
+		return win.Fence()
+	})
+}
+
+func TestWinLockValidation(t *testing.T) {
+	withSession(t, 1, 2, func(p *mpi.Process, s *mpi.Session, g *mpi.Group) error {
+		win, err := s.WinCreateFromGroup(g, "lockval", 8)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		if err := win.Lock(99, 0); err == nil {
+			return fmt.Errorf("bad lock type accepted")
+		}
+		if err := win.Lock(mpi.LockShared, 55); err == nil {
+			return fmt.Errorf("bad target accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/pmix"
+	"gompi/internal/topo"
+	"gompi/mpi"
+)
+
+// TestRollForwardReinitialization covers the §II-C recovery direction: a
+// rank fails, survivors finalize, re-initialize via a new session, and
+// continue on a survivor-only communicator.
+func TestRollForwardReinitialization(t *testing.T) {
+	const victim = 2
+	var mu sync.Mutex
+	var survivorSizes []int
+
+	job, err := NewJob(Options{
+		Cluster: topo.New(topo.Loopback(3), 2),
+		PPN:     3,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "e1", nil, nil)
+		if err != nil {
+			return err
+		}
+
+		failed := make(chan pmix.Proc, 8)
+		p.Instance().Client().RegisterEventHandler(
+			[]pmix.EventCode{pmix.EventProcTerminated},
+			func(ev pmix.Event) { failed <- ev.Source },
+		)
+		if p.JobRank() == victim {
+			time.Sleep(10 * time.Millisecond)
+			panic("injected failure")
+		}
+		select {
+		case proc := <-failed:
+			if proc.Rank != victim {
+				return fmt.Errorf("unexpected failed rank %d", proc.Rank)
+			}
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("failure event never arrived")
+		}
+		if err := comm.Free(); err != nil {
+			return err
+		}
+		if err := sess.Finalize(); err != nil {
+			return err
+		}
+
+		// Re-init with survivors.
+		sess2, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		defer sess2.Finalize()
+		surv, err := sess2.SurvivorGroup(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if surv.Size() != 5 {
+			return fmt.Errorf("survivor group size = %d, want 5", surv.Size())
+		}
+		comm2, err := sess2.CommCreateFromGroup(surv, "e2", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm2.Free()
+		n, err := comm2.AllreduceInt64(1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		survivorSizes = append(survivorSizes, int(n))
+		mu.Unlock()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("launch err = %v, want the injected failure", err)
+	}
+	if len(survivorSizes) != 5 {
+		t.Fatalf("%d survivors completed, want 5", len(survivorSizes))
+	}
+	for _, n := range survivorSizes {
+		if n != 5 {
+			t.Fatalf("survivor comm size = %d, want 5", n)
+		}
+	}
+}

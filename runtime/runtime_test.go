@@ -1,0 +1,252 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/pmix"
+	"gompi/internal/topo"
+	"gompi/mpi"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewJob(Options{PPN: -1}); err == nil {
+		t.Fatal("negative PPN accepted")
+	}
+	if _, err := NewJob(Options{Cluster: topo.New(topo.Loopback(2), 1), PPN: 2, NP: 8}); err == nil {
+		t.Fatal("over-subscribed job accepted")
+	}
+	job, err := NewJob(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+	if job.NP() != 8 {
+		t.Fatalf("default NP = %d, want 8 (loopback cores)", job.NP())
+	}
+}
+
+func TestRunHelloWorld(t *testing.T) {
+	var ranks atomic.Int32
+	err := Run(Options{
+		Cluster: topo.New(topo.Loopback(4), 2),
+		PPN:     4,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		ranks.Add(1)
+		if p.JobSize() != 8 {
+			return fmt.Errorf("JobSize = %d", p.JobSize())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks.Load() != 8 {
+		t.Fatalf("ran %d ranks, want 8", ranks.Load())
+	}
+}
+
+func TestRelaunchOnSameJob(t *testing.T) {
+	// Benchmarks re-launch rank functions on one substrate; instances must
+	// support full init/finalize cycles across launches.
+	job, err := NewJob(Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+	for i := 0; i < 3; i++ {
+		err := job.Launch(func(p *mpi.Process) error {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				return err
+			}
+			grp, err := sess.GroupFromPset(mpi.PsetWorld)
+			if err != nil {
+				return err
+			}
+			comm, err := sess.CommCreateFromGroup(grp, fmt.Sprintf("launch-%d", i), nil, nil)
+			if err != nil {
+				return err
+			}
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			if err := comm.Free(); err != nil {
+				return err
+			}
+			return sess.Finalize()
+		})
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+	}
+}
+
+func TestPanicBecomesRankError(t *testing.T) {
+	err := Run(Options{
+		Cluster: topo.New(topo.Loopback(2), 1),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		if p.JobRank() == 0 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFaultIsolationClientServer(t *testing.T) {
+	// The §II-C scenario: server processes coordinate through their own
+	// session-derived communicator; a client process fails; the servers
+	// observe the failure as an event and keep serving instead of being
+	// torn down with the client.
+	job, err := NewJob(Options{
+		Cluster: topo.New(topo.Loopback(3), 2),
+		PPN:     3,
+		Psets: map[string][]int{
+			"app://servers": {0, 1, 2, 3},
+			"app://clients": {4, 5},
+		},
+		Config: core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var failuresSeen atomic.Int32
+	var serverWork atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Servers.
+	go func() {
+		defer wg.Done()
+		err := job.LaunchRanks([]int{0, 1, 2, 3}, func(p *mpi.Process) error {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				return err
+			}
+			defer sess.Finalize()
+			grp, err := sess.GroupFromPset("app://servers")
+			if err != nil {
+				return err
+			}
+			comm, err := sess.CommCreateFromGroup(grp, "srv", nil, nil)
+			if err != nil {
+				return err
+			}
+			defer comm.Free()
+
+			failed := make(chan pmix.Proc, 4)
+			p.Instance().Client().RegisterEventHandler(
+				[]pmix.EventCode{pmix.EventProcTerminated},
+				func(ev pmix.Event) { failed <- ev.Source },
+			)
+			// Wait for the client failure notification.
+			select {
+			case proc := <-failed:
+				if proc.Rank != 5 {
+					return fmt.Errorf("unexpected failed rank %d", proc.Rank)
+				}
+				failuresSeen.Add(1)
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("no failure event")
+			}
+			// Server-side collective still works after the client died.
+			sum, err := comm.AllreduceInt64(1, mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			if sum != 4 {
+				return fmt.Errorf("sum = %d", sum)
+			}
+			serverWork.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("servers: %v", err)
+		}
+	}()
+
+	// Clients: rank 5 dies.
+	go func() {
+		defer wg.Done()
+		err := job.LaunchRanks([]int{4, 5}, func(p *mpi.Process) error {
+			sess, err := p.SessionInit(nil, nil)
+			if err != nil {
+				return err
+			}
+			if p.JobRank() == 5 {
+				time.Sleep(20 * time.Millisecond)
+				panic("client crash")
+			}
+			defer sess.Finalize()
+			return nil
+		})
+		if err == nil {
+			t.Error("client job should report the crash")
+		}
+	}()
+
+	wg.Wait()
+	if failuresSeen.Load() != 4 || serverWork.Load() != 4 {
+		t.Fatalf("failures seen by %d servers, work done by %d; want 4/4",
+			failuresSeen.Load(), serverWork.Load())
+	}
+}
+
+func TestJobErrorAggregation(t *testing.T) {
+	err := Run(Options{
+		Cluster: topo.New(topo.Loopback(4), 1),
+		PPN:     4,
+	}, func(p *mpi.Process) error {
+		if p.JobRank()%2 == 1 {
+			return errors.New("odd rank fails")
+		}
+		return nil
+	})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if len(je.Errors) != 2 {
+		t.Fatalf("got %d rank errors, want 2", len(je.Errors))
+	}
+	var re RankError
+	if !errors.As(je.Errors[0], &re) && re.Rank%2 != 1 {
+		t.Fatalf("unexpected rank error %v", je.Errors[0])
+	}
+	if !strings.Contains(je.Error(), "more rank errors") {
+		t.Fatalf("aggregate message = %q", je.Error())
+	}
+}
+
+func TestLaunchRanksValidation(t *testing.T) {
+	job, err := NewJob(Options{Cluster: topo.New(topo.Loopback(2), 1), PPN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+	if err := job.LaunchRanks([]int{5}, func(*mpi.Process) error { return nil }); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	job.Shutdown()
+	if err := job.Launch(func(*mpi.Process) error { return nil }); err == nil {
+		t.Fatal("launch after shutdown accepted")
+	}
+}
