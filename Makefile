@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test test-race bench figures
+
+# check is the repo's verification gate: vet, build, and the full test
+# suite under the race detector.
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/figures -table 1 -fig all

@@ -94,6 +94,81 @@ func AblationFirstMessage(profile topo.Profile, steadyIters int) (FirstMessageRe
 	return res, err
 }
 
+// BTLResult compares intra-node small-message latency over the
+// shared-memory fast path (default BTL selection routes node-local peers
+// through sm) against the same exchange forced onto the fabric transport
+// (BTL "^sm"), isolating what the PML/BTL split buys on-node.
+type BTLResult struct {
+	Size int           // message size in bytes
+	SM   time.Duration // half round trip, sm fast path
+	Net  time.Duration // half round trip, net path only
+}
+
+// AblationBTL measures a two-process single-node ping-pong under both BTL
+// selections.
+func AblationBTL(profile topo.Profile, iters, size int) (BTLResult, error) {
+	res := BTLResult{Size: size}
+	measure := func(btlSpec string, acc *time.Duration) error {
+		var m maxDuration
+		cfg := excidCfg()
+		cfg.BTL = btlSpec
+		err := runtime.Run(jobOpts(profile, 1, 2, cfg), func(p *mpi.Process) error {
+			comm, cleanup, err := worldEquivalentComm(p, true, "abl.btl")
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			me := comm.Rank()
+			buf := make([]byte, size)
+			pingPong := func(n int) error {
+				for i := 0; i < n; i++ {
+					if me == 0 {
+						if err := comm.Send(buf, 1, 1); err != nil {
+							return err
+						}
+						if _, err := comm.Recv(buf, 1, 1); err != nil {
+							return err
+						}
+					} else {
+						if _, err := comm.Recv(buf, 0, 1); err != nil {
+							return err
+						}
+						if err := comm.Send(buf, 0, 1); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			// Warm up past the exCID handshake and route selection.
+			if err := pingPong(10); err != nil {
+				return err
+			}
+			if err := comm.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := pingPong(iters); err != nil {
+				return err
+			}
+			if me == 0 {
+				m.add(time.Since(start) / time.Duration(2*iters))
+			}
+			return nil
+		})
+		*acc = m.d
+		return err
+	}
+	if err := measure("", &res.SM); err != nil {
+		return res, fmt.Errorf("bench: btl sm path: %w", err)
+	}
+	settle()
+	if err := measure("^sm", &res.Net); err != nil {
+		return res, fmt.Errorf("bench: btl net path: %w", err)
+	}
+	return res, nil
+}
+
 // QuiesceResult compares the two QUO_barrier mechanisms (§IV-E): the
 // native low-overhead blocking quiesce versus the sessions-aware
 // Ibarrier+nanosleep loop.

@@ -128,6 +128,13 @@ func TestAblationsSmoke(t *testing.T) {
 	if w.Intermediate <= 0 || w.Direct <= 0 {
 		t.Fatalf("win create = %+v", w)
 	}
+	btl, err := AblationBTL(lb(), 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if btl.SM <= 0 || btl.Net <= 0 {
+		t.Fatalf("btl = %+v", btl)
+	}
 	// Rendering glue.
 	out := RenderAblations(fm, q, g)
 	if !strings.Contains(out, "exCID first message") {
@@ -135,6 +142,9 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 	if !strings.Contains(RenderWinAblation(w), "window from group") {
 		t.Fatal("win ablation render missing")
+	}
+	if !strings.Contains(RenderBTLAblation(btl), "BTL intra-node 8B") {
+		t.Fatal("btl ablation render missing")
 	}
 }
 

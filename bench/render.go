@@ -131,6 +131,16 @@ func RenderAblations(fm FirstMessageResult, q QuiesceResult, g GroupConstructRes
 	return b.String()
 }
 
+// RenderBTLAblation formats the sm-vs-net intra-node transport comparison.
+func RenderBTLAblation(r BTLResult) string {
+	speedup := 0.0
+	if r.SM > 0 {
+		speedup = float64(r.Net) / float64(r.SM)
+	}
+	return fmt.Sprintf("BTL intra-node %dB:    sm fast path %s us  vs net path %s us  (%.2fx)\n",
+		r.Size, us(r.SM), us(r.Net), speedup)
+}
+
 // RenderWinAblation formats the window-construction comparison.
 func RenderWinAblation(w WinCreateResult) string {
 	return fmt.Sprintf("window from group:     intermediate comm %s us  vs direct constructor %s us\n",

@@ -183,6 +183,20 @@ func BenchmarkAblationFirstMessage(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBTL: intra-node small-message latency over the
+// shared-memory fast path vs the same exchange forced onto the fabric
+// transport (BTL "^sm").
+func BenchmarkAblationBTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationBTL(topo.Jupiter(), 50, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SM.Nanoseconds())/1e3, "sm-us")
+		b.ReportMetric(float64(res.Net.Nanoseconds())/1e3, "net-us")
+	}
+}
+
 // BenchmarkAblationQuiesce: QUO native barrier vs sessions Ibarrier+sleep.
 func BenchmarkAblationQuiesce(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -147,6 +147,9 @@ func main() {
 		w, err := bench.AblationWinCreate(profile, 2, 4, 3)
 		exitOn(err)
 		fmt.Print(bench.RenderWinAblation(w))
+		btl, err := bench.AblationBTL(profile, 200, 8)
+		exitOn(err)
+		fmt.Print(bench.RenderBTLAblation(btl))
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))

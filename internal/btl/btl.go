@@ -1,0 +1,65 @@
+// Package btl defines the byte-transfer-layer interface separating the PML's
+// protocol logic (matching, eager/rendezvous, exCID handshake) from how raw
+// packets actually move between processes, mirroring Open MPI's PML/BTL
+// split. The PML selects one module per peer at connection time — the first
+// module, in MCA priority order, whose AddProc accepts the peer — so
+// intra-node traffic can ride a shared-memory fast path while inter-node
+// traffic uses the simulated fabric.
+package btl
+
+import "errors"
+
+var (
+	// ErrUnreachable is returned by AddProc when the module cannot reach
+	// the peer (e.g. sm for an off-node rank); the PML tries the next
+	// module in priority order.
+	ErrUnreachable = errors.New("btl: peer unreachable by this transport")
+
+	// ErrClosed is returned by Send when the peer's transport endpoint has
+	// been torn down.
+	ErrClosed = errors.New("btl: endpoint closed")
+)
+
+// Stats counts the traffic one module has carried.
+type Stats struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// DeliverFunc hands one inbound packet up to the PML. Modules may invoke it
+// from a progress goroutine (net) or inline on the sender's goroutine (sm);
+// the PML must not assume a particular calling context and must not hold
+// locks that a nested Send from inside the callback would need.
+type DeliverFunc func(pkt []byte)
+
+// Endpoint is one peer reachable through a module.
+type Endpoint interface {
+	// Send injects one packet toward the peer. The packet is not aliased
+	// after Send returns on the net path, but the sm path hands the very
+	// slice to the receiver, so callers must not reuse it.
+	Send(pkt []byte) error
+}
+
+// Module is one transport component instance, owned by a single PML engine.
+type Module interface {
+	// Name is the MCA component name ("sm", "net").
+	Name() string
+
+	// EagerLimit is the module's preferred eager/rendezvous switch point.
+	EagerLimit() int
+
+	// Activate installs the upcall for inbound packets and starts any
+	// progress machinery. Called exactly once, before any AddProc.
+	Activate(deliver DeliverFunc)
+
+	// AddProc resolves a peer, returning ErrUnreachable if the module
+	// cannot carry traffic to it.
+	AddProc(globalRank int) (Endpoint, error)
+
+	// Stats snapshots the module's send-side counters.
+	Stats() Stats
+
+	// Close tears the module down and blocks until its progress machinery
+	// has fully stopped; no deliveries run after Close returns.
+	Close()
+}

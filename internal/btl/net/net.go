@@ -1,0 +1,103 @@
+// Package net is the fabric BTL: it wraps a simnet.Endpoint, carrying
+// packets through the simulated network with its full latency/serialization
+// model. It is the catch-all transport — AddProc accepts every peer — and
+// sits below sm in MCA priority so intra-node traffic prefers the
+// shared-memory fast path when that module is enabled.
+package net
+
+import (
+	"sync/atomic"
+
+	"gompi/internal/btl"
+	"gompi/internal/simnet"
+)
+
+// DefaultEagerLimit mirrors the fabric-path eager/rendezvous switch point
+// the engine used before the BTL split.
+const DefaultEagerLimit = 4096
+
+// Module is the fabric transport for one process.
+type Module struct {
+	ep      *simnet.Endpoint
+	resolve func(globalRank int) (simnet.Addr, error)
+	eager   int
+
+	deliver btl.DeliverFunc
+	started bool
+	done    chan struct{}
+
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// New wraps an endpoint. resolve maps a global rank to its fabric address;
+// it is consulted once per peer, on AddProc. eagerLimit <= 0 selects
+// DefaultEagerLimit.
+func New(ep *simnet.Endpoint, resolve func(int) (simnet.Addr, error), eagerLimit int) *Module {
+	if eagerLimit <= 0 {
+		eagerLimit = DefaultEagerLimit
+	}
+	return &Module{ep: ep, resolve: resolve, eager: eagerLimit, done: make(chan struct{})}
+}
+
+// Name implements btl.Module.
+func (m *Module) Name() string { return "net" }
+
+// EagerLimit implements btl.Module.
+func (m *Module) EagerLimit() int { return m.eager }
+
+// Activate starts the progress goroutine draining the endpoint.
+func (m *Module) Activate(deliver btl.DeliverFunc) {
+	m.deliver = deliver
+	m.started = true
+	go m.progress()
+}
+
+func (m *Module) progress() {
+	defer close(m.done)
+	for {
+		msg, err := m.ep.Recv(0)
+		if err != nil {
+			return
+		}
+		m.deliver(msg.Payload)
+	}
+}
+
+// AddProc resolves the peer's fabric address. The fabric reaches every
+// rank, so net never reports ErrUnreachable — only resolution failures.
+func (m *Module) AddProc(globalRank int) (btl.Endpoint, error) {
+	addr, err := m.resolve(globalRank)
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{mod: m, addr: addr}, nil
+}
+
+// Stats implements btl.Module.
+func (m *Module) Stats() btl.Stats {
+	return btl.Stats{Msgs: m.msgs.Load(), Bytes: m.bytes.Load()}
+}
+
+// Close shuts the endpoint and blocks until the progress goroutine has
+// drained and exited, so no delivery upcall runs after Close returns.
+func (m *Module) Close() {
+	m.ep.Close()
+	if m.started {
+		<-m.done
+	}
+}
+
+type endpoint struct {
+	mod  *Module
+	addr simnet.Addr
+}
+
+func (e *endpoint) Send(pkt []byte) error {
+	if err := e.mod.ep.Send(e.addr, simnet.Message{Payload: pkt}); err != nil {
+		return err
+	}
+	e.mod.msgs.Add(1)
+	e.mod.bytes.Add(uint64(len(pkt)))
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gompi/internal/pml"
+)
+
+// pingPong pushes one message from insts[0] to insts[1] through the PML so
+// the per-BTL counters reflect a real transfer.
+func pingPong(t *testing.T, insts []*Instance) {
+	t.Helper()
+	ch0, err := insts[0].Engine().AddChannel(5, pml.ExCID{}, false, 0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := insts[1].Engine().AddChannel(5, pml.ExCID{}, false, 1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	req := ch1.Irecv(0, 1, buf)
+	if err := ch0.Send(1, 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("buf = %q", buf)
+	}
+}
+
+func acquireAll(t *testing.T, insts []*Instance) {
+	t.Helper()
+	for i, inst := range insts {
+		if err := inst.Acquire(); err != nil {
+			t.Fatalf("acquire rank %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, inst := range insts {
+			_ = inst.Release()
+		}
+	})
+}
+
+func TestBTLDefaultSelectsSMIntraNode(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if st["sm"].Msgs == 0 {
+		t.Fatalf("intra-node traffic bypassed sm: %+v", st)
+	}
+	if st["net"].Msgs != 0 {
+		t.Fatalf("intra-node traffic touched the fabric: %+v", st)
+	}
+}
+
+func TestBTLInterNodeUsesNet(t *testing.T) {
+	insts := testDeploy(t, 2, 1, Config{})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if st["net"].Msgs == 0 {
+		t.Fatalf("inter-node traffic did not use net: %+v", st)
+	}
+	if st["sm"].Msgs != 0 {
+		t.Fatalf("inter-node traffic claimed to use sm: %+v", st)
+	}
+}
+
+func TestBTLExcludeSMFallsBackToNet(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{BTL: "^sm"})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if _, loaded := st["sm"]; loaded {
+		t.Fatalf("sm module instantiated despite exclusion: %+v", st)
+	}
+	if st["net"].Msgs == 0 {
+		t.Fatalf("intra-node traffic with sm excluded must ride net: %+v", st)
+	}
+}
+
+func TestBTLIncludeListOnlyNet(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{BTL: "net"})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if _, loaded := st["sm"]; loaded {
+		t.Fatalf("include list %q must not load sm: %+v", "net", st)
+	}
+}
+
+func TestBTLEmptySelectionErrors(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{BTL: "^sm,net"})
+	err := insts[0].Acquire()
+	if err == nil {
+		_ = insts[0].Release()
+		t.Fatal("excluding every BTL should fail initialization")
+	}
+	if !strings.Contains(err.Error(), "excludes every component") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBTLUnknownComponentErrors(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{BTL: "bogus"})
+	if err := insts[0].Acquire(); err == nil {
+		_ = insts[0].Release()
+		t.Fatal("unknown BTL component should fail initialization")
+	}
+}
+
+// TestBTLMixedGenerationPeers: sessions are per-process lifecycles, so one
+// rank may finalize and re-initialize (bumping its modex generation) while
+// a node-local peer stays in its first cycle. sm locality comes from the
+// static placement map, not the per-generation modex address, so traffic
+// must flow in both directions across the generation skew.
+func TestBTLMixedGenerationPeers(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{})
+	if err := insts[0].Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = insts[0].Release() })
+	// Rank 1 runs a full solo cycle: its next init publishes pml.addr.g1
+	// while rank 0 still lives in generation 0.
+	if err := insts[1].Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := insts[1].Release(); err != nil {
+		t.Fatal(err)
+	}
+	if g := insts[1].Generation(); g != 1 {
+		t.Fatalf("rank 1 generation = %d, want 1", g)
+	}
+	if err := insts[1].Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = insts[1].Release() })
+	pingPong(t, insts)
+	// And the reverse direction: the re-initialized rank sends first.
+	ch1, err := insts[1].Engine().AddChannel(6, pml.ExCID{}, false, 1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0, err := insts[0].Engine().AddChannel(6, pml.ExCID{}, false, 0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	req := ch0.Irecv(1, 1, buf)
+	if err := ch1.Send(0, 1, []byte("hi")); err != nil {
+		t.Fatalf("send across generation skew: %v", err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Fatalf("buf = %q", buf)
+	}
+}
+
+// TestBTLSelectionSurvivesReinit: a failed selection must leave the
+// registry reusable, and a re-initialized instance re-registers its sm
+// mailbox without panicking on a stale registration.
+func TestBTLSelectionSurvivesReinit(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{})
+	for cycle := 0; cycle < 3; cycle++ {
+		acquireNow := func() {
+			for i, inst := range insts {
+				if err := inst.Acquire(); err != nil {
+					t.Fatalf("cycle %d acquire rank %d: %v", cycle, i, err)
+				}
+			}
+		}
+		acquireNow()
+		pingPong(t, insts)
+		for _, inst := range insts {
+			if err := inst.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

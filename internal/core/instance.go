@@ -15,6 +15,9 @@ import (
 	"sync"
 	"time"
 
+	"gompi/internal/btl"
+	btlnet "gompi/internal/btl/net"
+	btlsm "gompi/internal/btl/sm"
 	"gompi/internal/opal"
 	"gompi/internal/pmix"
 	"gompi/internal/pml"
@@ -60,7 +63,15 @@ type Config struct {
 	// Sessions communicator constructors are unavailable, mirroring the
 	// paper's fallback rule.
 	PML string
-	// EagerLimit is the PML eager/rendezvous threshold (0 = default).
+	// BTL is an MCA-style include/exclude list selecting the byte-transfer
+	// modules the PML may route peers through, mirroring the PML switch:
+	// "" selects every registered transport in priority order (sm preferred
+	// for intra-node peers, net for the rest), "net" forces everything over
+	// the fabric, "^sm" disables the shared-memory fast path.
+	BTL string
+	// EagerLimit is the PML eager/rendezvous threshold. Zero defers to each
+	// transport's own limit (sm advertises a much larger one than net); a
+	// positive value overrides every transport.
 	EagerLimit int
 	// DupUseSubfields, when set, lets Comm.Dup derive the child exCID from
 	// the parent's subfields (§III-B3) instead of acquiring a fresh PGCID
@@ -130,7 +141,8 @@ type Instance struct {
 	refs     int // live sessions (incl. the internal WPM session)
 	client   *pmix.Client
 	engine   *pml.Engine
-	gen      int // completed teardown cycles
+	dataAddr simnet.Addr // the fabric identity published for this cycle
+	gen      int         // completed teardown cycles
 	cidMu    sync.Mutex
 	commSeqs map[string]uint64 // per-tag creation counters for pset/group names
 }
@@ -157,8 +169,7 @@ func registerDefaultComponents(m *opal.MCA) {
 	m.Register("pml", opal.Component{Name: "ob1", Priority: 20})
 	m.Register("pml", opal.Component{Name: "cm", Priority: 10})
 	m.Register("btl", opal.Component{Name: "sm", Priority: 30})
-	m.Register("btl", opal.Component{Name: "aries", Priority: 20})
-	m.Register("btl", opal.Component{Name: "tcp", Priority: 10})
+	m.Register("btl", opal.Component{Name: "net", Priority: 20})
 	m.Register("coll", opal.Component{Name: "tuned", Priority: 30})
 	m.Register("coll", opal.Component{Name: "basic", Priority: 10})
 }
@@ -285,10 +296,16 @@ func (inst *Instance) initPMIx() (func(), error) {
 
 func (inst *Instance) initPML() (func(), error) {
 	node := inst.deps.Server.Node()
+	comps, err := inst.mca.SelectComponents("btl", inst.deps.Cfg.BTL)
+	if err != nil {
+		return nil, err
+	}
+	// The fabric endpoint doubles as the process's published identity, so
+	// it exists even when the net BTL is excluded from the selection.
 	ep := inst.deps.Fabric.NewEndpoint(node)
 	gen := inst.reg.Generation()
 	client := inst.Client()
-	engine := pml.NewEngine(ep, func(rank int) (simnet.Addr, error) {
+	resolve := cachedResolver(func(rank int) (simnet.Addr, error) {
 		// Remote processes are discovered on first communication
 		// (add_procs on demand, §III-B1): resolve the peer's endpoint
 		// through the runtime.
@@ -297,14 +314,43 @@ func (inst *Instance) initPML() (func(), error) {
 			return simnet.Addr{}, err
 		}
 		return decodeAddr(raw)
-	}, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit})
-
-	if err := client.Put(addrKey(gen), encodeAddr(engine.Addr())); err != nil {
+	})
+	var mods []btl.Module
+	netUsed := false
+	for _, c := range comps {
+		switch c.Name {
+		case "sm":
+			// Locality comes from the launcher's placement map, not the
+			// modex: peers on this node stay sm-reachable even mid-way
+			// through their own finalize/re-initialize cycles, when their
+			// current-generation fabric address is unresolvable.
+			mods = append(mods, btlsm.New(inst.deps.Fabric.Segment(node), node, inst.deps.Rank, client.NodeOf, 0))
+		case "net":
+			mods = append(mods, btlnet.New(ep, resolve, 0))
+			netUsed = true
+		}
+	}
+	if len(mods) == 0 {
+		ep.Close()
+		return nil, fmt.Errorf("core: BTL selection %q matched no usable transport", inst.deps.Cfg.BTL)
+	}
+	// NewEngine activates the modules — in particular sm registers its
+	// node-segment mailbox — before the address is published, so any peer
+	// that can resolve us is guaranteed to find the mailbox.
+	engine := pml.NewEngine(mods, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit})
+	closeAll := func() {
 		engine.Close()
+		if !netUsed {
+			ep.Close()
+		}
+	}
+
+	if err := client.Put(addrKey(gen), encodeAddr(ep.Addr())); err != nil {
+		closeAll()
 		return nil, err
 	}
 	if err := client.Commit(); err != nil {
-		engine.Close()
+		closeAll()
 		return nil, err
 	}
 	// Runtime failure events unblock pending point-to-point operations
@@ -314,6 +360,7 @@ func (inst *Instance) initPML() (func(), error) {
 	})
 	inst.mu.Lock()
 	inst.engine = engine
+	inst.dataAddr = ep.Addr()
 	inst.mu.Unlock()
 	return func() {
 		client.DeregisterEventHandler(hid)
@@ -323,8 +370,35 @@ func (inst *Instance) initPML() (func(), error) {
 		inst.mu.Unlock()
 		if e != nil {
 			e.Close()
+			if !netUsed {
+				ep.Close()
+			}
 		}
 	}, nil
+}
+
+// cachedResolver memoizes a rank-to-address lookup: several BTL modules
+// consult the resolver for the same peer during route selection, and the
+// modex answer never changes within a generation.
+func cachedResolver(fetch func(int) (simnet.Addr, error)) func(int) (simnet.Addr, error) {
+	var mu sync.Mutex
+	addrs := make(map[int]simnet.Addr)
+	return func(rank int) (simnet.Addr, error) {
+		mu.Lock()
+		if a, ok := addrs[rank]; ok {
+			mu.Unlock()
+			return a, nil
+		}
+		mu.Unlock()
+		a, err := fetch(rank)
+		if err != nil {
+			return simnet.Addr{}, err
+		}
+		mu.Lock()
+		addrs[rank] = a
+		mu.Unlock()
+		return a, nil
+	}
 }
 
 // Release drops one session reference. When the last reference goes, the
@@ -366,6 +440,14 @@ func (inst *Instance) Engine() *pml.Engine {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	return inst.engine
+}
+
+// DataAddr returns the fabric identity published for the current init
+// cycle (meaningful only while the instance is active).
+func (inst *Instance) DataAddr() simnet.Addr {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.dataAddr
 }
 
 // CIDLock serializes communicator construction within the process, as Open

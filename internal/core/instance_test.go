@@ -81,7 +81,7 @@ func TestReinitGetsNewEndpoint(t *testing.T) {
 	if err := inst.Acquire(); err != nil {
 		t.Fatal(err)
 	}
-	addr1 := inst.Engine().Addr()
+	addr1 := inst.DataAddr()
 	if err := inst.Release(); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestReinitGetsNewEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer inst.Release()
-	addr2 := inst.Engine().Addr()
+	addr2 := inst.DataAddr()
 	if addr1 == addr2 {
 		t.Fatal("re-initialized instance reused the closed endpoint")
 	}

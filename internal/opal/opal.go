@@ -15,6 +15,7 @@ package opal
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -253,6 +254,64 @@ func (m *MCA) Select(framework string) (Component, error) {
 		return Component{}, fmt.Errorf("opal: MCA framework %q has no components", framework)
 	}
 	return comps[0], nil
+}
+
+// SelectComponents returns a framework's components filtered by an MCA-style
+// include/exclude spec, preserving descending priority order:
+//
+//	""        every component (default selection)
+//	"sm,net"  only the named components — naming an unregistered one errors
+//	"^sm"     every component except the named ones
+//
+// An empty result is an error: the caller asked for a framework and excluded
+// every implementation of it.
+func (m *MCA) SelectComponents(framework, spec string) ([]Component, error) {
+	comps, err := m.Open(framework)
+	if err != nil {
+		return nil, err
+	}
+	names, exclude := parseComponentSpec(spec)
+	if len(names) > 0 {
+		known := make(map[string]bool, len(comps))
+		for _, c := range comps {
+			known[c.Name] = true
+		}
+		for n := range names {
+			if !known[n] {
+				return nil, fmt.Errorf("opal: MCA framework %q has no component %q", framework, n)
+			}
+		}
+		kept := comps[:0]
+		for _, c := range comps {
+			if names[c.Name] != exclude {
+				kept = append(kept, c)
+			}
+		}
+		comps = kept
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("opal: MCA framework %q selection %q excludes every component", framework, spec)
+	}
+	return comps, nil
+}
+
+// parseComponentSpec splits an include/exclude list: a leading '^' flips the
+// whole spec to an exclusion, matching Open MPI's mca parameter syntax.
+func parseComponentSpec(spec string) (names map[string]bool, exclude bool) {
+	if spec == "" {
+		return nil, false
+	}
+	if spec[0] == '^' {
+		exclude = true
+		spec = spec[1:]
+	}
+	names = make(map[string]bool)
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names, exclude
 }
 
 // ResetOpened clears the per-framework "opened" flags, used when an MPI

@@ -227,3 +227,49 @@ func TestMCAUnknownFramework(t *testing.T) {
 		t.Fatal("selecting from empty framework should error")
 	}
 }
+
+func TestSelectComponentsIncludeExclude(t *testing.T) {
+	m := NewMCA(nil)
+	m.Register("btl", Component{Name: "sm", Priority: 30})
+	m.Register("btl", Component{Name: "net", Priority: 20})
+
+	// Default: everything, descending priority.
+	comps, err := m.SelectComponents("btl", "")
+	if err != nil || len(comps) != 2 || comps[0].Name != "sm" || comps[1].Name != "net" {
+		t.Fatalf("default selection = %v, %v", comps, err)
+	}
+
+	// Include list.
+	comps, err = m.SelectComponents("btl", "net")
+	if err != nil || len(comps) != 1 || comps[0].Name != "net" {
+		t.Fatalf("include = %v, %v", comps, err)
+	}
+	comps, err = m.SelectComponents("btl", "net,sm")
+	if err != nil || len(comps) != 2 || comps[0].Name != "sm" {
+		t.Fatalf("include order must stay priority-sorted: %v, %v", comps, err)
+	}
+
+	// Exclusion.
+	comps, err = m.SelectComponents("btl", "^sm")
+	if err != nil || len(comps) != 1 || comps[0].Name != "net" {
+		t.Fatalf("exclude = %v, %v", comps, err)
+	}
+
+	// Empty result.
+	if _, err := m.SelectComponents("btl", "^sm,net"); err == nil {
+		t.Fatal("excluding every component should error")
+	}
+
+	// Unknown component name.
+	if _, err := m.SelectComponents("btl", "bogus"); err == nil {
+		t.Fatal("unknown component in spec should error")
+	}
+	if _, err := m.SelectComponents("btl", "^bogus"); err == nil {
+		t.Fatal("unknown component in exclusion should error")
+	}
+
+	// Unknown framework.
+	if _, err := m.SelectComponents("nope", ""); err == nil {
+		t.Fatal("unknown framework should error")
+	}
+}

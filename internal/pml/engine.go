@@ -1,20 +1,24 @@
 package pml
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
-	"gompi/internal/simnet"
+	"gompi/internal/btl"
 )
 
 // DefaultEagerLimit is the message size above which the rendezvous protocol
-// is used instead of eager delivery.
+// is used instead of eager delivery when neither the Config nor the selected
+// transport specifies a limit.
 const DefaultEagerLimit = 4096
 
 // Config tunes an Engine.
 type Config struct {
-	// EagerLimit is the eager/rendezvous switch point in bytes; zero means
-	// DefaultEagerLimit.
+	// EagerLimit is the eager/rendezvous switch point in bytes. When set
+	// (> 0) it overrides every transport's own preference, which keeps
+	// protocol tests deterministic; zero defers to the per-BTL limit (sm
+	// advertises a much larger one than net).
 	EagerLimit int
 }
 
@@ -28,19 +32,21 @@ type Stats struct {
 	Rendezvous uint64 // rendezvous transfers initiated
 }
 
-// Engine is one process's ob1-style messaging engine. It owns the process's
-// data endpoint, runs a progress goroutine that drains it, and performs MPI
-// tag matching for every communicator (Channel) registered with it.
+// Engine is one process's ob1-style messaging engine. It performs MPI tag
+// matching for every communicator (Channel) registered with it, and moves
+// bytes exclusively through its BTL modules: each peer is routed, on first
+// contact, to the highest-priority module whose AddProc accepts it, so
+// intra-node peers ride the sm fast path while everything else goes through
+// the fabric.
 type Engine struct {
-	ep         *simnet.Endpoint
-	resolve    func(globalRank int) (simnet.Addr, error)
-	eagerLimit int
+	btls     []btl.Module // in MCA priority order
+	cfgEager int          // explicit override; 0 = per-module default
 
 	mu          sync.Mutex
 	cond        *sync.Cond // signaled on unexpected-queue arrivals and close
 	comms       map[uint16]*Channel
 	byEx        map[ExCID]*Channel
-	addrs       map[int]simnet.Addr
+	routes      map[int]*route
 	pendSend    map[uint64]*pendingSend
 	pendRecv    map[uint64]*postedRecv
 	orphans     map[uint16][][]byte // fast-path packets for not-yet-registered CIDs
@@ -50,6 +56,13 @@ type Engine struct {
 	nextCID     uint16
 	closed      bool
 	stats       Stats
+}
+
+// route is the cached transport decision for one peer.
+type route struct {
+	mod   btl.Module
+	ep    btl.Endpoint
+	eager int
 }
 
 type pendingSend struct {
@@ -106,21 +119,19 @@ type Channel struct {
 	unexpected []*inbound
 }
 
-// NewEngine creates an engine on the given endpoint. resolve maps a global
-// rank to its data endpoint address; it is consulted lazily on first
-// communication with each peer and its result cached, mirroring Open MPI's
-// on-demand add_procs (§III-B1).
-func NewEngine(ep *simnet.Endpoint, resolve func(int) (simnet.Addr, error), cfg Config) *Engine {
-	if cfg.EagerLimit <= 0 {
-		cfg.EagerLimit = DefaultEagerLimit
-	}
+// NewEngine creates an engine over the given BTL modules, listed in MCA
+// priority order: a peer is carried by the first module whose AddProc
+// accepts it, decided lazily on first communication and cached, mirroring
+// Open MPI's on-demand add_procs (§III-B1). Every module is activated with
+// the engine's delivery upcall; the caller transfers ownership and must not
+// use the modules afterwards.
+func NewEngine(btls []btl.Module, cfg Config) *Engine {
 	e := &Engine{
-		ep:          ep,
-		resolve:     resolve,
-		eagerLimit:  cfg.EagerLimit,
+		btls:        btls,
+		cfgEager:    cfg.EagerLimit,
 		comms:       make(map[uint16]*Channel),
 		byEx:        make(map[ExCID]*Channel),
-		addrs:       make(map[int]simnet.Addr),
+		routes:      make(map[int]*route),
 		pendSend:    make(map[uint64]*pendingSend),
 		pendRecv:    make(map[uint64]*postedRecv),
 		orphans:     make(map[uint16][][]byte),
@@ -128,12 +139,23 @@ func NewEngine(ep *simnet.Endpoint, resolve func(int) (simnet.Addr, error), cfg 
 		failedPeers: make(map[int]bool),
 	}
 	e.cond = sync.NewCond(&e.mu)
-	go e.progress()
+	for _, m := range btls {
+		m.Activate(e.deliver)
+	}
 	return e
 }
 
-// Addr returns the engine's data endpoint address (published via modex).
-func (e *Engine) Addr() simnet.Addr { return e.ep.Addr() }
+// deliver is the upcall every BTL invokes for inbound packets. It may run
+// on a net progress goroutine or inline on a node-local sender's goroutine.
+func (e *Engine) deliver(pkt []byte) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return // teardown already failed every pending request
+	}
+	e.handlePacket(pkt)
+}
 
 // Stats returns a snapshot of the engine's message counters.
 func (e *Engine) Stats() Stats {
@@ -142,13 +164,20 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// EagerLimit returns the configured eager/rendezvous threshold.
-func (e *Engine) EagerLimit() int { return e.eagerLimit }
+// BTLStats returns each transport module's traffic counters, keyed by
+// component name ("sm", "net").
+func (e *Engine) BTLStats() map[string]btl.Stats {
+	out := make(map[string]btl.Stats, len(e.btls))
+	for _, m := range e.btls {
+		out[m.Name()] = m.Stats()
+	}
+	return out
+}
 
-// Close shuts down the engine: the endpoint is closed, the progress
-// goroutine exits, and all pending requests fail with ErrClosed.
+// Close shuts down the engine: every BTL module is closed (net blocks until
+// its progress goroutine has drained and exited, so no goroutine outlives
+// Close), and all pending requests fail with ErrClosed.
 func (e *Engine) Close() {
-	e.ep.Close()
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -172,6 +201,9 @@ func (e *Engine) Close() {
 	e.pendRecv = map[uint64]*postedRecv{}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	for _, m := range e.btls {
+		m.Close()
+	}
 	for _, r := range reqs {
 		r.complete(Status{}, ErrClosed)
 	}
@@ -279,7 +311,7 @@ func (e *Engine) AddChannel(localCID uint16, ex ExCID, useEx bool, myRank int, r
 	}
 	e.mu.Unlock()
 	for _, pkt := range replay {
-		e.handlePacket(pkt, simnet.Addr{})
+		e.handlePacket(pkt)
 	}
 	return ch, nil
 }
@@ -326,21 +358,44 @@ func (ch *Channel) PeerConnected(commRank int) bool {
 	return ch.peers[commRank].haveACK
 }
 
-func (e *Engine) addrOf(globalRank int) (simnet.Addr, error) {
+// routeTo returns the cached transport for a peer, selecting one on first
+// use: modules are tried in priority order and the first whose AddProc
+// accepts the peer wins; ErrUnreachable falls through to the next module,
+// any other resolution error aborts. AddProc may block on the modex
+// exchange, so it runs outside the engine lock.
+func (e *Engine) routeTo(globalRank int) (*route, error) {
 	e.mu.Lock()
-	if a, ok := e.addrs[globalRank]; ok {
+	if rt, ok := e.routes[globalRank]; ok {
 		e.mu.Unlock()
-		return a, nil
+		return rt, nil
 	}
 	e.mu.Unlock()
-	a, err := e.resolve(globalRank)
-	if err != nil {
-		return simnet.Addr{}, err
+	for _, m := range e.btls {
+		ep, err := m.AddProc(globalRank)
+		if errors.Is(err, btl.ErrUnreachable) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		eager := e.cfgEager
+		if eager <= 0 {
+			eager = m.EagerLimit()
+		}
+		if eager <= 0 {
+			eager = DefaultEagerLimit
+		}
+		rt := &route{mod: m, ep: ep, eager: eager}
+		e.mu.Lock()
+		if prior, ok := e.routes[globalRank]; ok {
+			rt = prior // a concurrent caller routed this peer first
+		} else {
+			e.routes[globalRank] = rt
+		}
+		e.mu.Unlock()
+		return rt, nil
 	}
-	e.mu.Lock()
-	e.addrs[globalRank] = a
-	e.mu.Unlock()
-	return a, nil
+	return nil, fmt.Errorf("pml: no btl module reaches rank %d", globalRank)
 }
 
 // Isend starts a nonblocking send of buf to dest (a comm rank) with tag.
@@ -371,6 +426,8 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	}
 	destGlobal := ch.ranks[dest]
 
+	// Fail fast before routing: routeTo may block resolving a peer that
+	// the runtime already declared dead.
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -379,6 +436,18 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	if e.failedPeers[destGlobal] {
 		e.mu.Unlock()
 		return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, destGlobal))
+	}
+	e.mu.Unlock()
+
+	rt, err := e.routeTo(destGlobal)
+	if err != nil {
+		return completedRequest(Status{}, err)
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return completedRequest(Status{}, ErrClosed)
 	}
 	ps := &ch.peers[dest]
 	seq := ps.sendSeq
@@ -392,7 +461,7 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 			ext = true
 		}
 	}
-	eager := len(buf) <= e.eagerLimit && !synchronous
+	eager := len(buf) <= rt.eager && !synchronous
 	var reqID uint64
 	var req *Request
 	if !eager {
@@ -425,11 +494,10 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 		pkt = buildPacket(hdr, ch, ext, info[:], nil)
 	}
 
-	addr, err := e.addrOf(destGlobal)
-	if err == nil {
-		err = e.ep.Send(addr, simnet.Message{Payload: pkt})
-	}
-	if err != nil {
+	// Send with no engine lock held: the sm BTL delivers inline on this
+	// goroutine, and the receiver's handler (or our own, on a self-send)
+	// may send replies that re-enter the engine.
+	if err := rt.ep.Send(pkt); err != nil {
 		if !eager {
 			e.mu.Lock()
 			delete(e.pendSend, reqID)
@@ -550,9 +618,9 @@ func (e *Engine) sendCTS(ch *Channel, msg *inbound, recvID uint64) {
 	pkt := make([]byte, matchHeaderLen+ctsInfoLen)
 	putMatchHeader(pkt, hdr)
 	copy(pkt[matchHeaderLen:], info[:])
-	addr, err := e.addrOf(msg.senderGlobal)
+	rt, err := e.routeTo(msg.senderGlobal)
 	if err == nil {
-		err = e.ep.Send(addr, simnet.Message{Payload: pkt})
+		err = rt.ep.Send(pkt)
 	}
 	if err != nil {
 		e.mu.Lock()
@@ -616,24 +684,14 @@ func (ch *Channel) Probe(src, tag int) (Status, error) {
 	}
 }
 
-// progress drains the endpoint until it is closed.
-func (e *Engine) progress() {
-	for {
-		m, err := e.ep.Recv(0)
-		if err != nil {
-			return
-		}
-		e.handlePacket(m.Payload, m.From)
+// handlePacket decodes and dispatches one wire packet. It runs on whatever
+// goroutine the carrying BTL delivers from and holds no locks across sends.
+func (e *Engine) handlePacket(pkt []byte) {
+	env, err := decodeEnvelope(pkt)
+	if err != nil {
+		return // truncated or unknown: drop, as ob1 does for corrupt frames
 	}
-}
-
-// handlePacket decodes and dispatches one wire packet.
-func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
-	if len(pkt) < matchHeaderLen {
-		return
-	}
-	hdr := getMatchHeader(pkt)
-	body := pkt[matchHeaderLen:]
+	hdr := env.hdr
 
 	switch hdr.typ {
 	case hdrMatch, hdrRTS:
@@ -641,27 +699,14 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 		var needAck bool
 		var ackTo int
 		e.mu.Lock()
-		if hdr.flags&flagExt != 0 {
-			if len(body) < extHeaderLen {
-				e.mu.Unlock()
-				return
-			}
-			ext := getExtHeader(body)
-			body = body[extHeaderLen:]
-			ch = e.byEx[ext.ex]
+		if env.hasExt {
+			ch = e.byEx[env.ext.ex]
 			if ch == nil {
 				// The communicator is still being constructed locally:
 				// buffer and replay on AddChannel.
-				e.orphansEx[ext.ex] = append(e.orphansEx[ext.ex], pkt)
+				e.orphansEx[env.ext.ex] = append(e.orphansEx[env.ext.ex], pkt)
 				e.mu.Unlock()
 				return
-			}
-			ps := &ch.peers[hdr.src]
-			if !ps.ackSent {
-				ps.ackSent = true
-				needAck = true
-				ackTo = ch.ranks[hdr.src]
-				e.stats.AcksSent++
 			}
 		} else {
 			ch = e.comms[hdr.ctx]
@@ -671,6 +716,19 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 				return
 			}
 		}
+		if int(hdr.src) >= len(ch.ranks) {
+			e.mu.Unlock()
+			return // corrupt source rank
+		}
+		if env.hasExt {
+			ps := &ch.peers[hdr.src]
+			if !ps.ackSent {
+				ps.ackSent = true
+				needAck = true
+				ackTo = ch.ranks[hdr.src]
+				e.stats.AcksSent++
+			}
+		}
 		msg := &inbound{
 			src:          int(hdr.src),
 			tag:          int(hdr.tag),
@@ -678,16 +736,11 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 			senderGlobal: ch.ranks[hdr.src],
 		}
 		if hdr.typ == hdrRTS {
-			if len(body) < rndvInfoLen {
-				e.mu.Unlock()
-				return
-			}
-			ri := getRndvInfo(body)
 			msg.rndv = true
-			msg.rndvLen = ri.length
-			msg.sendReqID = ri.sendReqID
+			msg.rndvLen = env.rndv.length
+			msg.sendReqID = env.rndv.sendReqID
 		} else {
-			msg.payload = body
+			msg.payload = env.payload
 		}
 		// Match against posted receives, in post order.
 		var matched *postedRecv
@@ -710,19 +763,15 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 			e.mu.Unlock()
 		}
 		if ack != nil {
-			if addr, err := e.addrOf(ackTo); err == nil {
-				_ = e.ep.Send(addr, simnet.Message{Payload: ack})
+			if rt, err := e.routeTo(ackTo); err == nil {
+				_ = rt.ep.Send(ack)
 			}
 		}
 
 	case hdrCTS:
-		if len(body) < ctsInfoLen {
-			return
-		}
-		ci := getCTSInfo(body)
 		e.mu.Lock()
-		ps := e.pendSend[ci.sendReqID]
-		delete(e.pendSend, ci.sendReqID)
+		ps := e.pendSend[env.cts.sendReqID]
+		delete(e.pendSend, env.cts.sendReqID)
 		e.mu.Unlock()
 		if ps == nil {
 			return
@@ -731,11 +780,11 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 		dhdr := matchHeader{typ: hdrData}
 		pkt := make([]byte, matchHeaderLen+dataInfoLen+len(ps.payload))
 		putMatchHeader(pkt, dhdr)
-		putUint64(pkt[matchHeaderLen:], ci.recvReqID)
+		putUint64(pkt[matchHeaderLen:], env.cts.recvReqID)
 		copy(pkt[matchHeaderLen+dataInfoLen:], ps.payload)
-		addr, err := e.addrOf(ps.destGlobal)
+		rt, err := e.routeTo(ps.destGlobal)
 		if err == nil {
-			err = e.ep.Send(addr, simnet.Message{Payload: pkt})
+			err = rt.ep.Send(pkt)
 		}
 		if err != nil {
 			ps.req.complete(Status{}, err)
@@ -744,35 +793,26 @@ func (e *Engine) handlePacket(pkt []byte, _ simnet.Addr) {
 		ps.req.complete(Status{Count: len(ps.payload)}, nil)
 
 	case hdrData:
-		if len(body) < dataInfoLen {
-			return
-		}
-		recvID := getUint64(body)
-		data := body[dataInfoLen:]
 		e.mu.Lock()
-		pr := e.pendRecv[recvID]
-		delete(e.pendRecv, recvID)
+		pr := e.pendRecv[env.dataReqID]
+		delete(e.pendRecv, env.dataReqID)
 		e.mu.Unlock()
 		if pr == nil {
 			return
 		}
-		n := copy(pr.buf, data)
+		n := copy(pr.buf, env.payload)
 		st := Status{Source: pr.resSrc, Tag: pr.resTag, Count: n}
-		if len(data) > len(pr.buf) {
+		if len(env.payload) > len(pr.buf) {
 			pr.req.complete(st, ErrTruncate)
 			return
 		}
 		pr.req.complete(st, nil)
 
 	case hdrCIDAck:
-		if len(body) < cidAckLen {
-			return
-		}
-		a := getCIDAck(body)
 		e.mu.Lock()
-		if ch := e.byEx[a.ex]; ch != nil && int(a.commRank) < len(ch.peers) {
-			ps := &ch.peers[a.commRank]
-			ps.remoteCID = a.localCID
+		if ch := e.byEx[env.ack.ex]; ch != nil && int(env.ack.commRank) < len(ch.peers) {
+			ps := &ch.peers[env.ack.commRank]
+			ps.remoteCID = env.ack.localCID
 			ps.haveACK = true
 		}
 		e.stats.AcksRecved++

@@ -9,11 +9,15 @@ import (
 	"testing"
 	"time"
 
+	"gompi/internal/btl"
+	btlnet "gompi/internal/btl/net"
 	"gompi/internal/simnet"
 	"gompi/internal/topo"
 )
 
-// testNet is a set of engines wired over a loopback fabric.
+// testNet is a set of engines wired over a loopback fabric via the net BTL,
+// keeping the protocol tests on the same fabric path they exercised before
+// the PML/BTL split.
 type testNet struct {
 	engines []*Engine
 }
@@ -33,7 +37,8 @@ func newTestNet(t *testing.T, n int, cfg Config) *testNet {
 	}
 	tn := &testNet{}
 	for i := 0; i < n; i++ {
-		tn.engines = append(tn.engines, NewEngine(eps[i], resolve, cfg))
+		mod := btlnet.New(eps[i], resolve, 0)
+		tn.engines = append(tn.engines, NewEngine([]btl.Module{mod}, cfg))
 	}
 	t.Cleanup(func() {
 		for _, e := range tn.engines {

@@ -15,6 +15,7 @@ package pml
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -198,3 +199,73 @@ func getCTSInfo(b []byte) ctsInfo {
 
 // dataInfo prefixes an hdrData payload: the receiver request ID (uint64).
 const dataInfoLen = 8
+
+// Envelope decode errors. Both mean "drop the frame": the simulated wire
+// never truncates, so either indicates a bug or a hostile peer.
+var (
+	errTruncatedPacket = errors.New("pml: truncated packet")
+	errUnknownPacket   = errors.New("pml: unknown packet type")
+)
+
+// envelope is one fully decoded wire packet: the match header plus the
+// per-type trailer. Exactly one of payload/rndv/cts/dataReqID/ack is
+// meaningful, selected by hdr.typ.
+type envelope struct {
+	hdr       matchHeader
+	ext       extHeader
+	hasExt    bool
+	payload   []byte // hdrMatch eager body, or hdrData payload
+	rndv      rndvInfo
+	cts       ctsInfo
+	dataReqID uint64
+	ack       cidAck
+}
+
+// decodeEnvelope validates and decodes one packet. Every length check the
+// dispatcher relies on lives here, so the fuzz target exercising this one
+// function covers the whole inbound parsing surface.
+func decodeEnvelope(pkt []byte) (envelope, error) {
+	if len(pkt) < matchHeaderLen {
+		return envelope{}, errTruncatedPacket
+	}
+	env := envelope{hdr: getMatchHeader(pkt)}
+	body := pkt[matchHeaderLen:]
+	switch env.hdr.typ {
+	case hdrMatch, hdrRTS:
+		if env.hdr.flags&flagExt != 0 {
+			if len(body) < extHeaderLen {
+				return envelope{}, errTruncatedPacket
+			}
+			env.ext = getExtHeader(body)
+			env.hasExt = true
+			body = body[extHeaderLen:]
+		}
+		if env.hdr.typ == hdrRTS {
+			if len(body) < rndvInfoLen {
+				return envelope{}, errTruncatedPacket
+			}
+			env.rndv = getRndvInfo(body)
+		} else {
+			env.payload = body
+		}
+	case hdrCTS:
+		if len(body) < ctsInfoLen {
+			return envelope{}, errTruncatedPacket
+		}
+		env.cts = getCTSInfo(body)
+	case hdrData:
+		if len(body) < dataInfoLen {
+			return envelope{}, errTruncatedPacket
+		}
+		env.dataReqID = getUint64(body)
+		env.payload = body[dataInfoLen:]
+	case hdrCIDAck:
+		if len(body) < cidAckLen {
+			return envelope{}, errTruncatedPacket
+		}
+		env.ack = getCIDAck(body)
+	default:
+		return envelope{}, errUnknownPacket
+	}
+	return env, nil
+}

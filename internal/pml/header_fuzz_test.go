@@ -1,0 +1,178 @@
+package pml
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// validPackets builds one well-formed packet of every wire shape, reused as
+// the fuzz seed corpus and by the truncation sweep.
+func validPackets() [][]byte {
+	var pkts [][]byte
+
+	// Eager match, fast header only.
+	h := matchHeader{typ: hdrMatch, ctx: 3, src: 1, tag: 7, seq: 9}
+	p := make([]byte, matchHeaderLen+5)
+	putMatchHeader(p, h)
+	copy(p[matchHeaderLen:], "hello")
+	pkts = append(pkts, p)
+
+	// Eager match with extended header.
+	h = matchHeader{typ: hdrMatch, flags: flagExt, src: 2, tag: -4, seq: 1}
+	p = make([]byte, matchHeaderLen+extHeaderLen+3)
+	putMatchHeader(p, h)
+	putExtHeader(p[matchHeaderLen:], extHeader{ex: ExCID{PGCID: 42, Sub: 0x07}, localCID: 11, commSize: 4})
+	copy(p[matchHeaderLen+extHeaderLen:], "abc")
+	pkts = append(pkts, p)
+
+	// RTS, fast and extended.
+	h = matchHeader{typ: hdrRTS, ctx: 1, src: 0, tag: 2, seq: 5}
+	p = make([]byte, matchHeaderLen+rndvInfoLen)
+	putMatchHeader(p, h)
+	putRndvInfo(p[matchHeaderLen:], rndvInfo{length: 1 << 20, sendReqID: 77})
+	pkts = append(pkts, p)
+
+	h = matchHeader{typ: hdrRTS, flags: flagExt, src: 3, tag: 0}
+	p = make([]byte, matchHeaderLen+extHeaderLen+rndvInfoLen)
+	putMatchHeader(p, h)
+	putExtHeader(p[matchHeaderLen:], extHeader{ex: ExCID{PGCID: 9}, localCID: 2, commSize: 8})
+	putRndvInfo(p[matchHeaderLen+extHeaderLen:], rndvInfo{length: 64, sendReqID: 1})
+	pkts = append(pkts, p)
+
+	// CTS.
+	p = make([]byte, matchHeaderLen+ctsInfoLen)
+	putMatchHeader(p, matchHeader{typ: hdrCTS})
+	putCTSInfo(p[matchHeaderLen:], ctsInfo{sendReqID: 5, recvReqID: 6})
+	pkts = append(pkts, p)
+
+	// Data.
+	p = make([]byte, matchHeaderLen+dataInfoLen+4)
+	putMatchHeader(p, matchHeader{typ: hdrData})
+	putUint64(p[matchHeaderLen:], 123)
+	copy(p[matchHeaderLen+dataInfoLen:], "data")
+	pkts = append(pkts, p)
+
+	// CID ACK.
+	p = make([]byte, matchHeaderLen+cidAckLen)
+	putMatchHeader(p, matchHeader{typ: hdrCIDAck})
+	putCIDAck(p[matchHeaderLen:], cidAck{ex: ExCID{PGCID: 1, Sub: 2}, localCID: 3, commRank: 4})
+	pkts = append(pkts, p)
+
+	return pkts
+}
+
+// TestDecodeEnvelopeRejectsTruncations chops every valid packet at every
+// length below its minimum and demands a clean truncation error — never a
+// panic, never a bogus success.
+func TestDecodeEnvelopeRejectsTruncations(t *testing.T) {
+	for _, full := range validPackets() {
+		env, err := decodeEnvelope(full)
+		if err != nil {
+			t.Fatalf("valid packet rejected: %v", err)
+		}
+		// Find the minimum valid length for this shape.
+		min := matchHeaderLen
+		if env.hasExt {
+			min += extHeaderLen
+		}
+		switch env.hdr.typ {
+		case hdrRTS:
+			min += rndvInfoLen
+		case hdrCTS:
+			min += ctsInfoLen
+		case hdrData:
+			min += dataInfoLen
+		case hdrCIDAck:
+			min += cidAckLen
+		}
+		for cut := 0; cut < min; cut++ {
+			if _, err := decodeEnvelope(full[:cut]); !errors.Is(err, errTruncatedPacket) {
+				t.Fatalf("typ %d truncated to %d bytes: err = %v, want errTruncatedPacket", env.hdr.typ, cut, err)
+			}
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejectsUnknownType(t *testing.T) {
+	p := make([]byte, matchHeaderLen)
+	putMatchHeader(p, matchHeader{typ: 200})
+	if _, err := decodeEnvelope(p); !errors.Is(err, errUnknownPacket) {
+		t.Fatalf("err = %v, want errUnknownPacket", err)
+	}
+}
+
+// FuzzDecodeEnvelope throws arbitrary bytes at the packet decoder: it must
+// never panic, and on success the decoded fields must be consistent with a
+// re-encoding of the packet (round-trip check).
+func FuzzDecodeEnvelope(f *testing.F) {
+	for _, p := range validPackets() {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{hdrMatch})
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		env, err := decodeEnvelope(pkt)
+		if err != nil {
+			return
+		}
+		// Round-trip the match header.
+		var hb [matchHeaderLen]byte
+		putMatchHeader(hb[:], env.hdr)
+		if !bytes.Equal(hb[:], pkt[:matchHeaderLen]) {
+			t.Fatalf("match header round-trip mismatch: %x != %x", hb, pkt[:matchHeaderLen])
+		}
+		body := pkt[matchHeaderLen:]
+		if env.hasExt {
+			var eb [extHeaderLen]byte
+			putExtHeader(eb[:], env.ext)
+			if !bytes.Equal(eb[:], body[:extHeaderLen]) {
+				t.Fatal("ext header round-trip mismatch")
+			}
+			body = body[extHeaderLen:]
+		}
+		switch env.hdr.typ {
+		case hdrMatch:
+			if !bytes.Equal(env.payload, body) {
+				t.Fatal("eager payload mismatch")
+			}
+		case hdrRTS:
+			var rb [rndvInfoLen]byte
+			putRndvInfo(rb[:], env.rndv)
+			if !bytes.Equal(rb[:], body[:rndvInfoLen]) {
+				t.Fatal("rndv info round-trip mismatch")
+			}
+		case hdrCTS:
+			var cb [ctsInfoLen]byte
+			putCTSInfo(cb[:], env.cts)
+			if !bytes.Equal(cb[:], body[:ctsInfoLen]) {
+				t.Fatal("cts info round-trip mismatch")
+			}
+		case hdrData:
+			if getUint64(body) != env.dataReqID || !bytes.Equal(env.payload, body[dataInfoLen:]) {
+				t.Fatal("data trailer mismatch")
+			}
+		case hdrCIDAck:
+			var ab [cidAckLen]byte
+			putCIDAck(ab[:], env.ack)
+			if !bytes.Equal(ab[:], body[:cidAckLen]) {
+				t.Fatal("cid ack round-trip mismatch")
+			}
+		}
+	})
+}
+
+// FuzzMatchHeaderRoundTrip drives the field-level codec: any header tuple
+// must survive encode/decode unchanged.
+func FuzzMatchHeaderRoundTrip(f *testing.F) {
+	f.Add(uint8(hdrMatch), uint8(flagExt), uint16(3), uint32(1), int32(-7), uint16(99))
+	f.Add(uint8(hdrRTS), uint8(0), uint16(0), uint32(0), int32(0), uint16(0))
+	f.Fuzz(func(t *testing.T, typ, flags uint8, ctx uint16, src uint32, tag int32, seq uint16) {
+		h := matchHeader{typ: typ, flags: flags, ctx: ctx, src: src, tag: tag, seq: seq}
+		var b [matchHeaderLen]byte
+		putMatchHeader(b[:], h)
+		if got := getMatchHeader(b[:]); got != h {
+			t.Fatalf("round-trip: %+v != %+v", got, h)
+		}
+	})
+}

@@ -78,8 +78,9 @@ type Stats struct {
 type Fabric struct {
 	cluster topo.Cluster
 
-	mu    sync.Mutex
-	nodes [][]*Endpoint // per node, per slot; nil entries are closed endpoints
+	mu       sync.Mutex
+	nodes    [][]*Endpoint // per node, per slot; nil entries are closed endpoints
+	segments []*Segment    // per node, allocated lazily
 
 	msgs      atomic.Uint64
 	bytes     atomic.Uint64
@@ -129,6 +130,69 @@ func (f *Fabric) NewEndpoint(node int) *Endpoint {
 	ep.ready = make(chan struct{}, 1)
 	f.nodes[node] = append(f.nodes[node], ep)
 	return ep
+}
+
+// Segment returns the node's shared-memory rendezvous, allocating it on
+// first use. It panics if node is out of range (segments are attached during
+// job setup, where a bad node index is a programming error).
+func (f *Fabric) Segment(node int) *Segment {
+	if node < 0 || node >= f.cluster.Nodes {
+		panic(fmt.Sprintf("simnet: node %d out of range [0,%d)", node, f.cluster.Nodes))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.segments == nil {
+		f.segments = make([]*Segment, f.cluster.Nodes)
+	}
+	if f.segments[node] == nil {
+		f.segments[node] = &Segment{boxes: make(map[int]DeliverFunc)}
+	}
+	return f.segments[node]
+}
+
+// DeliverFunc receives one raw packet handed off through a node's shared
+// segment. It runs on the sender's goroutine and must not block
+// indefinitely.
+type DeliverFunc func(pkt []byte)
+
+// Segment is one node's shared-memory rendezvous, the simulation's analogue
+// of the mmap'ed region a shared-memory BTL maps into every local process.
+// Processes on the node register a delivery function under their global
+// rank; node-local senders look the function up and hand packets off
+// directly, bypassing the fabric's latency/serialization model entirely.
+type Segment struct {
+	mu    sync.Mutex
+	boxes map[int]DeliverFunc
+}
+
+// Register installs the delivery function for a rank. Registering a rank
+// that is already present panics: each process registers once per init
+// cycle and deregisters on teardown, so a duplicate is a lifecycle bug.
+func (s *Segment) Register(rank int, deliver DeliverFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.boxes[rank]; dup {
+		panic(fmt.Sprintf("simnet: rank %d already registered in segment", rank))
+	}
+	s.boxes[rank] = deliver
+}
+
+// Deregister removes a rank's delivery function; senders observe the rank
+// as closed afterwards. Deregistering an absent rank is a no-op.
+func (s *Segment) Deregister(rank int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.boxes, rank)
+}
+
+// Lookup returns the rank's delivery function. The function is invoked
+// outside the segment lock, so an in-flight handoff may race with
+// Deregister; receivers must tolerate delivery after their own close.
+func (s *Segment) Lookup(rank int) (DeliverFunc, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn, ok := s.boxes[rank]
+	return fn, ok
 }
 
 func (f *Fabric) lookup(a Addr) *Endpoint {

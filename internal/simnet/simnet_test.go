@@ -231,3 +231,58 @@ func TestNewEndpointBadNodePanics(t *testing.T) {
 	}()
 	loopbackFabric(1, 1).NewEndpoint(5)
 }
+
+func TestSegmentRegisterLookupDeregister(t *testing.T) {
+	f := NewFabric(topo.New(topo.Loopback(2), 2))
+	seg := f.Segment(0)
+	if seg == nil {
+		t.Fatal("nil segment")
+	}
+	if f.Segment(0) != seg {
+		t.Fatal("segment not cached per node")
+	}
+	if f.Segment(1) == seg {
+		t.Fatal("distinct nodes must get distinct segments")
+	}
+
+	var got []byte
+	seg.Register(3, func(pkt []byte) { got = pkt })
+	fn, ok := seg.Lookup(3)
+	if !ok {
+		t.Fatal("registered rank not found")
+	}
+	fn([]byte{7})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("deliver got %v", got)
+	}
+	if _, ok := seg.Lookup(4); ok {
+		t.Fatal("unregistered rank found")
+	}
+
+	seg.Deregister(3)
+	if _, ok := seg.Lookup(3); ok {
+		t.Fatal("deregistered rank still found")
+	}
+	seg.Deregister(3) // no-op, must not panic
+
+	// Re-register after deregister is the reinit cycle; must not panic.
+	seg.Register(3, func([]byte) {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate register should panic")
+			}
+		}()
+		seg.Register(3, func([]byte) {})
+	}()
+}
+
+func TestSegmentOutOfRangePanics(t *testing.T) {
+	f := NewFabric(topo.New(topo.Loopback(1), 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node should panic")
+		}
+	}()
+	f.Segment(1)
+}

@@ -1,0 +1,209 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+// sendRecvOnce rank 0 -> rank 1 over a world-equivalent communicator.
+func sendRecvOnce(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "btl-test", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+	buf := make([]byte, 4)
+	if comm.Rank() == 0 {
+		if err := comm.Send([]byte("ping"), 1, 1); err != nil {
+			return err
+		}
+		if _, err := comm.Recv(buf, 1, 2); err != nil {
+			return err
+		}
+	} else {
+		if _, err := comm.Recv(buf, 0, 1); err != nil {
+			return err
+		}
+		if err := comm.Send(buf, 0, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestBTLStatsIntraNodeUsesSM: with both ranks on one node, all traffic must
+// ride the shared-memory fast path and none the fabric.
+func TestBTLStatsIntraNodeUsesSM(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		if p.BTLStatsSnapshot() != nil {
+			return fmt.Errorf("stats non-nil before init")
+		}
+		if err := sendRecvOnce(p); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// TestBTLStatsSnapshotLive inspects counters while the session is open.
+func TestBTLStatsSnapshotLive(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "btl-live", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		buf := make([]byte, 1)
+		if comm.Rank() == 0 {
+			if err := comm.Send([]byte{1}, 1, 1); err != nil {
+				return err
+			}
+			if _, err := comm.Recv(buf, 1, 2); err != nil {
+				return err
+			}
+			st := p.BTLStatsSnapshot()
+			if st["sm"].Msgs == 0 {
+				return fmt.Errorf("intra-node traffic bypassed sm: %+v", st)
+			}
+			if st["net"].Msgs != 0 {
+				return fmt.Errorf("intra-node traffic touched the fabric: %+v", st)
+			}
+		} else {
+			if _, err := comm.Recv(buf, 0, 1); err != nil {
+				return err
+			}
+			if err := comm.Send(buf, 0, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestBTLStatsInterNodeUsesNet: one rank per node, so sm never accepts the
+// peer and the fabric carries everything.
+func TestBTLStatsInterNodeUsesNet(t *testing.T) {
+	run(t, 2, 1, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "btl-inter", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		buf := make([]byte, 1)
+		if comm.Rank() == 0 {
+			if err := comm.Send([]byte{1}, 1, 1); err != nil {
+				return err
+			}
+			st := p.BTLStatsSnapshot()
+			if st["net"].Msgs == 0 {
+				return fmt.Errorf("inter-node traffic did not use net: %+v", st)
+			}
+			if st["sm"].Msgs != 0 {
+				return fmt.Errorf("inter-node traffic claimed sm: %+v", st)
+			}
+		} else if _, err := comm.Recv(buf, 0, 1); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// TestBTLExcludeSM proves the MCA switch reaches the app level: with sm
+// excluded the same intra-node exchange rides the fabric.
+func TestBTLExcludeSM(t *testing.T) {
+	cfg := exCfg()
+	cfg.BTL = "^sm"
+	run(t, 1, 2, cfg, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "btl-nosm", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		buf := make([]byte, 1)
+		if comm.Rank() == 0 {
+			if err := comm.Send([]byte{1}, 1, 1); err != nil {
+				return err
+			}
+			st := p.BTLStatsSnapshot()
+			if _, loaded := st["sm"]; loaded {
+				return fmt.Errorf("sm loaded despite exclusion: %+v", st)
+			}
+			if st["net"].Msgs == 0 {
+				return fmt.Errorf("traffic vanished with sm excluded: %+v", st)
+			}
+		} else if _, err := comm.Recv(buf, 0, 1); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// TestBTLWorksAcrossCIDModes runs the sm path under the consensus CID
+// algorithm too (via the WPM, since consensus mode has no Sessions
+// constructors) — transport selection is orthogonal to CID generation.
+func TestBTLWorksAcrossCIDModes(t *testing.T) {
+	for _, cfg := range []core.Config{conCfg(), exCfg()} {
+		cfg := cfg
+		t.Run(cfg.CIDMode.String(), func(t *testing.T) {
+			run(t, 1, 2, cfg, func(p *mpi.Process) error {
+				if err := p.Init(); err != nil {
+					return err
+				}
+				defer p.Finalize()
+				comm := p.CommWorld()
+				buf := make([]byte, 4)
+				if comm.Rank() == 0 {
+					if err := comm.Send([]byte("ping"), 1, 1); err != nil {
+						return err
+					}
+					st := p.BTLStatsSnapshot()
+					if st["sm"].Msgs == 0 {
+						return fmt.Errorf("intra-node WPM traffic bypassed sm: %+v", st)
+					}
+				} else if _, err := comm.Recv(buf, 0, 1); err != nil {
+					return err
+				}
+				return nil
+			})
+		})
+	}
+}

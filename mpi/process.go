@@ -121,6 +121,29 @@ func (p *Process) PMLStatsSnapshot() PMLStats {
 	}
 }
 
+// TransportStats counts the traffic one BTL module has carried for this
+// process.
+type TransportStats struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// BTLStatsSnapshot returns per-transport traffic counters keyed by MCA
+// component name ("sm", "net"); nil when MPI is not initialized. Intra-node
+// traffic appearing under "sm" confirms the shared-memory fast path is
+// carrying it.
+func (p *Process) BTLStatsSnapshot() map[string]TransportStats {
+	e := p.inst.Engine()
+	if e == nil {
+		return nil
+	}
+	out := make(map[string]TransportStats)
+	for name, s := range e.BTLStats() {
+		out[name] = TransportStats{Msgs: s.Msgs, Bytes: s.Bytes}
+	}
+	return out
+}
+
 // Init initializes the World Process Model (MPI_Init): equivalent to
 // InitThread(ThreadSingle).
 func (p *Process) Init() error {
