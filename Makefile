@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench figures
+.PHONY: check vet build test test-race bench bench-smoke figures
 
 # check is the repo's verification gate: vet, build, and the full test
 # suite under the race detector.
@@ -20,6 +20,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs every ablation benchmark once — a fast plumbing check
+# that the measurement harnesses still execute end to end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchtime=1x ./...
 
 figures:
 	$(GO) run ./cmd/figures -table 1 -fig all

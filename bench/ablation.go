@@ -169,6 +169,85 @@ func AblationBTL(profile topo.Profile, iters, size int) (BTLResult, error) {
 	return res, nil
 }
 
+// CollAblationResult compares the flat tuned collective algorithms against
+// the hierarchical component for allreduce and bcast on a multi-node
+// shape: hier cuts the inter-node message count to one per node, which on
+// profiles with a real intra/inter latency gap should beat the flat
+// schedules that cross the fabric every round.
+type CollAblationResult struct {
+	Nodes, PPN     int
+	AllreduceBytes int // allreduce payload (float64 elements x 8)
+	BcastBytes     int
+	FlatAllreduce  time.Duration // per-op latency, Coll "^hier"
+	HierAllreduce  time.Duration // per-op latency, default chain
+	FlatBcast      time.Duration
+	HierBcast      time.Duration
+}
+
+// AblationColl measures allreduce and bcast per-operation latency with the
+// default component chain (hier,tuned,basic) and with hier excluded.
+func AblationColl(profile topo.Profile, nodes, ppn, iters, allreduceCount, bcastBytes int) (CollAblationResult, error) {
+	res := CollAblationResult{
+		Nodes: nodes, PPN: ppn,
+		AllreduceBytes: allreduceCount * 8, BcastBytes: bcastBytes,
+	}
+	measure := func(collSpec string, ar, bc *time.Duration) error {
+		var mAr, mBc maxDuration
+		cfg := excidCfg()
+		cfg.Coll = collSpec
+		err := runtime.Run(jobOpts(profile, nodes, ppn, cfg), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			send := make([]byte, allreduceCount*8)
+			recv := make([]byte, allreduceCount*8)
+			bbuf := make([]byte, bcastBytes)
+			// Warm up past route establishment and the exCID handshakes.
+			for i := 0; i < 3; i++ {
+				if err := world.Allreduce(send, recv, allreduceCount, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+				if err := world.Bcast(bbuf, 0); err != nil {
+					return err
+				}
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := world.Allreduce(send, recv, allreduceCount, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+			}
+			mAr.add(time.Since(start) / time.Duration(iters))
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				if err := world.Bcast(bbuf, 0); err != nil {
+					return err
+				}
+			}
+			mBc.add(time.Since(start) / time.Duration(iters))
+			return nil
+		})
+		*ar, *bc = mAr.d, mBc.d
+		return err
+	}
+	if err := measure("^hier", &res.FlatAllreduce, &res.FlatBcast); err != nil {
+		return res, fmt.Errorf("bench: coll flat: %w", err)
+	}
+	settle()
+	if err := measure("", &res.HierAllreduce, &res.HierBcast); err != nil {
+		return res, fmt.Errorf("bench: coll hier: %w", err)
+	}
+	return res, nil
+}
+
 // QuiesceResult compares the two QUO_barrier mechanisms (§IV-E): the
 // native low-overhead blocking quiesce versus the sessions-aware
 // Ibarrier+nanosleep loop.

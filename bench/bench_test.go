@@ -135,6 +135,13 @@ func TestAblationsSmoke(t *testing.T) {
 	if btl.SM <= 0 || btl.Net <= 0 {
 		t.Fatalf("btl = %+v", btl)
 	}
+	coll, err := AblationColl(lb(), 2, 2, 2, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.FlatAllreduce <= 0 || coll.HierAllreduce <= 0 || coll.FlatBcast <= 0 || coll.HierBcast <= 0 {
+		t.Fatalf("coll = %+v", coll)
+	}
 	// Rendering glue.
 	out := RenderAblations(fm, q, g)
 	if !strings.Contains(out, "exCID first message") {
@@ -145,6 +152,9 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 	if !strings.Contains(RenderBTLAblation(btl), "BTL intra-node 8B") {
 		t.Fatal("btl ablation render missing")
+	}
+	if !strings.Contains(RenderCollAblation(coll), "coll allreduce 128B") {
+		t.Fatal("coll ablation render missing")
 	}
 }
 

@@ -141,6 +141,23 @@ func RenderBTLAblation(r BTLResult) string {
 		r.Size, us(r.SM), us(r.Net), speedup)
 }
 
+// RenderCollAblation formats the flat-vs-hierarchical collective
+// comparison.
+func RenderCollAblation(r CollAblationResult) string {
+	speed := func(flat, hier time.Duration) float64 {
+		if hier <= 0 {
+			return 0
+		}
+		return float64(flat) / float64(hier)
+	}
+	return fmt.Sprintf("coll allreduce %dB:    flat %s us  vs hier %s us  (%.2fx)  [%dx%d ranks]\n"+
+		"coll bcast %dB:        flat %s us  vs hier %s us  (%.2fx)  [%dx%d ranks]\n",
+		r.AllreduceBytes, us(r.FlatAllreduce), us(r.HierAllreduce),
+		speed(r.FlatAllreduce, r.HierAllreduce), r.Nodes, r.PPN,
+		r.BcastBytes, us(r.FlatBcast), us(r.HierBcast),
+		speed(r.FlatBcast, r.HierBcast), r.Nodes, r.PPN)
+}
+
 // RenderWinAblation formats the window-construction comparison.
 func RenderWinAblation(w WinCreateResult) string {
 	return fmt.Sprintf("window from group:     intermediate comm %s us  vs direct constructor %s us\n",

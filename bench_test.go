@@ -197,6 +197,23 @@ func BenchmarkAblationBTL(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationColl: flat (tuned-only) vs hierarchical allreduce and
+// bcast on two fully-subscribed-enough Jupiter nodes (8 ranks/node). The
+// hierarchical component should win by replacing the per-round inter-node
+// exchanges of the flat schedules with one leader exchange per node.
+func BenchmarkAblationColl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationColl(topo.Jupiter(), 2, 8, 20, 256, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.FlatAllreduce.Nanoseconds())/1e3, "flat-allreduce-us")
+		b.ReportMetric(float64(res.HierAllreduce.Nanoseconds())/1e3, "hier-allreduce-us")
+		b.ReportMetric(float64(res.FlatBcast.Nanoseconds())/1e3, "flat-bcast-us")
+		b.ReportMetric(float64(res.HierBcast.Nanoseconds())/1e3, "hier-bcast-us")
+	}
+}
+
 // BenchmarkAblationQuiesce: QUO native barrier vs sessions Ibarrier+sleep.
 func BenchmarkAblationQuiesce(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -150,6 +150,9 @@ func main() {
 		btl, err := bench.AblationBTL(profile, 200, 8)
 		exitOn(err)
 		fmt.Print(bench.RenderBTLAblation(btl))
+		collRes, err := bench.AblationColl(profile, 2, 8, 20, 256, 4096)
+		exitOn(err)
+		fmt.Print(bench.RenderCollAblation(collRes))
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "latency", "benchmark: init, latency, latency_mt, bw, mbw_mr, barrier, bcast, allreduce, put, get")
+	benchName := flag.String("bench", "latency", "benchmark: init, latency, latency_mt, bw, mbw_mr, barrier, bcast, allreduce, allgather, alltoall, put, get")
 	threads := flag.Int("threads", 4, "threads per rank (latency_mt)")
 	np := flag.Int("np", 2, "number of ranks")
 	ppn := flag.Int("ppn", 2, "ranks per node")
@@ -35,6 +35,7 @@ func main() {
 	window := flag.Int("window", 64, "mbw_mr window size")
 	syncMode := flag.String("sync", "barrier", "mbw_mr pre-sync: barrier or sendrecv")
 	profileName := flag.String("profile", "jupiter", "cluster profile")
+	collSpec := flag.String("coll", "", "collective component selection (e.g. \"^hier\" or \"basic\")")
 	flag.Parse()
 
 	profile := topo.Jupiter()
@@ -50,7 +51,7 @@ func main() {
 		Cluster: topo.New(profile, nodes),
 		NP:      *np,
 		PPN:     *ppn,
-		Config:  core.Config{CIDMode: mode},
+		Config:  core.Config{CIDMode: mode, Coll: *collSpec},
 	}
 
 	var err error
@@ -69,7 +70,7 @@ func main() {
 		err = runBW(opts, *sessions, *maxSize, *window, *iters, *skip)
 	case "latency_mt":
 		err = runLatencyMT(opts, *sessions, *threads, *iters, *skip)
-	case "barrier", "bcast", "allreduce":
+	case "barrier", "bcast", "allreduce", "allgather", "alltoall":
 		err = runCollective(opts, *benchName, *sessions, *maxSize, *iters, *skip)
 	case "put", "get":
 		err = runRMA(opts, *benchName, *sessions, *maxSize, *iters, *skip)
@@ -296,6 +297,10 @@ func runCollective(opts runtime.Options, kind string, sessions bool, maxSize, it
 		case "allreduce":
 			counts := []int{1, 16, 256, 4096}
 			res, err = osu.AllreduceLatency(comm, counts, iters, skip)
+		case "allgather":
+			res, err = osu.AllgatherLatency(comm, osu.DefaultSizes(maxSize), iters, skip)
+		case "alltoall":
+			res, err = osu.AlltoallLatency(comm, osu.DefaultSizes(maxSize), iters, skip)
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,520 @@
+package coll
+
+// Flat (topology-blind) collective algorithms. Shared conventions:
+//
+//   - Rooted trees are laid out in virtual-rank order (vrank 0 = root), so
+//     every shape works for any root.
+//   - Reductions fold operands with lower ranks on the left, matching the
+//     documented user-op bracketing; only the algorithms listed in
+//     `reordering` (coll.go) give that up and require commutativity.
+//   - Multi-phase algorithms use fixed tag offsets (tag, tag-1, ...) inside
+//     the caller's 16-tag collective window.
+//   - size==1 and zero-byte payloads must work in every algorithm: the
+//     degenerate loops simply do not run.
+
+// chunkOffsets splits total units into n near-equal chunks: offs[i] is the
+// start of chunk i and offs[n] == total, with leading chunks one unit
+// larger when total does not divide evenly.
+func chunkOffsets(total, n int) []int {
+	offs := make([]int, n+1)
+	base, rem := total/n, total%n
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + base
+		if i < rem {
+			offs[i+1]++
+		}
+	}
+	return offs
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fanIn gathers a synchronization token into rank 0 along a binomial tree.
+func fanIn(t Transport, tag int) error {
+	rank, size := t.Rank(), t.Size()
+	var token [1]byte
+	mask := 1
+	for mask < size {
+		if rank&mask != 0 {
+			return t.Send(token[:], rank-mask, tag)
+		}
+		if peer := rank + mask; peer < size {
+			if err := t.Recv(token[:], peer, tag); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// fanOut releases a subgroup from rank 0 along a binomial tree.
+func fanOut(t Transport, tag int) error {
+	rank, size := t.Rank(), t.Size()
+	var token [1]byte
+	mask := 1
+	for mask < size {
+		if rank&mask != 0 {
+			if err := t.Recv(token[:], rank-mask, tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if peer := rank + mask; peer < size && rank&(mask-1) == 0 && rank&mask == 0 {
+			if err := t.Send(token[:], peer, tag); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// barrierBinomial: binomial fan-in to rank 0 followed by a binomial
+// fan-out — 2·log2(N) sequential latencies through rank 0.
+func barrierBinomial(e Env, tag int) error {
+	if err := fanIn(e.T, tag); err != nil {
+		return err
+	}
+	return fanOut(e.T, tag)
+}
+
+// barrierDissemination: ceil(log2(N)) rounds in which every member
+// exchanges a token with peers at distance 2^k. No root bottleneck; every
+// member exits after the same number of rounds.
+func barrierDissemination(e Env, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	var in, out [1]byte
+	for mask := 1; mask < size; mask <<= 1 {
+		to := (rank + mask) % size
+		from := (rank - mask + size) % size
+		if err := t.Sendrecv(out[:], to, in[:], from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastBinomial: the classic binomial broadcast tree rooted at root.
+func bcastBinomial(e Env, buf []byte, root, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (rank - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			if err := t.Recv(buf, toReal(vrank-mask), tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if peer := vrank + mask; peer < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
+			if err := t.Send(buf, toReal(peer), tag); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// bcastScatterAllgather: the root scatters one chunk per member, then a
+// ring allgather reassembles the full buffer everywhere. Each member
+// forwards only ~bytes/N per ring step, so the root's injection cost drops
+// from bytes·log2(N) to ~2·bytes — the van-de-Geijn large-message shape.
+func bcastScatterAllgather(e Env, buf []byte, root, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (rank - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+	offs := chunkOffsets(len(buf), size)
+	seg := func(v int) []byte { return buf[offs[v]:offs[v+1]] }
+
+	// Scatter: the root keeps chunk 0 and sends chunk v to vrank v.
+	if vrank == 0 {
+		for v := 1; v < size; v++ {
+			if err := t.Send(seg(v), toReal(v), tag); err != nil {
+				return err
+			}
+		}
+	} else if err := t.Recv(seg(vrank), toReal(0), tag); err != nil {
+		return err
+	}
+
+	// Ring allgather of the chunks, indexed by vrank.
+	right := toReal((vrank + 1) % size)
+	left := toReal((vrank - 1 + size) % size)
+	for step := 0; step < size-1; step++ {
+		sc := (vrank - step + size) % size
+		rc := (vrank - step - 1 + size) % size
+		if err := t.Sendrecv(seg(sc), right, seg(rc), left, tag-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipelineSegment is the chunk size of the pipelined chain broadcast.
+const pipelineSegment = 8192
+
+// bcastPipeline: a segmented chain in vrank order. Latency is
+// (N-1 + nseg) segment times instead of nseg·(N-1), overlapping the
+// forwarding of early segments with the receipt of later ones.
+func bcastPipeline(e Env, buf []byte, root, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (rank - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+	nseg := (len(buf) + pipelineSegment - 1) / pipelineSegment
+	for s := 0; s < nseg; s++ {
+		lo := s * pipelineSegment
+		hi := minInt(lo+pipelineSegment, len(buf))
+		if vrank > 0 {
+			if err := t.Recv(buf[lo:hi], toReal(vrank-1), tag); err != nil {
+				return err
+			}
+		}
+		if vrank < size-1 {
+			if err := t.Send(buf[lo:hi], toReal(vrank+1), tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reduceBinomial: binomial reduction tree; each parent folds children in
+// ascending vrank order, so operands combine left-to-right from the root.
+func reduceBinomial(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	n := count * elt
+	acc := make([]byte, n)
+	copy(acc, sendBuf[:n])
+	if size > 1 {
+		vrank := (rank - root + size) % size
+		toReal := func(v int) int { return (v + root) % size }
+		tmp := make([]byte, n)
+		mask := 1
+		for mask < size {
+			if vrank&mask != 0 {
+				if err := t.Send(acc, toReal(vrank-mask), tag); err != nil {
+					return err
+				}
+				break
+			}
+			if peer := vrank + mask; peer < size {
+				if err := t.Recv(tmp, toReal(peer), tag); err != nil {
+					return err
+				}
+				// acc holds the lower (v)ranks' contribution: keep it left.
+				if err := rf(acc, tmp, count); err != nil {
+					return err
+				}
+			}
+			mask <<= 1
+		}
+	}
+	if rank == root {
+		copy(recvBuf[:n], acc)
+	}
+	return nil
+}
+
+// reduceLinear: every member sends directly to the root, which folds the
+// contributions in ascending vrank order. One hop for every member — the
+// right shape for tiny communicators where tree setup dominates.
+func reduceLinear(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	n := count * elt
+	if rank != root {
+		return t.Send(sendBuf[:n], root, tag)
+	}
+	acc := make([]byte, n)
+	copy(acc, sendBuf[:n])
+	tmp := make([]byte, n)
+	for v := 1; v < size; v++ {
+		if err := t.Recv(tmp, (v+root)%size, tag); err != nil {
+			return err
+		}
+		if err := rf(acc, tmp, count); err != nil {
+			return err
+		}
+	}
+	copy(recvBuf[:n], acc)
+	return nil
+}
+
+// allreduceRD: recursive doubling, generalized to any size with the
+// standard pre/post step (ranks beyond the largest power of two fold into
+// a partner first and receive the result at the end). Operands always
+// merge as adjacent rank intervals with the lower interval on the left, so
+// the bracketing stays ascending — safe for non-commutative reductions.
+func allreduceRD(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	n := count * elt
+	copy(recvBuf[:n], sendBuf[:n])
+	if size == 1 {
+		return nil
+	}
+	tmp := make([]byte, n)
+	p2 := 1
+	for p2*2 <= size {
+		p2 *= 2
+	}
+	rem := size - p2
+
+	// Pre-step: the first 2*rem ranks fold pairwise; odd members sit out.
+	newrank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := t.Recv(tmp, rank+1, tag); err != nil {
+			return err
+		}
+		if err := rf(recvBuf[:n], tmp, count); err != nil {
+			return err
+		}
+		newrank = rank / 2
+	case rank < 2*rem:
+		if err := t.Send(recvBuf[:n], rank-1, tag); err != nil {
+			return err
+		}
+	default:
+		newrank = rank - rem
+	}
+
+	if newrank >= 0 {
+		toReal := func(nr int) int {
+			if nr < rem {
+				return nr * 2
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < p2; mask <<= 1 {
+			partner := toReal(newrank ^ mask)
+			if err := t.Sendrecv(recvBuf[:n], partner, tmp, partner, tag-1); err != nil {
+				return err
+			}
+			if partner < rank {
+				// acc = rf(partner_acc, acc): lower interval on the left.
+				if err := rf(tmp, recvBuf[:n], count); err != nil {
+					return err
+				}
+				copy(recvBuf[:n], tmp)
+			} else {
+				if err := rf(recvBuf[:n], tmp, count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Post-step: hand the finished result back to the idle odd ranks.
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			return t.Send(recvBuf[:n], rank+1, tag-2)
+		}
+		return t.Recv(recvBuf[:n], rank-1, tag-2)
+	}
+	return nil
+}
+
+// allreduceRing: reduce-scatter around a ring followed by an allgather of
+// the reduced chunks. Bandwidth-optimal (~2·bytes moved per member,
+// independent of N) but reorders operands per chunk — commutative only.
+func allreduceRing(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	n := count * elt
+	copy(recvBuf[:n], sendBuf[:n])
+	if size == 1 {
+		return nil
+	}
+	offs := chunkOffsets(count, size)
+	seg := func(i int) []byte { return recvBuf[offs[i]*elt : offs[i+1]*elt] }
+	cnt := func(i int) int { return offs[i+1] - offs[i] }
+	maxChunk := 0
+	for i := 0; i < size; i++ {
+		if c := cnt(i); c > maxChunk {
+			maxChunk = c
+		}
+	}
+	tmp := make([]byte, maxChunk*elt)
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+
+	// Reduce-scatter: after N-1 steps, this member owns the fully reduced
+	// chunk (rank+1) mod N.
+	for step := 0; step < size-1; step++ {
+		sc := (rank - step + size) % size
+		rc := (rank - step - 1 + size) % size
+		if err := t.Sendrecv(seg(sc), right, tmp[:cnt(rc)*elt], left, tag); err != nil {
+			return err
+		}
+		if err := rf(seg(rc), tmp[:cnt(rc)*elt], cnt(rc)); err != nil {
+			return err
+		}
+	}
+	// Allgather the reduced chunks around the same ring.
+	for step := 0; step < size-1; step++ {
+		sc := (rank + 1 - step + size) % size
+		rc := (rank - step + size) % size
+		if err := t.Sendrecv(seg(sc), right, seg(rc), left, tag-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allreduceReduceBcast: binomial reduce to rank 0 followed by a binomial
+// broadcast — the coll/basic composition.
+func allreduceReduceBcast(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
+	n := count * elt
+	if err := reduceBinomial(e, sendBuf, recvBuf, count, elt, rf, 0, tag); err != nil {
+		return err
+	}
+	return bcastBinomial(e, recvBuf[:n], 0, tag-1)
+}
+
+// allgatherRing: each member forwards the block that originated furthest
+// upstream; N-1 steps of neighbor sendrecv.
+func allgatherRing(e Env, sendBuf, recvBuf []byte, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	blk := len(sendBuf)
+	copy(recvBuf[rank*blk:], sendBuf)
+	if size == 1 {
+		return nil
+	}
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	for i := 0; i < size-1; i++ {
+		sendBlk := (rank - i + size) % size
+		recvBlk := (rank - i - 1 + size) % size
+		if err := t.Sendrecv(recvBuf[sendBlk*blk:sendBlk*blk+blk], right,
+			recvBuf[recvBlk*blk:recvBlk*blk+blk], left, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allgatherBruck: ceil(log2(N)) rounds of doubling exchanges into a
+// rotated staging buffer, then one local rotation into place. Fewer
+// rounds than the ring — the small-message shape.
+func allgatherBruck(e Env, sendBuf, recvBuf []byte, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	blk := len(sendBuf)
+	if size == 1 {
+		copy(recvBuf[:blk], sendBuf)
+		return nil
+	}
+	// tmp[i] accumulates the block of rank (rank+i) mod N.
+	tmp := make([]byte, size*blk)
+	copy(tmp[:blk], sendBuf)
+	have := 1
+	for pofk := 1; pofk < size; pofk <<= 1 {
+		cnt := minInt(pofk, size-have)
+		to := (rank - pofk + size) % size
+		from := (rank + pofk) % size
+		if err := t.Sendrecv(tmp[:cnt*blk], to, tmp[have*blk:(have+cnt)*blk], from, tag); err != nil {
+			return err
+		}
+		have += cnt
+	}
+	for i := 0; i < size; i++ {
+		src := (rank + i) % size
+		copy(recvBuf[src*blk:(src+1)*blk], tmp[i*blk:(i+1)*blk])
+	}
+	return nil
+}
+
+// alltoallPairwise: N-1 rounds, round i exchanging with ranks at distance
+// ±i. Large-message shape: every byte moves exactly once.
+func alltoallPairwise(e Env, sendBuf, recvBuf []byte, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	blk := len(sendBuf) / size
+	copy(recvBuf[rank*blk:rank*blk+blk], sendBuf[rank*blk:rank*blk+blk])
+	for i := 1; i < size; i++ {
+		to := (rank + i) % size
+		from := (rank - i + size) % size
+		if err := t.Sendrecv(sendBuf[to*blk:to*blk+blk], to,
+			recvBuf[from*blk:from*blk+blk], from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alltoallBruck: ceil(log2(N)) rounds; round k ships every staged block
+// whose index has bit k set to the rank 2^k away. O(N log N) bytes moved
+// but only log rounds — the small-message shape.
+func alltoallBruck(e Env, sendBuf, recvBuf []byte, tag int) error {
+	t := e.T
+	rank, size := t.Rank(), t.Size()
+	blk := 0
+	if size > 0 {
+		blk = len(sendBuf) / size
+	}
+	// Local rotation: tmp[i] = the block destined for rank (rank+i) mod N.
+	tmp := make([]byte, size*blk)
+	for i := 0; i < size; i++ {
+		dst := (rank + i) % size
+		copy(tmp[i*blk:(i+1)*blk], sendBuf[dst*blk:(dst+1)*blk])
+	}
+	for pofk := 1; pofk < size; pofk <<= 1 {
+		var idx []int
+		for i := 1; i < size; i++ {
+			if i&pofk != 0 {
+				idx = append(idx, i)
+			}
+		}
+		pack := make([]byte, len(idx)*blk)
+		rpack := make([]byte, len(idx)*blk)
+		for k, i := range idx {
+			copy(pack[k*blk:(k+1)*blk], tmp[i*blk:(i+1)*blk])
+		}
+		to := (rank + pofk) % size
+		from := (rank - pofk + size) % size
+		if err := t.Sendrecv(pack, to, rpack, from, tag); err != nil {
+			return err
+		}
+		for k, i := range idx {
+			copy(tmp[i*blk:(i+1)*blk], rpack[k*blk:(k+1)*blk])
+		}
+	}
+	// Inverse rotation: the block from rank j sits at tmp[(rank-j) mod N].
+	for j := 0; j < size; j++ {
+		src := (rank - j + size) % size
+		copy(recvBuf[j*blk:(j+1)*blk], tmp[src*blk:(src+1)*blk])
+	}
+	return nil
+}

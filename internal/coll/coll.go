@@ -1,0 +1,382 @@
+// Package coll is the collective-communication framework: the analogue of
+// Open MPI's coll MCA framework (coll/tuned, coll/basic, coll/han). Every
+// collective operation has several registered algorithm variants; a
+// component chain — selected through the opal MCA registry exactly like
+// the BTLs — decides per call which variant runs, keyed on communicator
+// size, message size, and the job placement map:
+//
+//	basic  one fixed, simple algorithm per operation
+//	tuned  size-based decision tables over every flat algorithm
+//	hier   hierarchical (node-leader) variants: intra-node phases ride the
+//	       sm BTL, only node leaders exchange over the fabric
+//
+// The package is transport-agnostic: algorithms move bytes through the
+// Transport interface (implemented by mpi.Comm over the PML), so they can
+// also run over an in-memory mesh in tests. Algorithms never allocate
+// tags: the caller passes the base of a 16-tag window and phases use
+// fixed negative offsets inside it (tag, tag-1, ...), matching the
+// communicator's collective-tag discipline.
+package coll
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gompi/internal/opal"
+)
+
+// Transport moves bytes between the members of one communicator. Ranks are
+// communicator ranks. Implementations must provide MPI point-to-point
+// semantics: per-(peer, tag) ordering and blocking completion.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(buf []byte, dest, tag int) error
+	Recv(buf []byte, src, tag int) error
+	Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error
+}
+
+// ReduceFunc combines count elements: inout[i] = f(inout[i], in[i]).
+// It must be associative; commutativity is declared per call and gates
+// the reordering algorithms (ring, hier).
+type ReduceFunc func(inout, in []byte, count int) error
+
+// Op identifies a collective operation handled by the framework.
+type Op int
+
+// Framework-dispatched operations. Vector collectives (gatherv et al.)
+// stay outside the framework: their per-rank counts defeat uniform
+// decision tables.
+const (
+	Barrier Op = iota
+	Bcast
+	Reduce
+	Allreduce
+	Allgather
+	Alltoall
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case Barrier:
+		return "barrier"
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	case Allreduce:
+		return "allreduce"
+	case Allgather:
+		return "allgather"
+	case Alltoall:
+		return "alltoall"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Ops lists every framework-dispatched operation.
+func Ops() []Op { return []Op{Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall} }
+
+// Env is what an algorithm sees of one communicator: the transport plus
+// the node hosting each communicator rank (nil when placement is unknown,
+// which the hierarchical algorithms treat as a single node).
+type Env struct {
+	T     Transport
+	Nodes []int
+}
+
+// Per-operation algorithm signatures. Reduction algorithms only write
+// recvBuf at the root; allreduce writes it everywhere. All buffers are
+// exactly sized by the caller.
+type (
+	barrierFn   func(e Env, tag int) error
+	bcastFn     func(e Env, buf []byte, root, tag int) error
+	reduceFn    func(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error
+	allreduceFn func(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error
+	allgatherFn func(e Env, sendBuf, recvBuf []byte, tag int) error
+	alltoallFn  func(e Env, sendBuf, recvBuf []byte, tag int) error
+)
+
+// The algorithm registries. To add a variant: implement the signature in
+// algorithms.go (or hier.go for topology-aware shapes), add it here under
+// a unique name, and teach a component's decide function when to pick it
+// (or select it per-communicator with an Info hint).
+var (
+	barrierAlgos = map[string]barrierFn{
+		"binomial":      barrierBinomial,
+		"dissemination": barrierDissemination,
+		"hier":          hierBarrier,
+	}
+	bcastAlgos = map[string]bcastFn{
+		"binomial":          bcastBinomial,
+		"scatter_allgather": bcastScatterAllgather,
+		"pipeline":          bcastPipeline,
+		"hier":              hierBcast,
+	}
+	reduceAlgos = map[string]reduceFn{
+		"binomial": reduceBinomial,
+		"linear":   reduceLinear,
+	}
+	allreduceAlgos = map[string]allreduceFn{
+		"recursive_doubling": allreduceRD,
+		"ring":               allreduceRing,
+		"reduce_bcast":       allreduceReduceBcast,
+		"hier":               hierAllreduce,
+	}
+	allgatherAlgos = map[string]allgatherFn{
+		"ring":  allgatherRing,
+		"bruck": allgatherBruck,
+	}
+	alltoallAlgos = map[string]alltoallFn{
+		"pairwise": alltoallPairwise,
+		"bruck":    alltoallBruck,
+	}
+)
+
+// reordering names the algorithms that combine operands in non-ascending
+// rank order and therefore require a commutative reduction.
+var reordering = map[string]bool{"ring": true, "hier": true}
+
+// Algorithms returns the sorted names of every registered variant of op.
+func Algorithms(op Op) []string {
+	var names []string
+	switch op {
+	case Barrier:
+		for n := range barrierAlgos {
+			names = append(names, n)
+		}
+	case Bcast:
+		for n := range bcastAlgos {
+			names = append(names, n)
+		}
+	case Reduce:
+		for n := range reduceAlgos {
+			names = append(names, n)
+		}
+	case Allreduce:
+		for n := range allreduceAlgos {
+			names = append(names, n)
+		}
+	case Allgather:
+		for n := range allgatherAlgos {
+			names = append(names, n)
+		}
+	case Alltoall:
+		for n := range alltoallAlgos {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func knownAlgorithm(op Op, name string) bool {
+	for _, n := range Algorithms(op) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// component is one selectable decision policy. decide returns the
+// algorithm name to run or "" to pass the call to the next component in
+// priority order. The choice must be a pure function of communicator-wide
+// values: every member runs decide independently and all must agree.
+type component struct {
+	name   string
+	decide func(op Op, e Env, size, bytes int, commutative bool) string
+}
+
+// Framework is one process's collective framework: the selected component
+// chain plus per-algorithm invocation counters. One Framework serves every
+// communicator of an instance cycle.
+type Framework struct {
+	comps []component
+	trace *opal.Trace // may be nil (tracing disabled at the source)
+
+	mu     sync.Mutex
+	counts map[string]uint64 // "op/algo" -> calls
+}
+
+// NewFramework builds a framework from MCA-selected component names in
+// priority order. Unknown names error: the component was registered with
+// the MCA but this package does not implement it.
+func NewFramework(names []string, trace *opal.Trace) (*Framework, error) {
+	f := &Framework{trace: trace, counts: make(map[string]uint64)}
+	for _, n := range names {
+		switch n {
+		case "basic":
+			f.comps = append(f.comps, component{name: "basic", decide: basicDecide})
+		case "tuned":
+			f.comps = append(f.comps, component{name: "tuned", decide: tunedDecide})
+		case "hier":
+			f.comps = append(f.comps, component{name: "hier", decide: hierDecide})
+		default:
+			return nil, fmt.Errorf("coll: no implementation for component %q", n)
+		}
+	}
+	if len(f.comps) == 0 {
+		return nil, fmt.Errorf("coll: empty component chain")
+	}
+	return f, nil
+}
+
+// Components returns the selected component names in priority order.
+func (f *Framework) Components() []string {
+	out := make([]string, len(f.comps))
+	for i, c := range f.comps {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Snapshot returns the per-algorithm invocation counts, keyed "op/algo".
+func (f *Framework) Snapshot() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (f *Framework) record(op Op, comp, algo, comm string, size, bytes int) {
+	f.mu.Lock()
+	f.counts[op.String()+"/"+algo]++
+	f.mu.Unlock()
+	if f.trace != nil {
+		f.trace.Logf("coll", "%s on %s (size=%d bytes=%d) -> %s/%s", op, comm, size, bytes, comp, algo)
+	}
+}
+
+// Module is the framework's view of one communicator: the environment the
+// algorithms run in plus per-communicator algorithm hints (MPI info keys).
+type Module struct {
+	f    *Framework
+	env  Env
+	comm string // communicator name, for the trace
+
+	mu    sync.Mutex
+	hints map[Op]string
+}
+
+// NewModule binds the framework to one communicator. nodes[i] is the node
+// hosting communicator rank i (nil when unknown); comm names the
+// communicator in trace events.
+func (f *Framework) NewModule(t Transport, nodes []int, comm string) *Module {
+	return &Module{f: f, env: Env{T: t, Nodes: nodes}, comm: comm, hints: make(map[Op]string)}
+}
+
+// SetHint forces an algorithm for one operation on this communicator,
+// overriding the component chain. Hints must be set identically on every
+// member (the MPI_Comm_set_info collective discipline). An empty name
+// clears the hint; unknown names error.
+func (m *Module) SetHint(op Op, algo string) error {
+	if algo == "" {
+		m.mu.Lock()
+		delete(m.hints, op)
+		m.mu.Unlock()
+		return nil
+	}
+	if !knownAlgorithm(op, algo) {
+		return fmt.Errorf("coll: %s has no algorithm %q (have %v)", op, algo, Algorithms(op))
+	}
+	m.mu.Lock()
+	m.hints[op] = algo
+	m.mu.Unlock()
+	return nil
+}
+
+// Hint returns the forced algorithm for op ("" when unset).
+func (m *Module) Hint(op Op) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hints[op]
+}
+
+// pick resolves the algorithm for one call: a per-communicator hint wins
+// (unless it reorders operands and the reduction is not commutative — then
+// it is ignored rather than silently corrupting the result), otherwise the
+// component chain is walked in priority order.
+func (m *Module) pick(op Op, bytes int, commutative bool) (compName, algo string) {
+	if h := m.Hint(op); h != "" && (commutative || !reordering[h]) {
+		return "info", h
+	}
+	for _, c := range m.f.comps {
+		if a := c.decide(op, m.env, m.env.T.Size(), bytes, commutative); a != "" {
+			return c.name, a
+		}
+	}
+	// Unreachable with a well-formed chain (basic and tuned always answer),
+	// but a pure-hier selection can decline: fall back to the simplest shape.
+	return "fallback", fallbackAlgo(op)
+}
+
+func fallbackAlgo(op Op) string {
+	switch op {
+	case Barrier:
+		return "binomial"
+	case Bcast:
+		return "binomial"
+	case Reduce:
+		return "binomial"
+	case Allreduce:
+		return "reduce_bcast"
+	case Allgather:
+		return "ring"
+	case Alltoall:
+		return "pairwise"
+	}
+	return ""
+}
+
+// Barrier runs the selected barrier algorithm.
+func (m *Module) Barrier(tag int) error {
+	comp, algo := m.pick(Barrier, 0, true)
+	m.f.record(Barrier, comp, algo, m.comm, m.env.T.Size(), 0)
+	return barrierAlgos[algo](m.env, tag)
+}
+
+// Bcast broadcasts buf from root.
+func (m *Module) Bcast(buf []byte, root, tag int) error {
+	comp, algo := m.pick(Bcast, len(buf), true)
+	m.f.record(Bcast, comp, algo, m.comm, m.env.T.Size(), len(buf))
+	return bcastAlgos[algo](m.env, buf, root, tag)
+}
+
+// Reduce combines count elements of elt bytes into recvBuf at root.
+func (m *Module) Reduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, root, tag int) error {
+	comp, algo := m.pick(Reduce, count*elt, commutative)
+	m.f.record(Reduce, comp, algo, m.comm, m.env.T.Size(), count*elt)
+	return reduceAlgos[algo](m.env, sendBuf, recvBuf, count, elt, rf, root, tag)
+}
+
+// Allreduce combines count elements of elt bytes into recvBuf everywhere.
+func (m *Module) Allreduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, tag int) error {
+	comp, algo := m.pick(Allreduce, count*elt, commutative)
+	m.f.record(Allreduce, comp, algo, m.comm, m.env.T.Size(), count*elt)
+	return allreduceAlgos[algo](m.env, sendBuf, recvBuf, count, elt, rf, tag)
+}
+
+// Allgather concatenates each member's sendBuf into recvBuf everywhere.
+func (m *Module) Allgather(sendBuf, recvBuf []byte, tag int) error {
+	comp, algo := m.pick(Allgather, len(sendBuf), true)
+	m.f.record(Allgather, comp, algo, m.comm, m.env.T.Size(), len(sendBuf))
+	return allgatherAlgos[algo](m.env, sendBuf, recvBuf, tag)
+}
+
+// Alltoall exchanges block i of sendBuf with member i.
+func (m *Module) Alltoall(sendBuf, recvBuf []byte, tag int) error {
+	size := m.env.T.Size()
+	blk := 0
+	if size > 0 {
+		blk = len(sendBuf) / size
+	}
+	comp, algo := m.pick(Alltoall, blk, true)
+	m.f.record(Alltoall, comp, algo, m.comm, size, blk)
+	return alltoallAlgos[algo](m.env, sendBuf, recvBuf, tag)
+}

@@ -1,0 +1,373 @@
+package coll
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memNet is an in-memory full mesh with MPI point-to-point semantics:
+// per-(src, dst) FIFO ordering and blocking recv. It lets every algorithm
+// run against a reference without the PML underneath.
+type memMsg struct {
+	tag  int
+	data []byte
+}
+
+type memNet struct {
+	chans [][]chan memMsg
+}
+
+func newMemNet(size int) *memNet {
+	n := &memNet{chans: make([][]chan memMsg, size)}
+	for i := range n.chans {
+		n.chans[i] = make([]chan memMsg, size)
+		for j := range n.chans[i] {
+			n.chans[i][j] = make(chan memMsg, 4096)
+		}
+	}
+	return n
+}
+
+type memT struct {
+	net  *memNet
+	rank int
+}
+
+func (m memT) Rank() int { return m.rank }
+func (m memT) Size() int { return len(m.net.chans) }
+
+func (m memT) Send(buf []byte, dest, tag int) error {
+	m.net.chans[m.rank][dest] <- memMsg{tag: tag, data: append([]byte(nil), buf...)}
+	return nil
+}
+
+func (m memT) Recv(buf []byte, src, tag int) error {
+	msg := <-m.net.chans[src][m.rank]
+	if msg.tag != tag {
+		return fmt.Errorf("rank %d: recv from %d got tag %d, want %d", m.rank, src, msg.tag, tag)
+	}
+	if len(msg.data) != len(buf) {
+		return fmt.Errorf("rank %d: recv from %d got %d bytes, want %d", m.rank, src, len(msg.data), len(buf))
+	}
+	copy(buf, msg.data)
+	return nil
+}
+
+func (m memT) Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error {
+	if err := m.Send(sendBuf, dest, tag); err != nil {
+		return err
+	}
+	return m.Recv(recvBuf, src, tag)
+}
+
+// runRanks runs fn once per rank over a fresh mesh and fails on any error.
+func runRanks(t *testing.T, size int, nodes []int, fn func(e Env) error) {
+	t.Helper()
+	net := newMemNet(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(Env{T: memT{net: net, rank: r}, Nodes: nodes})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("size %d rank %d: %v", size, r, err)
+		}
+	}
+}
+
+// nodeMaps yields placement maps to exercise: unknown placement, a single
+// node, an even two-node split, and an irregular three-node layout.
+func nodeMaps(size int) [][]int {
+	single := make([]int, size)
+	split := make([]int, size)
+	irregular := make([]int, size)
+	for i := 0; i < size; i++ {
+		split[i] = i * 2 / size
+		irregular[i] = i % 3
+	}
+	return [][]int{nil, single, split, irregular}
+}
+
+// sumI64 adds count little-endian int64s: exact and commutative.
+func sumI64(inout, in []byte, count int) error {
+	for i := 0; i < count; i++ {
+		a := binary.LittleEndian.Uint64(inout[i*8:])
+		b := binary.LittleEndian.Uint64(in[i*8:])
+		binary.LittleEndian.PutUint64(inout[i*8:], a+b)
+	}
+	return nil
+}
+
+// affine composes per-element affine maps x -> a*x+b stored as (a, b)
+// uint64 pairs: left ∘ right = (a1*a2, a1*b2+b1). Associative (wrapping
+// ring arithmetic) but not commutative — a bracketing-order detector.
+func affine(inout, in []byte, count int) error {
+	for i := 0; i < count; i++ {
+		a1 := binary.LittleEndian.Uint64(inout[i*16:])
+		b1 := binary.LittleEndian.Uint64(inout[i*16+8:])
+		a2 := binary.LittleEndian.Uint64(in[i*16:])
+		b2 := binary.LittleEndian.Uint64(in[i*16+8:])
+		binary.LittleEndian.PutUint64(inout[i*16:], a1*a2)
+		binary.LittleEndian.PutUint64(inout[i*16+8:], a1*b2+b1)
+	}
+	return nil
+}
+
+// rankInput builds a deterministic per-rank payload: element i of rank r
+// is distinct across both.
+func rankInput(rank, count, elt int) []byte {
+	buf := make([]byte, count*elt)
+	for i := range buf {
+		buf[i] = byte(rank*131 + i*7 + 1)
+	}
+	return buf
+}
+
+// refFold left-folds the inputs of ranks root, root+1, ..., root-1 — the
+// rotated vrank bracketing the tree reductions document.
+func refFold(t *testing.T, rf ReduceFunc, size, root, count, elt int, input func(rank int) []byte) []byte {
+	t.Helper()
+	acc := append([]byte(nil), input(root)...)
+	for v := 1; v < size; v++ {
+		if err := rf(acc, input((root+v)%size), count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+var testSizes = []int{1, 2, 3, 4, 5, 7, 8, 11, 13, 16}
+
+func TestBarrierAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms(Barrier) {
+		fn := barrierAlgos[algo]
+		for _, size := range testSizes {
+			for _, nodes := range nodeMaps(size) {
+				runRanks(t, size, nodes, func(e Env) error {
+					return fn(e, -16)
+				})
+			}
+		}
+	}
+}
+
+func TestBcastAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms(Bcast) {
+		fn := bcastAlgos[algo]
+		for _, size := range testSizes {
+			for _, n := range []int{0, 1, 37, 9000} { // 9000 spans two pipeline segments
+				for _, root := range []int{0, size - 1, size / 2} {
+					want := rankInput(root, n, 1)
+					for _, nodes := range nodeMaps(size) {
+						bufs := make([][]byte, size)
+						for r := range bufs {
+							if r == root {
+								bufs[r] = append([]byte(nil), want...)
+							} else {
+								bufs[r] = make([]byte, n)
+							}
+						}
+						runRanks(t, size, nodes, func(e Env) error {
+							return fn(e, bufs[e.T.Rank()], root, -16)
+						})
+						for r := range bufs {
+							if !bytes.Equal(bufs[r], want) {
+								t.Fatalf("%s size=%d n=%d root=%d rank=%d: bad payload", algo, size, n, root, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceAlgorithms(t *testing.T) {
+	cases := []struct {
+		name string
+		rf   ReduceFunc
+		elt  int
+	}{
+		{"sum", sumI64, 8},
+		{"affine", affine, 16}, // non-commutative: checks bracketing order
+	}
+	for _, algo := range Algorithms(Reduce) {
+		fn := reduceAlgos[algo]
+		for _, tc := range cases {
+			for _, size := range testSizes {
+				for _, count := range []int{0, 1, 3, 700} {
+					for _, root := range []int{0, size - 1} {
+						input := func(r int) []byte { return rankInput(r, count, tc.elt) }
+						want := refFold(t, tc.rf, size, root, count, tc.elt, input)
+						recv := make([][]byte, size)
+						for r := range recv {
+							recv[r] = make([]byte, count*tc.elt)
+						}
+						runRanks(t, size, nil, func(e Env) error {
+							r := e.T.Rank()
+							return fn(e, input(r), recv[r], count, tc.elt, tc.rf, root, -16)
+						})
+						if !bytes.Equal(recv[root], want) {
+							t.Fatalf("%s/%s size=%d count=%d root=%d: bad result", algo, tc.name, size, count, root)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms(Allreduce) {
+		fn := allreduceAlgos[algo]
+		cases := []struct {
+			name string
+			rf   ReduceFunc
+			elt  int
+		}{{"sum", sumI64, 8}}
+		if !reordering[algo] {
+			cases = append(cases, struct {
+				name string
+				rf   ReduceFunc
+				elt  int
+			}{"affine", affine, 16})
+		}
+		for _, tc := range cases {
+			for _, size := range testSizes {
+				for _, count := range []int{0, 1, 3, 700} {
+					input := func(r int) []byte { return rankInput(r, count, tc.elt) }
+					want := refFold(t, tc.rf, size, 0, count, tc.elt, input)
+					for _, nodes := range nodeMaps(size) {
+						recv := make([][]byte, size)
+						for r := range recv {
+							recv[r] = make([]byte, count*tc.elt)
+						}
+						runRanks(t, size, nodes, func(e Env) error {
+							r := e.T.Rank()
+							return fn(e, input(r), recv[r], count, tc.elt, tc.rf, -16)
+						})
+						for r := range recv {
+							if !bytes.Equal(recv[r], want) {
+								t.Fatalf("%s/%s size=%d count=%d rank=%d: bad result", algo, tc.name, size, count, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms(Allgather) {
+		fn := allgatherAlgos[algo]
+		for _, size := range testSizes {
+			for _, blk := range []int{0, 1, 37, 5600} {
+				var want []byte
+				for r := 0; r < size; r++ {
+					want = append(want, rankInput(r, blk, 1)...)
+				}
+				recv := make([][]byte, size)
+				for r := range recv {
+					recv[r] = make([]byte, size*blk)
+				}
+				runRanks(t, size, nil, func(e Env) error {
+					r := e.T.Rank()
+					return fn(e, rankInput(r, blk, 1), recv[r], -16)
+				})
+				for r := range recv {
+					if !bytes.Equal(recv[r], want) {
+						t.Fatalf("%s size=%d blk=%d rank=%d: bad result", algo, size, blk, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallAlgorithms(t *testing.T) {
+	for _, algo := range Algorithms(Alltoall) {
+		fn := alltoallAlgos[algo]
+		for _, size := range testSizes {
+			for _, blk := range []int{0, 1, 37, 1200} {
+				// sendBufs[r] block d is destined for rank d.
+				sendBufs := make([][]byte, size)
+				for r := range sendBufs {
+					sendBufs[r] = make([]byte, size*blk)
+					for d := 0; d < size; d++ {
+						copy(sendBufs[r][d*blk:], rankInput(r*size+d, blk, 1))
+					}
+				}
+				recv := make([][]byte, size)
+				for r := range recv {
+					recv[r] = make([]byte, size*blk)
+				}
+				runRanks(t, size, nil, func(e Env) error {
+					r := e.T.Rank()
+					return fn(e, sendBufs[r], recv[r], -16)
+				})
+				for r := 0; r < size; r++ {
+					for s := 0; s < size; s++ {
+						got := recv[r][s*blk : (s+1)*blk]
+						want := sendBufs[s][r*blk : (r+1)*blk]
+						if !bytes.Equal(got, want) {
+							t.Fatalf("%s size=%d blk=%d: rank %d block from %d wrong", algo, size, blk, r, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModuleDispatch drives the full pick→record→run path through a
+// Module on the in-memory mesh and checks the counters.
+func TestModuleDispatch(t *testing.T) {
+	fw, err := NewFramework([]string{"hier", "tuned", "basic"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 6
+	nodes := []int{0, 0, 0, 1, 1, 1}
+	net := newMemNet(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m := fw.NewModule(memT{net: net, rank: r}, nodes, "test")
+			if errs[r] = m.Barrier(-16); errs[r] != nil {
+				return
+			}
+			buf := rankInput(0, 64, 1)
+			if errs[r] = m.Bcast(buf, 0, -32); errs[r] != nil {
+				return
+			}
+			in := rankInput(r, 4, 8)
+			out := make([]byte, 32)
+			errs[r] = m.Allreduce(in, out, 4, 8, sumI64, true, -48)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	snap := fw.Snapshot()
+	for _, key := range []string{"barrier/hier", "bcast/hier", "allreduce/hier"} {
+		if snap[key] != uint64(size) {
+			t.Fatalf("snapshot[%s] = %d, want %d (full: %v)", key, snap[key], size, snap)
+		}
+	}
+}

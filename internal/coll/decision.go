@@ -1,0 +1,101 @@
+package coll
+
+// Decision functions — one per registered component, walked in priority
+// order by Module.pick. Each returns the algorithm name to run or "" to
+// pass to the next component in the chain. A decision may only consult
+// values that are identical on every member of the communicator (size,
+// bytes, the placement map, commutativity): if two ranks disagreed on the
+// algorithm they would run different message schedules and deadlock.
+
+// Message-size breakpoints for the tuned tables, mirroring the shape of
+// Open MPI's coll/tuned fixed decision rules.
+const (
+	tunedSmallBcast     = 8 << 10   // below: binomial latency tree
+	tunedLargeBcast     = 256 << 10 // above: pipelined chain
+	tunedLargeAllreduce = 64 << 10  // above: ring reduce-scatter
+	tunedSmallAllgather = 4 << 10   // below: log-round bruck
+	tunedSmallAlltoall  = 1 << 10   // below: log-round bruck
+	tunedSmallBarrier   = 8         // members, not bytes
+)
+
+// basicDecide mirrors coll/basic: one fixed, simple shape per operation,
+// always applicable. It terminates every default component chain.
+func basicDecide(op Op, e Env, size, bytes int, commutative bool) string {
+	switch op {
+	case Barrier:
+		return "binomial"
+	case Bcast:
+		return "binomial"
+	case Reduce:
+		return "linear"
+	case Allreduce:
+		return "reduce_bcast"
+	case Allgather:
+		return "ring"
+	case Alltoall:
+		return "pairwise"
+	}
+	return ""
+}
+
+// tunedDecide keys on (communicator size, message size) like Open MPI's
+// coll/tuned fixed decision tables: latency-optimal log-depth shapes for
+// small payloads, bandwidth-optimal pipelines and rings for large ones.
+func tunedDecide(op Op, e Env, size, bytes int, commutative bool) string {
+	switch op {
+	case Barrier:
+		if size <= tunedSmallBarrier {
+			return "binomial"
+		}
+		return "dissemination"
+	case Bcast:
+		if size <= 2 || bytes < tunedSmallBcast {
+			return "binomial"
+		}
+		if bytes < tunedLargeBcast {
+			return "scatter_allgather"
+		}
+		return "pipeline"
+	case Reduce:
+		if size <= 2 {
+			return "linear"
+		}
+		return "binomial"
+	case Allreduce:
+		if commutative && size > 2 && bytes >= tunedLargeAllreduce {
+			return "ring"
+		}
+		return "recursive_doubling"
+	case Allgather:
+		if size > 2 && bytes < tunedSmallAllgather {
+			return "bruck"
+		}
+		return "ring"
+	case Alltoall:
+		if size > 2 && bytes < tunedSmallAlltoall {
+			return "bruck"
+		}
+		return "pairwise"
+	}
+	return ""
+}
+
+// hierDecide claims an operation only when the hierarchy can actually cut
+// inter-node traffic (several nodes, some node with several members) and
+// the operation has a hierarchical shape. Reductions additionally need a
+// commutative operator because the node-then-leader fold reorders
+// operands. Everything else passes down the chain.
+func hierDecide(op Op, e Env, size, bytes int, commutative bool) string {
+	if !multiNode(e) {
+		return ""
+	}
+	switch op {
+	case Barrier, Bcast:
+		return "hier"
+	case Allreduce:
+		if commutative {
+			return "hier"
+		}
+	}
+	return ""
+}

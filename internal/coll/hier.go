@@ -1,0 +1,170 @@
+package coll
+
+import "sort"
+
+// Hierarchical (topology-aware) variants. The communicator is split into
+// per-node subgroups using Env.Nodes (the PR 1 placement map): each node
+// elects a leader, intra-node phases run over the sm BTL fast path, and
+// only the leaders talk across the fabric. On the Jupiter profile that
+// turns N inter-node messages into one per node.
+//
+// Every variant degrades gracefully: with Nodes == nil (or a single node)
+// the leader phase is size 1 and the intra-node phase covers the whole
+// communicator, so correctness never depends on the placement map.
+
+// hierTopo is the node-leader decomposition of one communicator, expressed
+// in communicator ranks.
+type hierTopo struct {
+	leaders   []int // node leaders, ascending comm rank
+	nodeRanks []int // members of my node, leader first then ascending
+	isLeader  bool
+	multi     bool // >1 node and at least one node with >1 member
+}
+
+// hierSplit groups the communicator by node. root < 0 means "no
+// distinguished root" and the leader of each node is its lowest rank; for
+// rooted operations the root is promoted to leader of its own node so the
+// leader phase can be rooted at it without an extra hop.
+func hierSplit(e Env, root int) hierTopo {
+	rank, size := e.T.Rank(), e.T.Size()
+	nodeOf := func(r int) int {
+		if e.Nodes == nil {
+			return 0
+		}
+		return e.Nodes[r]
+	}
+	groups := map[int][]int{}
+	var nodeIDs []int
+	for r := 0; r < size; r++ {
+		n := nodeOf(r)
+		if _, seen := groups[n]; !seen {
+			nodeIDs = append(nodeIDs, n)
+		}
+		groups[n] = append(groups[n], r)
+	}
+	leaderOf := func(n int) int {
+		if root >= 0 && nodeOf(root) == n {
+			return root
+		}
+		return groups[n][0]
+	}
+	leaders := make([]int, 0, len(nodeIDs))
+	for _, n := range nodeIDs {
+		leaders = append(leaders, leaderOf(n))
+	}
+	sort.Ints(leaders)
+	myNode := nodeOf(rank)
+	myLeader := leaderOf(myNode)
+	nodeRanks := []int{myLeader}
+	for _, r := range groups[myNode] {
+		if r != myLeader {
+			nodeRanks = append(nodeRanks, r)
+		}
+	}
+	return hierTopo{
+		leaders:   leaders,
+		nodeRanks: nodeRanks,
+		isLeader:  rank == myLeader,
+		multi:     len(leaders) > 1 && size > len(leaders),
+	}
+}
+
+// multiNode reports whether the hierarchical shape can actually save
+// inter-node traffic: more than one node, and some node hosting more than
+// one member. Cheap enough to run inside a decision function.
+func multiNode(e Env) bool {
+	if e.Nodes == nil {
+		return false
+	}
+	distinct := map[int]bool{}
+	for _, n := range e.Nodes {
+		distinct[n] = true
+	}
+	return len(distinct) > 1 && len(e.Nodes) > len(distinct)
+}
+
+// sub restricts a transport to a subset of communicator ranks: ranks[i]
+// is the parent rank of sub-rank i. The caller must be a member.
+type sub struct {
+	t     Transport
+	ranks []int
+	me    int
+}
+
+func newSub(t Transport, ranks []int) sub {
+	me := 0
+	for i, r := range ranks {
+		if r == t.Rank() {
+			me = i
+		}
+	}
+	return sub{t: t, ranks: ranks, me: me}
+}
+
+func (s sub) Rank() int { return s.me }
+func (s sub) Size() int { return len(s.ranks) }
+func (s sub) Send(buf []byte, dest, tag int) error {
+	return s.t.Send(buf, s.ranks[dest], tag)
+}
+func (s sub) Recv(buf []byte, src, tag int) error {
+	return s.t.Recv(buf, s.ranks[src], tag)
+}
+func (s sub) Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error {
+	return s.t.Sendrecv(sendBuf, s.ranks[dest], recvBuf, s.ranks[src], tag)
+}
+
+// hierBarrier: binomial fan-in to each node leader, dissemination barrier
+// across the leaders, binomial fan-out within each node.
+func hierBarrier(e Env, tag int) error {
+	h := hierSplit(e, -1)
+	intra := newSub(e.T, h.nodeRanks)
+	if err := fanIn(intra, tag); err != nil {
+		return err
+	}
+	if h.isLeader {
+		if err := barrierDissemination(Env{T: newSub(e.T, h.leaders)}, tag-1); err != nil {
+			return err
+		}
+	}
+	return fanOut(intra, tag-2)
+}
+
+// hierBcast: binomial broadcast across the node leaders (rooted at the
+// real root, which hierSplit promotes to leader of its node), then a
+// binomial broadcast inside each node.
+func hierBcast(e Env, buf []byte, root, tag int) error {
+	h := hierSplit(e, root)
+	if h.isLeader {
+		lroot := 0
+		for i, l := range h.leaders {
+			if l == root {
+				lroot = i
+			}
+		}
+		if err := bcastBinomial(Env{T: newSub(e.T, h.leaders)}, buf, lroot, tag); err != nil {
+			return err
+		}
+	}
+	return bcastBinomial(Env{T: newSub(e.T, h.nodeRanks)}, buf, 0, tag-1)
+}
+
+// hierAllreduce: binomial reduce onto each node leader, recursive-doubling
+// allreduce across the leaders, binomial broadcast back down. The
+// node-then-leader fold reorders operands, so this variant is registered
+// as reordering (commutative reductions only).
+func hierAllreduce(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
+	n := count * elt
+	h := hierSplit(e, -1)
+	intra := Env{T: newSub(e.T, h.nodeRanks)}
+	if err := reduceBinomial(intra, sendBuf, recvBuf, count, elt, rf, 0, tag); err != nil {
+		return err
+	}
+	if h.isLeader {
+		lt := Env{T: newSub(e.T, h.leaders)}
+		// allreduceRD consumes tag-1 .. tag-3 for its pre/doubling/post phases.
+		if err := allreduceRD(lt, recvBuf[:n], recvBuf, count, elt, rf, tag-1); err != nil {
+			return err
+		}
+	}
+	return bcastBinomial(intra, recvBuf[:n], 0, tag-4)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func collComponents(t *testing.T, inst *Instance) []string {
+	t.Helper()
+	fw := inst.Coll()
+	if fw == nil {
+		t.Fatal("coll framework not initialized")
+	}
+	return fw.Components()
+}
+
+func TestCollDefaultSelectsFullChain(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{})
+	acquireAll(t, insts)
+	got := collComponents(t, insts[0])
+	want := []string{"hier", "tuned", "basic"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("default coll chain = %v, want %v", got, want)
+	}
+}
+
+func TestCollExcludeHier(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{Coll: "^hier"})
+	acquireAll(t, insts)
+	got := collComponents(t, insts[0])
+	want := []string{"tuned", "basic"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("^hier chain = %v, want %v", got, want)
+	}
+}
+
+func TestCollIncludeListOnlyBasic(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{Coll: "basic"})
+	acquireAll(t, insts)
+	got := collComponents(t, insts[0])
+	if !reflect.DeepEqual(got, []string{"basic"}) {
+		t.Fatalf("include list %q selected %v", "basic", got)
+	}
+}
+
+func TestCollEmptySelectionErrors(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{Coll: "^hier,tuned,basic"})
+	err := insts[0].Acquire()
+	if err == nil {
+		_ = insts[0].Release()
+		t.Fatal("excluding every coll component should fail initialization")
+	}
+	if !strings.Contains(err.Error(), "excludes every component") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollUnknownComponentErrors(t *testing.T) {
+	insts := testDeploy(t, 1, 1, Config{Coll: "bogus"})
+	if err := insts[0].Acquire(); err == nil {
+		_ = insts[0].Release()
+		t.Fatal("unknown coll component should fail initialization")
+	}
+}
+
+// TestCollSelectionSurvivesReinit: a fresh framework must come up on every
+// init cycle, and a failed selection must leave the registry reusable.
+func TestCollSelectionSurvivesReinit(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{Coll: "tuned,basic"})
+	for cycle := 0; cycle < 3; cycle++ {
+		for i, inst := range insts {
+			if err := inst.Acquire(); err != nil {
+				t.Fatalf("cycle %d acquire rank %d: %v", cycle, i, err)
+			}
+		}
+		got := collComponents(t, insts[0])
+		if !reflect.DeepEqual(got, []string{"tuned", "basic"}) {
+			t.Fatalf("cycle %d chain = %v", cycle, got)
+		}
+		for _, inst := range insts {
+			if err := inst.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if insts[0].Coll() != nil {
+			t.Fatalf("cycle %d: framework must be torn down on release", cycle)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"gompi/internal/btl"
 	btlnet "gompi/internal/btl/net"
 	btlsm "gompi/internal/btl/sm"
+	"gompi/internal/coll"
 	"gompi/internal/opal"
 	"gompi/internal/pmix"
 	"gompi/internal/pml"
@@ -69,6 +70,12 @@ type Config struct {
 	// for intra-node peers, net for the rest), "net" forces everything over
 	// the fabric, "^sm" disables the shared-memory fast path.
 	BTL string
+	// Coll is an MCA-style include/exclude list selecting the collective
+	// decision components, in the same syntax as BTL: "" selects every
+	// registered component in priority order (hier, then tuned, then
+	// basic), "^hier" disables the topology-aware variants, "basic" pins
+	// the simple fixed algorithms.
+	Coll string
 	// EagerLimit is the PML eager/rendezvous threshold. Zero defers to each
 	// transport's own limit (sm advertises a much larger one than net); a
 	// positive value overrides every transport.
@@ -141,6 +148,7 @@ type Instance struct {
 	refs     int // live sessions (incl. the internal WPM session)
 	client   *pmix.Client
 	engine   *pml.Engine
+	collFw   *coll.Framework
 	dataAddr simnet.Addr // the fabric identity published for this cycle
 	gen      int         // completed teardown cycles
 	cidMu    sync.Mutex
@@ -170,6 +178,7 @@ func registerDefaultComponents(m *opal.MCA) {
 	m.Register("pml", opal.Component{Name: "cm", Priority: 10})
 	m.Register("btl", opal.Component{Name: "sm", Priority: 30})
 	m.Register("btl", opal.Component{Name: "net", Priority: 20})
+	m.Register("coll", opal.Component{Name: "hier", Priority: 40})
 	m.Register("coll", opal.Component{Name: "tuned", Priority: 30})
 	m.Register("coll", opal.Component{Name: "basic", Priority: 10})
 }
@@ -239,7 +248,13 @@ func (inst *Instance) Acquire() error {
 		inst.mustRelease("mca")
 		return err
 	}
+	if err := inst.reg.Acquire("coll", inst.initColl); err != nil {
+		inst.mustRelease("pmix")
+		inst.mustRelease("mca")
+		return err
+	}
 	if err := inst.reg.Acquire("pml", inst.initPML); err != nil {
+		inst.mustRelease("coll")
 		inst.mustRelease("pmix")
 		inst.mustRelease("mca")
 		return err
@@ -294,6 +309,31 @@ func (inst *Instance) initPMIx() (func(), error) {
 	}, nil
 }
 
+// initColl selects the collective component chain and builds the
+// framework that every communicator of this cycle dispatches through.
+func (inst *Instance) initColl() (func(), error) {
+	comps, err := inst.mca.SelectComponents("coll", inst.deps.Cfg.Coll)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(comps))
+	for i, c := range comps {
+		names[i] = c.Name
+	}
+	fw, err := coll.NewFramework(names, inst.trace)
+	if err != nil {
+		return nil, err
+	}
+	inst.mu.Lock()
+	inst.collFw = fw
+	inst.mu.Unlock()
+	return func() {
+		inst.mu.Lock()
+		inst.collFw = nil
+		inst.mu.Unlock()
+	}, nil
+}
+
 func (inst *Instance) initPML() (func(), error) {
 	node := inst.deps.Server.Node()
 	comps, err := inst.mca.SelectComponents("btl", inst.deps.Cfg.BTL)
@@ -337,7 +377,7 @@ func (inst *Instance) initPML() (func(), error) {
 	// NewEngine activates the modules — in particular sm registers its
 	// node-segment mailbox — before the address is published, so any peer
 	// that can resolve us is guaranteed to find the mailbox.
-	engine := pml.NewEngine(mods, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit})
+	engine := pml.NewEngine(mods, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit, Trace: inst.trace})
 	closeAll := func() {
 		engine.Close()
 		if !netUsed {
@@ -414,6 +454,7 @@ func (inst *Instance) Release() error {
 	inst.mu.Unlock()
 
 	inst.mustRelease("pml")
+	inst.mustRelease("coll")
 	inst.mustRelease("pmix")
 	inst.mustRelease("mca")
 	if last {
@@ -440,6 +481,13 @@ func (inst *Instance) Engine() *pml.Engine {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	return inst.engine
+}
+
+// Coll returns the live collective framework; nil when not initialized.
+func (inst *Instance) Coll() *coll.Framework {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.collFw
 }
 
 // DataAddr returns the fabric identity published for the current init

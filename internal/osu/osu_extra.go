@@ -313,3 +313,55 @@ func AllreduceLatency(comm *mpi.Comm, counts []int, iters, skip int) ([]Collecti
 	}
 	return out, nil
 }
+
+// AllgatherLatency runs the osu_allgather kernel: each size is the
+// per-rank contribution in bytes.
+func AllgatherLatency(comm *mpi.Comm, sizes []int, iters, skip int) ([]CollectiveResult, error) {
+	var out []CollectiveResult
+	for _, size := range sizes {
+		send := make([]byte, size)
+		recv := make([]byte, size*comm.Size())
+		for i := 0; i < skip; i++ {
+			if err := comm.Allgather(send, recv); err != nil {
+				return nil, err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := comm.Allgather(send, recv); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, CollectiveResult{Size: size, Latency: time.Since(start) / time.Duration(iters)})
+	}
+	return out, nil
+}
+
+// AlltoallLatency runs the osu_alltoall kernel: each size is the per-pair
+// block in bytes.
+func AlltoallLatency(comm *mpi.Comm, sizes []int, iters, skip int) ([]CollectiveResult, error) {
+	var out []CollectiveResult
+	for _, size := range sizes {
+		send := make([]byte, size*comm.Size())
+		recv := make([]byte, size*comm.Size())
+		for i := 0; i < skip; i++ {
+			if err := comm.Alltoall(send, recv); err != nil {
+				return nil, err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := comm.Alltoall(send, recv); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, CollectiveResult{Size: size, Latency: time.Since(start) / time.Duration(iters)})
+	}
+	return out, nil
+}

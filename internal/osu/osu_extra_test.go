@@ -65,7 +65,7 @@ func TestBWRejectsWrongSize(t *testing.T) {
 func TestCollectiveLatencyKernels(t *testing.T) {
 	var mu sync.Mutex
 	var barrier osu.CollectiveResult
-	var bcast, allreduce []osu.CollectiveResult
+	var bcast, allreduce, allgather, alltoall []osu.CollectiveResult
 	runJob(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, func(p *mpi.Process) error {
 		if err := p.Init(); err != nil {
 			return err
@@ -84,9 +84,17 @@ func TestCollectiveLatencyKernels(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		ag, err := osu.AllgatherLatency(world, []int{8, 512}, 10, 2)
+		if err != nil {
+			return err
+		}
+		aa, err := osu.AlltoallLatency(world, []int{8, 512}, 10, 2)
+		if err != nil {
+			return err
+		}
 		if world.Rank() == 0 {
 			mu.Lock()
-			barrier, bcast, allreduce = b, bc, ar
+			barrier, bcast, allreduce, allgather, alltoall = b, bc, ar, ag, aa
 			mu.Unlock()
 		}
 		return nil
@@ -99,5 +107,11 @@ func TestCollectiveLatencyKernels(t *testing.T) {
 	}
 	if len(allreduce) != 2 || allreduce[1].Latency <= 0 {
 		t.Fatalf("allreduce = %v", allreduce)
+	}
+	if len(allgather) != 2 || allgather[1].Latency <= 0 {
+		t.Fatalf("allgather = %v", allgather)
+	}
+	if len(alltoall) != 2 || alltoall[1].Latency <= 0 {
+		t.Fatalf("alltoall = %v", alltoall)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gompi/internal/btl"
+	"gompi/internal/opal"
 )
 
 // DefaultEagerLimit is the message size above which the rendezvous protocol
@@ -20,6 +21,9 @@ type Config struct {
 	// protocol tests deterministic; zero defers to the per-BTL limit (sm
 	// advertises a much larger one than net).
 	EagerLimit int
+	// Trace, when non-nil, receives "btl" layer events for route selection:
+	// which module carries each peer, and which modules declined it.
+	Trace *opal.Trace
 }
 
 // Stats counts messages by header kind, used by tests and by the Fig. 5c
@@ -41,6 +45,7 @@ type Stats struct {
 type Engine struct {
 	btls     []btl.Module // in MCA priority order
 	cfgEager int          // explicit override; 0 = per-module default
+	trace    *opal.Trace  // may be nil (tracing disabled)
 
 	mu          sync.Mutex
 	cond        *sync.Cond // signaled on unexpected-queue arrivals and close
@@ -129,6 +134,7 @@ func NewEngine(btls []btl.Module, cfg Config) *Engine {
 	e := &Engine{
 		btls:        btls,
 		cfgEager:    cfg.EagerLimit,
+		trace:       cfg.Trace,
 		comms:       make(map[uint16]*Channel),
 		byEx:        make(map[ExCID]*Channel),
 		routes:      make(map[int]*route),
@@ -373,6 +379,9 @@ func (e *Engine) routeTo(globalRank int) (*route, error) {
 	for _, m := range e.btls {
 		ep, err := m.AddProc(globalRank)
 		if errors.Is(err, btl.ErrUnreachable) {
+			if e.trace != nil {
+				e.trace.Logf("btl", "%s cannot reach rank %d, falling back", m.Name(), globalRank)
+			}
 			continue
 		}
 		if err != nil {
@@ -384,6 +393,9 @@ func (e *Engine) routeTo(globalRank int) (*route, error) {
 		}
 		if eager <= 0 {
 			eager = DefaultEagerLimit
+		}
+		if e.trace != nil {
+			e.trace.Logf("btl", "rank %d routed via %s (eager=%d)", globalRank, m.Name(), eager)
 		}
 		rt := &route{mod: m, ep: ep, eager: eager}
 		e.mu.Lock()

@@ -8,12 +8,14 @@ import (
 // internal (negative) tags sequenced per communicator, so back-to-back
 // collectives and overlapping point-to-point traffic cannot cross-match.
 //
-// Tree shapes follow Open MPI's defaults for small and medium
-// communicators: binomial trees for barrier/bcast/reduce, a ring for
-// allgather, and pairwise exchange for alltoall.
+// Algorithm selection is delegated to the internal/coll framework: the
+// component chain chosen through core.Config.Coll (hier/tuned/basic by
+// default) picks a shape per call from (communicator size, message size,
+// placement), overridable per communicator with gompi_coll_* Info hints.
+// This file validates arguments, claims the collective tag window, and
+// dispatches; the shapes themselves live in internal/coll.
 
-// Barrier blocks until every member has entered (MPI_Barrier): a binomial
-// fan-in to rank 0 followed by a binomial fan-out.
+// Barrier blocks until every member has entered (MPI_Barrier).
 func (c *Comm) Barrier() error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
@@ -24,7 +26,9 @@ func (c *Comm) Barrier() error {
 
 // Ibarrier starts a nonblocking barrier (MPI_Ibarrier). The returned
 // request completes once every member has entered. The QUO quiescence
-// pattern polls it with Test while sleeping (paper §IV-E).
+// pattern polls it with Test while sleeping (paper §IV-E). It dispatches
+// through the same framework as Barrier, so both paths always agree on
+// the algorithm.
 func (c *Comm) Ibarrier() (Request, error) {
 	if err := c.checkLive(); err != nil {
 		return nil, c.errh.invoke(err)
@@ -34,52 +38,14 @@ func (c *Comm) Ibarrier() (Request, error) {
 }
 
 func (c *Comm) barrierWithTag(tag int) error {
-	rank, size := c.Rank(), c.Size()
-	if size == 1 {
-		return nil
+	m, err := c.collModule()
+	if err != nil {
+		return err
 	}
-	var token [1]byte
-	// Fan-in to rank 0.
-	mask := 1
-	for mask < size {
-		if rank&mask != 0 {
-			if err := c.sendT(token[:], rank-mask, tag); err != nil {
-				return err
-			}
-			break
-		}
-		if peer := rank + mask; peer < size {
-			if err := c.recvT(token[:], peer, tag); err != nil {
-				return err
-			}
-		}
-		mask <<= 1
-	}
-	// Fan-out from rank 0.
-	mask = 1
-	for mask < size {
-		if rank&mask != 0 {
-			if err := c.recvT(token[:], rank-mask, tag); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if peer := rank + mask; peer < size && rank&(mask-1) == 0 && rank&mask == 0 {
-			if err := c.sendT(token[:], peer, tag); err != nil {
-				return err
-			}
-		}
-		mask >>= 1
-	}
-	return nil
+	return m.Barrier(tag)
 }
 
-// Bcast broadcasts buf from root to every member (MPI_Bcast) along a
-// binomial tree.
+// Bcast broadcasts buf from root to every member (MPI_Bcast).
 func (c *Comm) Bcast(buf []byte, root int) error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
@@ -92,33 +58,11 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 }
 
 func (c *Comm) bcastWithTag(buf []byte, root, tag int) error {
-	rank, size := c.Rank(), c.Size()
-	if size == 1 {
-		return nil
+	m, err := c.collModule()
+	if err != nil {
+		return err
 	}
-	vrank := (rank - root + size) % size
-	toReal := func(v int) int { return (v + root) % size }
-
-	mask := 1
-	for mask < size {
-		if vrank&mask != 0 {
-			if err := c.recvT(buf, toReal(vrank-mask), tag); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if peer := vrank + mask; peer < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
-			if err := c.sendT(buf, toReal(peer), tag); err != nil {
-				return err
-			}
-		}
-		mask >>= 1
-	}
-	return nil
+	return m.Bcast(buf, root, tag)
 }
 
 // Reduce combines count elements of datatype dt from every member with op,
@@ -140,46 +84,22 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, ro
 }
 
 func (c *Comm) reduceWithTag(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, root, tag int) error {
-	rank, size := c.Rank(), c.Size()
 	nbytes := count * dt.Size()
-	acc := make([]byte, nbytes)
-	copy(acc, sendBuf[:nbytes])
-	if size > 1 {
-		vrank := (rank - root + size) % size
-		toReal := func(v int) int { return (v + root) % size }
-		tmp := make([]byte, nbytes)
-		mask := 1
-		for mask < size {
-			if vrank&mask != 0 {
-				if err := c.sendT(acc, toReal(vrank-mask), tag); err != nil {
-					return err
-				}
-				break
-			}
-			if peer := vrank + mask; peer < size {
-				if err := c.recvT(tmp, toReal(peer), tag); err != nil {
-					return err
-				}
-				if err := reduce(op, dt, acc, tmp, count); err != nil {
-					return err
-				}
-			}
-			mask <<= 1
-		}
+	if c.Rank() == root && len(recvBuf) < nbytes {
+		return fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes)
 	}
-	if rank == root {
-		if len(recvBuf) < nbytes {
-			return fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes)
-		}
-		copy(recvBuf, acc)
+	m, err := c.collModule()
+	if err != nil {
+		return err
 	}
-	return nil
+	// Builtin operations are all commutative; the framework may reorder.
+	return m.Reduce(sendBuf, recvBuf, count, dt.Size(), builtinReducer(op, dt), true, root, tag)
 }
 
 // Allreduce combines like Reduce but leaves the result at every member
-// (MPI_Allreduce). Power-of-two communicators use recursive doubling (the
-// "tuned" algorithm: log2(N) rounds, no root bottleneck); other sizes fall
-// back to reduce + broadcast ("basic").
+// (MPI_Allreduce). The framework picks recursive doubling for small
+// payloads, a bandwidth-optimal ring for large ones, and the node-leader
+// hierarchy on multi-node communicators.
 func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
@@ -191,83 +111,38 @@ func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op)
 	if len(recvBuf) < nbytes {
 		return c.errh.invoke(fmt.Errorf("mpi: allreduce recv buffer %d < %d bytes", len(recvBuf), nbytes))
 	}
-	size := c.Size()
-	if size&(size-1) == 0 {
-		tag := c.nextCollTag()
-		return c.errh.invoke(c.allreduceRD(sendBuf, recvBuf, count, dt, op, tag))
-	}
-	rtag := c.nextCollTag()
-	btag := c.nextCollTag()
-	if err := c.reduceWithTag(sendBuf, recvBuf, count, dt, op, 0, rtag); err != nil {
+	m, err := c.collModule()
+	if err != nil {
 		return c.errh.invoke(err)
 	}
-	return c.errh.invoke(c.bcastWithTag(recvBuf[:nbytes], 0, btag))
-}
-
-// allreduceRD is the recursive-doubling allreduce for power-of-two sizes.
-// For non-commutative reproducibility, each round applies the lower-rank
-// operand first, so every member computes the same bracketing.
-func (c *Comm) allreduceRD(sendBuf, recvBuf []byte, count int, dt Datatype, op Op, tag int) error {
-	rank, size := c.Rank(), c.Size()
-	nbytes := count * dt.Size()
-	copy(recvBuf[:nbytes], sendBuf[:nbytes])
-	if size == 1 {
-		return nil
-	}
-	tmp := make([]byte, nbytes)
-	for mask := 1; mask < size; mask <<= 1 {
-		partner := rank ^ mask
-		if err := c.sendrecvT(recvBuf[:nbytes], partner, tmp, partner, tag); err != nil {
-			return err
-		}
-		if partner < rank {
-			// acc = op(partner_acc, acc): lower rank on the left.
-			if err := reduce(op, dt, tmp, recvBuf[:nbytes], count); err != nil {
-				return err
-			}
-			copy(recvBuf[:nbytes], tmp)
-		} else {
-			if err := reduce(op, dt, recvBuf[:nbytes], tmp, count); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	tag := c.nextCollTag()
+	return c.errh.invoke(m.Allreduce(sendBuf, recvBuf, count, dt.Size(), builtinReducer(op, dt), true, tag))
 }
 
 // Allgather concatenates each member's sendBuf into recvBuf at every member
-// (MPI_Allgather), using a ring. Every member must pass equal-sized
-// sendBuf; recvBuf must hold size*len(sendBuf) bytes.
+// (MPI_Allgather). Every member must pass equal-sized sendBuf; recvBuf must
+// hold size*len(sendBuf) bytes.
 func (c *Comm) Allgather(sendBuf, recvBuf []byte) error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
 	}
-	rank, size := c.Rank(), c.Size()
+	size := c.Size()
 	blk := len(sendBuf)
 	if len(recvBuf) < size*blk {
 		return c.errh.invoke(fmt.Errorf("mpi: allgather recv buffer %d < %d bytes", len(recvBuf), size*blk))
 	}
+	m, err := c.collModule()
+	if err != nil {
+		return c.errh.invoke(err)
+	}
 	tag := c.nextCollTag()
-	copy(recvBuf[rank*blk:], sendBuf)
-	if size == 1 {
-		return nil
-	}
-	right := (rank + 1) % size
-	left := (rank - 1 + size) % size
-	// Step i: forward the block that originated at (rank - i).
-	for i := 0; i < size-1; i++ {
-		sendBlk := (rank - i + size) % size
-		recvBlk := (rank - i - 1 + size) % size
-		if err := c.sendrecvT(recvBuf[sendBlk*blk:sendBlk*blk+blk], right,
-			recvBuf[recvBlk*blk:recvBlk*blk+blk], left, tag); err != nil {
-			return c.errh.invoke(err)
-		}
-	}
-	return nil
+	return c.errh.invoke(m.Allgather(sendBuf, recvBuf[:size*blk], tag))
 }
 
 // Gather concentrates each member's sendBuf at root (MPI_Gather). recvBuf
 // must hold size*len(sendBuf) bytes at root; it is ignored elsewhere.
+// Rooted linear collectives with per-rank buffers stay outside the
+// framework (the decision tables have a single shape for them).
 func (c *Comm) Gather(sendBuf, recvBuf []byte, root int) error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
@@ -321,13 +196,13 @@ func (c *Comm) Scatter(sendBuf, recvBuf []byte, root int) error {
 }
 
 // Alltoall exchanges the i-th block of sendBuf with member i
-// (MPI_Alltoall) using pairwise exchange. Both buffers hold size equal
-// blocks of len(sendBuf)/size bytes.
+// (MPI_Alltoall). Both buffers hold size equal blocks of
+// len(sendBuf)/size bytes.
 func (c *Comm) Alltoall(sendBuf, recvBuf []byte) error {
 	if err := c.checkLive(); err != nil {
 		return c.errh.invoke(err)
 	}
-	rank, size := c.Rank(), c.Size()
+	size := c.Size()
 	if len(sendBuf)%size != 0 {
 		return c.errh.invoke(fmt.Errorf("mpi: alltoall send buffer %d not divisible by %d", len(sendBuf), size))
 	}
@@ -335,17 +210,12 @@ func (c *Comm) Alltoall(sendBuf, recvBuf []byte) error {
 	if len(recvBuf) < size*blk {
 		return c.errh.invoke(fmt.Errorf("mpi: alltoall recv buffer %d < %d bytes", len(recvBuf), size*blk))
 	}
-	tag := c.nextCollTag()
-	copy(recvBuf[rank*blk:rank*blk+blk], sendBuf[rank*blk:rank*blk+blk])
-	for i := 1; i < size; i++ {
-		to := (rank + i) % size
-		from := (rank - i + size) % size
-		if err := c.sendrecvT(sendBuf[to*blk:to*blk+blk], to,
-			recvBuf[from*blk:from*blk+blk], from, tag); err != nil {
-			return c.errh.invoke(err)
-		}
+	m, err := c.collModule()
+	if err != nil {
+		return c.errh.invoke(err)
 	}
-	return nil
+	tag := c.nextCollTag()
+	return c.errh.invoke(m.Alltoall(sendBuf, recvBuf[:size*blk], tag))
 }
 
 // Typed convenience collectives used throughout the benchmarks and

@@ -200,27 +200,34 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []int, recvBuf []byte, ro
 }
 
 // Iallreduce is the nonblocking form of Allreduce (MPI_Iallreduce). The
-// internal tags are claimed at call time, so members may overlap it with
-// other traffic as long as collective call order stays consistent.
+// internal tag window is claimed at call time, so members may overlap it
+// with other traffic as long as collective call order stays consistent.
+// It dispatches through the same framework module as Allreduce, so the
+// nonblocking path cannot diverge from the algorithm the blocking path
+// would select.
 func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count int, dt Datatype, op Op) (Request, error) {
 	if err := c.checkLive(); err != nil {
 		return nil, c.errh.invoke(err)
 	}
 	nbytes := count * dt.Size()
+	if len(sendBuf) < nbytes {
+		return nil, c.errh.invoke(fmt.Errorf("mpi: iallreduce send buffer %d < %d bytes", len(sendBuf), nbytes))
+	}
 	if len(recvBuf) < nbytes {
 		return nil, c.errh.invoke(fmt.Errorf("mpi: iallreduce recv buffer %d < %d bytes", len(recvBuf), nbytes))
 	}
-	rtag := c.nextCollTag()
-	btag := c.nextCollTag()
+	m, err := c.collModule()
+	if err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	tag := c.nextCollTag()
 	return startGoRequest(func() error {
-		if err := c.reduceWithTag(sendBuf, recvBuf, count, dt, op, 0, rtag); err != nil {
-			return err
-		}
-		return c.bcastWithTag(recvBuf[:nbytes], 0, btag)
+		return m.Allreduce(sendBuf, recvBuf, count, dt.Size(), builtinReducer(op, dt), true, tag)
 	}), nil
 }
 
-// Ibcast is the nonblocking form of Bcast (MPI_Ibcast).
+// Ibcast is the nonblocking form of Bcast (MPI_Ibcast), dispatched through
+// the same framework module as Bcast.
 func (c *Comm) Ibcast(buf []byte, root int) (Request, error) {
 	if err := c.checkLive(); err != nil {
 		return nil, c.errh.invoke(err)
@@ -228,6 +235,10 @@ func (c *Comm) Ibcast(buf []byte, root int) (Request, error) {
 	if root < 0 || root >= c.Size() {
 		return nil, c.errh.invoke(fmt.Errorf("mpi: ibcast root %d out of range", root))
 	}
+	m, err := c.collModule()
+	if err != nil {
+		return nil, c.errh.invoke(err)
+	}
 	tag := c.nextCollTag()
-	return startGoRequest(func() error { return c.bcastWithTag(buf, root, tag) }), nil
+	return startGoRequest(func() error { return m.Bcast(buf, root, tag) }), nil
 }

@@ -1,0 +1,321 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gompi/internal/coll"
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+// Tests for the collective framework integration: trace events, stats
+// counters, Info-hint overrides, and the hierarchical selection on
+// multi-node jobs.
+
+func TestCollTraceAndStats(t *testing.T) {
+	cfg := exCfg()
+	cfg.Trace = true
+	run(t, 1, 4, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if err := world.Barrier(); err != nil {
+			return err
+		}
+		buf := make([]byte, 64)
+		if err := world.Bcast(buf, 0); err != nil {
+			return err
+		}
+		out := make([]byte, 8)
+		if err := world.Allreduce(mpi.PackInt64s([]int64{1}), out, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		st := p.CollStatsSnapshot()
+		// Single node: the hier component passes, tuned decides.
+		for _, key := range []string{"barrier/binomial", "bcast/binomial", "allreduce/recursive_doubling"} {
+			if st[key] == 0 {
+				return fmt.Errorf("stats[%s] = 0 (full: %v)", key, st)
+			}
+		}
+		var collEvents int
+		for _, ev := range p.Instance().Trace().Events() {
+			if ev.Layer == "coll" {
+				collEvents++
+				if !strings.Contains(ev.Msg, "->") {
+					return fmt.Errorf("malformed coll event %q", ev.Msg)
+				}
+			}
+		}
+		if collEvents < 3 {
+			return fmt.Errorf("want >=3 coll trace events, got %d", collEvents)
+		}
+		return nil
+	})
+}
+
+// TestBTLFallbackTraced: with sm excluded, route selection logs the sm
+// module declining intra-node peers before net picks them up.
+func TestBTLFallbackTraced(t *testing.T) {
+	cfg := exCfg()
+	cfg.Trace = true
+	cfg.BTL = "" // both modules; sm declines nothing intra-node...
+	run(t, 2, 1, cfg, func(p *mpi.Process) error {
+		// Two single-rank nodes: sm cannot reach the remote peer, so the
+		// route must fall back to net and the fallback must be traced.
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if err := world.Barrier(); err != nil {
+			return err
+		}
+		var sawFallback, sawRoute bool
+		for _, ev := range p.Instance().Trace().Events() {
+			if ev.Layer != "btl" {
+				continue
+			}
+			if strings.Contains(ev.Msg, "falling back") {
+				sawFallback = true
+			}
+			if strings.Contains(ev.Msg, "routed via net") {
+				sawRoute = true
+			}
+		}
+		if !sawFallback || !sawRoute {
+			return fmt.Errorf("btl trace missing events (fallback=%v route=%v)", sawFallback, sawRoute)
+		}
+		return nil
+	})
+}
+
+// TestCollHierSelectedMultiNode: on a 2-node job with several ranks per
+// node, the default chain routes barrier/bcast/allreduce hierarchically.
+func TestCollHierSelectedMultiNode(t *testing.T) {
+	run(t, 2, 4, exCfg(), func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if err := world.Barrier(); err != nil {
+			return err
+		}
+		payload := []byte("hierarchical broadcast payload")
+		buf := make([]byte, len(payload))
+		if world.Rank() == 0 {
+			copy(buf, payload)
+		}
+		if err := world.Bcast(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, payload) {
+			return fmt.Errorf("bcast payload corrupted: %q", buf)
+		}
+		got, err := world.AllreduceInt64(int64(world.Rank()), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		want := int64(world.Size() * (world.Size() - 1) / 2)
+		if got != want {
+			return fmt.Errorf("allreduce = %d, want %d", got, want)
+		}
+		st := p.CollStatsSnapshot()
+		for _, key := range []string{"barrier/hier", "bcast/hier", "allreduce/hier"} {
+			if st[key] == 0 {
+				return fmt.Errorf("stats[%s] = 0 (full: %v)", key, st)
+			}
+		}
+		return nil
+	})
+}
+
+// TestCollExcludeHierFlat: Config.Coll governs the chain end to end.
+func TestCollExcludeHierFlat(t *testing.T) {
+	cfg := exCfg()
+	cfg.Coll = "^hier"
+	run(t, 2, 4, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if _, err := world.AllreduceInt64(1, mpi.OpSum); err != nil {
+			return err
+		}
+		st := p.CollStatsSnapshot()
+		if st["allreduce/hier"] != 0 {
+			return fmt.Errorf("hier ran despite exclusion: %v", st)
+		}
+		if st["allreduce/recursive_doubling"] == 0 {
+			return fmt.Errorf("tuned flat algorithm missing: %v", st)
+		}
+		return nil
+	})
+}
+
+// TestCollInfoHintOverride: a gompi_coll_* hint set via SetInfo wins over
+// the component chain, and GetInfo reflects it.
+func TestCollInfoHintOverride(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		info := mpi.NewInfo()
+		info.Set("gompi_coll_allreduce", "ring")
+		if err := world.SetInfo(info); err != nil {
+			return err
+		}
+		if v, ok := world.GetInfo().Get("gompi_coll_allreduce"); !ok || v != "ring" {
+			return fmt.Errorf("GetInfo = %q, %v", v, ok)
+		}
+		if _, err := world.AllreduceInt64(2, mpi.OpSum); err != nil {
+			return err
+		}
+		st := p.CollStatsSnapshot()
+		if st["allreduce/ring"] == 0 {
+			return fmt.Errorf("ring hint not honored: %v", st)
+		}
+		bad := mpi.NewInfo()
+		bad.Set("gompi_coll_bcast", "no_such_algo")
+		if err := world.SetInfo(bad); err == nil {
+			return fmt.Errorf("unknown algorithm hint must error")
+		}
+		return nil
+	})
+}
+
+// TestCollInfoHintAtCreation: hints passed to CommCreateFromGroup apply
+// from the communicator's first collective, and invalid hints fail the
+// creation.
+func TestCollInfoHintAtCreation(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		group, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		info := mpi.NewInfo()
+		info.Set("gompi_coll_allreduce", "reduce_bcast")
+		comm, err := sess.CommCreateFromGroup(group, "coll-hint", info, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		if _, err := comm.AllreduceInt64(1, mpi.OpSum); err != nil {
+			return err
+		}
+		if st := p.CollStatsSnapshot(); st["allreduce/reduce_bcast"] == 0 {
+			return fmt.Errorf("creation hint not honored: %v", st)
+		}
+		bad := mpi.NewInfo()
+		bad.Set("gompi_coll_barrier", "bogus")
+		if _, err := sess.CommCreateFromGroup(group, "coll-bad-hint", bad, nil); err == nil {
+			return fmt.Errorf("invalid hint must fail communicator creation")
+		}
+		return nil
+	})
+}
+
+// TestNonblockingSharesDispatch: the I-variants must select through the
+// same module as the blocking forms — the counters land on the same keys.
+func TestNonblockingSharesDispatch(t *testing.T) {
+	run(t, 1, 4, exCfg(), func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		info := mpi.NewInfo()
+		info.Set("gompi_coll_allreduce", "reduce_bcast")
+		if err := world.SetInfo(info); err != nil {
+			return err
+		}
+		in := mpi.PackInt64s([]int64{int64(world.Rank())})
+		out := make([]byte, 8)
+		if err := world.Allreduce(in, out, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		req, err := world.Iallreduce(in, out, 1, mpi.Int64, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		breq, err := world.Ibarrier()
+		if err != nil {
+			return err
+		}
+		if _, err := breq.Wait(); err != nil {
+			return err
+		}
+		buf := make([]byte, 16)
+		bcreq, err := world.Ibcast(buf, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := bcreq.Wait(); err != nil {
+			return err
+		}
+		st := p.CollStatsSnapshot()
+		if st["allreduce/reduce_bcast"] != 2 {
+			return fmt.Errorf("blocking+nonblocking should share the key: %v", st)
+		}
+		if st["barrier/binomial"] == 0 || st["bcast/binomial"] == 0 {
+			return fmt.Errorf("nonblocking barrier/bcast not counted: %v", st)
+		}
+		return nil
+	})
+}
+
+// TestCollStatsNil: the snapshot is nil before initialization, mirroring
+// BTLStatsSnapshot.
+func TestCollStatsNil(t *testing.T) {
+	run(t, 1, 1, exCfg(), func(p *mpi.Process) error {
+		if st := p.CollStatsSnapshot(); st != nil {
+			return fmt.Errorf("want nil before init, got %v", st)
+		}
+		return nil
+	})
+}
+
+// TestCollSelectionConfigErrors mirrors the BTL selection error tests at
+// the mpi layer: a bad Config.Coll surfaces from session initialization.
+func TestCollSelectionConfigErrors(t *testing.T) {
+	for _, spec := range []string{"^hier,tuned,basic", "bogus"} {
+		cfg := exCfg()
+		cfg.Coll = spec
+		run(t, 1, 1, cfg, func(p *mpi.Process) error {
+			if _, err := p.SessionInit(nil, nil); err == nil {
+				return fmt.Errorf("Coll=%q must fail initialization", spec)
+			}
+			return nil
+		})
+	}
+}
+
+// TestCollAlgorithmsExported sanity-checks the registry the property test
+// iterates: every op has at least two variants (the tentpole requirement).
+func TestCollAlgorithmsExported(t *testing.T) {
+	for _, op := range coll.Ops() {
+		if n := len(coll.Algorithms(op)); n < 2 {
+			t.Errorf("%s has %d algorithm variants, want >= 2", op, n)
+		}
+	}
+	if _, err := coll.NewFramework([]string{"tuned"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var _ core.Config // keep the import balanced with the helpers above
+}

@@ -1,0 +1,405 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/internal/coll"
+	"gompi/internal/core"
+	"gompi/mpi"
+)
+
+// Property tests: every registered algorithm of every collective operation
+// must agree with a naive per-rank reference, end to end through the PML
+// and BTLs. The low eager limit forces the large counts onto the
+// rendezvous path, and the shapes cover single-rank, single-node, and
+// multi-node placements (the internal/coll unit tests sweep comm sizes
+// 1..16 over an in-memory transport).
+
+func propCfg() core.Config {
+	return core.Config{CIDMode: core.CIDExtended, EagerLimit: 1024}
+}
+
+var propShapes = []struct{ nodes, ppn int }{
+	{1, 1}, // degenerate: size-1 communicator
+	{1, 4}, // single node: hier collapses to one group
+	{2, 3}, // multi-node: hier splits leaders from locals
+}
+
+// propCounts covers count=0, one element, an odd count, and a payload
+// (5600 bytes of Int64) beyond the 1024-byte eager limit.
+var propCounts = []int{0, 1, 3, 700}
+
+var propOps = []mpi.Op{
+	mpi.OpSum, mpi.OpProd, mpi.OpMax, mpi.OpMin,
+	mpi.OpLAnd, mpi.OpLOr, mpi.OpBAnd, mpi.OpBOr,
+}
+
+func refOp(op mpi.Op, a, b int64) int64 {
+	switch op {
+	case mpi.OpSum:
+		return a + b
+	case mpi.OpProd:
+		return a * b
+	case mpi.OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case mpi.OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case mpi.OpLAnd:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case mpi.OpLOr:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	case mpi.OpBAnd:
+		return a & b
+	case mpi.OpBOr:
+		return a | b
+	}
+	return a
+}
+
+// propVal is rank r's element i. The sprinkled zeros keep the logical and
+// product operations honest.
+func propVal(rank, i int) int64 {
+	if (rank+i)%5 == 0 {
+		return 0
+	}
+	return int64(rank*1000003 + i*7919 + 1)
+}
+
+func propInput(rank, count int) []int64 {
+	v := make([]int64, count)
+	for i := range v {
+		v[i] = propVal(rank, i)
+	}
+	return v
+}
+
+func refReduce(op mpi.Op, size, count int) []int64 {
+	acc := propInput(0, count)
+	for r := 1; r < size; r++ {
+		in := propInput(r, count)
+		for i := range acc {
+			acc[i] = refOp(op, acc[i], in[i])
+		}
+	}
+	return acc
+}
+
+// forceAlgo pins one operation to one algorithm on the communicator.
+func forceAlgo(c *mpi.Comm, op coll.Op, algo string) error {
+	info := mpi.NewInfo()
+	info.Set("gompi_coll_"+op.String(), algo)
+	return c.SetInfo(info)
+}
+
+func TestPropertyAllreduceAllAlgorithms(t *testing.T) {
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			for _, algo := range coll.Algorithms(coll.Allreduce) {
+				if err := forceAlgo(world, coll.Allreduce, algo); err != nil {
+					return err
+				}
+				for _, op := range propOps {
+					for _, count := range propCounts {
+						send := mpi.PackInt64s(propInput(rank, count))
+						recv := make([]byte, count*8)
+						if err := world.Allreduce(send, recv, count, mpi.Int64, op); err != nil {
+							return fmt.Errorf("%s/%s count=%d: %w", algo, op, count, err)
+						}
+						want := refReduce(op, size, count)
+						got := mpi.UnpackInt64s(recv)
+						for i := range want {
+							if got[i] != want[i] {
+								return fmt.Errorf("allreduce/%s %s count=%d [%d]: got %d want %d",
+									algo, op, count, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPropertyReduceAllAlgorithms(t *testing.T) {
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			roots := []int{0, size - 1}
+			for _, algo := range coll.Algorithms(coll.Reduce) {
+				if err := forceAlgo(world, coll.Reduce, algo); err != nil {
+					return err
+				}
+				for _, op := range propOps {
+					for _, count := range propCounts {
+						for _, root := range roots {
+							send := mpi.PackInt64s(propInput(rank, count))
+							var recv []byte
+							if rank == root {
+								recv = make([]byte, count*8)
+							}
+							if err := world.Reduce(send, recv, count, mpi.Int64, op, root); err != nil {
+								return fmt.Errorf("%s/%s count=%d root=%d: %w", algo, op, count, root, err)
+							}
+							if rank != root {
+								continue
+							}
+							want := refReduce(op, size, count)
+							got := mpi.UnpackInt64s(recv)
+							for i := range want {
+								if got[i] != want[i] {
+									return fmt.Errorf("reduce/%s %s count=%d root=%d [%d]: got %d want %d",
+										algo, op, count, root, i, got[i], want[i])
+								}
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPropertyBcastAllAlgorithms(t *testing.T) {
+	payload := func(root, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(root*29 + i*13 + 7)
+		}
+		return b
+	}
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			roots := []int{0, size - 1, size / 2}
+			for _, algo := range coll.Algorithms(coll.Bcast) {
+				if err := forceAlgo(world, coll.Bcast, algo); err != nil {
+					return err
+				}
+				for _, n := range []int{0, 1, 37, 5600} {
+					for _, root := range roots {
+						buf := make([]byte, n)
+						if rank == root {
+							copy(buf, payload(root, n))
+						}
+						if err := world.Bcast(buf, root); err != nil {
+							return fmt.Errorf("bcast/%s n=%d root=%d: %w", algo, n, root, err)
+						}
+						want := payload(root, n)
+						for i := range want {
+							if buf[i] != want[i] {
+								return fmt.Errorf("bcast/%s n=%d root=%d [%d]: got %d want %d",
+									algo, n, root, i, buf[i], want[i])
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPropertyBarrierAllAlgorithms(t *testing.T) {
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			for _, algo := range coll.Algorithms(coll.Barrier) {
+				if err := forceAlgo(world, coll.Barrier, algo); err != nil {
+					return err
+				}
+				for i := 0; i < 3; i++ {
+					if err := world.Barrier(); err != nil {
+						return fmt.Errorf("barrier/%s round %d: %w", algo, i, err)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPropertyAllgatherAllAlgorithms(t *testing.T) {
+	blockVal := func(r, i int) byte { return byte(r*37 + i*11 + 2) }
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			for _, algo := range coll.Algorithms(coll.Allgather) {
+				if err := forceAlgo(world, coll.Allgather, algo); err != nil {
+					return err
+				}
+				for _, blk := range []int{0, 1, 37, 2048} {
+					send := make([]byte, blk)
+					for i := range send {
+						send[i] = blockVal(rank, i)
+					}
+					recv := make([]byte, blk*size)
+					if err := world.Allgather(send, recv); err != nil {
+						return fmt.Errorf("allgather/%s blk=%d: %w", algo, blk, err)
+					}
+					for r := 0; r < size; r++ {
+						for i := 0; i < blk; i++ {
+							if got, want := recv[r*blk+i], blockVal(r, i); got != want {
+								return fmt.Errorf("allgather/%s blk=%d rank-block %d [%d]: got %d want %d",
+									algo, blk, r, i, got, want)
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestPropertyAlltoallAllAlgorithms(t *testing.T) {
+	blockVal := func(src, dst, i int) byte { return byte(src*31 + dst*17 + i*3 + 1) }
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			for _, algo := range coll.Algorithms(coll.Alltoall) {
+				if err := forceAlgo(world, coll.Alltoall, algo); err != nil {
+					return err
+				}
+				for _, blk := range []int{0, 1, 37, 1200} {
+					send := make([]byte, blk*size)
+					for d := 0; d < size; d++ {
+						for i := 0; i < blk; i++ {
+							send[d*blk+i] = blockVal(rank, d, i)
+						}
+					}
+					recv := make([]byte, blk*size)
+					if err := world.Alltoall(send, recv); err != nil {
+						return fmt.Errorf("alltoall/%s blk=%d: %w", algo, blk, err)
+					}
+					for s := 0; s < size; s++ {
+						for i := 0; i < blk; i++ {
+							if got, want := recv[s*blk+i], blockVal(s, rank, i); got != want {
+								return fmt.Errorf("alltoall/%s blk=%d from %d [%d]: got %d want %d",
+									algo, blk, s, i, got, want)
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestPropertyUserOpNonCommutative drives the order-preserving dispatch
+// path with a genuinely non-commutative operation (2x2 upper-triangular
+// matrix composition encoded as (a, b) pairs): any reordering of the fold
+// would change the result.
+func TestPropertyUserOpNonCommutative(t *testing.T) {
+	affine := mpi.OpCreate("affine-compose", func(inout, in []byte, count int, dt mpi.Datatype) error {
+		vals := mpi.UnpackInt64s(inout)
+		rhs := mpi.UnpackInt64s(in)
+		// count is the int64 element count; elements pair up as (a, b).
+		for i := 0; i < count/2; i++ {
+			a1, b1 := vals[2*i], vals[2*i+1]
+			a2, b2 := rhs[2*i], rhs[2*i+1]
+			vals[2*i], vals[2*i+1] = a1*a2, a1*b2+b1
+		}
+		copy(inout, mpi.PackInt64s(vals))
+		return nil
+	})
+	for _, sh := range propShapes {
+		run(t, sh.nodes, sh.ppn, propCfg(), func(p *mpi.Process) error {
+			if err := p.Init(); err != nil {
+				return err
+			}
+			defer p.Finalize()
+			world := p.CommWorld()
+			size, rank := world.Size(), world.Rank()
+			const count = 5
+			pair := func(r int) []int64 {
+				v := make([]int64, 2*count)
+				for i := 0; i < count; i++ {
+					v[2*i] = int64(2 + (r+i)%3)
+					v[2*i+1] = int64(r*7 + i + 1)
+				}
+				return v
+			}
+			want := pair(0)
+			for r := 1; r < size; r++ {
+				rhs := pair(r)
+				for i := 0; i < count; i++ {
+					a1, b1 := want[2*i], want[2*i+1]
+					a2, b2 := rhs[2*i], rhs[2*i+1]
+					want[2*i], want[2*i+1] = a1*a2, a1*b2+b1
+				}
+			}
+			send := mpi.PackInt64s(pair(rank))
+			recv := make([]byte, len(send))
+			// Dispatch uses Int64 with a doubled count: each logical element
+			// is an (a, b) pair of int64s.
+			if err := world.AllreduceUser(send, recv, 2*count, mpi.Int64, affine); err != nil {
+				return err
+			}
+			got := mpi.UnpackInt64s(recv)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("allreduce-user [%d]: got %d want %d", i, got[i], want[i])
+				}
+			}
+			recv2 := make([]byte, len(send))
+			if err := world.ReduceUser(send, recv2, 2*count, mpi.Int64, affine, 0); err != nil {
+				return err
+			}
+			if rank == 0 {
+				got2 := mpi.UnpackInt64s(recv2)
+				for i := range want {
+					if got2[i] != want[i] {
+						return fmt.Errorf("reduce-user [%d]: got %d want %d", i, got2[i], want[i])
+					}
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"gompi/internal/coll"
 	"gompi/internal/core"
 	"gompi/internal/core/cid"
 	"gompi/internal/pmix"
@@ -31,6 +32,7 @@ type Comm struct {
 
 	mu      sync.Mutex
 	collSeq uint64
+	coll    *coll.Module // lazily bound to the instance's coll framework
 	freed   bool
 	attrs   map[int]any
 }

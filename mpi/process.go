@@ -144,6 +144,22 @@ func (p *Process) BTLStatsSnapshot() map[string]TransportStats {
 	return out
 }
 
+// CollStats counts collective-framework algorithm invocations, keyed
+// "operation/algorithm" (e.g. "allreduce/recursive_doubling"). Together
+// with the "coll" trace layer it shows which decision-table entries the
+// workload actually exercised.
+type CollStats map[string]uint64
+
+// CollStatsSnapshot returns the process's collective algorithm counters;
+// nil when MPI is not initialized.
+func (p *Process) CollStatsSnapshot() CollStats {
+	fw := p.inst.Coll()
+	if fw == nil {
+		return nil
+	}
+	return CollStats(fw.Snapshot())
+}
+
 // Init initializes the World Process Model (MPI_Init): equivalent to
 // InitThread(ThreadSingle).
 func (p *Process) Init() error {

@@ -203,6 +203,13 @@ func (s *Session) CommCreateFromGroup(group *Group, tag string, info *Info, errh
 	if err != nil {
 		return nil, s.errh.invoke(err)
 	}
+	// Collective-selection hints (gompi_coll_*) apply from the first
+	// operation; an invalid hint fails the creation rather than silently
+	// running a different algorithm than the caller asked for.
+	if err := c.applyCollInfo(info); err != nil {
+		c.freeLocal()
+		return nil, s.errh.invoke(err)
+	}
 	return c, nil
 }
 

@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"fmt"
+
+	"gompi/internal/coll"
 )
 
 // User-defined reduction operations (MPI_Op_create). A UserOp combines
@@ -24,17 +26,16 @@ func OpCreate(name string, fn func(inout, in []byte, count int, dt Datatype) err
 // Name returns the operation's name.
 func (o *UserOp) Name() string { return o.name }
 
-// reducerFn is the internal element-wise combiner used by the reduction
-// trees: inout = op(inout, in).
-type reducerFn func(inout, in []byte, count int) error
+// builtinReducer and userReducer bind an operation and datatype into the
+// framework's element-wise combiner shape: inout = op(inout, in).
 
-func builtinReducer(op Op, dt Datatype) reducerFn {
+func builtinReducer(op Op, dt Datatype) coll.ReduceFunc {
 	return func(inout, in []byte, count int) error {
 		return reduce(op, dt, inout, in, count)
 	}
 }
 
-func userReducer(op *UserOp, dt Datatype) reducerFn {
+func userReducer(op *UserOp, dt Datatype) coll.ReduceFunc {
 	return func(inout, in []byte, count int) error {
 		return op.fn(inout, in, count, dt)
 	}
@@ -55,8 +56,17 @@ func (c *Comm) ReduceUser(sendBuf, recvBuf []byte, count int, dt Datatype, op *U
 	if len(sendBuf) < nbytes {
 		return c.errh.invoke(fmt.Errorf("mpi: reduce send buffer %d < %d bytes", len(sendBuf), nbytes))
 	}
+	if c.Rank() == root && len(recvBuf) < nbytes {
+		return c.errh.invoke(fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes))
+	}
+	m, err := c.collModule()
+	if err != nil {
+		return c.errh.invoke(err)
+	}
 	tag := c.nextCollTag()
-	return c.errh.invoke(c.reduceTreeWithFn(sendBuf, recvBuf, count, dt, userReducer(op, dt), root, tag))
+	// User operations are treated as non-commutative: the framework only
+	// runs order-preserving shapes (operands fold in ascending vrank order).
+	return c.errh.invoke(m.Reduce(sendBuf, recvBuf, count, dt.Size(), userReducer(op, dt), false, root, tag))
 }
 
 // AllreduceUser is MPI_Allreduce with a user-defined operation.
@@ -71,51 +81,13 @@ func (c *Comm) AllreduceUser(sendBuf, recvBuf []byte, count int, dt Datatype, op
 	if len(sendBuf) < nbytes || len(recvBuf) < nbytes {
 		return c.errh.invoke(fmt.Errorf("mpi: allreduce buffers too small for %d x %s", count, dt))
 	}
-	rtag := c.nextCollTag()
-	btag := c.nextCollTag()
-	if err := c.reduceTreeWithFn(sendBuf, recvBuf, count, dt, userReducer(op, dt), 0, rtag); err != nil {
+	m, err := c.collModule()
+	if err != nil {
 		return c.errh.invoke(err)
 	}
-	return c.errh.invoke(c.bcastWithTag(recvBuf[:nbytes], 0, btag))
-}
-
-// reduceTreeWithFn is the binomial reduction generalized over a combiner.
-// For non-commutative combiners, operands are ordered so that lower ranks
-// appear on the left, matching the builtin path's bracketing.
-func (c *Comm) reduceTreeWithFn(sendBuf, recvBuf []byte, count int, dt Datatype, fn reducerFn, root, tag int) error {
-	rank, size := c.Rank(), c.Size()
-	nbytes := count * dt.Size()
-	acc := make([]byte, nbytes)
-	copy(acc, sendBuf[:nbytes])
-	if size > 1 {
-		vrank := (rank - root + size) % size
-		toReal := func(v int) int { return (v + root) % size }
-		tmp := make([]byte, nbytes)
-		mask := 1
-		for mask < size {
-			if vrank&mask != 0 {
-				if err := c.sendT(acc, toReal(vrank-mask), tag); err != nil {
-					return err
-				}
-				break
-			}
-			if peer := vrank + mask; peer < size {
-				if err := c.recvT(tmp, toReal(peer), tag); err != nil {
-					return err
-				}
-				// acc holds lower ranks' contribution: acc = fn(acc, tmp).
-				if err := fn(acc, tmp, count); err != nil {
-					return err
-				}
-			}
-			mask <<= 1
-		}
-	}
-	if rank == root {
-		if len(recvBuf) < nbytes {
-			return fmt.Errorf("mpi: reduce recv buffer %d < %d bytes", len(recvBuf), nbytes)
-		}
-		copy(recvBuf, acc)
-	}
-	return nil
+	tag := c.nextCollTag()
+	// Non-commutative dispatch keeps the framework off the reordering
+	// algorithms (ring, hier); recursive doubling and reduce+bcast both
+	// preserve the ascending-rank bracketing.
+	return c.errh.invoke(m.Allreduce(sendBuf, recvBuf, count, dt.Size(), userReducer(op, dt), false, tag))
 }
