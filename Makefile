@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-smoke figures
+.PHONY: check vet build test test-race bench bench-smoke bench-pml figures
 
 # check is the repo's verification gate: vet, build, and the full test
 # suite under the race detector.
@@ -25,6 +25,11 @@ bench:
 # that the measurement harnesses still execute end to end.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchtime=1x ./...
+
+# bench-pml regenerates the machine-readable PML matching-engine ablation
+# (list vs bucket, pairs and incast shapes) quoted by EXPERIMENTS.md.
+bench-pml:
+	$(GO) run ./cmd/pmlbench -out BENCH_pml.json
 
 figures:
 	$(GO) run ./cmd/figures -table 1 -fig all

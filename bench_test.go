@@ -20,6 +20,7 @@ var benchNodes = []int{1, 2, 4}
 
 // BenchmarkTable1Profiles renders Table I (the simulated system profiles).
 func BenchmarkTable1Profiles(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(bench.Table1()) == 0 {
 			b.Fatal("empty table")
@@ -29,6 +30,7 @@ func BenchmarkTable1Profiles(b *testing.B) {
 
 // BenchmarkFig3aInit1PPN: MPI startup, 1 process per node (Fig. 3a).
 func BenchmarkFig3aInit1PPN(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.InitSweep(topo.Jupiter(), 1, benchNodes)
 		if err != nil {
@@ -42,6 +44,7 @@ func BenchmarkFig3aInit1PPN(b *testing.B) {
 
 // BenchmarkFig3bInit28PPN: MPI startup, 28 processes per node (Fig. 3b).
 func BenchmarkFig3bInit28PPN(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.InitSweep(topo.Jupiter(), 28, benchNodes[:2])
 		if err != nil {
@@ -56,6 +59,7 @@ func BenchmarkFig3bInit28PPN(b *testing.B) {
 
 // BenchmarkFig4CommDup: per-iteration MPI_Comm_dup time (Fig. 4).
 func BenchmarkFig4CommDup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.DupSweep(topo.Jupiter(), 8, benchNodes, 5)
 		if err != nil {
@@ -70,6 +74,7 @@ func BenchmarkFig4CommDup(b *testing.B) {
 
 // BenchmarkFig5aLatency: relative osu_latency (Fig. 5a).
 func BenchmarkFig5aLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.LatencySweep(topo.Jupiter(), 1<<16, 50, 10)
 		if err != nil {
@@ -86,6 +91,7 @@ func BenchmarkFig5aLatency(b *testing.B) {
 // BenchmarkFig5bMBWMR2Procs: relative bandwidth/message rate, one pair
 // (Fig. 5b).
 func BenchmarkFig5bMBWMR2Procs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.MBwMrSweep(topo.Jupiter(), 2, 1<<14, 32, 20, 5, osu.SyncBarrier)
 		if err != nil {
@@ -102,6 +108,7 @@ func BenchmarkFig5bMBWMR2Procs(b *testing.B) {
 // BenchmarkFig5cMBWMR16Procs: relative bandwidth/message rate, 8 pairs,
 // stock barrier pre-sync (Fig. 5c).
 func BenchmarkFig5cMBWMR16Procs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.MBwMrSweep(topo.Jupiter(), 16, 1<<13, 32, 15, 3, osu.SyncBarrier)
 		if err != nil {
@@ -118,6 +125,7 @@ func BenchmarkFig5cMBWMR16Procs(b *testing.B) {
 // BenchmarkFig5cSendrecvSync: the paper's fix — pairwise Sendrecv pre-sync
 // makes the two builds essentially identical (§IV-C3).
 func BenchmarkFig5cSendrecvSync(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.MBwMrSweep(topo.Jupiter(), 16, 1<<13, 32, 15, 3, osu.SyncSendrecv)
 		if err != nil {
@@ -133,6 +141,7 @@ func BenchmarkFig5cSendrecvSync(b *testing.B) {
 
 // BenchmarkFig6HPCCRings: 8-byte random/natural ring latencies (Fig. 6a/6b).
 func BenchmarkFig6HPCCRings(b *testing.B) {
+	b.ReportAllocs()
 	cfg := hpcc.Config{Iters: 300, RandomTrials: 3, BandwidthLen: 1 << 16, Seed: 1}
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.HPCCSweep(topo.Jupiter(), 8, benchNodes, cfg)
@@ -150,6 +159,7 @@ func BenchmarkFig6HPCCRings(b *testing.B) {
 // the paper's minutes-long production runs; cmd/figures -full runs the
 // paper-scale process counts.
 func BenchmarkFig7TwoMesh(b *testing.B) {
+	b.ReportAllocs()
 	scale := func(p twomesh.Problem) twomesh.Problem {
 		p.L0Steps *= 2
 		p.L1Steps *= 2
@@ -173,6 +183,7 @@ func BenchmarkFig7TwoMesh(b *testing.B) {
 
 // BenchmarkAblationFirstMessage: exCID handshake cost vs steady state.
 func BenchmarkAblationFirstMessage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationFirstMessage(topo.Jupiter(), 100)
 		if err != nil {
@@ -187,6 +198,7 @@ func BenchmarkAblationFirstMessage(b *testing.B) {
 // shared-memory fast path vs the same exchange forced onto the fabric
 // transport (BTL "^sm").
 func BenchmarkAblationBTL(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationBTL(topo.Jupiter(), 50, 8)
 		if err != nil {
@@ -202,6 +214,7 @@ func BenchmarkAblationBTL(b *testing.B) {
 // hierarchical component should win by replacing the per-round inter-node
 // exchanges of the flat schedules with one leader exchange per node.
 func BenchmarkAblationColl(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationColl(topo.Jupiter(), 2, 8, 20, 256, 4096)
 		if err != nil {
@@ -216,6 +229,7 @@ func BenchmarkAblationColl(b *testing.B) {
 
 // BenchmarkAblationQuiesce: QUO native barrier vs sessions Ibarrier+sleep.
 func BenchmarkAblationQuiesce(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationQuiesce(topo.Trinity(), 8, 20, 50*time.Microsecond)
 		if err != nil {
@@ -230,6 +244,7 @@ func BenchmarkAblationQuiesce(b *testing.B) {
 // communicator (the prototype's path) vs the direct constructor the paper
 // lists as future work.
 func BenchmarkAblationWinCreate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationWinCreate(topo.Jupiter(), 2, 4, 3)
 		if err != nil {
@@ -242,6 +257,7 @@ func BenchmarkAblationWinCreate(b *testing.B) {
 
 // BenchmarkAblationGroupConstruct: collective vs invite/join construction.
 func BenchmarkAblationGroupConstruct(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.AblationGroupConstruct(topo.Jupiter(), 2, 4, 5)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -36,7 +37,37 @@ func main() {
 	syncMode := flag.String("sync", "barrier", "mbw_mr pre-sync: barrier or sendrecv")
 	profileName := flag.String("profile", "jupiter", "cluster profile")
 	collSpec := flag.String("coll", "", "collective component selection (e.g. \"^hier\" or \"basic\")")
+	matcher := flag.String("matcher", "", "PML matching engine: \"bucket\" (default) or \"list\" (single-lock ablation engine)")
+	mtComms := flag.Int("mt-comms", 1, "latency_mt: dup'd communicators round-robined across threads")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+			}
+		}()
+	}
 
 	profile := topo.Jupiter()
 	if *profileName == "trinity" {
@@ -51,7 +82,7 @@ func main() {
 		Cluster: topo.New(profile, nodes),
 		NP:      *np,
 		PPN:     *ppn,
-		Config:  core.Config{CIDMode: mode, Coll: *collSpec},
+		Config:  core.Config{CIDMode: mode, Coll: *collSpec, PMLMatcher: *matcher},
 	}
 
 	var err error
@@ -69,7 +100,7 @@ func main() {
 	case "bw":
 		err = runBW(opts, *sessions, *maxSize, *window, *iters, *skip)
 	case "latency_mt":
-		err = runLatencyMT(opts, *sessions, *threads, *iters, *skip)
+		err = runLatencyMT(opts, *sessions, *threads, *mtComms, *iters, *skip)
 	case "barrier", "bcast", "allreduce", "allgather", "alltoall":
 		err = runCollective(opts, *benchName, *sessions, *maxSize, *iters, *skip)
 	case "put", "get":
@@ -245,9 +276,12 @@ func runBW(opts runtime.Options, sessions bool, maxSize, window, iters, skip int
 	return nil
 }
 
-func runLatencyMT(opts runtime.Options, sessions bool, threads, iters, skip int) error {
+func runLatencyMT(opts runtime.Options, sessions bool, threads, ncomms, iters, skip int) error {
 	opts.NP, opts.PPN = 2, 2
 	opts.Cluster = topo.New(opts.Cluster.Profile, 1)
+	if ncomms < 1 {
+		ncomms = 1
+	}
 	var mu sync.Mutex
 	var lat time.Duration
 	err := runtime.Run(opts, func(p *mpi.Process) error {
@@ -256,7 +290,19 @@ func runLatencyMT(opts runtime.Options, sessions bool, threads, iters, skip int)
 			return err
 		}
 		defer cleanup()
-		d, err := osu.LatencyMT([]*mpi.Comm{comm}, threads, 8, iters, skip)
+		// With -mt-comms > 1 the threads round-robin over dup'd
+		// communicators, spreading the traffic across independent PML
+		// channels — the shape the per-channel matching locks help.
+		comms := []*mpi.Comm{comm}
+		for i := 1; i < ncomms; i++ {
+			dup, err := comm.Dup()
+			if err != nil {
+				return err
+			}
+			defer dup.Free()
+			comms = append(comms, dup)
+		}
+		d, err := osu.LatencyMT(comms, threads, 8, iters, skip)
 		if err != nil {
 			return err
 		}

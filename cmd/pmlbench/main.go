@@ -1,0 +1,135 @@
+// Command pmlbench runs the PML matching-engine ablation
+// (pml.BenchmarkAblationPML's harnesses) outside `go test` and emits the
+// results as machine-readable JSON, one entry per benchmark name:
+//
+//	{"shape=incast/matcher=bucket/pairs=8": {"ns_per_op": ..., "bytes_per_op": ...,
+//	 "allocs_per_op": ..., "msgs_per_sec": ..., "n": ...}, ...}
+//
+// `make bench-pml` writes BENCH_pml.json at the repo root; EXPERIMENTS.md
+// quotes the same numbers.
+//
+// Usage:
+//
+//	pmlbench -out BENCH_pml.json
+//	pmlbench -pairs 2,8,16 -benchtime 200000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gompi/internal/pml"
+)
+
+// result is one benchmark row in the JSON output.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	N           int     `json:"n"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pml.json", "output file (\"-\" for stdout)")
+	pairsList := flag.String("pairs", "2,8,16", "comma-separated pair counts")
+	window := flag.Int("window", 64, "send window per credit round (pairs shape)")
+	incastWindow := flag.Int("incast-window", 128, "posted receives per sender (incast shape)")
+	flag.Parse()
+
+	var pairs []int
+	for _, f := range strings.Split(*pairsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "pmlbench: bad -pairs entry %q\n", f)
+			os.Exit(2)
+		}
+		pairs = append(pairs, n)
+	}
+
+	results := map[string]result{}
+	run := func(name string, bench func(b *testing.B)) {
+		r := testing.Benchmark(bench)
+		row := result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		}
+		if row.NsPerOp > 0 {
+			row.MsgsPerSec = 1e9 / row.NsPerOp
+		}
+		results[name] = row
+		fmt.Fprintf(os.Stderr, "%-44s %10.1f ns/op %6d B/op %4d allocs/op %14.0f msgs/s\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.MsgsPerSec)
+	}
+
+	for _, p := range pairs {
+		for _, matcher := range []string{"list", "bucket"} {
+			matcher, p := matcher, p
+			run(fmt.Sprintf("shape=pairs/matcher=%s/pairs=%d", matcher, p), func(b *testing.B) {
+				pb, err := pml.NewPairBench(matcher, p, *window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pb.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := pb.Run(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+			run(fmt.Sprintf("shape=incast/matcher=%s/pairs=%d", matcher, p), func(b *testing.B) {
+				ib, err := pml.NewIncastBench(matcher, p, *incastWindow)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ib.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := ib.Run(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+
+	// Headline speedups, for the summary line and a quick regression signal.
+	for _, p := range pairs {
+		list, okL := results[fmt.Sprintf("shape=incast/matcher=list/pairs=%d", p)]
+		bucket, okB := results[fmt.Sprintf("shape=incast/matcher=bucket/pairs=%d", p)]
+		if okL && okB && bucket.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "incast speedup at %2d pairs: %.2fx\n", p, list.NsPerOp/bucket.NsPerOp)
+		}
+	}
+
+	names := make([]string, 0, len(results))
+	for k := range results {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]result, len(results))
+	for _, k := range names {
+		ordered[k] = results[k]
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmlbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pmlbench:", err)
+		os.Exit(1)
+	}
+}

@@ -29,14 +29,20 @@ type Stats struct {
 // DeliverFunc hands one inbound packet up to the PML. Modules may invoke it
 // from a progress goroutine (net) or inline on the sender's goroutine (sm);
 // the PML must not assume a particular calling context and must not hold
-// locks that a nested Send from inside the callback would need.
+// locks that a nested Send from inside the callback would need. The packet
+// becomes the receiving engine's property: it may retain it (unexpected
+// eager payloads) or recycle it into the PML buffer arena once consumed, so
+// modules must not touch pkt after the callback returns.
 type DeliverFunc func(pkt []byte)
 
 // Endpoint is one peer reachable through a module.
 type Endpoint interface {
-	// Send injects one packet toward the peer. The packet is not aliased
-	// after Send returns on the net path, but the sm path hands the very
-	// slice to the receiver, so callers must not reuse it.
+	// Send injects one packet toward the peer and transfers ownership:
+	// the sm path hands the very slice to the receiver inline, and on the
+	// net path the receiving engine may recycle the buffer as soon as it
+	// consumes the delivery, so callers must not read or reuse pkt after
+	// Send returns. The PML builds packets from a pooled arena and the
+	// receiving engine returns them there (pml.getBuf/putBuf).
 	Send(pkt []byte) error
 }
 

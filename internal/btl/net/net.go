@@ -94,10 +94,13 @@ type endpoint struct {
 }
 
 func (e *endpoint) Send(pkt []byte) error {
+	// Read the size before the handoff: once Send returns, the packet
+	// belongs to the receiving engine, which may already be recycling it.
+	n := uint64(len(pkt))
 	if err := e.mod.ep.Send(e.addr, simnet.Message{Payload: pkt}); err != nil {
 		return err
 	}
 	e.mod.msgs.Add(1)
-	e.mod.bytes.Add(uint64(len(pkt)))
+	e.mod.bytes.Add(n)
 	return nil
 }

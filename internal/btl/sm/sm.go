@@ -89,6 +89,9 @@ func (e *endpoint) Send(pkt []byte) error {
 	if !ok {
 		return btl.ErrClosed
 	}
+	// Stats are counted before the inline delivery: deliver transfers the
+	// packet to the receiving engine, which may recycle it into the PML
+	// buffer arena before returning here.
 	e.mod.msgs.Add(1)
 	e.mod.bytes.Add(uint64(len(pkt)))
 	deliver(pkt)

@@ -80,6 +80,11 @@ type Config struct {
 	// transport's own limit (sm advertises a much larger one than net); a
 	// positive value overrides every transport.
 	EagerLimit int
+	// PMLMatcher selects the ob1 matching engine: "" or "bucket" for the
+	// fine-grained per-channel engine with per-source buckets and pooled
+	// packet buffers (DESIGN.md §5b), "list" for the original single-lock
+	// linear-scan engine kept for ablation (cmd/pmlbench, osu -matcher).
+	PMLMatcher string
 	// DupUseSubfields, when set, lets Comm.Dup derive the child exCID from
 	// the parent's subfields (§III-B3) instead of acquiring a fresh PGCID
 	// on every duplication as the measured prototype did (§IV-C2). Off by
@@ -377,7 +382,7 @@ func (inst *Instance) initPML() (func(), error) {
 	// NewEngine activates the modules — in particular sm registers its
 	// node-segment mailbox — before the address is published, so any peer
 	// that can resolve us is guaranteed to find the mailbox.
-	engine := pml.NewEngine(mods, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit, Trace: inst.trace})
+	engine := pml.NewEngine(mods, pml.Config{EagerLimit: inst.deps.Cfg.EagerLimit, Trace: inst.trace, Matcher: inst.deps.Cfg.PMLMatcher})
 	closeAll := func() {
 		engine.Close()
 		if !netUsed {

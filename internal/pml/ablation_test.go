@@ -1,0 +1,107 @@
+package pml
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAblationPML is the matching-engine A/B comparison (DESIGN.md
+// §5b): the same eager message stream through the original single-lock
+// linear engine (matcher=list) and the fine-grained bucketed engine
+// (matcher=bucket), at 2, 8, and 16 concurrent pairs, in two shapes.
+// shape=pairs is osu_mbw_mr-like pairwise traffic over one channel per
+// pair (shallow queues: the engines differ mainly in locking and
+// allocation). shape=incast streams every pair into one receiver channel
+// with a window of specific-source receives posted per sender (deep
+// interleaved queues: the list matcher pays O(senders) scans and an
+// O(queue) splice per message, the buckets pay O(1)). ns/op is the
+// aggregate per-message cost — message rate is 1e9/(ns/op) — and allocs/op
+// is the eager-path allocation count the pooling work targets.
+// measureSendAllocs returns the allocations per eager Isend (including the
+// inline sm delivery and match on the receiving engine, which runs on the
+// sender's goroutine).
+func measureSendAllocs(t *testing.T, matcher string) float64 {
+	t.Helper()
+	pb, err := NewPairBench(matcher, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	sch, rch := pb.schans[0], pb.rchans[0]
+	sbuf := make([]byte, 8)
+	rbuf := make([]byte, 8)
+	// Warm routes, pools, and queue capacities.
+	for i := 0; i < 8; i++ {
+		r := rch.Irecv(0, 1, rbuf)
+		if _, err := sch.Isend(1, 1, sbuf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const runs = 200
+	reqs := make([]*Request, 0, runs+1)
+	for i := 0; i < runs+1; i++ { // +1: AllocsPerRun's warm-up call
+		reqs = append(reqs, rch.Irecv(0, 1, rbuf))
+	}
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := sch.Isend(1, 1, sbuf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := WaitAll(reqs...); err != nil {
+		t.Fatal(err)
+	}
+	return allocs
+}
+
+// TestEagerSendAllocDrop pins the pooling win: the eager send path (packet
+// build + inline delivery + match + completion) must allocate at most half
+// of what the legacy engine allocates per message.
+func TestEagerSendAllocDrop(t *testing.T) {
+	legacy := measureSendAllocs(t, "list")
+	pooled := measureSendAllocs(t, "bucket")
+	t.Logf("eager send allocs/op: list=%.1f bucket=%.1f", legacy, pooled)
+	if legacy == 0 {
+		t.Fatalf("legacy engine reported zero allocs; harness broken")
+	}
+	if pooled > legacy/2 {
+		t.Errorf("eager send path allocs: bucket %.1f > half of list %.1f", pooled, legacy)
+	}
+}
+
+func BenchmarkAblationPML(b *testing.B) {
+	for _, pairs := range []int{2, 8, 16} {
+		for _, matcher := range []string{"list", "bucket"} {
+			b.Run(fmt.Sprintf("shape=pairs/matcher=%s/pairs=%d", matcher, pairs), func(b *testing.B) {
+				pb, err := NewPairBench(matcher, pairs, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pb.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := pb.Run(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+	for _, pairs := range []int{2, 8, 16} {
+		for _, matcher := range []string{"list", "bucket"} {
+			b.Run(fmt.Sprintf("shape=incast/matcher=%s/pairs=%d", matcher, pairs), func(b *testing.B) {
+				ib, err := NewIncastBench(matcher, pairs, 128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ib.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := ib.Run(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

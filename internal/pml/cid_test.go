@@ -1,0 +1,70 @@
+package pml
+
+import "testing"
+
+// TestCIDFreeListReuse covers the free-list allocator's release-and-reuse
+// order: released CIDs must be handed out again lowest-first, claims above
+// the high-water mark must leave the skipped range allocatable, and the
+// "lowest unused >= min" contract of the consensus algorithm must hold
+// throughout.
+func TestCIDFreeListReuse(t *testing.T) {
+	e := NewEngine(nil, Config{})
+	ranks := []int{0}
+	add := func(cid uint16) *Channel {
+		t.Helper()
+		ch, err := e.AddChannel(cid, ExCID{}, false, 0, ranks)
+		if err != nil {
+			t.Fatalf("AddChannel(%d): %v", cid, err)
+		}
+		return ch
+	}
+	expect := func(min, want uint16) {
+		t.Helper()
+		if got := e.AllocCID(min); got != want {
+			t.Fatalf("AllocCID(%d) = %d, want %d", min, got, want)
+		}
+	}
+
+	ch0 := add(0)
+	ch1 := add(1)
+	ch2 := add(2)
+	expect(0, 3)
+
+	// Release the middle CID: it must be the next one reused.
+	e.RemoveChannel(ch1)
+	expect(0, 1)
+	ch1 = add(1)
+	expect(0, 3)
+
+	// Release in scrambled order; reuse is still lowest-first.
+	e.RemoveChannel(ch2)
+	e.RemoveChannel(ch0)
+	expect(0, 0)
+	expect(1, 2) // 1 is still claimed by the re-added channel
+	expect(2, 2)
+	expect(3, 3)
+
+	// A claim above the high-water mark leaves the gap allocatable.
+	ch10 := add(10)
+	expect(0, 0)
+	ch0 = add(0)
+	expect(0, 2)
+	expect(5, 5)
+	expect(11, 11)
+
+	// min above everything ever claimed.
+	expect(200, 200)
+
+	// Releasing the high claim keeps order: 2..9 then 10 then 11.
+	e.RemoveChannel(ch10)
+	expect(9, 9)
+	expect(10, 10)
+
+	// Double-remove must not corrupt the free list.
+	e.RemoveChannel(ch0)
+	e.RemoveChannel(ch0)
+	expect(0, 0)
+	add(0)
+	expect(0, 2)
+	_ = ch1
+}

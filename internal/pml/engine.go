@@ -3,7 +3,9 @@ package pml
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/btl"
 	"gompi/internal/opal"
@@ -24,6 +26,13 @@ type Config struct {
 	// Trace, when non-nil, receives "btl" layer events for route selection:
 	// which module carries each peer, and which modules declined it.
 	Trace *opal.Trace
+	// Matcher selects the matching-engine implementation. "" or "bucket"
+	// (the default) is the fine-grained engine: per-channel locks, bucketed
+	// O(1) (src, tag) matching, and pooled packet/record allocation.
+	// "list" (alias "legacy") is the original engine discipline — one
+	// engine-wide lock, linear queue scans, a fresh allocation per packet —
+	// kept as the BenchmarkAblationPML baseline.
+	Matcher string
 }
 
 // Stats counts messages by header kind, used by tests and by the Fig. 5c
@@ -34,6 +43,25 @@ type Stats struct {
 	AcksSent   uint64
 	AcksRecved uint64
 	Rendezvous uint64 // rendezvous transfers initiated
+	// PostedHits counts inbound messages that matched an already-posted
+	// receive; UnexpectedHits counts receives satisfied from the
+	// unexpected queue. Their ratio says which side of the race each
+	// workload's receivers are winning.
+	PostedHits     uint64
+	UnexpectedHits uint64
+}
+
+// engineStats is the internal, atomically-updated form of Stats: counters
+// are bumped on the hot path without touching any matching lock, and
+// Stats() reads never contend with matching.
+type engineStats struct {
+	fastSent       atomic.Uint64
+	extSent        atomic.Uint64
+	acksSent       atomic.Uint64
+	acksRecved     atomic.Uint64
+	rendezvous     atomic.Uint64
+	postedHits     atomic.Uint64
+	unexpectedHits atomic.Uint64
 }
 
 // Engine is one process's ob1-style messaging engine. It performs MPI tag
@@ -42,25 +70,58 @@ type Stats struct {
 // contact, to the highest-priority module whose AddProc accepts it, so
 // intra-node peers ride the sm fast path while everything else goes through
 // the fabric.
+//
+// Locking (DESIGN.md §5b). Matching state is per channel: each Channel owns
+// a lock covering its posted/unexpected queues and peer (exCID/sequence)
+// state, so traffic on different communicators never serializes. The engine
+// keeps two narrow locks — regMu for the channel registry, orphan buffers,
+// and the CID allocator; pendMu for the rendezvous pending maps — plus
+// lock-free structures (sync.Map registries, atomic counters) for the
+// read-mostly lookups on the packet path. The hierarchy is flat: no code
+// path acquires two of these locks at once, so no lock ordering issues can
+// arise; in particular no lock is ever held across a BTL send or a request
+// completion.
 type Engine struct {
 	btls     []btl.Module // in MCA priority order
 	cfgEager int          // explicit override; 0 = per-module default
 	trace    *opal.Trace  // may be nil (tracing disabled)
+	legacy   bool         // Config.Matcher "list": single shared lock, no pooling
 
-	mu          sync.Mutex
-	cond        *sync.Cond // signaled on unexpected-queue arrivals and close
-	comms       map[uint16]*Channel
-	byEx        map[ExCID]*Channel
-	routes      map[int]*route
-	pendSend    map[uint64]*pendingSend
-	pendRecv    map[uint64]*postedRecv
-	orphans     map[uint16][][]byte // fast-path packets for not-yet-registered CIDs
-	orphansEx   map[ExCID][][]byte  // ext packets for not-yet-registered exCIDs
-	failedPeers map[int]bool        // global ranks declared dead by the runtime
-	nextReq     uint64
-	nextCID     uint16
-	closed      bool
-	stats       Stats
+	closed  atomic.Bool
+	nextReq atomic.Uint64
+
+	// regMu orders channel registry mutations against orphan buffering and
+	// the CID allocator. The registries themselves are sync.Maps so the
+	// packet path reads them without taking regMu; writers (and the
+	// lookup-miss path that buffers orphans) serialize on regMu, which
+	// closes the "packet races AddChannel" window.
+	regMu     sync.Mutex
+	comms     sync.Map            // uint16 -> *Channel
+	byEx      sync.Map            // ExCID -> *Channel
+	orphans   map[uint16][][]byte // fast-path packets for not-yet-registered CIDs
+	orphansEx map[ExCID][][]byte  // ext packets for not-yet-registered exCIDs
+	cidHWM    int                 // CIDs below this have been claimed at least once
+	cidFree   []uint16            // released CIDs below cidHWM, sorted ascending
+
+	routes sync.Map // int (global rank) -> *route
+
+	// pendMu guards the rendezvous maps: sends awaiting CTS and receives
+	// awaiting DATA.
+	pendMu   sync.Mutex
+	pendSend map[uint64]*pendingSend
+	pendRecv map[uint64]*postedRecv
+
+	// failedPeers is consulted on every send; failedCount lets the common
+	// no-failures case skip the map probe entirely.
+	failedPeers sync.Map // int -> struct{}
+	failedCount atomic.Int64
+
+	// legacyMu/legacyCond are the engine-wide lock and condvar shared by
+	// every channel when Config.Matcher selects the legacy engine.
+	legacyMu   sync.Mutex
+	legacyCond *sync.Cond
+
+	st engineStats
 }
 
 // route is the cached transport decision for one peer.
@@ -76,6 +137,10 @@ type pendingSend struct {
 	destGlobal int
 }
 
+// postedRecv is one posted receive. The pseq/pnext/pprev fields are owned
+// by the channel's matcher (intrusive queue links; see match.go); records
+// are pooled, so a postedRecv must be referenced by exactly one queue or
+// pending map at a time and is recycled by whoever takes it out last.
 type postedRecv struct {
 	ch  *Channel
 	src int
@@ -86,22 +151,32 @@ type postedRecv struct {
 	// when a rendezvous match is made (src/tag may be wildcards).
 	resSrc int
 	resTag int
+
+	pseq         uint64 // global post order within the channel
+	pnext, pprev *postedRecv
 }
 
-// inbound is one unexpected (not yet matched) message.
+// inbound is one unexpected (not yet matched) message. raw is the wire
+// packet backing payload, recycled into the buffer arena when the record is
+// consumed. The two link pairs thread the record onto its source's
+// arrival-order list and the channel-global arrival-order list.
 type inbound struct {
 	src          int
 	tag          int
 	seq          uint16
 	payload      []byte
+	raw          []byte
 	rndv         bool
 	rndvLen      uint64
 	sendReqID    uint64
 	senderGlobal int
+
+	snext, sprev *inbound
+	anext, aprev *inbound
 }
 
 // peerState tracks the exCID handshake and sequencing with one peer of one
-// channel.
+// channel. Guarded by the channel lock.
 type peerState struct {
 	sendSeq   uint16
 	remoteCID uint16 // peer's local CID for this comm, learned from its ACK
@@ -110,18 +185,23 @@ type peerState struct {
 }
 
 // Channel is the PML view of one communicator: a local CID, an optional
-// exCID, and the comm-rank to global-rank translation.
+// exCID, and the comm-rank to global-rank translation. lock guards the
+// matcher and peer state; cond is signaled on unexpected-queue arrivals and
+// teardown. Both are pointers so the legacy engine can share one pair
+// across all channels.
 type Channel struct {
 	eng      *Engine
 	localCID uint16
 	ex       ExCID
 	useEx    bool
 	myRank   int
-	ranks    []int // comm rank -> global rank
-	peers    []peerState
+	ranks    []int // comm rank -> global rank; immutable
 
-	posted     []*postedRecv
-	unexpected []*inbound
+	lock    *sync.Mutex
+	cond    *sync.Cond
+	removed bool
+	peers   []peerState
+	m       matcher
 }
 
 // NewEngine creates an engine over the given BTL modules, listed in MCA
@@ -132,19 +212,16 @@ type Channel struct {
 // use the modules afterwards.
 func NewEngine(btls []btl.Module, cfg Config) *Engine {
 	e := &Engine{
-		btls:        btls,
-		cfgEager:    cfg.EagerLimit,
-		trace:       cfg.Trace,
-		comms:       make(map[uint16]*Channel),
-		byEx:        make(map[ExCID]*Channel),
-		routes:      make(map[int]*route),
-		pendSend:    make(map[uint64]*pendingSend),
-		pendRecv:    make(map[uint64]*postedRecv),
-		orphans:     make(map[uint16][][]byte),
-		orphansEx:   make(map[ExCID][][]byte),
-		failedPeers: make(map[int]bool),
+		btls:      btls,
+		cfgEager:  cfg.EagerLimit,
+		trace:     cfg.Trace,
+		legacy:    cfg.Matcher == "list" || cfg.Matcher == "legacy",
+		orphans:   make(map[uint16][][]byte),
+		orphansEx: make(map[ExCID][][]byte),
+		pendSend:  make(map[uint64]*pendingSend),
+		pendRecv:  make(map[uint64]*postedRecv),
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.legacyCond = sync.NewCond(&e.legacyMu)
 	for _, m := range btls {
 		m.Activate(e.deliver)
 	}
@@ -154,10 +231,7 @@ func NewEngine(btls []btl.Module, cfg Config) *Engine {
 // deliver is the upcall every BTL invokes for inbound packets. It may run
 // on a net progress goroutine or inline on a node-local sender's goroutine.
 func (e *Engine) deliver(pkt []byte) {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
+	if e.closed.Load() {
 		return // teardown already failed every pending request
 	}
 	e.handlePacket(pkt)
@@ -165,9 +239,15 @@ func (e *Engine) deliver(pkt []byte) {
 
 // Stats returns a snapshot of the engine's message counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		FastSent:       e.st.fastSent.Load(),
+		ExtSent:        e.st.extSent.Load(),
+		AcksSent:       e.st.acksSent.Load(),
+		AcksRecved:     e.st.acksRecved.Load(),
+		Rendezvous:     e.st.rendezvous.Load(),
+		PostedHits:     e.st.postedHits.Load(),
+		UnexpectedHits: e.st.unexpectedHits.Load(),
+	}
 }
 
 // BTLStats returns each transport module's traffic counters, keyed by
@@ -180,38 +260,62 @@ func (e *Engine) BTLStats() map[string]btl.Stats {
 	return out
 }
 
+func (e *Engine) peerFailed(globalRank int) bool {
+	if e.failedCount.Load() == 0 {
+		return false
+	}
+	_, failed := e.failedPeers.Load(globalRank)
+	return failed
+}
+
 // Close shuts down the engine: every BTL module is closed (net blocks until
 // its progress goroutine has drained and exited, so no goroutine outlives
-// Close), and all pending requests fail with ErrClosed.
+// Close), and all pending requests fail with ErrClosed. The closed flag is
+// published before any queue is drained, and both Irecv and the rendezvous
+// registration re-check it under their respective lock, so no request can
+// slip into a queue after its drain.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.closed = true
 	var reqs []*Request
-	for _, ch := range e.comms {
-		for _, pr := range ch.posted {
+	var frees []*postedRecv
+	e.comms.Range(func(_, v any) bool {
+		ch := v.(*Channel)
+		ch.lock.Lock()
+		posted := ch.m.takeAllPosted()
+		unex := ch.m.takeAllUnexpected()
+		ch.cond.Broadcast()
+		ch.lock.Unlock()
+		for _, pr := range posted {
 			reqs = append(reqs, pr.req)
+			frees = append(frees, pr)
 		}
-		ch.posted = nil
-	}
+		for _, m := range unex {
+			e.putBuf(m.raw)
+			e.freeInbound(m)
+		}
+		return true
+	})
+	e.pendMu.Lock()
 	for _, ps := range e.pendSend {
 		reqs = append(reqs, ps.req)
 	}
 	for _, pr := range e.pendRecv {
 		reqs = append(reqs, pr.req)
+		frees = append(frees, pr)
 	}
 	e.pendSend = map[uint64]*pendingSend{}
 	e.pendRecv = map[uint64]*postedRecv{}
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.pendMu.Unlock()
 	for _, m := range e.btls {
 		m.Close()
 	}
 	for _, r := range reqs {
 		r.complete(Status{}, ErrClosed)
+	}
+	for _, pr := range frees {
+		e.freePostedRecv(pr)
 	}
 }
 
@@ -220,11 +324,13 @@ func (e *Engine) Close() {
 // ErrPeerFailed, as do rendezvous operations pending toward it. Wildcard
 // receives are left posted — they may still match other senders.
 func (e *Engine) FailPeer(globalRank int) {
+	if _, loaded := e.failedPeers.LoadOrStore(globalRank, struct{}{}); !loaded {
+		e.failedCount.Add(1)
+	}
 	var victims []*Request
-
-	e.mu.Lock()
-	e.failedPeers[globalRank] = true
-	for _, ch := range e.comms {
+	var frees []*postedRecv
+	e.comms.Range(func(_, v any) bool {
+		ch := v.(*Channel)
 		commRank := -1
 		for i, r := range ch.ranks {
 			if r == globalRank {
@@ -233,28 +339,31 @@ func (e *Engine) FailPeer(globalRank int) {
 			}
 		}
 		if commRank < 0 {
-			continue
+			return true
 		}
-		kept := ch.posted[:0]
-		for _, pr := range ch.posted {
-			if pr.src == commRank {
-				victims = append(victims, pr.req)
-			} else {
-				kept = append(kept, pr)
-			}
+		ch.lock.Lock()
+		prs := ch.m.takePostedBySrc(commRank)
+		ch.lock.Unlock()
+		for _, pr := range prs {
+			victims = append(victims, pr.req)
+			frees = append(frees, pr)
 		}
-		ch.posted = kept
-	}
+		return true
+	})
+	e.pendMu.Lock()
 	for id, ps := range e.pendSend {
 		if ps.destGlobal == globalRank {
 			victims = append(victims, ps.req)
 			delete(e.pendSend, id)
 		}
 	}
-	e.mu.Unlock()
-
+	e.pendMu.Unlock()
+	err := fmt.Errorf("%w: rank %d", ErrPeerFailed, globalRank)
 	for _, r := range victims {
-		r.complete(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, globalRank))
+		r.complete(Status{}, err)
+	}
+	for _, pr := range frees {
+		e.freePostedRecv(pr)
 	}
 }
 
@@ -263,17 +372,56 @@ func (e *Engine) FailPeer(globalRank int) {
 // MPI's "lowest available index in the local communicator array" step of
 // the consensus algorithm.
 func (e *Engine) AllocCID(min uint16) uint16 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	return e.lowestFreeCID(min)
 }
 
+// lowestFreeCID answers from the free list plus a high-water mark instead
+// of rescanning the registry per candidate: every CID below cidHWM that is
+// not currently claimed sits in the sorted cidFree slice, so the lowest
+// free CID >= min is one binary search away. Caller holds regMu.
 func (e *Engine) lowestFreeCID(min uint16) uint16 {
-	for cid := min; ; cid++ {
-		if _, used := e.comms[cid]; !used {
-			return cid
-		}
+	i := sort.Search(len(e.cidFree), func(i int) bool { return e.cidFree[i] >= min })
+	if i < len(e.cidFree) {
+		return e.cidFree[i]
 	}
+	if int(min) > e.cidHWM {
+		return min
+	}
+	return uint16(e.cidHWM)
+}
+
+// claimCID marks cid in use. Claims above the high-water mark push the
+// skipped range onto the free list (the appended values exceed every
+// existing entry, so the list stays sorted). Caller holds regMu.
+func (e *Engine) claimCID(cid uint16) {
+	if int(cid) >= e.cidHWM {
+		for v := e.cidHWM; v < int(cid); v++ {
+			e.cidFree = append(e.cidFree, uint16(v))
+		}
+		e.cidHWM = int(cid) + 1
+		return
+	}
+	i := sort.Search(len(e.cidFree), func(i int) bool { return e.cidFree[i] >= cid })
+	if i < len(e.cidFree) && e.cidFree[i] == cid {
+		e.cidFree = append(e.cidFree[:i], e.cidFree[i+1:]...)
+	}
+}
+
+// releaseCID returns cid to the allocator (sorted insert). Caller holds
+// regMu.
+func (e *Engine) releaseCID(cid uint16) {
+	if int(cid) >= e.cidHWM {
+		return
+	}
+	i := sort.Search(len(e.cidFree), func(i int) bool { return e.cidFree[i] >= cid })
+	if i < len(e.cidFree) && e.cidFree[i] == cid {
+		return // already free
+	}
+	e.cidFree = append(e.cidFree, 0)
+	copy(e.cidFree[i+1:], e.cidFree[i:])
+	e.cidFree[i] = cid
 }
 
 // AddChannel registers a communicator with the matching engine. localCID
@@ -281,20 +429,8 @@ func (e *Engine) lowestFreeCID(min uint16) uint16 {
 // Packets that raced ahead of the registration (a peer finished creating
 // the communicator first and already sent) are replayed.
 func (e *Engine) AddChannel(localCID uint16, ex ExCID, useEx bool, myRank int, ranks []int) (*Channel, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return nil, ErrClosed
-	}
-	if _, dup := e.comms[localCID]; dup {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("pml: local CID %d already in use", localCID)
-	}
-	if useEx {
-		if _, dup := e.byEx[ex]; dup {
-			e.mu.Unlock()
-			return nil, fmt.Errorf("pml: exCID %v already in use", ex)
-		}
 	}
 	ch := &Channel{
 		eng:      e,
@@ -305,17 +441,38 @@ func (e *Engine) AddChannel(localCID uint16, ex ExCID, useEx bool, myRank int, r
 		ranks:    append([]int(nil), ranks...),
 		peers:    make([]peerState, len(ranks)),
 	}
-	e.comms[localCID] = ch
+	if e.legacy {
+		ch.lock = &e.legacyMu
+		ch.cond = e.legacyCond
+		ch.m = newListMatcher()
+	} else {
+		ch.lock = new(sync.Mutex)
+		ch.cond = sync.NewCond(ch.lock)
+		ch.m = newBucketMatcher(len(ranks))
+	}
+	e.regMu.Lock()
+	if _, dup := e.comms.Load(localCID); dup {
+		e.regMu.Unlock()
+		return nil, fmt.Errorf("pml: local CID %d already in use", localCID)
+	}
+	if useEx {
+		if _, dup := e.byEx.Load(ex); dup {
+			e.regMu.Unlock()
+			return nil, fmt.Errorf("pml: exCID %v already in use", ex)
+		}
+	}
+	e.comms.Store(localCID, ch)
+	e.claimCID(localCID)
 	var replay [][]byte
 	if useEx {
-		e.byEx[ex] = ch
+		e.byEx.Store(ex, ch)
 		replay = e.orphansEx[ex]
 		delete(e.orphansEx, ex)
 	} else {
 		replay = e.orphans[localCID]
 		delete(e.orphans, localCID)
 	}
-	e.mu.Unlock()
+	e.regMu.Unlock()
 	for _, pkt := range replay {
 		e.handlePacket(pkt)
 	}
@@ -323,18 +480,37 @@ func (e *Engine) AddChannel(localCID uint16, ex ExCID, useEx bool, myRank int, r
 }
 
 // RemoveChannel deregisters a communicator. Posted receives on it fail.
+// The registry entries go first so in-flight packets fall through to the
+// orphan buffers; a handler that captured the channel pointer before the
+// delete observes the removed flag under the channel lock and retries its
+// lookup.
 func (e *Engine) RemoveChannel(ch *Channel) {
-	e.mu.Lock()
-	delete(e.comms, ch.localCID)
-	if ch.useEx {
-		delete(e.byEx, ch.ex)
+	e.regMu.Lock()
+	if cur, ok := e.comms.Load(ch.localCID); ok && cur.(*Channel) == ch {
+		e.comms.Delete(ch.localCID)
+		if ch.useEx {
+			e.byEx.Delete(ch.ex)
+		}
+		e.releaseCID(ch.localCID)
 	}
-	posted := ch.posted
-	ch.posted = nil
-	ch.unexpected = nil
-	e.mu.Unlock()
+	e.regMu.Unlock()
+	ch.lock.Lock()
+	if ch.removed {
+		ch.lock.Unlock()
+		return
+	}
+	ch.removed = true
+	posted := ch.m.takeAllPosted()
+	unex := ch.m.takeAllUnexpected()
+	ch.cond.Broadcast()
+	ch.lock.Unlock()
+	for _, m := range unex {
+		e.putBuf(m.raw)
+		e.freeInbound(m)
+	}
 	for _, pr := range posted {
 		pr.req.complete(Status{}, ErrClosed)
+		e.freePostedRecv(pr)
 	}
 }
 
@@ -359,8 +535,8 @@ func (ch *Channel) PeerConnected(commRank int) bool {
 	if !ch.useEx {
 		return true
 	}
-	ch.eng.mu.Lock()
-	defer ch.eng.mu.Unlock()
+	ch.lock.Lock()
+	defer ch.lock.Unlock()
 	return ch.peers[commRank].haveACK
 }
 
@@ -368,14 +544,11 @@ func (ch *Channel) PeerConnected(commRank int) bool {
 // use: modules are tried in priority order and the first whose AddProc
 // accepts the peer wins; ErrUnreachable falls through to the next module,
 // any other resolution error aborts. AddProc may block on the modex
-// exchange, so it runs outside the engine lock.
+// exchange, so the cache is a sync.Map — the steady-state hit takes no lock.
 func (e *Engine) routeTo(globalRank int) (*route, error) {
-	e.mu.Lock()
-	if rt, ok := e.routes[globalRank]; ok {
-		e.mu.Unlock()
-		return rt, nil
+	if v, ok := e.routes.Load(globalRank); ok {
+		return v.(*route), nil
 	}
-	e.mu.Unlock()
 	for _, m := range e.btls {
 		ep, err := m.AddProc(globalRank)
 		if errors.Is(err, btl.ErrUnreachable) {
@@ -398,13 +571,9 @@ func (e *Engine) routeTo(globalRank int) (*route, error) {
 			e.trace.Logf("btl", "rank %d routed via %s (eager=%d)", globalRank, m.Name(), eager)
 		}
 		rt := &route{mod: m, ep: ep, eager: eager}
-		e.mu.Lock()
-		if prior, ok := e.routes[globalRank]; ok {
-			rt = prior // a concurrent caller routed this peer first
-		} else {
-			e.routes[globalRank] = rt
+		if prior, loaded := e.routes.LoadOrStore(globalRank, rt); loaded {
+			rt = prior.(*route) // a concurrent caller routed this peer first
 		}
-		e.mu.Unlock()
 		return rt, nil
 	}
 	return nil, fmt.Errorf("pml: no btl module reaches rank %d", globalRank)
@@ -440,27 +609,19 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 
 	// Fail fast before routing: routeTo may block resolving a peer that
 	// the runtime already declared dead.
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return completedRequest(Status{}, ErrClosed)
 	}
-	if e.failedPeers[destGlobal] {
-		e.mu.Unlock()
+	if e.peerFailed(destGlobal) {
 		return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, destGlobal))
 	}
-	e.mu.Unlock()
 
 	rt, err := e.routeTo(destGlobal)
 	if err != nil {
 		return completedRequest(Status{}, err)
 	}
 
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return completedRequest(Status{}, ErrClosed)
-	}
+	ch.lock.Lock()
 	ps := &ch.peers[dest]
 	seq := ps.sendSeq
 	ps.sendSeq++
@@ -473,22 +634,28 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 			ext = true
 		}
 	}
+	ch.lock.Unlock()
+
 	eager := len(buf) <= rt.eager && !synchronous
 	var reqID uint64
 	var req *Request
 	if !eager {
-		e.nextReq++
-		reqID = e.nextReq
+		reqID = e.nextReq.Add(1)
 		req = newRequest()
+		e.pendMu.Lock()
+		if e.closed.Load() {
+			e.pendMu.Unlock()
+			return completedRequest(Status{}, ErrClosed)
+		}
 		e.pendSend[reqID] = &pendingSend{req: req, payload: buf, destGlobal: destGlobal}
-		e.stats.Rendezvous++
+		e.pendMu.Unlock()
+		e.st.rendezvous.Add(1)
 	}
 	if ext {
-		e.stats.ExtSent++
+		e.st.extSent.Add(1)
 	} else {
-		e.stats.FastSent++
+		e.st.fastSent.Add(1)
 	}
-	e.mu.Unlock()
 
 	hdr := matchHeader{ctx: ctx, src: uint32(ch.myRank), tag: int32(tag), seq: seq}
 	if ext {
@@ -498,22 +665,22 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	var pkt []byte
 	if eager {
 		hdr.typ = hdrMatch
-		pkt = buildPacket(hdr, ch, ext, buf, nil)
+		pkt = e.buildPacket(hdr, ch, ext, buf, nil)
 	} else {
 		hdr.typ = hdrRTS
 		var info [rndvInfoLen]byte
 		putRndvInfo(info[:], rndvInfo{length: uint64(len(buf)), sendReqID: reqID})
-		pkt = buildPacket(hdr, ch, ext, info[:], nil)
+		pkt = e.buildPacket(hdr, ch, ext, info[:], nil)
 	}
 
-	// Send with no engine lock held: the sm BTL delivers inline on this
+	// Send with no lock held: the sm BTL delivers inline on this
 	// goroutine, and the receiver's handler (or our own, on a self-send)
 	// may send replies that re-enter the engine.
 	if err := rt.ep.Send(pkt); err != nil {
 		if !eager {
-			e.mu.Lock()
+			e.pendMu.Lock()
 			delete(e.pendSend, reqID)
-			e.mu.Unlock()
+			e.pendMu.Unlock()
 			req.complete(Status{}, err)
 			return req
 		}
@@ -525,13 +692,14 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	return req
 }
 
-// buildPacket assembles header(s) + body (+extra appended after body).
-func buildPacket(hdr matchHeader, ch *Channel, ext bool, body, extra []byte) []byte {
+// buildPacket assembles header(s) + body (+extra appended after body) into
+// an arena buffer; the receiving engine recycles it after consumption.
+func (e *Engine) buildPacket(hdr matchHeader, ch *Channel, ext bool, body, extra []byte) []byte {
 	n := matchHeaderLen
 	if ext {
 		n += extHeaderLen
 	}
-	pkt := make([]byte, n+len(body)+len(extra))
+	pkt := e.getBuf(n + len(body) + len(extra))
 	putMatchHeader(pkt, hdr)
 	off := matchHeaderLen
 	if ext {
@@ -556,38 +724,38 @@ func (ch *Channel) Irecv(src, tag int, buf []byte) *Request {
 	if src != AnySource && (src < 0 || src >= len(ch.ranks)) {
 		return completedRequest(Status{}, fmt.Errorf("pml: recv src %d out of range [0,%d)", src, len(ch.ranks)))
 	}
-	req := newRequest()
-	pr := &postedRecv{ch: ch, src: src, tag: tag, buf: buf, req: req}
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return completedRequest(Status{}, ErrClosed)
 	}
-	if src != AnySource && e.failedPeers[ch.ranks[src]] {
-		// The runtime already declared this peer dead; any message it sent
-		// before dying may still be in the unexpected queue, so drain that
-		// first, but never block waiting for a new one.
-		for i, msg := range ch.unexpected {
-			if matches(src, tag, msg.src, msg.tag) {
-				ch.unexpected = append(ch.unexpected[:i], ch.unexpected[i+1:]...)
-				e.consumeUnexpectedLocked(pr, msg)
-				return req
-			}
-		}
-		e.mu.Unlock()
-		return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, ch.ranks[src]))
+	// If the runtime already declared the source dead, any message it sent
+	// before dying may still be in the unexpected queue, so drain that
+	// first, but never block waiting for a new one.
+	srcFailed := src != AnySource && e.peerFailed(ch.ranks[src])
+
+	req := newRequest()
+	pr := e.newPostedRecv()
+	pr.ch, pr.src, pr.tag, pr.buf, pr.req = ch, src, tag, buf, req
+
+	ch.lock.Lock()
+	if e.closed.Load() || ch.removed {
+		ch.lock.Unlock()
+		e.freePostedRecv(pr)
+		return completedRequest(Status{}, ErrClosed)
 	}
-	// Search the unexpected queue first (in arrival order).
-	for i, msg := range ch.unexpected {
-		if matches(src, tag, msg.src, msg.tag) {
-			ch.unexpected = append(ch.unexpected[:i], ch.unexpected[i+1:]...)
-			e.consumeUnexpectedLocked(pr, msg)
-			return req
+	msg := ch.m.takeUnexpected(src, tag)
+	if msg == nil {
+		if srcFailed {
+			ch.lock.Unlock()
+			e.freePostedRecv(pr)
+			return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, ch.ranks[src]))
 		}
+		ch.m.pushPosted(pr)
+		ch.lock.Unlock()
+		return req
 	}
-	ch.posted = append(ch.posted, pr)
-	e.mu.Unlock()
+	ch.lock.Unlock()
+	e.st.unexpectedHits.Add(1)
+	e.consume(pr, msg)
 	return req
 }
 
@@ -596,80 +764,75 @@ func (ch *Channel) Recv(src, tag int, buf []byte) (Status, error) {
 	return ch.Irecv(src, tag, buf).Wait()
 }
 
-// consumeUnexpectedLocked finishes matching a posted receive against an
-// unexpected message. Called with e.mu held; releases it.
-func (e *Engine) consumeUnexpectedLocked(pr *postedRecv, msg *inbound) {
+// consume finishes matching a posted receive against an inbound message.
+// Called with no locks held; both records have been removed from every
+// queue, so this goroutine owns them.
+func (e *Engine) consume(pr *postedRecv, msg *inbound) {
 	if !msg.rndv {
-		e.mu.Unlock()
-		finishEager(pr, msg)
+		n := copy(pr.buf, msg.payload)
+		st := Status{Source: msg.src, Tag: msg.tag, Count: n}
+		var err error
+		if len(msg.payload) > len(pr.buf) {
+			err = ErrTruncate
+		}
+		e.putBuf(msg.raw)
+		e.freeInbound(msg)
+		pr.req.complete(st, err)
+		e.freePostedRecv(pr)
 		return
 	}
 	// Rendezvous: register the receive and send CTS.
-	e.nextReq++
-	recvID := e.nextReq
+	recvID := e.nextReq.Add(1)
 	pr.resSrc, pr.resTag = msg.src, msg.tag
-	e.pendRecv[recvID] = pr
-	e.mu.Unlock()
-	e.sendCTS(pr.ch, msg, recvID)
-}
-
-func finishEager(pr *postedRecv, msg *inbound) {
-	n := copy(pr.buf, msg.payload)
-	st := Status{Source: msg.src, Tag: msg.tag, Count: n}
-	if len(msg.payload) > len(pr.buf) {
-		pr.req.complete(st, ErrTruncate)
+	sendReqID, senderGlobal := msg.sendReqID, msg.senderGlobal
+	ch := pr.ch
+	e.freeInbound(msg)
+	e.pendMu.Lock()
+	if e.closed.Load() {
+		e.pendMu.Unlock()
+		pr.req.complete(Status{}, ErrClosed)
+		e.freePostedRecv(pr)
 		return
 	}
-	pr.req.complete(st, nil)
+	e.pendRecv[recvID] = pr
+	e.pendMu.Unlock()
+	e.sendCTS(ch, senderGlobal, sendReqID, recvID)
 }
 
-func (e *Engine) sendCTS(ch *Channel, msg *inbound, recvID uint64) {
-	hdr := matchHeader{typ: hdrCTS, ctx: 0, src: uint32(ch.myRank)}
-	var info [ctsInfoLen]byte
-	putCTSInfo(info[:], ctsInfo{sendReqID: msg.sendReqID, recvReqID: recvID})
-	pkt := make([]byte, matchHeaderLen+ctsInfoLen)
-	putMatchHeader(pkt, hdr)
-	copy(pkt[matchHeaderLen:], info[:])
-	rt, err := e.routeTo(msg.senderGlobal)
+func (e *Engine) sendCTS(ch *Channel, senderGlobal int, sendReqID, recvID uint64) {
+	pkt := e.getBuf(matchHeaderLen + ctsInfoLen)
+	putMatchHeader(pkt, matchHeader{typ: hdrCTS, ctx: 0, src: uint32(ch.myRank)})
+	putCTSInfo(pkt[matchHeaderLen:], ctsInfo{sendReqID: sendReqID, recvReqID: recvID})
+	rt, err := e.routeTo(senderGlobal)
 	if err == nil {
 		err = rt.ep.Send(pkt)
 	}
 	if err != nil {
-		e.mu.Lock()
+		e.pendMu.Lock()
 		pr := e.pendRecv[recvID]
 		delete(e.pendRecv, recvID)
-		e.mu.Unlock()
+		e.pendMu.Unlock()
 		if pr != nil {
 			pr.req.complete(Status{}, err)
+			e.freePostedRecv(pr)
 		}
 	}
 }
 
-// matches implements MPI matching rules: wildcard source matches any rank;
-// wildcard tag matches only non-negative (application) tags.
-func matches(wantSrc, wantTag, src, tag int) bool {
-	if wantSrc != AnySource && wantSrc != src {
-		return false
+func probeStatus(msg *inbound) Status {
+	n := len(msg.payload)
+	if msg.rndv {
+		n = int(msg.rndvLen)
 	}
-	if wantTag == AnyTag {
-		return tag >= 0
-	}
-	return wantTag == tag
+	return Status{Source: msg.src, Tag: msg.tag, Count: n}
 }
 
 // Iprobe checks for a matching unexpected message without receiving it.
 func (ch *Channel) Iprobe(src, tag int) (Status, bool) {
-	e := ch.eng
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, msg := range ch.unexpected {
-		if matches(src, tag, msg.src, msg.tag) {
-			n := len(msg.payload)
-			if msg.rndv {
-				n = int(msg.rndvLen)
-			}
-			return Status{Source: msg.src, Tag: msg.tag, Count: n}, true
-		}
+	ch.lock.Lock()
+	defer ch.lock.Unlock()
+	if msg := ch.m.peekUnexpected(src, tag); msg != nil {
+		return probeStatus(msg), true
 	}
 	return Status{}, false
 }
@@ -677,27 +840,23 @@ func (ch *Channel) Iprobe(src, tag int) (Status, bool) {
 // Probe blocks until a matching message is available (without consuming it).
 func (ch *Channel) Probe(src, tag int) (Status, error) {
 	e := ch.eng
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	ch.lock.Lock()
+	defer ch.lock.Unlock()
 	for {
-		if e.closed {
+		if e.closed.Load() || ch.removed {
 			return Status{}, ErrClosed
 		}
-		for _, msg := range ch.unexpected {
-			if matches(src, tag, msg.src, msg.tag) {
-				n := len(msg.payload)
-				if msg.rndv {
-					n = int(msg.rndvLen)
-				}
-				return Status{Source: msg.src, Tag: msg.tag, Count: n}, nil
-			}
+		if msg := ch.m.peekUnexpected(src, tag); msg != nil {
+			return probeStatus(msg), nil
 		}
-		e.cond.Wait()
+		ch.cond.Wait()
 	}
 }
 
 // handlePacket decodes and dispatches one wire packet. It runs on whatever
 // goroutine the carrying BTL delivers from and holds no locks across sends.
+// The engine owns pkt from here on (btl.DeliverFunc contract) and recycles
+// it once nothing references the backing array.
 func (e *Engine) handlePacket(pkt []byte) {
 	env, err := decodeEnvelope(pkt)
 	if err != nil {
@@ -707,96 +866,25 @@ func (e *Engine) handlePacket(pkt []byte) {
 
 	switch hdr.typ {
 	case hdrMatch, hdrRTS:
-		var ch *Channel
-		var needAck bool
-		var ackTo int
-		e.mu.Lock()
-		if env.hasExt {
-			ch = e.byEx[env.ext.ex]
-			if ch == nil {
-				// The communicator is still being constructed locally:
-				// buffer and replay on AddChannel.
-				e.orphansEx[env.ext.ex] = append(e.orphansEx[env.ext.ex], pkt)
-				e.mu.Unlock()
-				return
-			}
-		} else {
-			ch = e.comms[hdr.ctx]
-			if ch == nil {
-				e.orphans[hdr.ctx] = append(e.orphans[hdr.ctx], pkt)
-				e.mu.Unlock()
-				return
-			}
-		}
-		if int(hdr.src) >= len(ch.ranks) {
-			e.mu.Unlock()
-			return // corrupt source rank
-		}
-		if env.hasExt {
-			ps := &ch.peers[hdr.src]
-			if !ps.ackSent {
-				ps.ackSent = true
-				needAck = true
-				ackTo = ch.ranks[hdr.src]
-				e.stats.AcksSent++
-			}
-		}
-		msg := &inbound{
-			src:          int(hdr.src),
-			tag:          int(hdr.tag),
-			seq:          hdr.seq,
-			senderGlobal: ch.ranks[hdr.src],
-		}
-		if hdr.typ == hdrRTS {
-			msg.rndv = true
-			msg.rndvLen = env.rndv.length
-			msg.sendReqID = env.rndv.sendReqID
-		} else {
-			msg.payload = env.payload
-		}
-		// Match against posted receives, in post order.
-		var matched *postedRecv
-		for i, pr := range ch.posted {
-			if matches(pr.src, pr.tag, msg.src, msg.tag) {
-				matched = pr
-				ch.posted = append(ch.posted[:i], ch.posted[i+1:]...)
-				break
-			}
-		}
-		var ack []byte
-		if needAck {
-			ack = e.buildCIDAckLocked(ch)
-		}
-		if matched != nil {
-			e.consumeUnexpectedLocked(matched, msg) // unlocks
-		} else {
-			ch.unexpected = append(ch.unexpected, msg)
-			e.cond.Broadcast()
-			e.mu.Unlock()
-		}
-		if ack != nil {
-			if rt, err := e.routeTo(ackTo); err == nil {
-				_ = rt.ep.Send(ack)
-			}
-		}
+		e.handleMatch(pkt, env)
 
 	case hdrCTS:
-		e.mu.Lock()
+		e.pendMu.Lock()
 		ps := e.pendSend[env.cts.sendReqID]
 		delete(e.pendSend, env.cts.sendReqID)
-		e.mu.Unlock()
+		e.pendMu.Unlock()
 		if ps == nil {
 			return
 		}
 		// Ship the payload tagged with the receiver's request ID.
-		dhdr := matchHeader{typ: hdrData}
-		pkt := make([]byte, matchHeaderLen+dataInfoLen+len(ps.payload))
-		putMatchHeader(pkt, dhdr)
-		putUint64(pkt[matchHeaderLen:], env.cts.recvReqID)
-		copy(pkt[matchHeaderLen+dataInfoLen:], ps.payload)
+		data := e.getBuf(matchHeaderLen + dataInfoLen + len(ps.payload))
+		putMatchHeader(data, matchHeader{typ: hdrData})
+		putUint64(data[matchHeaderLen:], env.cts.recvReqID)
+		copy(data[matchHeaderLen+dataInfoLen:], ps.payload)
+		e.putBuf(pkt)
 		rt, err := e.routeTo(ps.destGlobal)
 		if err == nil {
-			err = rt.ep.Send(pkt)
+			err = rt.ep.Send(data)
 		}
 		if err != nil {
 			ps.req.complete(Status{}, err)
@@ -805,37 +893,143 @@ func (e *Engine) handlePacket(pkt []byte) {
 		ps.req.complete(Status{Count: len(ps.payload)}, nil)
 
 	case hdrData:
-		e.mu.Lock()
+		e.pendMu.Lock()
 		pr := e.pendRecv[env.dataReqID]
 		delete(e.pendRecv, env.dataReqID)
-		e.mu.Unlock()
+		e.pendMu.Unlock()
 		if pr == nil {
 			return
 		}
 		n := copy(pr.buf, env.payload)
 		st := Status{Source: pr.resSrc, Tag: pr.resTag, Count: n}
+		var cerr error
 		if len(env.payload) > len(pr.buf) {
-			pr.req.complete(st, ErrTruncate)
-			return
+			cerr = ErrTruncate
 		}
-		pr.req.complete(st, nil)
+		e.putBuf(pkt)
+		pr.req.complete(st, cerr)
+		e.freePostedRecv(pr)
 
 	case hdrCIDAck:
-		e.mu.Lock()
-		if ch := e.byEx[env.ack.ex]; ch != nil && int(env.ack.commRank) < len(ch.peers) {
-			ps := &ch.peers[env.ack.commRank]
-			ps.remoteCID = env.ack.localCID
-			ps.haveACK = true
+		if v, ok := e.byEx.Load(env.ack.ex); ok {
+			ch := v.(*Channel)
+			if int(env.ack.commRank) < len(ch.peers) {
+				ch.lock.Lock()
+				ps := &ch.peers[env.ack.commRank]
+				ps.remoteCID = env.ack.localCID
+				ps.haveACK = true
+				ch.lock.Unlock()
+			}
 		}
-		e.stats.AcksRecved++
-		e.mu.Unlock()
+		e.st.acksRecved.Add(1)
+		e.putBuf(pkt)
 	}
 }
 
-// buildCIDAckLocked assembles the handshake ACK for a channel. Called with
-// e.mu held.
-func (e *Engine) buildCIDAckLocked(ch *Channel) []byte {
-	pkt := make([]byte, matchHeaderLen+cidAckLen)
+// handleMatch routes an eager (hdrMatch) or rendezvous-RTS packet through
+// tag matching on its channel.
+func (e *Engine) handleMatch(pkt []byte, env envelope) {
+	hdr := env.hdr
+	for {
+		var ch *Channel
+		if env.hasExt {
+			if v, ok := e.byEx.Load(env.ext.ex); ok {
+				ch = v.(*Channel)
+			}
+		} else {
+			if v, ok := e.comms.Load(hdr.ctx); ok {
+				ch = v.(*Channel)
+			}
+		}
+		if ch == nil {
+			// The communicator is still being constructed locally: buffer
+			// and replay on AddChannel. Re-check the registry under regMu
+			// first — AddChannel holds it while taking the orphan list, so
+			// a packet cannot slip into orphans after its replay.
+			e.regMu.Lock()
+			if env.hasExt {
+				if v, ok := e.byEx.Load(env.ext.ex); ok {
+					ch = v.(*Channel)
+				} else {
+					e.orphansEx[env.ext.ex] = append(e.orphansEx[env.ext.ex], pkt)
+				}
+			} else {
+				if v, ok := e.comms.Load(hdr.ctx); ok {
+					ch = v.(*Channel)
+				} else {
+					e.orphans[hdr.ctx] = append(e.orphans[hdr.ctx], pkt)
+				}
+			}
+			e.regMu.Unlock()
+			if ch == nil {
+				return
+			}
+		}
+		if int(hdr.src) >= len(ch.ranks) {
+			e.putBuf(pkt)
+			return // corrupt source rank
+		}
+
+		msg := e.newInbound()
+		msg.src = int(hdr.src)
+		msg.tag = int(hdr.tag)
+		msg.seq = hdr.seq
+		msg.senderGlobal = ch.ranks[hdr.src]
+		if hdr.typ == hdrRTS {
+			msg.rndv = true
+			msg.rndvLen = env.rndv.length
+			msg.sendReqID = env.rndv.sendReqID
+		} else {
+			msg.payload = env.payload
+			msg.raw = pkt
+		}
+
+		var needAck bool
+		var ackTo int
+		ch.lock.Lock()
+		if ch.removed {
+			ch.lock.Unlock()
+			msg.raw = nil
+			e.freeInbound(msg)
+			continue // channel torn down under us: redo the lookup
+		}
+		if env.hasExt {
+			ps := &ch.peers[hdr.src]
+			if !ps.ackSent {
+				ps.ackSent = true
+				needAck = true
+				ackTo = ch.ranks[hdr.src]
+			}
+		}
+		matched := ch.m.takePosted(msg.src, msg.tag)
+		if matched == nil {
+			ch.m.pushUnexpected(msg)
+			ch.cond.Broadcast()
+		}
+		ch.lock.Unlock()
+
+		if matched != nil {
+			e.st.postedHits.Add(1)
+			e.consume(matched, msg)
+		}
+		if hdr.typ == hdrRTS {
+			e.putBuf(pkt) // RTS is fully decoded into msg; the frame is done
+		}
+		if needAck {
+			e.st.acksSent.Add(1)
+			ack := e.buildCIDAck(ch)
+			if rt, err := e.routeTo(ackTo); err == nil {
+				_ = rt.ep.Send(ack)
+			}
+		}
+		return
+	}
+}
+
+// buildCIDAck assembles the handshake ACK for a channel (immutable fields
+// only; no lock needed).
+func (e *Engine) buildCIDAck(ch *Channel) []byte {
+	pkt := e.getBuf(matchHeaderLen + cidAckLen)
 	putMatchHeader(pkt, matchHeader{typ: hdrCIDAck})
 	putCIDAck(pkt[matchHeaderLen:], cidAck{ex: ch.ex, localCID: ch.localCID, commRank: uint32(ch.myRank)})
 	return pkt

@@ -1,0 +1,100 @@
+package pml
+
+import "sync"
+
+// Buffer arena for the packet hot path (DESIGN.md §5b). Wire packets are
+// built by the sender and, per the BTL ownership contract (btl.Endpoint.Send),
+// owned exclusively by the receiving engine once delivered, so the receiver
+// recycles them after the payload has been copied out. Buffers live in three
+// size-classed sync.Pools shared by every engine in the process; a class is
+// identified by its exact capacity, so putBuf silently drops any slice that
+// did not come from the arena (e.g. packets built by a legacy-mode sender).
+const (
+	bufClassSmall = 256   // eager small messages: header + a cache line or two
+	bufClassMed   = 4096  // header + default eager limit
+	bufClassLarge = 65536 // header + sm eager limit; larger packets fall back to make
+)
+
+// The pools hold *[N]byte array pointers, not []byte: a pointer stores
+// directly in sync.Pool's interface word, while a slice header would be
+// boxed — one heap allocation per Put, which is exactly the traffic the
+// arena exists to remove.
+var (
+	bufPoolSmall = sync.Pool{New: func() any { return new([bufClassSmall]byte) }}
+	bufPoolMed   = sync.Pool{New: func() any { return new([bufClassMed]byte) }}
+	bufPoolLarge = sync.Pool{New: func() any { return new([bufClassLarge]byte) }}
+)
+
+// getBuf returns a length-n buffer whose contents are undefined; every
+// caller fully overwrites [0:n]. Legacy-mode engines always allocate fresh
+// so the ablation benchmark measures the original allocation behavior.
+func (e *Engine) getBuf(n int) []byte {
+	if e.legacy || n > bufClassLarge {
+		return make([]byte, n)
+	}
+	switch {
+	case n <= bufClassSmall:
+		return bufPoolSmall.Get().(*[bufClassSmall]byte)[:n]
+	case n <= bufClassMed:
+		return bufPoolMed.Get().(*[bufClassMed]byte)[:n]
+	default:
+		return bufPoolLarge.Get().(*[bufClassLarge]byte)[:n]
+	}
+}
+
+// putBuf recycles a packet buffer. Only exact class capacities are
+// accepted; anything else (foreign allocation, oversize make) is left to
+// the garbage collector.
+func (e *Engine) putBuf(b []byte) {
+	if e.legacy || cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	switch len(b) {
+	case bufClassSmall:
+		bufPoolSmall.Put((*[bufClassSmall]byte)(b))
+	case bufClassMed:
+		bufPoolMed.Put((*[bufClassMed]byte)(b))
+	case bufClassLarge:
+		bufPoolLarge.Put((*[bufClassLarge]byte)(b))
+	}
+}
+
+// Matching-record pools: postedRecv and inbound records cycle through the
+// queues on every message, so they are recycled once no queue or pending-map
+// references them. A record is freed exactly once because every removal from
+// a queue or map happens under the owning lock — whoever takes it out owns it.
+var (
+	postedRecvPool = sync.Pool{New: func() any { return new(postedRecv) }}
+	inboundPool    = sync.Pool{New: func() any { return new(inbound) }}
+)
+
+func (e *Engine) newPostedRecv() *postedRecv {
+	if e.legacy {
+		return new(postedRecv)
+	}
+	return postedRecvPool.Get().(*postedRecv)
+}
+
+func (e *Engine) freePostedRecv(pr *postedRecv) {
+	if e.legacy {
+		return
+	}
+	*pr = postedRecv{}
+	postedRecvPool.Put(pr)
+}
+
+func (e *Engine) newInbound() *inbound {
+	if e.legacy {
+		return new(inbound)
+	}
+	return inboundPool.Get().(*inbound)
+}
+
+func (e *Engine) freeInbound(m *inbound) {
+	if e.legacy {
+		return
+	}
+	*m = inbound{}
+	inboundPool.Put(m)
+}

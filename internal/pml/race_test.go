@@ -1,0 +1,112 @@
+package pml
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentProbeWildcardFailPeer hammers the fine-grained locking from
+// every side at once, on several channels of the same engine: wildcard
+// receivers and senders stream messages, Iprobe spins, Probe blocks for a
+// sentinel, and FailPeer fires concurrently against a rank with posted
+// receives naming it. Run under -race by `make check`, it asserts the
+// per-channel lock / registry lock / pending-map lock split has no data
+// races and that every request completes.
+func TestConcurrentProbeWildcardFailPeer(t *testing.T) {
+	const (
+		nchan = 3
+		msgs  = 50
+	)
+	tn := newTestNet(t, 4, Config{})
+	// Engine 3 is the receiver; ranks 0 and 2 send, rank 1 "dies".
+	chans := make([][]*Channel, nchan)
+	for c := 0; c < nchan; c++ {
+		chans[c] = tn.worldChannels(t, uint16(c))
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < nchan; c++ {
+		c := c
+		// Senders: ranks 0 and 2 each send msgs eager messages, then rank 0
+		// sends the sentinel the Probe goroutine waits for.
+		for _, src := range []int{0, 2} {
+			src := src
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := []byte{byte(c), byte(src)}
+				for i := 0; i < msgs; i++ {
+					if err := chans[c][src].Send(3, 1, buf); err != nil {
+						t.Errorf("chan %d send from %d: %v", c, src, err)
+						return
+					}
+				}
+				if src == 0 {
+					if err := chans[c][0].Send(3, 9, buf); err != nil {
+						t.Errorf("chan %d sentinel send: %v", c, err)
+					}
+				}
+			}()
+		}
+		// Wildcard receiver: drains both senders' streams.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < 2*msgs; i++ {
+				st, err := chans[c][3].Recv(AnySource, 1, buf)
+				if err != nil {
+					t.Errorf("chan %d wildcard recv: %v", c, err)
+					return
+				}
+				if st.Source != 0 && st.Source != 2 {
+					t.Errorf("chan %d recv from unexpected source %d", c, st.Source)
+					return
+				}
+			}
+		}()
+		// Specific receive naming the dying rank: must fail with
+		// ErrPeerFailed (rank 1 never sends on this tag).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			_, err := chans[c][3].Recv(1, 5, buf)
+			if !errors.Is(err, ErrPeerFailed) {
+				t.Errorf("chan %d recv from failed rank: got %v, want ErrPeerFailed", c, err)
+			}
+		}()
+		// Blocking Probe for the sentinel, plus an Iprobe spinner.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := chans[c][3].Probe(0, 9)
+			if err != nil || st.Tag != 9 {
+				t.Errorf("chan %d probe: %+v %v", c, st, err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				chans[c][3].Iprobe(AnySource, AnyTag)
+			}
+		}()
+	}
+	// The failure notification races with everything above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tn.engines[3].FailPeer(1)
+	}()
+	wg.Wait()
+
+	// Drain the sentinels so the engines close with empty queues.
+	for c := 0; c < nchan; c++ {
+		buf := make([]byte, 8)
+		if _, err := chans[c][3].Recv(0, 9, buf); err != nil {
+			t.Fatalf("chan %d drain sentinel: %v", c, err)
+		}
+	}
+}

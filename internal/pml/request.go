@@ -46,11 +46,17 @@ func newRequest() *Request {
 	return &Request{done: make(chan struct{})}
 }
 
+// closedChan is shared by every already-completed request, so the eager
+// send path allocates one Request and nothing else.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
 // completedRequest returns an already-finished request (eager sends).
 func completedRequest(st Status, err error) *Request {
-	r := newRequest()
-	r.complete(st, err)
-	return r
+	return &Request{done: closedChan, completed: true, status: st, err: err}
 }
 
 func (r *Request) complete(st Status, err error) {

@@ -102,6 +102,11 @@ type PMLStats struct {
 	AcksReceived uint64
 	// Rendezvous counts large-message transfers.
 	Rendezvous uint64
+	// PostedHits counts inbound messages that matched an already-posted
+	// receive; UnexpectedHits counts receives satisfied from the unexpected
+	// queue. Their ratio is the classic late-receiver/late-sender signal.
+	PostedHits     uint64
+	UnexpectedHits uint64
 }
 
 // PMLStatsSnapshot returns the process's current messaging counters; zero
@@ -113,11 +118,13 @@ func (p *Process) PMLStatsSnapshot() PMLStats {
 	}
 	s := e.Stats()
 	return PMLStats{
-		FastSent:     s.FastSent,
-		ExtSent:      s.ExtSent,
-		AcksSent:     s.AcksSent,
-		AcksReceived: s.AcksRecved,
-		Rendezvous:   s.Rendezvous,
+		FastSent:       s.FastSent,
+		ExtSent:        s.ExtSent,
+		AcksSent:       s.AcksSent,
+		AcksReceived:   s.AcksRecved,
+		Rendezvous:     s.Rendezvous,
+		PostedHits:     s.PostedHits,
+		UnexpectedHits: s.UnexpectedHits,
 	}
 }
 
