@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-smoke bench-pml figures
+.PHONY: check vet build lint test test-race pool-guard fuzz-smoke bench bench-smoke bench-pml figures
 
-# check is the repo's verification gate: vet, build, and the full test
-# suite under the race detector.
-check: vet build test-race
+# check is the repo's verification gate: vet, build, the gompilint suite,
+# the full test suite under the race detector, the debug-build arena
+# guard, and a short fixed-budget run of the packet-decoder fuzz targets.
+check: vet build lint test-race pool-guard fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,22 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# lint runs the project's own go/analysis suite (DESIGN.md §6a): request
+# leaks, pool ownership, lock order, handle lifecycle, discarded MPI errors.
+lint:
+	$(GO) run ./cmd/gompilint ./...
+
+# pool-guard exercises the -tags debug arena guard: double-putBuf panics
+# and recycled packets are poisoned, under the race detector.
+pool-guard:
+	$(GO) test -race -tags debug -run TestPoolGuard ./internal/pml
+
+# fuzz-smoke runs the packet-decoder fuzz targets for a short fixed
+# budget on top of the committed seed corpus (internal/pml/testdata/fuzz).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime 5s ./internal/pml
+	$(GO) test -run '^$$' -fuzz '^FuzzMatchHeaderRoundTrip$$' -fuzztime 5s ./internal/pml
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

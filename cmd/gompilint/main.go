@@ -1,0 +1,79 @@
+// Command gompilint is the repo's contract linter: a multichecker driving
+// the internal/lint analyzer suite (reqleak, poolown, lockorder,
+// handlefree, errcheckmpi) over the packages named on the command line.
+//
+// Usage:
+//
+//	go run ./cmd/gompilint [-list] [-only name,name] [packages...]
+//
+// Packages default to ./... (test files are not analyzed; the contracts
+// bind production code, and tests intentionally misuse handles). Exit
+// status is 1 when any finding is reported. A finding can be suppressed
+// with a trailing or preceding-line //gompilint:ignore <analyzer> comment;
+// mutex ranks are declared with //gompilint:lockorder rank=N (see
+// DESIGN.md §6a).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gompi/internal/lint"
+	"gompi/internal/lint/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "gompilint: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gompilint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gompilint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gompilint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

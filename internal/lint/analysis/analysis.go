@@ -1,0 +1,87 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API, built only on the standard library so
+// the repo's linters need no external module. It keeps the same shape —
+// Analyzer, Pass, Diagnostic, object facts — so the suite can migrate to the
+// real framework mechanically if x/tools ever becomes a dependency.
+//
+// Differences from x/tools are deliberate simplifications: passes always run
+// in one process over a whole dependency graph, so facts are plain in-memory
+// values (no gob serialization), and there is no result-value plumbing
+// between analyzers.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //gompilint:ignore annotations. It must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Fact is a marker interface for analyzer-exported facts about objects.
+// Facts flow from a package to its dependents: a pass may export facts
+// about objects of the current package and import facts exported earlier
+// about objects of dependency packages (the driver analyzes packages in
+// dependency order).
+type Fact interface{ AFact() }
+
+// Pass is the interface through which an Analyzer sees one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Wired by the driver.
+	Report func(Diagnostic)
+
+	// facts is the shared store, keyed by (object, fact type name).
+	facts *FactStore
+}
+
+// NewPass assembles a Pass; used by drivers and tests.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Report: report, facts: facts}
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// ExportObjectFact records a fact about obj, visible to later passes of the
+// same analyzer over dependent packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts != nil && obj != nil {
+		p.facts.put(p.Analyzer, obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact previously exported about obj, if any,
+// into *fact's pointee and reports whether one was found. fact must be a
+// pointer of the same concrete type as the exported fact.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer, obj, fact)
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// FactStore holds object facts for one driver run. All packages are analyzed
+// in the same process, so facts are stored as live values; the driver shares
+// one store across every package it analyzes so facts exported while
+// analyzing a dependency are visible when its importers are analyzed.
+type FactStore struct {
+	mu sync.Mutex
+	m  map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey]Fact)} }
+
+func (s *FactStore) put(a *Analyzer, obj types.Object, fact Fact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{a, obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *FactStore) get(a *Analyzer, obj types.Object, fact Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	got, ok := s.m[factKey{a, obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	// Copy the stored fact into the caller's pointee, mirroring the
+	// x/tools contract that fact must be a pointer type.
+	dst := reflect.ValueOf(fact).Elem()
+	src := reflect.ValueOf(got).Elem()
+	dst.Set(src)
+	return true
+}

@@ -1,0 +1,125 @@
+// Package analysistest is a miniature of golang.org/x/tools' analysistest:
+// it runs one analyzer over fixture packages and checks the diagnostics
+// against `// want` comments in the fixture sources.
+//
+// Fixtures live under a testdata directory (which `go build ./...` and
+// `go vet ./...` skip by convention, so intentionally-buggy fixtures never
+// break the build) and are loaded as ordinary packages of this module, so
+// they may import gompi/mpi, gompi/internal/btl, and friends.
+//
+// An expectation is written on the line the diagnostic lands on:
+//
+//	c.Isend(buf, 0, 0) // want `request returned by .* is dropped`
+//
+// The backquoted text is a regexp matched against the diagnostic message;
+// several expectations may share one line. A run fails on any unmatched
+// diagnostic or unsatisfied expectation.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gompi/internal/lint"
+	"gompi/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`(?:\\s*`[^`]*`)*)")
+var wantArg = regexp.MustCompile("`([^`]*)`")
+
+// Run applies analyzer to each fixture package path (relative to dir, e.g.
+// "./testdata/reqleak/a") and verifies the want expectations.
+func Run(t *testing.T, dir string, analyzer *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	findings, err := lint.Run(dir, pkgs, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s over %v: %v", analyzer.Name, pkgs, err)
+	}
+
+	type expectation struct {
+		re       *regexp.Regexp
+		file     string
+		line     int
+		matched  bool
+		original string
+	}
+	var wants []*expectation
+	for _, rel := range pkgs {
+		root := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(rel, "./")))
+		files, err := filepath.Glob(filepath.Join(root, "*.go"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no fixture files under %s", root)
+		}
+		for _, file := range files {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				for _, arg := range wantArg.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, arg[1], err)
+					}
+					abs, _ := filepath.Abs(file)
+					wants = append(wants, &expectation{re: re, file: abs, line: i + 1, original: arg[1]})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.line != f.Pos.Line {
+				continue
+			}
+			if !sameFile(w.file, f.Pos.Filename) {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.original)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	if aa == bb {
+		return true
+	}
+	// go list may report paths through symlinks (e.g. /tmp); fall back to
+	// base-name + suffix comparison.
+	return filepath.Base(aa) == filepath.Base(bb) &&
+		filepath.Dir(aa) != "" && strings.HasSuffix(aa, trailing(bb)) || strings.HasSuffix(bb, trailing(aa))
+}
+
+func trailing(p string) string {
+	return fmt.Sprintf("%s%c%s", filepath.Base(filepath.Dir(p)), filepath.Separator, filepath.Base(p))
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gompi/internal/lint/analysis"
+)
+
+// ErrcheckMPI reports error results from the MPI public API and the PMIx
+// layer that are silently discarded: a call used as a bare statement (or
+// `go` statement) whose results include an error. An explicit `_ = ...`
+// assignment is the sanctioned way to say the error is intentionally
+// ignored, and deferred calls are exempt (idiomatic `defer f.Close()`).
+var ErrcheckMPI = &analysis.Analyzer{
+	Name: "errcheckmpi",
+	Doc:  "reports discarded error results from gompi/mpi and gompi/internal/pmix calls",
+	Run:  runErrcheckMPI,
+}
+
+// errcheckedPaths are the package import paths whose API errors must be
+// consumed.
+var errcheckedPaths = []string{
+	"gompi/mpi",
+	"gompi/internal/pmix",
+}
+
+func runErrcheckMPI(pass *analysis.Pass) error {
+	check := func(e ast.Expr) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		if fn == nil || !errcheckedPath(pkgPathOf(fn)) {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), errorType) {
+				pass.Reportf(call.Pos(), "discarded error result of %s", fn.FullName())
+				return
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				check(s.X)
+			case *ast.GoStmt:
+				check(s.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func errcheckedPath(path string) bool {
+	for _, p := range errcheckedPaths {
+		if path == p {
+			return true
+		}
+	}
+	// Fixture packages under the lint testdata tree opt in by directory
+	// name so the analyzer can be exercised without importing mpi.
+	return strings.Contains(path, "lint/testdata/")
+}

@@ -1,0 +1,211 @@
+// Package flow provides a small statement-order abstract interpreter shared
+// by the lint analyzers that need execution-order reasoning (ownership
+// transfer, lock order). It walks a function body in rough evaluation
+// order, forking the analyzer's state at branches and merging the states of
+// every path that can fall through. It is deliberately a linter-grade
+// approximation, not a CFG: branch paths that end in return/branch/panic do
+// not merge back, loop bodies are walked once, and goto is treated as
+// terminating the path.
+package flow
+
+import "go/ast"
+
+// Ops parameterizes a walk over the analyzer's state type S.
+type Ops[S any] struct {
+	// Clone returns an independent copy of a state, used when forking at a
+	// branch.
+	Clone func(S) S
+	// Merge combines the states of two paths that both fall through to the
+	// same point (typically set union) and returns the result.
+	Merge func(S, S) S
+	// Exec processes one straight-line unit — a leaf statement or a
+	// condition expression — mutating or replacing the state. deferred is
+	// true when the node is the call of a defer statement (it runs at
+	// function exit, not here).
+	Exec func(n ast.Node, deferred bool, st S) S
+}
+
+// Walk interprets body starting from init and returns the state at the
+// (fall-through) end of the body.
+func Walk[S any](body *ast.BlockStmt, ops Ops[S], init S) S {
+	st, _ := walkStmt[S](body, ops, init)
+	return st
+}
+
+// walkStmt returns the outgoing state and whether the path terminated
+// (return, branch, panic) so callers skip merging it.
+func walkStmt[S any](s ast.Stmt, ops Ops[S], st S) (S, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			var term bool
+			st, term = walkStmt(sub, ops, st)
+			if term {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.ExprStmt:
+		st = ops.Exec(s.X, false, st)
+		return st, isPanic(s.X)
+	case *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt, *ast.DeclStmt:
+		return ops.Exec(s, false, st), false
+	case *ast.ReturnStmt:
+		return ops.Exec(s, false, st), true
+	case *ast.BranchStmt:
+		// break/continue/goto end this linear path; their state is not
+		// propagated to the jump target (linter-grade approximation).
+		return st, true
+	case *ast.DeferStmt:
+		return ops.Exec(s.Call, true, st), false
+	case *ast.GoStmt:
+		return ops.Exec(s.Call, false, st), false
+	case *ast.LabeledStmt:
+		return walkStmt(s.Stmt, ops, st)
+	case *ast.IfStmt:
+		st, _ = walkStmt(s.Init, ops, st)
+		st = ops.Exec(s.Cond, false, st)
+		thenSt, thenTerm := walkStmt(s.Body, ops, ops.Clone(st))
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = walkStmt(s.Else, ops, ops.Clone(st))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return ops.Merge(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		st, _ = walkStmt(s.Init, ops, st)
+		if s.Cond != nil {
+			st = ops.Exec(s.Cond, false, st)
+		}
+		bodySt, bodyTerm := walkStmt(s.Body, ops, ops.Clone(st))
+		if !bodyTerm {
+			bodySt, _ = walkStmt(s.Post, ops, bodySt)
+			st = ops.Merge(st, bodySt)
+		}
+		// An infinite `for { ... }` with no break still falls through here;
+		// treating it as reachable only over-approximates.
+		return st, false
+	case *ast.RangeStmt:
+		// Execute only the header here — the ranged expression as a use,
+		// the key/value as writes (a synthetic assignment so hooks see the
+		// identifiers on an LHS). The body is walked separately below.
+		st = ops.Exec(s.X, false, st)
+		var lhs []ast.Expr
+		if s.Key != nil {
+			lhs = append(lhs, s.Key)
+		}
+		if s.Value != nil {
+			lhs = append(lhs, s.Value)
+		}
+		if len(lhs) > 0 {
+			st = ops.Exec(&ast.AssignStmt{Lhs: lhs, Tok: s.Tok}, false, st)
+		}
+		bodySt, bodyTerm := walkStmt(s.Body, ops, ops.Clone(st))
+		if !bodyTerm {
+			st = ops.Merge(st, bodySt)
+		}
+		return st, false
+	case *ast.SwitchStmt:
+		st, _ = walkStmt(s.Init, ops, st)
+		if s.Tag != nil {
+			st = ops.Exec(s.Tag, false, st)
+		}
+		return walkClauses(s.Body, ops, st, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		st, _ = walkStmt(s.Init, ops, st)
+		st = ops.Exec(s.Assign, false, st)
+		return walkClauses(s.Body, ops, st, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return walkClauses(s.Body, ops, st, true)
+	default:
+		// EmptyStmt and anything unanticipated: no effect.
+		return st, false
+	}
+}
+
+// walkClauses forks the state into every case clause and merges the ones
+// that fall through. When no default clause exists the incoming state is
+// merged too (no case may match).
+func walkClauses[S any](body *ast.BlockStmt, ops Ops[S], st S, exhaustive bool) (S, bool) {
+	// merged must not alias st: Merge mutates its first argument, and every
+	// clause forks from st, which has to stay pristine.
+	merged := ops.Clone(st)
+	haveOut := !exhaustive
+	allTerm := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			cst := ops.Clone(st)
+			for _, e := range c.List {
+				cst = ops.Exec(e, false, cst)
+			}
+			stmts = c.Body
+			st2, term := walkStmtList(stmts, ops, cst)
+			if !term {
+				allTerm = false
+				if haveOut {
+					merged = ops.Merge(merged, st2)
+				} else {
+					merged, haveOut = st2, true
+				}
+			}
+		case *ast.CommClause:
+			cst := ops.Clone(st)
+			cst, _ = walkStmt(c.Comm, ops, cst)
+			st2, term := walkStmtList(c.Body, ops, cst)
+			if !term {
+				allTerm = false
+				if haveOut {
+					merged = ops.Merge(merged, st2)
+				} else {
+					merged, haveOut = st2, true
+				}
+			}
+		}
+	}
+	if exhaustive && allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	return merged, false
+}
+
+func walkStmtList[S any](stmts []ast.Stmt, ops Ops[S], st S) (S, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = walkStmt(s, ops, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanic reports whether e is a direct call to the panic builtin.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gompi/internal/lint"
+	"gompi/internal/lint/analysistest"
+)
+
+// Each analyzer is exercised against one fixture package that must fire
+// (bad) and one that must stay silent (good).
+
+func TestReqLeak(t *testing.T) {
+	analysistest.Run(t, ".", lint.ReqLeak, "./testdata/reqleak/bad", "./testdata/reqleak/good")
+}
+
+func TestPoolOwn(t *testing.T) {
+	analysistest.Run(t, ".", lint.PoolOwn, "./testdata/poolown/bad", "./testdata/poolown/good")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, ".", lint.LockOrder, "./testdata/lockorder/bad", "./testdata/lockorder/good")
+}
+
+func TestHandleFree(t *testing.T) {
+	analysistest.Run(t, ".", lint.HandleFree, "./testdata/handlefree/bad", "./testdata/handlefree/good")
+}
+
+func TestErrcheckMPI(t *testing.T) {
+	analysistest.Run(t, ".", lint.ErrcheckMPI, "./testdata/errcheckmpi/bad", "./testdata/errcheckmpi/good")
+}

@@ -1,0 +1,198 @@
+// Package load type-checks Go packages for the lint suite using only the
+// standard library. It shells out to `go list -export -deps -json` to learn
+// the package graph and the location of compiled export data, then
+// type-checks the requested (module-local) packages from source while
+// importing everything else — the standard library and any other
+// pre-compiled dependency — through the gc export-data importer.
+//
+// Module-local dependencies of a target are themselves type-checked from
+// source through a shared cache, so a types.Object seen while analyzing a
+// package is the identical object seen while analyzing its importers. That
+// identity is what lets the analyzers' fact store work without any
+// serialization.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, parse order
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns, resolved relative to
+// dir (the module root or any directory inside it). It returns the matched
+// packages in dependency order: a package appears after every module-local
+// dependency that was also matched.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, order, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		entries: entries,
+		cache:   make(map[string]*Package),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookup)
+
+	var out []*Package
+	for _, e := range order {
+		ent := entries[e]
+		if ent.DepOnly || ent.Standard {
+			continue
+		}
+		pkg, err := ld.source(ent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	entries map[string]*listEntry
+	cache   map[string]*Package
+	gc      types.Importer
+}
+
+// goList runs `go list -export -deps -json` and decodes the JSON stream,
+// returning the entries keyed by import path plus the emission order, which
+// `go list -deps` guarantees is dependency order (a package appears after
+// all its dependencies).
+func goList(dir string, patterns []string) (map[string]*listEntry, []string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	entries := make(map[string]*listEntry)
+	dec := json.NewDecoder(&stdout)
+	var order []string
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, nil, fmt.Errorf("package %s: %s", e.ImportPath, e.Error.Err)
+		}
+		entries[e.ImportPath] = &e
+		order = append(order, e.ImportPath)
+	}
+	return entries, order, nil
+}
+
+// lookup feeds compiled export data to the gc importer.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	ent, ok := l.entries[path]
+	if !ok || ent.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(ent.Export)
+}
+
+// Import implements types.Importer for the type-checker: module-local
+// packages are checked from source (shared cache), everything else comes
+// from export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	ent, ok := l.entries[path]
+	if !ok {
+		return nil, fmt.Errorf("unknown import %q", path)
+	}
+	if ent.Standard || ent.Module == nil {
+		return l.gc.Import(path)
+	}
+	pkg, err := l.source(ent)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// source parses and type-checks one module-local package, caching the result.
+func (l *loader) source(ent *listEntry) (*Package, error) {
+	if pkg, ok := l.cache[ent.ImportPath]; ok {
+		return pkg, nil
+	}
+	files := make([]*ast.File, 0, len(ent.GoFiles))
+	paths := make([]string, 0, len(ent.GoFiles))
+	names := append([]string(nil), ent.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		full := filepath.Join(ent.Dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		paths = append(paths, full)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(ent.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", ent.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: ent.ImportPath,
+		Dir:        ent.Dir,
+		GoFiles:    paths,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.cache[ent.ImportPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+)
+
+// PoolOwn encodes the PR 3 packet-ownership contract (DESIGN.md §5b,
+// btl.Endpoint.Send): a buffer handed to a BTL Send, delivered through a
+// btl.DeliverFunc upcall, or recycled into a sync.Pool-backed arena
+// (Engine.putBuf, freePostedRecv, freeInbound, sync.Pool.Put) is no longer
+// the caller's — reading it, re-sending it, or recycling it again on any
+// path after the transfer is a bug. Reassigning the variable makes it live
+// again; flows through struct fields or function boundaries are out of
+// scope for the check (they degrade to silence, not false positives).
+var PoolOwn = &analysis.Analyzer{
+	Name: "poolown",
+	Doc:  "reports use of a packet buffer or pooled record after its ownership was transferred (BTL Send / deliver upcall / pool recycle)",
+	Run:  runPoolOwn,
+}
+
+// poolRecyclers maps full method names to diagnostics verbs; the argument 0
+// variable is consumed.
+var poolRecyclers = map[string]string{
+	"(*gompi/internal/pml.Engine).putBuf":         "recycled by Engine.putBuf",
+	"(*gompi/internal/pml.Engine).freePostedRecv": "recycled by Engine.freePostedRecv",
+	"(*gompi/internal/pml.Engine).freeInbound":    "recycled by Engine.freeInbound",
+	"(*sync.Pool).Put":                            "recycled by sync.Pool.Put",
+}
+
+func runPoolOwn(pass *analysis.Pass) error {
+	endpoint := lookupType(pass.Pkg, "gompi/internal/btl", "Endpoint")
+	var endpointIface *types.Interface
+	if endpoint != nil {
+		endpointIface, _ = endpoint.Underlying().(*types.Interface)
+	}
+
+	rules := []transferRule{
+		// Arena and record recyclers, by exact method identity.
+		func(pass *analysis.Pass, call *ast.CallExpr) (*ast.Ident, string) {
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil || len(call.Args) < 1 {
+				return nil, ""
+			}
+			verb, ok := poolRecyclers[fn.FullName()]
+			if !ok {
+				return nil, ""
+			}
+			id, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+			return id, verb
+		},
+		// btl.Endpoint.Send — through the interface or a concrete module
+		// endpoint that implements it.
+		func(pass *analysis.Pass, call *ast.CallExpr) (*ast.Ident, string) {
+			if endpointIface == nil || len(call.Args) != 1 {
+				return nil, ""
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Send" {
+				return nil, ""
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return nil, ""
+			}
+			recv := sig.Recv().Type()
+			if !types.Implements(recv, endpointIface) && !types.Implements(types.NewPointer(recv), endpointIface) {
+				return nil, ""
+			}
+			id, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+			return id, "handed to btl.Endpoint.Send"
+		},
+		// deliver(pkt): a call through a value of type btl.DeliverFunc
+		// transfers the packet to the receiving engine.
+		func(pass *analysis.Pass, call *ast.CallExpr) (*ast.Ident, string) {
+			if len(call.Args) != 1 {
+				return nil, ""
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || tv.IsType() {
+				return nil, ""
+			}
+			if !namedIs(tv.Type, "gompi/internal/btl", "DeliverFunc") {
+				return nil, ""
+			}
+			id, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+			return id, "delivered to the PML upcall (btl.DeliverFunc)"
+		},
+	}
+	runTransferAnalysis(pass, rules)
+	return nil
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "gompi/internal/lint/analysis"
+
+// All returns the full gompilint suite in a stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ErrcheckMPI,
+		HandleFree,
+		LockOrder,
+		PoolOwn,
+		ReqLeak,
+	}
+}

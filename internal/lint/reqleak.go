@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+)
+
+// ReqLeak enforces the nonblocking-request lifecycle: the result of an
+// Isend/Irecv/Issend/*Init call (anything returning a request handle) must
+// reach Wait/Test/Free — or at least escape the function — on every path.
+// Two shapes are reported: a request-producing call whose result is
+// discarded outright (expression statement or assignment to _), and a local
+// variable holding a request that is never read again. Any other use —
+// passed to WaitAll, stored in a slice or struct, returned, captured by a
+// closure — counts as an escape and the analyzer stays silent rather than
+// guessing across function boundaries.
+var ReqLeak = &analysis.Analyzer{
+	Name: "reqleak",
+	Doc:  "reports nonblocking MPI requests that are dropped or never reach Wait/Test/Free",
+	Run:  runReqLeak,
+}
+
+// isRequestType reports whether t is a request handle: a named type (or
+// pointer to one, or interface) whose method set has Wait() (..., error)
+// and a Test method. This structural rule covers mpi.Request,
+// *mpi.PersistentRequest, *pml.Request, and fixture stand-ins alike.
+func isRequestType(t types.Type) bool {
+	if t == nil || namedOf(t) == nil {
+		return false
+	}
+	wait := lookupMethod(t, "Wait")
+	if wait == nil || lookupMethod(t, "Test") == nil {
+		return false
+	}
+	sig, ok := wait.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func lookupMethod(t types.Type, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// requestResults returns the indices of call's results that are request
+// handles, or nil.
+func requestResults(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if isRequestType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if isRequestType(t) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+func runReqLeak(pass *analysis.Pass) error {
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		reqLeakFunc(pass, body)
+	})
+	return nil
+}
+
+func reqLeakFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Each production is one request-valued assignment to a local
+	// variable; the variable must be read again somewhere after it (Go's
+	// unused-variable rule guarantees at least one read overall, but an
+	// overwritten or early-read request can still leak).
+	type produced struct {
+		call *ast.CallExpr
+		def  *ast.Ident
+		v    *types.Var
+	}
+	var productions []produced
+	isTracked := make(map[*types.Var]bool)
+
+	describe := func(call *ast.CallExpr) string {
+		if fn := calleeOf(info, call); fn != nil {
+			return fn.FullName()
+		}
+		return "call"
+	}
+
+	// Statement scan: classify every request-producing call that appears as
+	// a whole statement or assignment RHS. Nested literals are scanned too
+	// (a dropped request in a goroutine body is still dropped); variable
+	// tracking stays per-literal because the variables themselves are
+	// scoped there.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if idx := requestResults(info, call); idx != nil {
+					pass.Reportf(call.Pos(), "request returned by %s is dropped; it must reach Wait/Test/Free or escape", describe(call))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, i := range requestResults(info, call) {
+				if i >= len(s.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue // an element/field assignment is an escape
+				}
+				if id.Name == "_" {
+					pass.Reportf(id.Pos(), "request returned by %s is assigned to _ and can never be completed", describe(call))
+					continue
+				}
+				v := localVarOf(info, id)
+				if v == nil {
+					continue
+				}
+				productions = append(productions, produced{call: call, def: id, v: v})
+				isTracked[v] = true
+			}
+		}
+		return true
+	})
+
+	if len(productions) == 0 {
+		return
+	}
+
+	// Use scan: each production must be followed (positionally) by a read
+	// of its variable. Writes (assignment LHS, including overwrites) are
+	// not reads. Position order approximates execution order; a read that
+	// textually precedes its production (a wait at the top of a loop, a
+	// callback registered earlier) can be silenced with
+	// //gompilint:ignore reqleak.
+	writes := writtenIdents(body)
+	reads := make(map[*types.Var][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		if v != nil && isTracked[v] {
+			reads[v] = append(reads[v], id.Pos())
+		}
+		return true
+	})
+	for _, p := range productions {
+		readAfter := false
+		for _, pos := range reads[p.v] {
+			if pos > p.def.End() {
+				readAfter = true
+				break
+			}
+		}
+		if !readAfter {
+			pass.Reportf(p.def.Pos(), "request %s from %s is never awaited: no Wait/Test/Free after this assignment and it does not escape", p.def.Name, describe(p.call))
+		}
+	}
+}

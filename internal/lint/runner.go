@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"gompi/internal/lint/analysis"
+	"gompi/internal/lint/load"
+)
+
+// Finding is one diagnostic with its resolved position.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+var ignoreDirective = regexp.MustCompile(`//gompilint:ignore(?:\s+([A-Za-z0-9_,]+))?`)
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// the analyzers in dependency order, sharing one fact store so summaries
+// flow from a package to its importers. Findings suppressed by a
+// //gompilint:ignore [analyzer] directive on the same or preceding line are
+// dropped. The returned findings are sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	facts := analysis.NewFactStore()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			a := a
+			report := func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(pos, a.Name) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Message: d.Message, Analyzer: a.Name})
+			}
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, facts, report)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet records, per file and line, which analyzers are suppressed
+// ("" means all).
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) suppressed(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectIgnores(pkg *load.Package) ignoreSet {
+	out := make(ignoreSet)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int][]string)
+				}
+				if m[1] == "" || m[1] == "all" {
+					out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], "")
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], name)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package bad holds errcheckmpi fixtures that must each produce a
+// diagnostic.
+package bad
+
+import "gompi/mpi"
+
+// dropSend throws the send error away.
+func dropSend(c *mpi.Comm, buf []byte) {
+	c.Send(buf, 0, 0) // want `discarded error result of \(\*gompi/mpi\.Comm\)\.Send`
+}
+
+// dropBarrier loses the error on a goroutine.
+func dropBarrier(c *mpi.Comm) {
+	go c.Barrier() // want `discarded error result of \(\*gompi/mpi\.Comm\)\.Barrier`
+}
+
+// dropFree ignores a Free failure.
+func dropFree(c *mpi.Comm) {
+	c.Free() // want `discarded error result of \(\*gompi/mpi\.Comm\)\.Free`
+}
+
+// dropMulti discards a (Status, error) pair.
+func dropMulti(c *mpi.Comm, buf []byte) {
+	c.Recv(buf, 0, 0) // want `discarded error result of \(\*gompi/mpi\.Comm\)\.Recv`
+}

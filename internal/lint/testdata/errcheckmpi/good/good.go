@@ -1,0 +1,32 @@
+// Package good holds errcheckmpi fixtures that must produce no
+// diagnostics.
+package good
+
+import "gompi/mpi"
+
+// returned propagates the error.
+func returned(c *mpi.Comm, buf []byte) error {
+	return c.Send(buf, 0, 0)
+}
+
+// checked handles the error inline.
+func checked(c *mpi.Comm, buf []byte) {
+	if err := c.Send(buf, 0, 0); err != nil {
+		panic(err)
+	}
+}
+
+// explicit opts out visibly: assigning to _ is the sanctioned discard.
+func explicit(c *mpi.Comm) {
+	_ = c.Free()
+}
+
+// deferred Close is idiomatic and exempt.
+func deferred(f *mpi.File) {
+	defer f.Close()
+}
+
+// nonError results need no consumption.
+func nonError(c *mpi.Comm) {
+	c.Rank()
+}

@@ -1,0 +1,45 @@
+// Package bad holds handlefree fixtures that must each produce a diagnostic.
+package bad
+
+import "gompi/mpi"
+
+// useAfterFree calls a method on a freed communicator.
+func useAfterFree(c *mpi.Comm) int {
+	_ = c.Free()
+	return c.Rank() // want `use of c after it was freed by Comm\.Free`
+}
+
+// doubleFree frees the same communicator twice.
+func doubleFree(c *mpi.Comm) {
+	_ = c.Free()
+	_ = c.Free() // want `c released twice: already freed by Comm\.Free`
+}
+
+// useAfterFinalize touches a finalized session.
+func useAfterFinalize(s *mpi.Session) bool {
+	_ = s.Finalize()
+	return s.Finalized() // want `use of s after it was finalized by Session\.Finalize`
+}
+
+// sendAfterFree passes the freed handle onward.
+func sendAfterFree(c *mpi.Comm, buf []byte) error {
+	if err := c.Free(); err != nil {
+		return err
+	}
+	return c.Send(buf, 0, 0) // want `use of c after it was freed by Comm\.Free`
+}
+
+// winDoubleFree frees an RMA window twice.
+func winDoubleFree(w *mpi.Win) {
+	_ = w.Free()
+	_ = w.Free() // want `w released twice: already freed by Win\.Free`
+}
+
+// fileUseAfterClose reads from a closed file handle.
+func fileUseAfterClose(f *mpi.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_, err := f.ReadAt(0, nil) // want `use of f after it was closed by File\.Close`
+	return err
+}

@@ -1,0 +1,40 @@
+// Package good holds handlefree fixtures that must produce no diagnostics.
+package good
+
+import "gompi/mpi"
+
+// freeLast frees the handle as the final act.
+func freeLast(c *mpi.Comm) error {
+	_ = c.Rank()
+	return c.Free()
+}
+
+// freeEach frees distinct handles, not the same one twice.
+func freeEach(comms []*mpi.Comm) {
+	for _, c := range comms {
+		_ = c.Free()
+	}
+}
+
+// reassigned replaces the freed handle before using the variable again.
+func reassigned(c, d *mpi.Comm) int {
+	_ = c.Free()
+	c = d
+	return c.Rank()
+}
+
+// branchFree frees on a terminating path only.
+func branchFree(c *mpi.Comm, done bool) error {
+	if done {
+		return c.Free()
+	}
+	return c.Barrier()
+}
+
+// escapeHatch demonstrates //gompilint:ignore for a sanctioned
+// use-after-Free (Session.Finalize fails while comms are live and the
+// session is deliberately reused).
+func escapeHatch(s *mpi.Session) bool {
+	_ = s.Finalize()
+	return s.Finalized() //gompilint:ignore handlefree Finalize may fail with live comms; probing is intended
+}

@@ -1,0 +1,61 @@
+// Package bad holds lockorder fixtures that must each produce a
+// diagnostic. The declared order is reg (rank 1) < pend (rank 2) <
+// channel (rank 3), mirroring the pml engine's hierarchy.
+package bad
+
+import "sync"
+
+type engine struct {
+	reg     sync.Mutex //gompilint:lockorder rank=1
+	pend    sync.Mutex //gompilint:lockorder rank=2
+	channel sync.Mutex //gompilint:lockorder rank=3
+}
+
+// inverted acquires against the declared order.
+func inverted(e *engine) {
+	e.pend.Lock()
+	e.reg.Lock() // want `lock order violation: acquiring bad\.engine\.reg \(rank 1\) while holding bad\.engine\.pend \(rank 2`
+	e.reg.Unlock()
+	e.pend.Unlock()
+}
+
+// invertedHeldByDefer still holds the first lock when taking the second.
+func invertedHeldByDefer(e *engine) {
+	e.channel.Lock()
+	defer e.channel.Unlock()
+	e.pend.Lock() // want `lock order violation: acquiring bad\.engine\.pend \(rank 2\) while holding bad\.engine\.channel \(rank 3`
+	defer e.pend.Unlock()
+}
+
+// selfDeadlock re-locks a mutex it already holds.
+func selfDeadlock(e *engine) {
+	e.reg.Lock()
+	e.reg.Lock() // want `e\.reg locked again while already held`
+	e.reg.Unlock()
+	e.reg.Unlock()
+}
+
+// lockReg is a helper whose summary says it may acquire reg (rank 1).
+func lockReg(e *engine) {
+	e.reg.Lock()
+	e.reg.Unlock()
+}
+
+// viaCall inverts the order through a callee: the cross-function check
+// uses lockReg's computed summary.
+func viaCall(e *engine) {
+	e.pend.Lock()
+	defer e.pend.Unlock()
+	lockReg(e) // want `calling lockReg while holding bad\.engine\.pend \(rank 2.*may acquire bad\.engine\.reg \(rank 1\)`
+}
+
+// viaTransitiveCall inverts through two levels of calls.
+func viaTransitiveCall(e *engine) {
+	e.channel.Lock()
+	defer e.channel.Unlock()
+	indirect(e) // want `calling indirect while holding bad\.engine\.channel \(rank 3.*may acquire bad\.engine\.reg \(rank 1\)`
+}
+
+func indirect(e *engine) {
+	lockReg(e)
+}

@@ -1,0 +1,65 @@
+// Package good holds lockorder fixtures that must produce no
+// diagnostics. Same declared order as the bad package: reg (rank 1) <
+// pend (rank 2) < channel (rank 3).
+package good
+
+import "sync"
+
+type engine struct {
+	reg     sync.Mutex //gompilint:lockorder rank=1
+	pend    sync.Mutex //gompilint:lockorder rank=2
+	channel sync.Mutex //gompilint:lockorder rank=3
+}
+
+// ordered nests in strictly increasing rank order.
+func ordered(e *engine) {
+	e.reg.Lock()
+	e.pend.Lock()
+	e.channel.Lock()
+	e.channel.Unlock()
+	e.pend.Unlock()
+	e.reg.Unlock()
+}
+
+// sequential never holds two locks at once, so any acquisition order
+// is fine.
+func sequential(e *engine) {
+	e.pend.Lock()
+	e.pend.Unlock()
+	e.reg.Lock()
+	e.reg.Unlock()
+}
+
+// deferUnlock releases via defer; the lock is held to function end but
+// nothing lower-ranked is taken while it is.
+func deferUnlock(e *engine) {
+	e.pend.Lock()
+	defer e.pend.Unlock()
+	e.channel.Lock()
+	defer e.channel.Unlock()
+}
+
+// branch locks and unlocks inside a branch, then re-locks afterwards:
+// no overlap, no violation.
+func branch(e *engine, fast bool) {
+	if fast {
+		e.channel.Lock()
+		e.channel.Unlock()
+	}
+	e.reg.Lock()
+	e.reg.Unlock()
+}
+
+// lockPend's summary says it may acquire pend (rank 2).
+func lockPend(e *engine) {
+	e.pend.Lock()
+	e.pend.Unlock()
+}
+
+// viaCallOrdered calls a helper that acquires a higher rank than the
+// one held: allowed by the declared order.
+func viaCallOrdered(e *engine) {
+	e.reg.Lock()
+	defer e.reg.Unlock()
+	lockPend(e)
+}

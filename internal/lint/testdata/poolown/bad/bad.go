@@ -1,0 +1,50 @@
+// Package bad holds poolown fixtures that must each produce a diagnostic.
+package bad
+
+import (
+	"sync"
+
+	"gompi/internal/btl"
+)
+
+// useAfterSend reads the packet after ownership moved to the BTL.
+func useAfterSend(ep btl.Endpoint, pkt []byte) error {
+	if err := ep.Send(pkt); err != nil {
+		return err
+	}
+	pkt[0] = 1 // want `use of pkt after it was handed to btl\.Endpoint\.Send`
+	return nil
+}
+
+// doubleSend hands the same packet over twice.
+func doubleSend(ep btl.Endpoint, pkt []byte) {
+	_ = ep.Send(pkt)
+	_ = ep.Send(pkt) // want `pkt released twice: already handed to btl\.Endpoint\.Send`
+}
+
+// retainAfterDeliver keeps reading a packet after the upcall took it.
+func retainAfterDeliver(deliver btl.DeliverFunc, pkt []byte) byte {
+	deliver(pkt)
+	return pkt[0] // want `use of pkt after it was delivered to the PML upcall`
+}
+
+// branchSend transfers on one path only; the later use is still a bug on
+// that path.
+func branchSend(ep btl.Endpoint, pkt []byte, eager bool) {
+	if eager {
+		_ = ep.Send(pkt)
+	}
+	pkt[0] = 2 // want `use of pkt after it was handed to btl\.Endpoint\.Send`
+}
+
+// doublePut recycles the same buffer into a sync.Pool twice.
+func doublePut(pool *sync.Pool, buf *[256]byte) {
+	pool.Put(buf)
+	pool.Put(buf) // want `buf released twice: already recycled by sync\.Pool\.Put`
+}
+
+// captureAfterSend captures the transferred packet in a closure.
+func captureAfterSend(ep btl.Endpoint, pkt []byte) func() byte {
+	_ = ep.Send(pkt)
+	return func() byte { return pkt[0] } // want `use of pkt after it was handed to btl\.Endpoint\.Send`
+}

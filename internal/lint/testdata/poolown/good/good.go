@@ -1,0 +1,51 @@
+// Package good holds poolown fixtures that must produce no diagnostics.
+package good
+
+import (
+	"sync"
+
+	"gompi/internal/btl"
+)
+
+// sendLast builds the packet, then transfers it as the final touch.
+func sendLast(ep btl.Endpoint, pkt []byte) error {
+	pkt[0] = 1
+	return ep.Send(pkt)
+}
+
+// reassigned gets a fresh buffer after the transfer; the variable is live
+// again.
+func reassigned(ep btl.Endpoint, pkt []byte) error {
+	if err := ep.Send(pkt); err != nil {
+		return err
+	}
+	pkt = make([]byte, 16)
+	pkt[0] = 2
+	return ep.Send(pkt)
+}
+
+// branches transfers on a terminating path only; the fall-through still
+// owns the packet.
+func branches(ep btl.Endpoint, pkt []byte, eager bool) error {
+	if eager {
+		return ep.Send(pkt)
+	}
+	pkt[0] = 3
+	return ep.Send(pkt)
+}
+
+// loopFresh re-acquires a buffer every iteration before sending it.
+func loopFresh(ep btl.Endpoint, pool *sync.Pool, n int) {
+	for i := 0; i < n; i++ {
+		buf := pool.Get().(*[256]byte)
+		buf[0] = byte(i)
+		pool.Put(buf)
+	}
+}
+
+// deliverFresh hands each packet up exactly once.
+func deliverFresh(deliver btl.DeliverFunc, pkts [][]byte) {
+	for _, pkt := range pkts {
+		deliver(pkt)
+	}
+}

@@ -1,0 +1,32 @@
+// Package bad holds reqleak fixtures that must each produce a diagnostic.
+package bad
+
+import "gompi/mpi"
+
+// dropped discards the request outright.
+func dropped(c *mpi.Comm, buf []byte) {
+	c.Isend(buf, 0, 0) // want `request returned by \(\*gompi/mpi\.Comm\)\.Isend is dropped`
+}
+
+// blank can never complete the request.
+func blank(c *mpi.Comm, buf []byte) {
+	_ = c.Irecv(buf, 0, 0) // want `request returned by \(\*gompi/mpi\.Comm\)\.Irecv is assigned to _`
+}
+
+// overwritten waits for the first request but leaks the second: the
+// variable is never read after the second assignment.
+func overwritten(c *mpi.Comm, buf []byte) error {
+	r := c.Irecv(buf, 0, 0)
+	if _, err := r.Wait(); err != nil {
+		return err
+	}
+	r = c.Irecv(buf, 1, 0) // want `request r from \(\*gompi/mpi\.Comm\)\.Irecv is never awaited`
+	return nil
+}
+
+// persistentDropped drops a persistent request handle (only the error is
+// consumed).
+func persistentDropped(c *mpi.Comm, buf []byte) error {
+	_, err := c.SendInit(buf, 0, 0) // want `request returned by \(\*gompi/mpi\.Comm\)\.SendInit is assigned to _`
+	return err
+}

@@ -1,0 +1,53 @@
+// Package good holds reqleak fixtures that must produce no diagnostics.
+package good
+
+import "gompi/mpi"
+
+// waited completes the request on the spot.
+func waited(c *mpi.Comm, buf []byte) error {
+	r := c.Isend(buf, 0, 0)
+	_, err := r.Wait()
+	return err
+}
+
+// chained consumes the request in the same expression.
+func chained(c *mpi.Comm, buf []byte) error {
+	_, err := c.Isend(buf, 0, 0).Wait()
+	return err
+}
+
+// tested polls instead of waiting; Test counts as consumption.
+func tested(c *mpi.Comm, buf []byte) (bool, error) {
+	r := c.Irecv(buf, 0, 0)
+	ok, _, err := r.Test()
+	return ok, err
+}
+
+// escapes hands the requests to WaitAll / a slice; the analyzer does not
+// follow them and stays silent.
+func escapes(c *mpi.Comm, buf []byte) error {
+	r1 := c.Isend(buf, 0, 0)
+	r2 := c.Irecv(buf, 1, 0)
+	return mpi.WaitAll(r1, r2)
+}
+
+func escapesSlice(c *mpi.Comm, bufs [][]byte) []mpi.Request {
+	var reqs []mpi.Request
+	for i, b := range bufs {
+		reqs = append(reqs, c.Irecv(b, i, 0))
+	}
+	return reqs
+}
+
+// persistent requests: started, waited, freed.
+func persistent(c *mpi.Comm, buf []byte) error {
+	pr, err := c.SendInit(buf, 0, 0)
+	if err != nil {
+		return err
+	}
+	if err := pr.Start(); err != nil {
+		return err
+	}
+	_, err = pr.Wait()
+	return err
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+	"gompi/internal/lint/flow"
+)
+
+// transferRule recognizes one ownership-transfer (or free) call. When call
+// matches, it returns the identifier whose variable the call consumes and a
+// past-tense description ("handed to btl.Endpoint.Send", "freed by
+// Comm.Free") used in diagnostics; otherwise it returns (nil, "").
+type transferRule func(pass *analysis.Pass, call *ast.CallExpr) (*ast.Ident, string)
+
+// released records one consumed variable.
+type released struct {
+	verb string
+	pos  token.Pos
+}
+
+// ownState is the walker state: the set of local variables whose ownership
+// has been transferred on some path reaching this point.
+type ownState map[*types.Var]released
+
+// runTransferAnalysis walks every function with a may-transferred variable
+// set: a matched rule kills the argument variable, a later read of a killed
+// variable is reported, a second matched call on a killed variable is
+// reported as a duplicate release, and any assignment to the variable
+// resurrects it. Function literals are walked independently with an empty
+// state; reads of outer killed variables captured by a literal are still
+// reported at the capture site.
+func runTransferAnalysis(pass *analysis.Pass, rules []transferRule) {
+	ops := flow.Ops[ownState]{
+		Clone: func(st ownState) ownState {
+			out := make(ownState, len(st))
+			for k, v := range st {
+				out[k] = v
+			}
+			return out
+		},
+		Merge: func(a, b ownState) ownState {
+			for k, v := range b {
+				if _, ok := a[k]; !ok {
+					a[k] = v
+				}
+			}
+			return a
+		},
+		Exec: func(n ast.Node, deferred bool, st ownState) ownState {
+			return execTransfer(pass, rules, n, deferred, st)
+		},
+	}
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		flow.Walk(body, ops, make(ownState))
+	})
+}
+
+func execTransfer(pass *analysis.Pass, rules []transferRule, n ast.Node, deferred bool, st ownState) ownState {
+	// Pass 1: find the transfers this node performs, so their argument
+	// identifiers are not reported as uses of the variables they kill.
+	type kill struct {
+		id   *ast.Ident
+		v    *types.Var
+		verb string
+	}
+	var kills []kill
+	killIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false // literal bodies transfer on their own timeline
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, rule := range rules {
+			if id, verb := rule(pass, call); id != nil {
+				if v := localVarOf(pass.TypesInfo, id); v != nil {
+					kills = append(kills, kill{id, v, verb})
+					killIdents[id] = true
+				}
+				break
+			}
+		}
+		return true
+	})
+
+	// Pass 2: report reads of already-killed variables, including captures
+	// inside function literals. Identifiers being written (assignment LHS)
+	// and the arguments of this node's own transfers are exempt.
+	writes := writtenIdents(n)
+	ast.Inspect(n, func(sub ast.Node) bool {
+		id, ok := sub.(*ast.Ident)
+		if !ok || killIdents[id] || writes[id] {
+			return true
+		}
+		v := localVarOf(pass.TypesInfo, id)
+		if v == nil {
+			return true
+		}
+		if rel, dead := st[v]; dead {
+			pass.Reportf(id.Pos(), "use of %s after it was %s (line %d)",
+				id.Name, rel.verb, pass.Fset.Position(rel.pos).Line)
+			delete(st, v) // one report per variable per path
+		}
+		return true
+	})
+
+	// Pass 3: duplicate releases, then apply kills and resurrections.
+	for _, k := range kills {
+		if rel, dead := st[k.v]; dead {
+			pass.Reportf(k.id.Pos(), "%s released twice: already %s (line %d)",
+				k.id.Name, rel.verb, pass.Fset.Position(rel.pos).Line)
+		}
+	}
+	for id := range writes {
+		if v := localVarOf(pass.TypesInfo, id); v != nil {
+			delete(st, v)
+		}
+	}
+	for _, k := range kills {
+		if !deferred {
+			st[k.v] = released{verb: k.verb, pos: k.id.Pos()}
+		}
+	}
+	return st
+}
+
+// writtenIdents collects identifiers that n assigns to (plain assignment,
+// short declaration, range clause), which count as redefinitions rather
+// than uses.
+func writtenIdents(n ast.Node) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			out[id] = true
+		}
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch s := sub.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				add(lhs)
+			}
+		case *ast.RangeStmt:
+			add(s.Key)
+			add(s.Value)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,143 @@
+// Package lint hosts the gompilint analyzer suite: compiler-checked
+// encodings of the invariants DESIGN.md states in prose — MPI handle
+// lifecycles, packet-arena ownership, and lock ordering. The analyzers are
+// built on the in-repo internal/lint/analysis framework (a stdlib-only
+// miniature of golang.org/x/tools/go/analysis) and are run by
+// cmd/gompilint.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+)
+
+// calleeOf resolves the static callee of a call expression: a declared
+// function or method, nil for calls through function values, built-ins, and
+// type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of the package declaring fn, or "".
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvVarOf returns the *types.Var of the receiver expression when the call
+// is a plain `ident.Method(...)` or `sel.field.Method(...)` whose base is a
+// simple identifier; nil otherwise. The returned ident is the variable being
+// used as the receiver.
+func recvIdentOf(call *ast.CallExpr) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return id
+}
+
+// localVarOf maps an identifier to the local variable it names: a
+// *types.Var that is neither a struct field nor a package-level variable.
+// Returns nil for anything else.
+func localVarOf(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == nil || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return nil // package-level or receiver of an interface method
+	}
+	return v
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedIs reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func namedIs(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// lookupType finds a named type exported by an import of pkg, so analyzers
+// can reference contract types (btl.Endpoint, ...) without the lint package
+// importing them. Returns nil when pkg does not (transitively) import it.
+func lookupType(pkg *types.Package, path, name string) types.Type {
+	for _, imp := range allImports(pkg, map[*types.Package]bool{}) {
+		if imp.Path() == path {
+			if obj := imp.Scope().Lookup(name); obj != nil {
+				return obj.Type()
+			}
+		}
+	}
+	return nil
+}
+
+func allImports(pkg *types.Package, seen map[*types.Package]bool) []*types.Package {
+	var out []*types.Package
+	for _, imp := range pkg.Imports() {
+		if seen[imp] {
+			continue
+		}
+		seen[imp] = true
+		out = append(out, imp)
+		out = append(out, allImports(imp, seen)...)
+	}
+	return out
+}
+
+// funcBodies invokes fn for every function declaration and function literal
+// in the package, passing the enclosing declaration's name for messages.
+// Function literals are walked as independent functions: analyzers that
+// track state do not let it flow into or out of a literal.
+func funcBodies(pass *analysis.Pass, fn func(name string, body *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd.Name.Name+".func", lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -15,7 +15,7 @@ type Client struct {
 	server *Server
 	proc   Proc
 
-	mu        sync.Mutex
+	mu        sync.Mutex //gompilint:lockorder rank=24
 	staged    map[string][]byte
 	finalized bool
 	handlers  []eventHandler

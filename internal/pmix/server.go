@@ -19,7 +19,7 @@ type Server struct {
 	job    prrte.JobMap
 	nspace string
 
-	mu          sync.Mutex
+	mu          sync.Mutex //gompilint:lockorder rank=22
 	clients     map[int]*Client
 	published   map[int]map[string][]byte // committed per local rank
 	remoteCache map[string][]byte         // "modex/<rank>/<key>" -> value
@@ -34,7 +34,7 @@ type Server struct {
 	// workMu serializes modeled server-side processing: real PMIx servers
 	// handle local client requests one at a time, which is why collective
 	// runtime operations scale with the number of local participants.
-	workMu sync.Mutex
+	workMu sync.Mutex //gompilint:lockorder rank=20
 }
 
 // work charges d of serialized server processing time.

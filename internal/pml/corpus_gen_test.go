@@ -1,0 +1,55 @@
+package pml
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFuzzSeedCorpus rewrites the committed seed corpus under
+// testdata/fuzz from validPackets(). It is a maintenance tool, not a
+// check: it only runs when PML_REGEN_CORPUS=1, so adding a wire shape to
+// validPackets() and re-running it keeps the corpus in sync.
+func TestRegenerateFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("PML_REGEN_CORPUS") != "1" {
+		t.Skip("set PML_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+
+	envDir := filepath.Join("testdata", "fuzz", "FuzzDecodeEnvelope")
+	if err := os.MkdirAll(envDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(dir, name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("go test fuzz v1\n"+body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range validPackets() {
+		write(envDir, fmt.Sprintf("valid-%02d", i), fmt.Sprintf("[]byte(%q)\n", p))
+	}
+	// Degenerate shapes: empty, lone type byte, unknown type, and a
+	// max-length fast header with trailing junk.
+	write(envDir, "empty", "[]byte(\"\")\n")
+	write(envDir, "lone-type", fmt.Sprintf("[]byte(%q)\n", []byte{hdrMatch}))
+	write(envDir, "unknown-type", fmt.Sprintf("[]byte(%q)\n", []byte{200, 0, 0, 0}))
+	junk := make([]byte, matchHeaderLen+7)
+	putMatchHeader(junk, matchHeader{typ: hdrMatch, flags: 0xFF, ctx: 0xFFFF, src: 1, tag: -1, seq: 0xFFFF})
+	write(envDir, "flag-junk", fmt.Sprintf("[]byte(%q)\n", junk))
+
+	hdrDir := filepath.Join("testdata", "fuzz", "FuzzMatchHeaderRoundTrip")
+	if err := os.MkdirAll(hdrDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	hdrs := []matchHeader{
+		{typ: hdrMatch, ctx: 3, src: 1, tag: 7, seq: 9},
+		{typ: hdrRTS, flags: flagExt, src: 2, tag: -4, seq: 1},
+		{typ: hdrCIDAck, ctx: 0xFFFF, src: ^uint32(0), tag: -1 << 31, seq: 0xFFFF},
+	}
+	for i, h := range hdrs {
+		body := fmt.Sprintf("uint8(%d)\nuint8(%d)\nuint16(%d)\nuint32(%d)\nint32(%d)\nuint16(%d)\n",
+			h.typ, h.flags, h.ctx, h.src, h.tag, h.seq)
+		write(hdrDir, fmt.Sprintf("hdr-%02d", i), body)
+	}
+}

@@ -95,7 +95,7 @@ type Engine struct {
 	// packet path reads them without taking regMu; writers (and the
 	// lookup-miss path that buffers orphans) serialize on regMu, which
 	// closes the "packet races AddChannel" window.
-	regMu     sync.Mutex
+	regMu     sync.Mutex //gompilint:lockorder rank=40
 	comms     sync.Map            // uint16 -> *Channel
 	byEx      sync.Map            // ExCID -> *Channel
 	orphans   map[uint16][][]byte // fast-path packets for not-yet-registered CIDs
@@ -107,7 +107,7 @@ type Engine struct {
 
 	// pendMu guards the rendezvous maps: sends awaiting CTS and receives
 	// awaiting DATA.
-	pendMu   sync.Mutex
+	pendMu   sync.Mutex //gompilint:lockorder rank=42
 	pendSend map[uint64]*pendingSend
 	pendRecv map[uint64]*postedRecv
 
@@ -118,7 +118,7 @@ type Engine struct {
 
 	// legacyMu/legacyCond are the engine-wide lock and condvar shared by
 	// every channel when Config.Matcher selects the legacy engine.
-	legacyMu   sync.Mutex
+	legacyMu   sync.Mutex //gompilint:lockorder rank=44
 	legacyCond *sync.Cond
 
 	st engineStats
@@ -197,7 +197,7 @@ type Channel struct {
 	myRank   int
 	ranks    []int // comm rank -> global rank; immutable
 
-	lock    *sync.Mutex
+	lock    *sync.Mutex //gompilint:lockorder rank=44
 	cond    *sync.Cond
 	removed bool
 	peers   []peerState

@@ -34,11 +34,17 @@ func (e *Engine) getBuf(n int) []byte {
 	}
 	switch {
 	case n <= bufClassSmall:
-		return bufPoolSmall.Get().(*[bufClassSmall]byte)[:n]
+		p := bufPoolSmall.Get().(*[bufClassSmall]byte)
+		guardCheckout(p)
+		return p[:n]
 	case n <= bufClassMed:
-		return bufPoolMed.Get().(*[bufClassMed]byte)[:n]
+		p := bufPoolMed.Get().(*[bufClassMed]byte)
+		guardCheckout(p)
+		return p[:n]
 	default:
-		return bufPoolLarge.Get().(*[bufClassLarge]byte)[:n]
+		p := bufPoolLarge.Get().(*[bufClassLarge]byte)
+		guardCheckout(p)
+		return p[:n]
 	}
 }
 
@@ -52,11 +58,17 @@ func (e *Engine) putBuf(b []byte) {
 	b = b[:cap(b)]
 	switch len(b) {
 	case bufClassSmall:
-		bufPoolSmall.Put((*[bufClassSmall]byte)(b))
+		p := (*[bufClassSmall]byte)(b)
+		guardRecycle(p, b)
+		bufPoolSmall.Put(p)
 	case bufClassMed:
-		bufPoolMed.Put((*[bufClassMed]byte)(b))
+		p := (*[bufClassMed]byte)(b)
+		guardRecycle(p, b)
+		bufPoolMed.Put(p)
 	case bufClassLarge:
-		bufPoolLarge.Put((*[bufClassLarge]byte)(b))
+		p := (*[bufClassLarge]byte)(b)
+		guardRecycle(p, b)
+		bufPoolLarge.Put(p)
 	}
 }
 

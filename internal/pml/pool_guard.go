@@ -1,0 +1,43 @@
+//go:build debug
+
+package pml
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Debug-build arena guard (enabled with -tags debug). Every class-pool
+// buffer is tracked by its array pointer: recycling a buffer that is
+// already in the pool panics immediately instead of corrupting two
+// future owners, and every recycled buffer is filled with poolPoison so
+// a stale reader observes garbage (and, under -race, a write/read race)
+// rather than silently reading the next owner's packet.
+const poolPoison = 0xDB
+
+var (
+	guardMu     sync.Mutex
+	guardInPool = map[any]bool{}
+)
+
+// guardCheckout marks p as owned by a caller again.
+func guardCheckout(p any) {
+	guardMu.Lock()
+	delete(guardInPool, p)
+	guardMu.Unlock()
+}
+
+// guardRecycle poisons b and marks p as pooled, panicking on a double
+// recycle.
+func guardRecycle(p any, b []byte) {
+	guardMu.Lock()
+	if guardInPool[p] {
+		guardMu.Unlock()
+		panic(fmt.Sprintf("pml: arena buffer %p recycled twice (double putBuf)", p))
+	}
+	guardInPool[p] = true
+	guardMu.Unlock()
+	for i := range b {
+		b[i] = poolPoison
+	}
+}

@@ -1,0 +1,47 @@
+//go:build debug
+
+package pml
+
+import "testing"
+
+// These tests only exist in the -tags debug build, where the arena
+// guard (pool_guard.go) tracks buffer ownership and poisons recycled
+// packets. Run them under the race detector:
+//
+//	go test -race -tags debug -run TestPoolGuard ./internal/pml
+func TestPoolGuardDoublePut(t *testing.T) {
+	e := &Engine{}
+	b := e.getBuf(bufClassSmall)
+	e.putBuf(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double putBuf of the same arena buffer did not panic")
+		}
+	}()
+	e.putBuf(b)
+}
+
+func TestPoolGuardPoisonOnRecycle(t *testing.T) {
+	e := &Engine{}
+	b := e.getBuf(bufClassMed)
+	for i := range b {
+		b[i] = 0xAA
+	}
+	e.putBuf(b)
+	// A use-after-Put reader must see poison, never its stale payload.
+	for i, c := range b {
+		if c != poolPoison {
+			t.Fatalf("byte %d = %#x after recycle, want poison %#x", i, c, poolPoison)
+		}
+	}
+}
+
+func TestPoolGuardReuseAfterCheckout(t *testing.T) {
+	e := &Engine{}
+	b := e.getBuf(bufClassSmall)
+	e.putBuf(b)
+	// A legitimate checkout clears the in-pool mark, so the next recycle
+	// of the same backing array is fine.
+	c := e.getBuf(bufClassSmall)
+	e.putBuf(c)
+}

@@ -154,11 +154,11 @@ type Daemon struct {
 	node int
 	ep   *simnet.Endpoint
 
-	mu  sync.Mutex
+	mu  sync.Mutex //gompilint:lockorder rank=12
 	ops map[string]*pendingOp
 
 	handler   ServerHandler
-	handlerMu sync.RWMutex
+	handlerMu sync.RWMutex //gompilint:lockorder rank=10
 }
 
 // Node returns the node index this daemon manages.
@@ -568,7 +568,7 @@ type DVM struct {
 	daemons    []*Daemon
 	masterNode int
 
-	mu            sync.Mutex
+	mu            sync.Mutex //gompilint:lockorder rank=14
 	nextPGCID     uint64
 	psets         map[string][]int
 	published     map[string][]byte

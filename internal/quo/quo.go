@@ -114,7 +114,7 @@ func finishCreate(p *mpi.Process, sess *mpi.Session, comm *mpi.Comm, mode Barrie
 	nodeID := nodeOf(p)
 	node, err := comm.Split(nodeID, comm.Rank())
 	if err != nil {
-		comm.Free()
+		_ = comm.Free()
 		if sess != nil {
 			_ = sess.Finalize()
 		}
