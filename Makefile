@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build lint test test-race pool-guard fuzz-smoke bench bench-smoke bench-pml figures
+.PHONY: check vet build lint test test-race chaos pool-guard fuzz-smoke bench bench-smoke bench-pml figures
 
 # check is the repo's verification gate: vet, build, the gompilint suite,
 # the full test suite under the race detector, the debug-build arena
@@ -18,6 +18,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# chaos runs the seeded fault-injection matrix (DESIGN.md §7): simnet
+# fault-plan unit tests, control-plane retry under drops/partitions, PML
+# recovery from duplicated/reordered packets, and MPI-level peer death.
+# Deterministic seeds — a failure here is a bug, not flakiness.
+chaos:
+	$(GO) test -race -run Chaos ./internal/simnet ./internal/prrte ./internal/pmix ./internal/pml ./mpi
 
 # lint runs the project's own go/analysis suite (DESIGN.md §6a): request
 # leaks, pool ownership, lock order, handle lifecycle, discarded MPI errors.

@@ -93,7 +93,7 @@ collect:
 	}
 	sort.Ints(final)
 
-	pgcid, err := c.server.daemon.AllocPGCID(name, final)
+	pgcid, err := c.server.daemon.AllocPGCID(name, final, timeout)
 	if err != nil {
 		return GroupResult{}, nil, err
 	}

@@ -1,0 +1,140 @@
+package pmix
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/simnet"
+)
+
+func chaosEnv(t *testing.T, nodes, ppn int) *env {
+	t.Helper()
+	e := newEnv(t, nodes, ppn)
+	t.Cleanup(func() {
+		e.dvm.Fabric().SetFaultPlan(nil)
+		e.dvm.Fabric().Heal()
+	})
+	return e
+}
+
+// A collect-fence across four nodes with a lossy, laggy control plane: the
+// daemon-level retries (Want re-offers, RPC reissues) must absorb the
+// faults and still deliver every rank's published data everywhere.
+func TestChaosFenceSurvivesLossyControlPlane(t *testing.T) {
+	e := chaosEnv(t, 4, 1)
+	for r, c := range e.clients {
+		c.Put("addr", []byte{byte(r)})
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{
+		Seed:    21,
+		Classes: simnet.FaultCtrl,
+		Drop:    0.25,
+		Delay:   0.3, DelayBy: 300 * time.Microsecond,
+	})
+
+	ranks := allRanks(e.job.NP)
+	var wg sync.WaitGroup
+	errs := make([]error, e.job.NP)
+	for r := range e.clients {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = e.clients[r].Fence(ranks, true, 10*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("fence rank %d: %v", r, err)
+		}
+	}
+	e.dvm.Fabric().SetFaultPlan(nil)
+	// Collected data must be complete despite the dropped contributions.
+	for r := range e.clients {
+		for p := 0; p < e.job.NP; p++ {
+			v, err := e.clients[r].Get(p, "addr", time.Second)
+			if err != nil || len(v) != 1 || v[0] != byte(p) {
+				t.Fatalf("rank %d get addr of %d: %v err=%v", r, p, v, err)
+			}
+		}
+	}
+	if s := e.dvm.Fabric().FaultStats(); s.Dropped == 0 || s.Delayed == 0 {
+		t.Fatalf("fault plan never engaged: %+v", s)
+	}
+}
+
+// Group construct with PGCID assignment under control-plane drops: the
+// three-stage construct spans the daemon all-to-all AND the PGCID RPC to
+// the master, both of which must retry through the losses.
+func TestChaosGroupConstructSurvivesDrops(t *testing.T) {
+	e := chaosEnv(t, 2, 2)
+	e.dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{Seed: 5, Classes: simnet.FaultCtrl, Drop: 0.25})
+
+	ranks := allRanks(e.job.NP)
+	var wg sync.WaitGroup
+	res := make([]GroupResult, e.job.NP)
+	errs := make([]error, e.job.NP)
+	for r := range e.clients {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res[r], errs[r] = e.clients[r].GroupConstruct("chaos-grp", ranks, GroupOpts{AssignContextID: true, Timeout: 10 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("construct rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < e.job.NP; r++ {
+		if res[r].PGCID == 0 || res[r].PGCID != res[0].PGCID {
+			t.Fatalf("PGCID rank %d = %d, rank 0 = %d", r, res[r].PGCID, res[0].PGCID)
+		}
+	}
+}
+
+// A partition between the two nodes degrades a fence into ErrTimeout on
+// both sides; after Heal the same participants fence successfully — the
+// timed-out attempt must not have poisoned the collective state.
+func TestChaosFencePartitionTimeoutThenHeal(t *testing.T) {
+	e := chaosEnv(t, 2, 1)
+	e.dvm.Fabric().Partition([]int{0}, []int{1})
+
+	ranks := []int{0, 1}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = e.clients[r].Fence(ranks, false, 400*time.Millisecond)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("fence rank %d across partition err = %v, want ErrTimeout", r, err)
+		}
+	}
+
+	e.dvm.Fabric().Heal()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = e.clients[r].Fence(ranks, false, 10*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("fence rank %d after heal: %v", r, err)
+		}
+	}
+}

@@ -110,7 +110,7 @@ func (c *Client) Fence(ranks []int, collect bool, timeout time.Duration) error {
 	c.server.daemon.Fabric().RPCDelay()
 	key := setKey(ranks)
 	opKey := fmt.Sprintf("fence/%s/%d", key, c.nextSeq("fence", key))
-	return c.server.fence(c.proc.Rank, ranks, opKey, collect, timeout)
+	return c.server.fence(c.proc.Rank, ranks, opKey, seqKeyFor(c.proc.Rank, "fence", key), collect, timeout)
 }
 
 // GroupResult describes a constructed PMIx group.
@@ -159,7 +159,7 @@ func (c *Client) GroupConstruct(name string, ranks []int, opts GroupOpts) (Group
 		leaderAlloc = name
 	}
 	prof := c.server.profile()
-	_, pgcid, err := c.server.collective(opKey, c.proc.Rank, ranks, nil, leaderAlloc, prof.GroupClientWork, prof.GroupNodeWork, opts.Timeout)
+	_, pgcid, err := c.server.collective(opKey, seqKeyFor(c.proc.Rank, "grp/"+name, key), c.proc.Rank, ranks, nil, leaderAlloc, prof.GroupClientWork, prof.GroupNodeWork, opts.Timeout)
 	if err != nil {
 		return GroupResult{}, err
 	}
@@ -186,7 +186,7 @@ func (c *Client) GroupDestruct(name string, ranks []int, timeout time.Duration) 
 	key := setKey(ranks)
 	opKey := fmt.Sprintf("grpdes/%s/%s/%d", name, key, c.nextSeq("grpdes/"+name, key))
 	prof := c.server.profile()
-	_, _, err := c.server.collective(opKey, c.proc.Rank, ranks, nil, "", prof.GroupClientWork, prof.GroupNodeWork, timeout)
+	_, _, err := c.server.collective(opKey, seqKeyFor(c.proc.Rank, "grpdes/"+name, key), c.proc.Rank, ranks, nil, "", prof.GroupClientWork, prof.GroupNodeWork, timeout)
 	if err != nil {
 		return err
 	}

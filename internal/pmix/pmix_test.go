@@ -330,6 +330,31 @@ func TestGroupConstructTimeout(t *testing.T) {
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
+
+	// Regression: the timed-out attempt must not poison a later construct of
+	// the same group. Before the withdraw-and-rollback fix, rank 0's stale
+	// contribution and advanced sequence counter split the ranks across two
+	// operation keys: rank 1 completed against the stale contribution while
+	// rank 0 waited forever on a fresh key.
+	var wg sync.WaitGroup
+	res := make([]GroupResult, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res[r], errs[r] = e.clients[r].GroupConstruct("never", []int{0, 1}, GroupOpts{AssignContextID: true, Timeout: 5 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if errs[r] != nil {
+			t.Fatalf("re-run construct rank %d: %v", r, errs[r])
+		}
+	}
+	if res[0].PGCID == 0 || res[0].PGCID != res[1].PGCID {
+		t.Fatalf("re-run PGCIDs: %d vs %d", res[0].PGCID, res[1].PGCID)
+	}
 }
 
 func TestGroupDestructRemovesPset(t *testing.T) {

@@ -3,6 +3,7 @@ package pmix
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -202,12 +203,18 @@ func (s *Server) dispatchEvents() {
 	}
 }
 
+// seqKeyFor composes the per-rank collective counter key; collective takes
+// it alongside opKey so an aborted operation can return its number.
+func seqKeyFor(rank int, kind, set string) string {
+	return fmt.Sprintf("%d|%s|%s", rank, kind, set)
+}
+
 // nextSeqFor hands out rank-scoped collective sequence numbers; see
 // Client.nextSeq for the consistency argument.
 func (s *Server) nextSeqFor(rank int, kind, set string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	k := fmt.Sprintf("%d|%s|%s", rank, kind, set)
+	k := seqKeyFor(rank, kind, set)
 	s.seqs[k]++
 	return s.seqs[k]
 }
@@ -276,7 +283,14 @@ func (s *Server) get(rank int, key string, timeout time.Duration) ([]byte, error
 // participant rank's contribution. ranks lists all participants.
 // clientWork is the modeled serialized server cost per local arrival;
 // nodeWork per remote node contribution processed by the executor.
-func (s *Server) collective(opKey string, rank int, ranks []int, contrib []byte, leaderAlloc string, clientWork, nodeWork time.Duration, timeout time.Duration) (map[int][]byte, uint64, error) {
+//
+// seqKey is the rank's counter key from seqKeyFor ("" = no counter). When
+// the rank times out at stage 3 before anyone executed the operation, its
+// contribution is withdrawn and the sequence number returned: the op never
+// consumed either, and keeping them would poison the next collective over
+// the same set — the retrying rank would wait under a fresh opKey while the
+// stale contribution completes the old one for everyone else.
+func (s *Server) collective(opKey, seqKey string, rank int, ranks []int, contrib []byte, leaderAlloc string, clientWork, nodeWork time.Duration, timeout time.Duration) (map[int][]byte, uint64, error) {
 	s.work(clientWork)
 	nodes := participantNodes(ranks, s.job.NodeOf)
 	needLocal := 0
@@ -317,6 +331,17 @@ func (s *Server) collective(opKey string, rank int, ranks []int, contrib []byte,
 		select {
 		case <-op.done:
 		case <-timer.C:
+			s.mu.Lock()
+			if s.colls[opKey] == op && !op.executed {
+				delete(op.contribs, rank)
+				if len(op.contribs) == 0 {
+					delete(s.colls, opKey)
+				}
+				if seqKey != "" && s.seqs[seqKey] > 0 {
+					s.seqs[seqKey]--
+				}
+			}
+			s.mu.Unlock()
 			return nil, 0, fmt.Errorf("pmix: collective %q: %w", opKey, ErrTimeout)
 		}
 	} else {
@@ -336,7 +361,7 @@ func (s *Server) executeCollective(opKey string, op *collOp, nodes []int, leader
 	// exchange so it can ride along with the leader's contribution.
 	var pgcid uint64
 	if leaderAlloc != "" && nodes[0] == s.Node() {
-		id, err := s.daemon.AllocPGCID(leaderAlloc, ranks)
+		id, err := s.daemon.AllocPGCID(leaderAlloc, ranks, timeout)
 		if err != nil {
 			op.err = err
 			return
@@ -355,6 +380,11 @@ func (s *Server) executeCollective(opKey string, op *collOp, nodes []int, leader
 	contribution := encodeNodeBlob(local)
 	results, err := s.daemon.Exchange(opKey, nodes, contribution, timeout)
 	if err != nil {
+		// Normalize runtime-level timeouts so callers checking pmix.ErrTimeout
+		// see one error class; the prrte chain stays inspectable.
+		if errors.Is(err, prrte.ErrTimeout) {
+			err = fmt.Errorf("pmix: collective %q: %w (%w)", opKey, ErrTimeout, err)
+		}
 		op.err = err
 		return
 	}
@@ -402,7 +432,7 @@ func decodeNodeBlob(data []byte) (nodeBlob, error) {
 // fence implements PMIx_Fence for one local participant. With collect set,
 // every participant's committed data is exchanged and cached so later Gets
 // are local.
-func (s *Server) fence(rank int, ranks []int, opKey string, collect bool, timeout time.Duration) error {
+func (s *Server) fence(rank int, ranks []int, opKey, seqKey string, collect bool, timeout time.Duration) error {
 	var contrib []byte
 	if collect {
 		s.mu.Lock()
@@ -415,7 +445,7 @@ func (s *Server) fence(rank int, ranks []int, opKey string, collect bool, timeou
 		contrib = encodeKV(cp)
 	}
 	prof := s.profile()
-	result, _, err := s.collective(opKey, rank, ranks, contrib, "", prof.FenceClientWork, prof.FenceNodeWork, timeout)
+	result, _, err := s.collective(opKey, seqKey, rank, ranks, contrib, "", prof.FenceClientWork, prof.FenceNodeWork, timeout)
 	if err != nil {
 		return err
 	}
@@ -478,5 +508,5 @@ func (s *Server) abort(rank int) {
 
 // queryPsets returns the runtime's pset registry.
 func (s *Server) queryPsets() (map[string][]int, error) {
-	return s.daemon.QueryPsets()
+	return s.daemon.QueryPsets(0)
 }

@@ -49,6 +49,12 @@ type Stats struct {
 	// workload's receivers are winning.
 	PostedHits     uint64
 	UnexpectedHits uint64
+	// DupsDropped counts inbound match/RTS frames discarded because their
+	// sequence number was already delivered (a duplicated wire packet);
+	// ReorderStashed counts frames that arrived ahead of a gap and were
+	// parked until the missing sequence numbers filled in.
+	DupsDropped    uint64
+	ReorderStashed uint64
 }
 
 // engineStats is the internal, atomically-updated form of Stats: counters
@@ -62,6 +68,8 @@ type engineStats struct {
 	rendezvous     atomic.Uint64
 	postedHits     atomic.Uint64
 	unexpectedHits atomic.Uint64
+	dupsDropped    atomic.Uint64
+	reorderStashed atomic.Uint64
 }
 
 // Engine is one process's ob1-style messaging engine. It performs MPI tag
@@ -182,6 +190,15 @@ type peerState struct {
 	remoteCID uint16 // peer's local CID for this comm, learned from its ACK
 	haveACK   bool   // we received the peer's ACK: fast path usable
 	ackSent   bool   // we already acknowledged the peer's first ext message
+
+	// recvSeq is the next inbound match/RTS sequence number expected from
+	// this peer; stash parks frames that arrived ahead of a gap, keyed by
+	// their sequence number, until the missing frames fill it. Together
+	// they make matching immune to duplicated and reordered wire packets
+	// (sequence comparison uses serial-number arithmetic, so the uint16
+	// space wraps cleanly).
+	recvSeq uint16
+	stash   map[uint16]*inbound
 }
 
 // Channel is the PML view of one communicator: a local CID, an optional
@@ -200,8 +217,13 @@ type Channel struct {
 	lock    *sync.Mutex //gompilint:lockorder rank=44
 	cond    *sync.Cond
 	removed bool
-	peers   []peerState
-	m       matcher
+	// deadMember is set by FailPeer when any rank of this channel dies.
+	// Internal (negative-tag) receives posted afterwards fail fast with
+	// ErrPeerFailed: a collective on a communicator with a failed member
+	// can hang on live peers that already bailed out, so it must not start.
+	deadMember bool
+	peers      []peerState
+	m          matcher
 }
 
 // NewEngine creates an engine over the given BTL modules, listed in MCA
@@ -247,6 +269,8 @@ func (e *Engine) Stats() Stats {
 		Rendezvous:     e.st.rendezvous.Load(),
 		PostedHits:     e.st.postedHits.Load(),
 		UnexpectedHits: e.st.unexpectedHits.Load(),
+		DupsDropped:    e.st.dupsDropped.Load(),
+		ReorderStashed: e.st.reorderStashed.Load(),
 	}
 }
 
@@ -285,6 +309,7 @@ func (e *Engine) Close() {
 		ch.lock.Lock()
 		posted := ch.m.takeAllPosted()
 		unex := ch.m.takeAllUnexpected()
+		unex = append(unex, ch.drainStashLocked()...)
 		ch.cond.Broadcast()
 		ch.lock.Unlock()
 		for _, pr := range posted {
@@ -321,8 +346,14 @@ func (e *Engine) Close() {
 
 // FailPeer reacts to a runtime process-failure notification: every posted
 // receive naming the dead process as its specific source fails with
-// ErrPeerFailed, as do rendezvous operations pending toward it. Wildcard
-// receives are left posted — they may still match other senders.
+// ErrPeerFailed, as do rendezvous operations pending in either direction —
+// sends awaiting the dead peer's CTS and receives whose CTS went out but
+// whose DATA will never arrive. Wildcard application receives are left
+// posted — they may still match other senders. On every channel containing
+// the dead rank, internal (negative-tag) receives are failed regardless of
+// source and the channel is poisoned for future internal receives: a
+// collective's dependency graph reaches the dead rank transitively, so
+// waiting on a live peer that itself bailed out would hang forever.
 func (e *Engine) FailPeer(globalRank int) {
 	if _, loaded := e.failedPeers.LoadOrStore(globalRank, struct{}{}); !loaded {
 		e.failedCount.Add(1)
@@ -342,7 +373,10 @@ func (e *Engine) FailPeer(globalRank int) {
 			return true
 		}
 		ch.lock.Lock()
+		ch.deadMember = true
 		prs := ch.m.takePostedBySrc(commRank)
+		prs = append(prs, ch.m.takePostedInternal()...)
+		ch.cond.Broadcast() // wake probes so they re-check state
 		ch.lock.Unlock()
 		for _, pr := range prs {
 			victims = append(victims, pr.req)
@@ -357,6 +391,18 @@ func (e *Engine) FailPeer(globalRank int) {
 			delete(e.pendSend, id)
 		}
 	}
+	for id, pr := range e.pendRecv {
+		// resSrc is the matched sender's comm rank, fixed when the CTS was
+		// issued. The receive hangs if that sender died — or, for internal
+		// tags, if any member of the channel died (the sender may never
+		// reach its DATA send).
+		dead := pr.resSrc >= 0 && pr.resSrc < len(pr.ch.ranks) && pr.ch.ranks[pr.resSrc] == globalRank
+		if dead || (pr.resTag < 0 && channelHasRank(pr.ch, globalRank)) {
+			victims = append(victims, pr.req)
+			frees = append(frees, pr)
+			delete(e.pendRecv, id)
+		}
+	}
 	e.pendMu.Unlock()
 	err := fmt.Errorf("%w: rank %d", ErrPeerFailed, globalRank)
 	for _, r := range victims {
@@ -365,6 +411,15 @@ func (e *Engine) FailPeer(globalRank int) {
 	for _, pr := range frees {
 		e.freePostedRecv(pr)
 	}
+}
+
+func channelHasRank(ch *Channel, globalRank int) bool {
+	for _, r := range ch.ranks {
+		if r == globalRank {
+			return true
+		}
+	}
+	return false
 }
 
 // AllocCID returns the lowest unused local CID at or above min, reserving
@@ -502,6 +557,7 @@ func (e *Engine) RemoveChannel(ch *Channel) {
 	ch.removed = true
 	posted := ch.m.takeAllPosted()
 	unex := ch.m.takeAllUnexpected()
+	unex = append(unex, ch.drainStashLocked()...)
 	ch.cond.Broadcast()
 	ch.lock.Unlock()
 	for _, m := range unex {
@@ -512,6 +568,20 @@ func (e *Engine) RemoveChannel(ch *Channel) {
 		pr.req.complete(Status{}, ErrClosed)
 		e.freePostedRecv(pr)
 	}
+}
+
+// drainStashLocked empties every peer's out-of-order stash for teardown.
+// Caller holds the channel lock. Stashed RTS records have a nil raw, which
+// putBuf treats as a no-op, so the caller can recycle uniformly.
+func (ch *Channel) drainStashLocked() []*inbound {
+	var out []*inbound
+	for i := range ch.peers {
+		for _, m := range ch.peers[i].stash {
+			out = append(out, m)
+		}
+		ch.peers[i].stash = nil
+	}
+	return out
 }
 
 // LocalCID returns the channel's local communicator ID.
@@ -677,6 +747,7 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	// goroutine, and the receiver's handler (or our own, on a self-send)
 	// may send replies that re-enter the engine.
 	if err := rt.ep.Send(pkt); err != nil {
+		err = e.wrapSendErr(destGlobal, err)
 		if !eager {
 			e.pendMu.Lock()
 			delete(e.pendSend, reqID)
@@ -749,6 +820,14 @@ func (ch *Channel) Irecv(src, tag int, buf []byte) *Request {
 			e.freePostedRecv(pr)
 			return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, ch.ranks[src]))
 		}
+		if ch.deadMember && tag < 0 && tag != AnyTag {
+			// A collective must not start (or continue) on a communicator
+			// with a failed member: its dependency graph includes the dead
+			// rank, so this receive could hang on a live-but-bailed peer.
+			ch.lock.Unlock()
+			e.freePostedRecv(pr)
+			return completedRequest(Status{}, fmt.Errorf("%w: communicator has a failed member", ErrPeerFailed))
+		}
 		ch.m.pushPosted(pr)
 		ch.lock.Unlock()
 		return req
@@ -813,10 +892,24 @@ func (e *Engine) sendCTS(ch *Channel, senderGlobal int, sendReqID, recvID uint64
 		delete(e.pendRecv, recvID)
 		e.pendMu.Unlock()
 		if pr != nil {
-			pr.req.complete(Status{}, err)
+			pr.req.complete(Status{}, e.wrapSendErr(senderGlobal, err))
 			e.freePostedRecv(pr)
 		}
 	}
+}
+
+// wrapSendErr classifies a transport error for traffic toward a peer the
+// runtime has declared dead: the closed endpoint IS the peer failure, so
+// surface it as ErrPeerFailed rather than a generic transport error. Errors
+// toward live peers pass through unchanged.
+func (e *Engine) wrapSendErr(destGlobal int, err error) error {
+	if err == nil || errors.Is(err, ErrPeerFailed) {
+		return err
+	}
+	if e.peerFailed(destGlobal) {
+		return fmt.Errorf("%w: rank %d: %v", ErrPeerFailed, destGlobal, err)
+	}
+	return err
 }
 
 func probeStatus(msg *inbound) Status {
@@ -874,6 +967,7 @@ func (e *Engine) handlePacket(pkt []byte) {
 		delete(e.pendSend, env.cts.sendReqID)
 		e.pendMu.Unlock()
 		if ps == nil {
+			e.putBuf(pkt) // duplicate or stale CTS: the send already resolved
 			return
 		}
 		// Ship the payload tagged with the receiver's request ID.
@@ -887,7 +981,7 @@ func (e *Engine) handlePacket(pkt []byte) {
 			err = rt.ep.Send(data)
 		}
 		if err != nil {
-			ps.req.complete(Status{}, err)
+			ps.req.complete(Status{}, e.wrapSendErr(ps.destGlobal, err))
 			return
 		}
 		ps.req.complete(Status{Count: len(ps.payload)}, nil)
@@ -898,6 +992,7 @@ func (e *Engine) handlePacket(pkt []byte) {
 		delete(e.pendRecv, env.dataReqID)
 		e.pendMu.Unlock()
 		if pr == nil {
+			e.putBuf(pkt) // duplicate DATA or failed receive: nothing to fill
 			return
 		}
 		n := copy(pr.buf, env.payload)
@@ -993,18 +1088,66 @@ func (e *Engine) handleMatch(pkt []byte, env envelope) {
 			e.freeInbound(msg)
 			continue // channel torn down under us: redo the lookup
 		}
-		if env.hasExt {
-			ps := &ch.peers[hdr.src]
-			if !ps.ackSent {
-				ps.ackSent = true
-				needAck = true
-				ackTo = ch.ranks[hdr.src]
-			}
+		ps := &ch.peers[hdr.src]
+		if env.hasExt && !ps.ackSent {
+			ps.ackSent = true
+			needAck = true
+			ackTo = ch.ranks[hdr.src]
 		}
+
+		// Sequence screening: the sender stamps every match/RTS frame with a
+		// per-(channel, peer) sequence number. A frame behind the expected
+		// number — or equal to one already parked — is a duplicate and is
+		// dropped; a frame ahead of it is parked until the gap fills. This
+		// is what makes the matching path immune to duplicated or reordered
+		// first messages on an exCID channel (and everywhere else).
+		if d := int16(msg.seq - ps.recvSeq); d != 0 {
+			if d < 0 || ps.stash[msg.seq] != nil {
+				ch.lock.Unlock()
+				e.st.dupsDropped.Add(1)
+				msg.raw = nil
+				e.freeInbound(msg)
+				e.putBuf(pkt)
+			} else {
+				if ps.stash == nil {
+					ps.stash = make(map[uint16]*inbound)
+				}
+				ps.stash[msg.seq] = msg
+				ch.lock.Unlock()
+				e.st.reorderStashed.Add(1)
+				if hdr.typ == hdrRTS {
+					e.putBuf(pkt) // fully decoded into msg; the frame is done
+				}
+			}
+			if needAck {
+				e.sendChannelAck(ch, ackTo)
+			}
+			return
+		}
+
+		// In sequence: deliver, then drain any parked successors in order.
+		ps.recvSeq++
 		matched := ch.m.takePosted(msg.src, msg.tag)
 		if matched == nil {
 			ch.m.pushUnexpected(msg)
 			ch.cond.Broadcast()
+		}
+		var drained []*inbound
+		var drainedMatch []*postedRecv
+		for len(ps.stash) > 0 {
+			nxt, ok := ps.stash[ps.recvSeq]
+			if !ok {
+				break
+			}
+			delete(ps.stash, ps.recvSeq)
+			ps.recvSeq++
+			m2 := ch.m.takePosted(nxt.src, nxt.tag)
+			if m2 == nil {
+				ch.m.pushUnexpected(nxt)
+				ch.cond.Broadcast()
+			}
+			drained = append(drained, nxt)
+			drainedMatch = append(drainedMatch, m2)
 		}
 		ch.lock.Unlock()
 
@@ -1012,17 +1155,28 @@ func (e *Engine) handleMatch(pkt []byte, env envelope) {
 			e.st.postedHits.Add(1)
 			e.consume(matched, msg)
 		}
+		for i, m2 := range drainedMatch {
+			if m2 != nil {
+				e.st.postedHits.Add(1)
+				e.consume(m2, drained[i])
+			}
+		}
 		if hdr.typ == hdrRTS {
 			e.putBuf(pkt) // RTS is fully decoded into msg; the frame is done
 		}
 		if needAck {
-			e.st.acksSent.Add(1)
-			ack := e.buildCIDAck(ch)
-			if rt, err := e.routeTo(ackTo); err == nil {
-				_ = rt.ep.Send(ack)
-			}
+			e.sendChannelAck(ch, ackTo)
 		}
 		return
+	}
+}
+
+// sendChannelAck emits the one-time CID handshake ACK for a channel.
+func (e *Engine) sendChannelAck(ch *Channel, ackTo int) {
+	e.st.acksSent.Add(1)
+	ack := e.buildCIDAck(ch)
+	if rt, err := e.routeTo(ackTo); err == nil {
+		_ = rt.ep.Send(ack)
 	}
 }
 

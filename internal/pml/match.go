@@ -26,6 +26,13 @@ type matcher interface {
 	// takePostedBySrc removes and returns, in posted order, every receive
 	// naming src as its specific source (peer failure). Wildcards stay.
 	takePostedBySrc(src int) []*postedRecv
+	// takePostedInternal removes and returns every posted receive carrying
+	// an internal (negative) tag, regardless of source. Collective
+	// algorithms run on internal tags and their dependency graphs reach
+	// every rank transitively, so when a channel member dies these receives
+	// can hang on perfectly alive peers that themselves bailed out;
+	// FailPeer poisons them all. Application receives (tag >= 0) stay.
+	takePostedInternal() []*postedRecv
 	// takeAllPosted removes and returns every posted receive (teardown).
 	takeAllPosted() []*postedRecv
 	// takeAllUnexpected removes and returns every unexpected message.
@@ -236,6 +243,25 @@ func (b *bucketMatcher) takePostedBySrc(src int) []*postedRecv {
 		out = append(out, pr)
 		pr = next
 	}
+	return out
+}
+
+func (b *bucketMatcher) takePostedInternal() []*postedRecv {
+	var out []*postedRecv
+	take := func(l *postedList) {
+		for pr := l.head; pr != nil; {
+			next := pr.pnext
+			if pr.tag < 0 && pr.tag != AnyTag {
+				l.remove(pr)
+				out = append(out, pr)
+			}
+			pr = next
+		}
+	}
+	for i := range b.postSrc {
+		take(&b.postSrc[i])
+	}
+	take(&b.postWild)
 	return out
 }
 

@@ -64,6 +64,20 @@ func (l *listMatcher) takePostedBySrc(src int) []*postedRecv {
 	return out
 }
 
+func (l *listMatcher) takePostedInternal() []*postedRecv {
+	var out []*postedRecv
+	kept := l.posted[:0]
+	for _, pr := range l.posted {
+		if pr.tag < 0 && pr.tag != AnyTag {
+			out = append(out, pr)
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	l.posted = kept
+	return out
+}
+
 func (l *listMatcher) takeAllPosted() []*postedRecv {
 	out := l.posted
 	l.posted = nil

@@ -1,0 +1,155 @@
+package prrte
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/simnet"
+	"gompi/internal/topo"
+)
+
+func chaosDVM(t *testing.T, nodes int) *DVM {
+	t.Helper()
+	dvm := NewDVM(simnet.NewFabric(topo.New(topo.Loopback(4), nodes)))
+	t.Cleanup(func() {
+		dvm.Fabric().SetFaultPlan(nil)
+		dvm.Fabric().Heal()
+		dvm.Shutdown()
+	})
+	return dvm
+}
+
+// An all-to-all where roughly a third of the control messages vanish must
+// still converge: the per-round Want re-offers recover both a dropped send
+// of ours and a dropped send of theirs.
+func TestChaosExchangeSurvivesDroppedContributions(t *testing.T) {
+	const nodes = 4
+	dvm := chaosDVM(t, nodes)
+	dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{Seed: 42, Classes: simnet.FaultCtrl, Drop: 0.3})
+
+	participants := []int{0, 1, 2, 3}
+	var wg sync.WaitGroup
+	results := make([]map[int][]byte, nodes)
+	errs := make([]error, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			results[n], errs[n] = dvm.Daemon(n).Exchange("lossy-op", participants, []byte{byte(n)}, 10*time.Second)
+		}(n)
+	}
+	wg.Wait()
+	for n := 0; n < nodes; n++ {
+		if errs[n] != nil {
+			t.Fatalf("daemon %d: %v", n, errs[n])
+		}
+		if len(results[n]) != nodes {
+			t.Fatalf("daemon %d: %d contributions, want %d", n, len(results[n]), nodes)
+		}
+		for p := 0; p < nodes; p++ {
+			if !bytes.Equal(results[n][p], []byte{byte(p)}) {
+				t.Fatalf("daemon %d: contribution from %d = %v", n, p, results[n][p])
+			}
+		}
+	}
+	if s := dvm.Fabric().FaultStats(); s.Dropped == 0 {
+		t.Fatal("no control message was dropped; the plan never engaged")
+	}
+}
+
+// The unrecoverable case before the completed-op cache: daemon 1's
+// contribution to daemon 0 is lost, and daemon 1 completes the operation
+// (it received everything) and deletes its pending state. Daemon 0's Want
+// re-request must be served from daemon 1's completed cache.
+func TestChaosExchangeLateAskerServedFromCompletedCache(t *testing.T) {
+	dvm := chaosDVM(t, 2)
+	participants := []int{0, 1}
+
+	res0 := make(chan map[int][]byte, 1)
+	err0 := make(chan error, 1)
+	go func() {
+		r, err := dvm.Daemon(0).Exchange("cache-op", participants, []byte("zero"), 5*time.Second)
+		res0 <- r
+		err0 <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // daemon 0's contribution reaches daemon 1 clean
+
+	// Eat daemon 1's contribution on its way to daemon 0; daemon 1 itself
+	// already holds both contributions and completes instantly.
+	dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{Seed: 7, Classes: simnet.FaultCtrl, Drop: 1.0})
+	r1, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("daemon 1: %v", err)
+	}
+	if !bytes.Equal(r1[0], []byte("zero")) || !bytes.Equal(r1[1], []byte("one")) {
+		t.Fatalf("daemon 1 result = %v", r1)
+	}
+	dvm.Fabric().SetFaultPlan(nil)
+
+	// Daemon 0's next retry round asks daemon 1 (Want), which has only the
+	// completed cache left to answer from.
+	if err := <-err0; err != nil {
+		t.Fatalf("daemon 0: %v", err)
+	}
+	r0 := <-res0
+	if !bytes.Equal(r0[1], []byte("one")) {
+		t.Fatalf("daemon 0 recovered contribution = %v, want %q", r0[1], "one")
+	}
+
+	// A replay of a completed operation is served from the cache too (a
+	// PMIx-level retry after a peer-side timeout reuses the op key).
+	again, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), time.Second)
+	if err != nil || !bytes.Equal(again[0], []byte("zero")) {
+		t.Fatalf("replayed exchange: %v, %v", again, err)
+	}
+}
+
+// Request/response RPCs reissue on reply timeout: with 40% of control
+// messages dropped, PGCID allocation and pset queries still succeed.
+func TestChaosRPCRetryUnderDrops(t *testing.T) {
+	dvm := chaosDVM(t, 2)
+	dvm.RegisterPset("app/world", []int{0, 1, 2, 3})
+	dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{Seed: 99, Classes: simnet.FaultCtrl, Drop: 0.4})
+
+	id, err := dvm.Daemon(1).AllocPGCID("", nil, 5*time.Second)
+	if err != nil || id == 0 {
+		t.Fatalf("AllocPGCID under drops: id=%d err=%v", id, err)
+	}
+	psets, err := dvm.Daemon(1).QueryPsets(5 * time.Second)
+	if err != nil {
+		t.Fatalf("QueryPsets under drops: %v", err)
+	}
+	if len(psets["app/world"]) != 4 {
+		t.Fatalf("pset registry = %v", psets)
+	}
+	if s := dvm.Fabric().FaultStats(); s.Dropped == 0 {
+		t.Fatal("no control message was dropped; the plan never engaged")
+	}
+}
+
+// A partitioned daemon degrades into a bounded, deterministic ErrTimeout —
+// not an unbounded hang — and recovers after Heal.
+func TestChaosRPCTimesOutAcrossPartitionThenHeals(t *testing.T) {
+	dvm := chaosDVM(t, 2)
+	dvm.Fabric().Partition([]int{0}, []int{1})
+
+	start := time.Now()
+	_, err := dvm.Daemon(1).AllocPGCID("", nil, 300*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("AllocPGCID across partition err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; the deadline was not honored", elapsed)
+	}
+	if _, err := dvm.Daemon(1).Exchange("split", []int{0, 1}, nil, 200*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Exchange across partition err = %v, want ErrTimeout", err)
+	}
+
+	dvm.Fabric().Heal()
+	if id, err := dvm.Daemon(1).AllocPGCID("", nil, 5*time.Second); err != nil || id == 0 {
+		t.Fatalf("AllocPGCID after heal: id=%d err=%v", id, err)
+	}
+}

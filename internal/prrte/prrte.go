@@ -85,6 +85,10 @@ type (
 		OpKey string
 		Node  int
 		Data  []byte
+		// Want marks a retry round: the sender is still missing this
+		// daemon's contribution for OpKey and asks for it to be (re)sent,
+		// either from the pending op or from the completed-op cache.
+		Want bool
 	}
 	pgcidReq struct {
 		ReplyTo simnet.Addr
@@ -156,6 +160,11 @@ type Daemon struct {
 
 	mu  sync.Mutex //gompilint:lockorder rank=12
 	ops map[string]*pendingOp
+	// completed is a bounded ring of finished exchanges (full result kept)
+	// so a peer that missed this daemon's contribution can still recover it
+	// after the op's pending state is gone; completedOrder drives eviction.
+	completed      map[string]map[int][]byte
+	completedOrder []string
 
 	handler   ServerHandler
 	handlerMu sync.RWMutex //gompilint:lockorder rank=10
@@ -185,7 +194,7 @@ func (d *Daemon) run() {
 		}
 		switch msg := m.Ctrl.(type) {
 		case xchgMsg:
-			d.deliverContribution(msg)
+			d.handleXchg(msg)
 		case pgcidReq:
 			// Only the master daemon receives these.
 			id := d.dvm.allocPGCID()
@@ -241,20 +250,65 @@ func (d *Daemon) run() {
 	}
 }
 
-func (d *Daemon) deliverContribution(msg xchgMsg) {
+// handleXchg processes an inbound all-to-all message: record the peer's
+// contribution, and if the peer flagged Want, re-offer our own contribution
+// (from the pending op or the completed cache) so a dropped send converges.
+func (d *Daemon) handleXchg(msg xchgMsg) {
+	own, resend := d.recordContribution(msg)
+	if resend && msg.Node != d.node {
+		_ = d.ep.Send(d.dvm.daemonAddr(msg.Node), simnet.Message{
+			Ctrl: xchgMsg{OpKey: msg.OpKey, Node: d.node, Data: own},
+			Size: ctrlMsgOverhead + len(own),
+		})
+	}
+}
+
+// recordContribution stores one peer contribution and reports whether this
+// daemon should answer a Want request with its own contribution. A
+// contribution for an operation this daemon already completed is stale and
+// ignored — recreating pending state for it would leak — but the Want side
+// is still served from the completed cache.
+func (d *Daemon) recordContribution(msg xchgMsg) (own []byte, resend bool) {
 	d.mu.Lock()
+	if res, done := d.completed[msg.OpKey]; done {
+		if msg.Want {
+			own, resend = res[d.node], true
+		}
+		d.mu.Unlock()
+		return own, resend
+	}
 	op := d.ops[msg.OpKey]
 	if op == nil {
 		op = &pendingOp{contribs: make(map[int][]byte)}
 		d.ops[msg.OpKey] = op
 	}
 	op.contribs[msg.Node] = msg.Data
+	if msg.Want {
+		own, resend = op.contribs[d.node]
+	}
 	waiters := op.waiters
 	op.waiters = nil
 	d.mu.Unlock()
 	for _, w := range waiters {
 		close(w)
 	}
+	return own, resend
+}
+
+// rememberCompletedLocked moves a finished exchange into the completed ring,
+// evicting the oldest entry beyond completedOpCache. Caller holds d.mu.
+func (d *Daemon) rememberCompletedLocked(opKey string, result map[int][]byte) {
+	if d.completed == nil {
+		d.completed = make(map[string]map[int][]byte)
+	}
+	if _, ok := d.completed[opKey]; !ok {
+		d.completedOrder = append(d.completedOrder, opKey)
+		for len(d.completedOrder) > completedOpCache {
+			delete(d.completed, d.completedOrder[0])
+			d.completedOrder = d.completedOrder[1:]
+		}
+	}
+	d.completed[opKey] = result
 }
 
 // replyEndpoint allocates a transient endpoint for one request/response
@@ -275,6 +329,21 @@ func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeou
 	if d.dvm.isShutdown() {
 		return nil, ErrShutdown
 	}
+	// A re-run of an operation this daemon already completed (e.g. a PMIx
+	// retry after a peer-side timeout) is served from the completed cache:
+	// the pending state is gone and the other participants may have moved
+	// on, so re-exchanging could never converge.
+	d.mu.Lock()
+	if res, done := d.completed[opKey]; done {
+		out := make(map[int][]byte, len(res))
+		for k, v := range res {
+			out[k] = v
+		}
+		d.mu.Unlock()
+		return out, nil
+	}
+	d.mu.Unlock()
+
 	// Send our contribution to every other participant daemon.
 	for _, n := range participants {
 		if n == d.node {
@@ -288,13 +357,18 @@ func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeou
 			return nil, fmt.Errorf("prrte: exchange %q: daemon %d unreachable: %w", opKey, n, err)
 		}
 	}
-	// Record our own contribution, then wait for the others.
-	d.deliverContribution(xchgMsg{OpKey: opKey, Node: d.node, Data: local})
+	// Record our own contribution, then wait for the others. The wait runs
+	// in rounds: when a round expires without completion, re-offer our
+	// contribution to the still-missing peers with Want set, covering both
+	// a dropped send of ours and a dropped send of theirs (peers answer
+	// Want from pending state or their completed cache).
+	d.recordContribution(xchgMsg{OpKey: opKey, Node: d.node, Data: local})
 
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
+	bo := newBackoff(exchangeResendBase, exchangeResendMax)
 	for {
 		d.mu.Lock()
 		op := d.ops[opKey]
@@ -302,34 +376,50 @@ func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeou
 			op = &pendingOp{contribs: make(map[int][]byte)}
 			d.ops[opKey] = op
 		}
-		complete := len(op.contribs) >= len(participants)
-		if complete {
+		if len(op.contribs) >= len(participants) {
 			out := make(map[int][]byte, len(op.contribs))
 			for k, v := range op.contribs {
 				out[k] = v
 			}
 			delete(d.ops, opKey)
+			d.rememberCompletedLocked(opKey, op.contribs)
 			d.mu.Unlock()
 			return out, nil
 		}
 		w := make(chan struct{})
 		op.waiters = append(op.waiters, w)
+		var missing []int
+		for _, n := range participants {
+			if _, ok := op.contribs[n]; !ok && n != d.node {
+				missing = append(missing, n)
+			}
+		}
 		d.mu.Unlock()
 
-		if timeout <= 0 {
-			<-w
-			continue
+		round := bo.next()
+		if timeout > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrTimeout)
+			}
+			if round > remaining {
+				round = remaining
+			}
 		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrTimeout)
-		}
-		timer := time.NewTimer(remaining)
+		timer := time.NewTimer(round)
 		select {
 		case <-w:
 			timer.Stop()
 		case <-timer.C:
-			return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrTimeout)
+			if timeout > 0 && time.Until(deadline) <= 0 {
+				return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrTimeout)
+			}
+			for _, n := range missing {
+				_ = d.ep.Send(d.dvm.daemonAddr(n), simnet.Message{
+					Ctrl: xchgMsg{OpKey: opKey, Node: d.node, Data: local, Want: true},
+					Size: ctrlMsgOverhead + len(local),
+				})
+			}
 		}
 	}
 }
@@ -338,8 +428,10 @@ func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeou
 // manager (master daemon), optionally registering a named pset for the
 // group at the same time. The round-trip to the master is charged on the
 // fabric, matching the paper's observation that acquiring a PGCID involves
-// inter-node messaging.
-func (d *Daemon) AllocPGCID(groupName string, members []int) (uint64, error) {
+// inter-node messaging. The round-trip is retried on reply timeout within
+// the given deadline (<= 0 applies the default); a reissued request at
+// worst burns an extra ID, which only needs to be unique, not dense.
+func (d *Daemon) AllocPGCID(groupName string, members []int, timeout time.Duration) (uint64, error) {
 	if d.dvm.isShutdown() {
 		return 0, ErrShutdown
 	}
@@ -352,13 +444,10 @@ func (d *Daemon) AllocPGCID(groupName string, members []int) (uint64, error) {
 		}
 		return id, nil
 	}
-	rep := d.replyEndpoint()
-	defer rep.Close()
-	req := pgcidReq{ReplyTo: rep.Addr(), Name: groupName, Members: members}
-	if err := d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + 8*len(members)}); err != nil {
-		return 0, err
-	}
-	m, err := rep.Recv(10 * time.Second)
+	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+		req := pgcidReq{ReplyTo: replyTo, Name: groupName, Members: members}
+		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + 8*len(members)})
+	})
 	if err != nil {
 		return 0, fmt.Errorf("prrte: PGCID request: %w", err)
 	}
@@ -385,8 +474,9 @@ func (d *Daemon) DeregisterPset(name string) error {
 }
 
 // QueryPsets returns the authoritative pset registry (name -> member ranks)
-// from the resource manager.
-func (d *Daemon) QueryPsets() (map[string][]int, error) {
+// from the resource manager. The query is an idempotent read, retried on
+// reply timeout within the given deadline (<= 0 applies the default).
+func (d *Daemon) QueryPsets(timeout time.Duration) (map[string][]int, error) {
 	if d.dvm.isShutdown() {
 		return nil, ErrShutdown
 	}
@@ -394,12 +484,9 @@ func (d *Daemon) QueryPsets() (map[string][]int, error) {
 		d.dvm.fabric.RPCDelay()
 		return d.dvm.psetSnapshot(), nil
 	}
-	rep := d.replyEndpoint()
-	defer rep.Close()
-	if err := d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: queryReq{ReplyTo: rep.Addr()}, Size: ctrlMsgOverhead}); err != nil {
-		return nil, err
-	}
-	m, err := rep.Recv(10 * time.Second)
+	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: queryReq{ReplyTo: replyTo}, Size: ctrlMsgOverhead})
+	})
 	if err != nil {
 		return nil, fmt.Errorf("prrte: pset query: %w", err)
 	}
@@ -421,15 +508,9 @@ func (d *Daemon) Fetch(node int, key string, timeout time.Duration) ([]byte, boo
 		data, ok := h.HandleFetch(key)
 		return data, ok, nil
 	}
-	rep := d.replyEndpoint()
-	defer rep.Close()
-	if err := d.ep.Send(d.dvm.daemonAddr(node), simnet.Message{Ctrl: fetchReq{ReplyTo: rep.Addr(), Key: key}, Size: ctrlMsgOverhead + len(key)}); err != nil {
-		return nil, false, err
-	}
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	m, err := rep.Recv(timeout)
+	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+		return d.ep.Send(d.dvm.daemonAddr(node), simnet.Message{Ctrl: fetchReq{ReplyTo: replyTo, Key: key}, Size: ctrlMsgOverhead + len(key)})
+	})
 	if err != nil {
 		return nil, false, fmt.Errorf("prrte: fetch %q from node %d: %w", key, node, err)
 	}
@@ -501,17 +582,14 @@ func (d *Daemon) LookupGlobal(key string, timeout time.Duration) ([]byte, bool, 
 		v, ok := d.dvm.lookup(key)
 		return v, ok, nil
 	}
-	rep := d.replyEndpoint()
-	defer rep.Close()
-	req := lookupReq{ReplyTo: rep.Addr(), Key: key, Wait: wait}
-	if err := d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + len(key)}); err != nil {
-		return nil, false, err
-	}
-	if !wait {
-		timeout = 10 * time.Second
-	}
-	m, err := rep.Recv(timeout)
-	if err == simnet.ErrTimeout {
+	// A blocking lookup's reply is intentionally withheld until the key is
+	// published, so the retried sends only guard against a dropped request;
+	// waitFull keeps the reply endpoint listening out to the deadline.
+	m, err := d.rpcRetry(timeout, wait, func(replyTo simnet.Addr) error {
+		req := lookupReq{ReplyTo: replyTo, Key: key, Wait: wait}
+		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + len(key)})
+	})
+	if retryable(err) || errors.Is(err, ErrTimeout) {
 		return nil, false, nil
 	}
 	if err != nil {

@@ -123,7 +123,7 @@ func TestPGCIDUniqueNonZero(t *testing.T) {
 			wg.Add(1)
 			go func(n int) {
 				defer wg.Done()
-				id, err := dvm.Daemon(n).AllocPGCID("", nil)
+				id, err := dvm.Daemon(n).AllocPGCID("", nil, 0)
 				if err != nil {
 					t.Errorf("AllocPGCID: %v", err)
 					return
@@ -150,10 +150,10 @@ func TestPsetRegistryAndQuery(t *testing.T) {
 	dvm := testDVM(t, 2)
 	dvm.RegisterPset("app://ocean", []int{0, 1, 2})
 	// Dynamic registration through PGCID allocation from a non-master node.
-	if _, err := dvm.Daemon(1).AllocPGCID("grp/ocean-split", []int{0, 2}); err != nil {
+	if _, err := dvm.Daemon(1).AllocPGCID("grp/ocean-split", []int{0, 2}, 0); err != nil {
 		t.Fatal(err)
 	}
-	psets, err := dvm.Daemon(1).QueryPsets()
+	psets, err := dvm.Daemon(1).QueryPsets(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestPsetRegistryAndQuery(t *testing.T) {
 	}
 	deadline := time.Now().Add(time.Second)
 	for {
-		psets, err = dvm.Daemon(0).QueryPsets()
+		psets, err = dvm.Daemon(0).QueryPsets(0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,10 +263,10 @@ func TestShutdownFailsOperations(t *testing.T) {
 	if _, err := dvm.Daemon(0).Exchange("x", []int{0, 1}, nil, time.Second); err == nil {
 		t.Fatal("Exchange after shutdown should fail")
 	}
-	if _, err := dvm.Daemon(0).AllocPGCID("", nil); err == nil {
+	if _, err := dvm.Daemon(0).AllocPGCID("", nil, 0); err == nil {
 		t.Fatal("AllocPGCID after shutdown should fail")
 	}
-	if _, err := dvm.Daemon(1).QueryPsets(); err == nil {
+	if _, err := dvm.Daemon(1).QueryPsets(0); err == nil {
 		t.Fatal("QueryPsets after shutdown should fail")
 	}
 }

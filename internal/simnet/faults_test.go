@@ -1,0 +1,258 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosClosedEndpointReportsErrClosed is the regression test for the
+// close-vs-deadline race: with N receivers blocked in Recv, Close must wake
+// every one of them with ErrClosed. Before the fix, Close pulsed the
+// capacity-1 ready channel, so exactly one receiver woke promptly and the
+// rest slept until their deadline and misreported ErrTimeout.
+func TestChaosClosedEndpointReportsErrClosed(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	ep := f.NewEndpoint(0)
+
+	const receivers = 2
+	errs := make(chan error, receivers)
+	var wg sync.WaitGroup
+	for i := 0; i < receivers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := ep.Recv(300 * time.Millisecond)
+			errs <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let both receivers block
+	ep.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv on closed endpoint = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// A message enqueued just before the deadline fires must win over the
+// timeout: the expiry path re-checks the queue under the lock.
+func TestChaosRecvExpiryRecheckDeliversLateMessage(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	for i := 0; i < 50; i++ {
+		timeout := 5 * time.Millisecond
+		done := make(chan struct{})
+		go func() {
+			time.Sleep(timeout) // aim the enqueue right at the deadline
+			a.Send(b.Addr(), Message{Payload: []byte("x")})
+			close(done)
+		}()
+		if m, err := b.Recv(timeout); err == nil {
+			if string(m.Payload) != "x" {
+				t.Fatalf("payload = %q", m.Payload)
+			}
+		} else if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("Recv = %v, want delivery or ErrTimeout", err)
+		}
+		<-done
+		b.TryRecv() // drain if the timeout won the race
+	}
+}
+
+func TestChaosDropEatsMessage(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	f.SetFaultPlan(&FaultPlan{Seed: 1, Drop: 1.0})
+	if err := a.Send(b.Addr(), Message{Payload: []byte("gone")}); err != nil {
+		t.Fatalf("dropped Send should look successful, got %v", err)
+	}
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv = %v, want ErrTimeout (message dropped)", err)
+	}
+	if st := f.FaultStats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+	f.SetFaultPlan(nil)
+	if err := a.Send(b.Addr(), Message{Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Recv(time.Second); err != nil || string(m.Payload) != "ok" {
+		t.Fatalf("after removing plan: m=%q err=%v", m.Payload, err)
+	}
+}
+
+func TestChaosDupDeliversIndependentCopy(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	f.SetFaultPlan(&FaultPlan{Seed: 7, Dup: 1.0})
+	if err := a.Send(b.Addr(), Message{Payload: []byte("twice")}); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatalf("duplicate never arrived: %v", err)
+	}
+	if string(m1.Payload) != "twice" || string(m2.Payload) != "twice" {
+		t.Fatalf("payloads = %q, %q", m1.Payload, m2.Payload)
+	}
+	// The receiver owns delivered packets; scribbling on one copy must not
+	// corrupt the other.
+	m1.Payload[0] = '#'
+	if string(m2.Payload) != "twice" {
+		t.Fatalf("duplicate shares backing array with original")
+	}
+	if st := f.FaultStats(); st.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestChaosDelayCharged(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	const extra = 10 * time.Millisecond
+	f.SetFaultPlan(&FaultPlan{Seed: 3, Delay: 1.0, DelayBy: extra})
+	start := time.Now()
+	if err := a.Send(b.Addr(), Message{Payload: []byte("slow")}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < extra {
+		t.Fatalf("Send took %v, want >= %v", d, extra)
+	}
+	if m, err := b.Recv(time.Second); err != nil || string(m.Payload) != "slow" {
+		t.Fatalf("m=%q err=%v", m.Payload, err)
+	}
+	if st := f.FaultStats(); st.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", st.Delayed)
+	}
+}
+
+// A reordered message is delivered late and asynchronously, so a message
+// sent afterwards overtakes it.
+func TestChaosReorderOvertake(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	f.SetFaultPlan(&FaultPlan{Seed: 9, Reorder: 1.0, ReorderBy: 5 * time.Millisecond})
+	if err := a.Send(b.Addr(), Message{Payload: []byte("first")}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaultPlan(nil) // second message travels clean and overtakes
+	if err := a.Send(b.Addr(), Message{Payload: []byte("second")}); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1.Payload) != "second" || string(m2.Payload) != "first" {
+		t.Fatalf("order = %q, %q; want second then first", m1.Payload, m2.Payload)
+	}
+	if st := f.FaultStats(); st.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1", st.Reordered)
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	f := loopbackFabric(3, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(1)
+	c := f.NewEndpoint(2)
+	f.Partition([]int{0}, []int{1})
+
+	if err := a.Send(b.Addr(), Message{Ctrl: "x", Size: 4}); err != nil {
+		t.Fatalf("partitioned Send should look successful, got %v", err)
+	}
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("cross-partition Recv = %v, want ErrTimeout", err)
+	}
+	// Node 2 is not in any group and talks to both sides.
+	if err := a.Send(c.Addr(), Message{Ctrl: "y", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(time.Second); err != nil {
+		t.Fatalf("unlisted node should be reachable: %v", err)
+	}
+	if st := f.FaultStats(); st.Partitioned != 1 {
+		t.Fatalf("Partitioned = %d, want 1", st.Partitioned)
+	}
+
+	f.Heal()
+	if err := a.Send(b.Addr(), Message{Ctrl: "z", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(time.Second); err != nil {
+		t.Fatalf("post-heal Recv: %v", err)
+	}
+}
+
+func TestChaosKillAfterClosesEndpoint(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	f.KillAfter(b.Addr(), 2)
+
+	for i := 0; i < 2; i++ {
+		if err := a.Send(b.Addr(), Message{Payload: []byte("ok")}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// The third send crosses the threshold: b is closed before delivery.
+	if err := a.Send(b.Addr(), Message{Payload: []byte("dead")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-kill Send = %v, want ErrClosed", err)
+	}
+	if !b.Closed() {
+		t.Fatal("endpoint not closed by kill rule")
+	}
+	// A dead process's mailbox is gone: Close discards the queue.
+	if _, err := b.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after kill = %v, want ErrClosed", err)
+	}
+	if st := f.FaultStats(); st.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", st.Killed)
+	}
+}
+
+// The same seed over the same message sequence must inject exactly the same
+// faults — the property every chaos test above leans on.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() FaultStats {
+		f := loopbackFabric(2, 4)
+		a := f.NewEndpoint(0)
+		b := f.NewEndpoint(1)
+		f.SetFaultPlan(&FaultPlan{
+			Seed: 42, Drop: 0.2, Dup: 0.15, Delay: 0.1, DelayBy: time.Microsecond,
+			Reorder: 0.1, ReorderBy: 100 * time.Microsecond,
+		})
+		for i := 0; i < 300; i++ {
+			if i%2 == 0 {
+				a.Send(b.Addr(), Message{Payload: []byte{byte(i)}})
+			} else {
+				a.Send(b.Addr(), Message{Ctrl: i, Size: 8})
+			}
+		}
+		return f.FaultStats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different faults:\n  %+v\n  %+v", s1, s2)
+	}
+	if s1.Dropped == 0 || s1.Duplicated == 0 || s1.Delayed == 0 || s1.Reordered == 0 {
+		t.Fatalf("plan injected nothing in some class: %+v", s1)
+	}
+}

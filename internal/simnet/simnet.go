@@ -91,6 +91,11 @@ type Fabric struct {
 	// global link is occupied; cross-group senders queue behind it.
 	globalMu   sync.Mutex
 	globalBusy []int64
+
+	// faultsOn short-circuits faultVerdict when no plan, partition, or
+	// pending kill rule is installed; faults holds the injection state.
+	faultsOn atomic.Bool
+	faults   faultState
 }
 
 // NewFabric builds a fabric for the given cluster.
@@ -128,6 +133,7 @@ func (f *Fabric) NewEndpoint(node int) *Endpoint {
 		addr: Addr{Node: node, Slot: len(f.nodes[node])},
 	}
 	ep.ready = make(chan struct{}, 1)
+	ep.done = make(chan struct{})
 	f.nodes[node] = append(f.nodes[node], ep)
 	return ep
 }
@@ -282,7 +288,8 @@ type Endpoint struct {
 	mu     sync.Mutex
 	queue  []Message
 	closed bool
-	ready  chan struct{} // capacity 1; signaled on enqueue and on close
+	ready  chan struct{} // capacity 1; signaled on enqueue
+	done   chan struct{} // closed by Close; wakes every blocked receiver
 }
 
 // Addr returns the endpoint's fabric address.
@@ -298,7 +305,17 @@ func (e *Endpoint) Send(dst Addr, m Message) error {
 	}
 	m.From = e.addr
 	n := m.wireSize()
-	Delay(e.fab.delayFor(e.addr.Node, dst.Node, n))
+	v := e.fab.faultVerdict(e.addr, dst, m)
+	for _, victim := range v.kill {
+		victim.Close()
+	}
+	Delay(e.fab.delayFor(e.addr.Node, dst.Node, n) + v.extraDelay)
+	if v.drop {
+		// The wire ate it. The sender still pays the modeled cost and
+		// observes success — recovering lost traffic is the receiver-side
+		// timeout-and-retry's job, exactly as on a real interconnect.
+		return nil
+	}
 
 	e.fab.msgs.Add(1)
 	e.fab.bytes.Add(uint64(n))
@@ -307,7 +324,32 @@ func (e *Endpoint) Send(dst Addr, m Message) error {
 	} else {
 		e.fab.interMsgs.Add(1)
 	}
-	return dep.enqueue(m)
+	if v.reorderLag > 0 {
+		// Deliver asynchronously after a short lag so traffic sent later —
+		// by this sender or any other — can overtake this message. A
+		// sender-side Delay cannot reorder (the sender's own sends stay
+		// serialized behind it), so late enqueue is the mechanism.
+		if v.dup {
+			dep.enqueue(dupMessage(m))
+		}
+		time.AfterFunc(v.reorderLag, func() { dep.enqueue(m) })
+		return nil
+	}
+	err := dep.enqueue(m)
+	if err == nil && v.dup {
+		dep.enqueue(dupMessage(m))
+	}
+	return err
+}
+
+// dupMessage deep-copies the payload: the receiver owns a delivered packet
+// and may recycle its buffer, so the duplicate must be an independent copy —
+// just as a duplicated packet on a real wire is a separate byte sequence.
+func dupMessage(m Message) Message {
+	if m.Payload != nil {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	return m
 }
 
 func (e *Endpoint) enqueue(m Message) error {
@@ -350,7 +392,26 @@ func (e *Endpoint) Recv(timeout time.Duration) (Message, error) {
 		}
 		select {
 		case <-e.ready:
+		case <-e.done:
+			// Re-check under the lock: a message enqueued just before Close
+			// must still be delivered before ErrClosed is reported.
 		case <-expiry:
+			// The deadline and a concurrent Close (or enqueue) can fire
+			// together; the select picks arbitrarily, so re-check state
+			// before reporting a timeout — a closed endpoint must report
+			// ErrClosed deterministically.
+			e.mu.Lock()
+			if len(e.queue) > 0 {
+				m := e.queue[0]
+				e.queue = e.queue[1:]
+				e.mu.Unlock()
+				return m, nil
+			}
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return Message{}, ErrClosed
+			}
 			return Message{}, ErrTimeout
 		}
 	}
@@ -385,10 +446,9 @@ func (e *Endpoint) Close() {
 	e.closed = true
 	e.queue = nil
 	e.mu.Unlock()
-	select {
-	case e.ready <- struct{}{}:
-	default:
-	}
+	// done is closed (not pulsed) so that every blocked receiver wakes, not
+	// just one: the capacity-1 ready channel only covers a single waiter.
+	close(e.done)
 }
 
 // Closed reports whether Close has been called.

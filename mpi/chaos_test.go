@@ -1,0 +1,148 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/simnet"
+	"gompi/internal/topo"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// TestChaosPeerDeathMidCollective: a rank dies while the others sit inside
+// Allreduce. The survivors must come back with MPI_ERR_PROC_FAILED — routed
+// through the communicator's error handler — rather than hanging, and the
+// poisoned communicator must keep failing fast on later collectives.
+func TestChaosPeerDeathMidCollective(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var unblocked sync.WaitGroup
+	unblocked.Add(3)
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		var handled atomic.Int32
+		errh := mpi.ErrhandlerCreate("capture", func(error) { handled.Add(1) })
+		comm, err := sess.CommCreateFromGroup(grp, "chaos", nil, errh)
+		if err != nil {
+			return err
+		}
+		if p.JobRank() == 3 {
+			// Give the survivors time to block inside the collective, then
+			// crash without any cleanup — a dying process doesn't Free or
+			// Finalize, and doing so would read as a clean disconnect.
+			time.Sleep(30 * time.Millisecond)
+			panic("rank 3 dies mid-collective")
+		}
+		defer unblocked.Done()
+		defer func() {
+			_ = comm.Free()
+			_ = sess.Finalize()
+		}()
+
+		_, err = comm.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+		if err == nil {
+			return fmt.Errorf("rank %d: allreduce over a dead peer succeeded", p.JobRank())
+		}
+		if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: allreduce class = %v (%v), want MPI_ERR_PROC_FAILED", p.JobRank(), cls, err)
+		}
+		// The next collective must not hang either: the channel stays
+		// poisoned for as long as the dead rank is a member.
+		if err := comm.Barrier(); mpi.ErrorClassOf(err) != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: barrier after failure = %v, want MPI_ERR_PROC_FAILED", p.JobRank(), err)
+		}
+		if handled.Load() < 2 {
+			return fmt.Errorf("rank %d: errhandler invoked %d times, want >=2", p.JobRank(), handled.Load())
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected rank death to be reported by Launch")
+	}
+	unblocked.Wait()
+}
+
+// TestChaosAllreduceUnderDataFaults: end-to-end correctness with the fabric
+// duplicating, reordering and delaying data-plane packets — including the
+// very first messages on each exCID channel, whose handshake is the fragile
+// part. Results must stay exact; the PML's sequence screening should show it
+// actually absorbed injected duplicates.
+func TestChaosAllreduceUnderDataFaults(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	// Installed before launch so even startup traffic runs through it. No
+	// Drop here: the data plane recovers duplicated/reordered/late packets,
+	// but a dropped eager payload is a genuine loss.
+	job.Fabric().SetFaultPlan(&simnet.FaultPlan{
+		Seed:    1234,
+		Classes: simnet.FaultData,
+		Dup:     0.2,
+		Reorder: 0.15, ReorderBy: time.Millisecond,
+		Delay: 0.2, DelayBy: 200 * time.Microsecond,
+	})
+	defer job.Fabric().SetFaultPlan(nil)
+
+	const rounds = 10
+	var screened atomic.Uint64
+	err = job.Launch(func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		np := int64(world.Size())
+		for round := 1; round <= rounds; round++ {
+			got, err := world.AllreduceInt64(int64(world.Rank()+1)*int64(round), mpi.OpSum)
+			if err != nil {
+				return fmt.Errorf("rank %d round %d: %w", world.Rank(), round, err)
+			}
+			want := np * (np + 1) / 2 * int64(round)
+			if got != want {
+				return fmt.Errorf("rank %d round %d: allreduce = %d, want %d", world.Rank(), round, got, want)
+			}
+			if err := world.Barrier(); err != nil {
+				return fmt.Errorf("rank %d round %d barrier: %w", world.Rank(), round, err)
+			}
+		}
+		s := p.PMLStatsSnapshot()
+		screened.Add(s.DupsDropped + s.ReorderStashed)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := job.Fabric().FaultStats(); s.Duplicated == 0 {
+		t.Fatalf("fault plan never injected a duplicate: %+v", s)
+	}
+	if screened.Load() == 0 {
+		t.Fatal("no rank screened a duplicated or reordered packet")
+	}
+}

@@ -3,8 +3,11 @@ package mpi
 import (
 	"errors"
 
+	"gompi/internal/btl"
 	"gompi/internal/pmix"
 	"gompi/internal/pml"
+	"gompi/internal/prrte"
+	"gompi/internal/simnet"
 )
 
 // MPI error classes (MPI_ERR_*). ErrorClass maps any error produced by
@@ -63,17 +66,23 @@ func ErrorClassOf(err error) ErrorClass {
 		return ErrSuccess
 	case errors.Is(err, pml.ErrTruncate):
 		return ErrClassTruncate
-	case errors.Is(err, ErrCommFreed), errors.Is(err, pml.ErrClosed):
+	// Proc-failure outranks the transport classes: an error raised by a
+	// peer's death usually also chains a closed-endpoint error, and the
+	// failure is the part fault-tolerant callers dispatch on.
+	case errors.Is(err, pmix.ErrTerminated), errors.Is(err, pml.ErrPeerFailed):
+		return ErrClassProcFailed
+	case errors.Is(err, ErrCommFreed), errors.Is(err, pml.ErrClosed),
+		errors.Is(err, btl.ErrClosed), errors.Is(err, simnet.ErrClosed),
+		errors.Is(err, btl.ErrUnreachable), errors.Is(err, prrte.ErrShutdown):
 		return ErrClassComm
 	case errors.Is(err, ErrSessionFinalized), errors.Is(err, ErrAlreadyInitialized),
 		errors.Is(err, ErrNotInitialized), errors.Is(err, ErrFinalized):
 		return ErrClassSession
 	case errors.Is(err, ErrUnsupported):
 		return ErrClassUnsupported
-	case errors.Is(err, pmix.ErrTimeout):
+	case errors.Is(err, pmix.ErrTimeout), errors.Is(err, prrte.ErrTimeout),
+		errors.Is(err, simnet.ErrTimeout):
 		return ErrClassTimedOut
-	case errors.Is(err, pmix.ErrTerminated), errors.Is(err, pml.ErrPeerFailed):
-		return ErrClassProcFailed
 	}
 	return ErrClassOther
 }

@@ -107,6 +107,11 @@ type PMLStats struct {
 	// queue. Their ratio is the classic late-receiver/late-sender signal.
 	PostedHits     uint64
 	UnexpectedHits uint64
+	// DupsDropped counts wire-duplicated packets screened out by the
+	// per-peer sequence numbers; ReorderStashed counts out-of-order packets
+	// parked until their gap filled. Both stay zero on a healthy fabric.
+	DupsDropped    uint64
+	ReorderStashed uint64
 }
 
 // PMLStatsSnapshot returns the process's current messaging counters; zero
@@ -125,6 +130,8 @@ func (p *Process) PMLStatsSnapshot() PMLStats {
 		Rendezvous:     s.Rendezvous,
 		PostedHits:     s.PostedHits,
 		UnexpectedHits: s.UnexpectedHits,
+		DupsDropped:    s.DupsDropped,
+		ReorderStashed: s.ReorderStashed,
 	}
 }
 
