@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build lint test test-race chaos pool-guard fuzz-smoke bench bench-smoke bench-pml figures
+.PHONY: check vet build lint test test-race chaos pool-guard fuzz-smoke bench bench-smoke bench-pml bench-coll figures
 
 # check is the repo's verification gate: vet, build, the gompilint suite,
 # the full test suite under the race detector, the debug-build arena
@@ -54,6 +54,11 @@ bench-smoke:
 # (list vs bucket, pairs and incast shapes) quoted by EXPERIMENTS.md.
 bench-pml:
 	$(GO) run ./cmd/pmlbench -out BENCH_pml.json
+
+# bench-coll regenerates the persistent-collective ablation (setup-once
+# Start/Wait vs full per-call dispatch) quoted by EXPERIMENTS.md.
+bench-coll:
+	$(GO) run ./cmd/collbench -out BENCH_coll.json
 
 figures:
 	$(GO) run ./cmd/figures -table 1 -fig all

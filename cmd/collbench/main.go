@@ -1,0 +1,148 @@
+// Command collbench runs the persistent-collective ablation
+// (coll.BenchmarkAblationPersistentColl's harness) outside `go test` and
+// emits the results as machine-readable JSON, one entry per benchmark name:
+//
+//	{"op=allreduce/mode=persistent/ranks=8/count=128": {"ns_per_op": ...,
+//	 "bytes_per_op": ..., "allocs_per_op": ..., "ops_per_sec": ..., "n": ...}, ...}
+//
+// The contrast is the point of the persistent-collective API: mode=percall
+// pays the full Module dispatch every iteration (decision table, schedule
+// cache, binding, fresh engine state), mode=persistent binds one Exec per
+// rank up front and only replays it. `make bench-coll` writes
+// BENCH_coll.json at the repo root; EXPERIMENTS.md quotes the same numbers.
+//
+// Usage:
+//
+//	collbench -out BENCH_coll.json
+//	collbench -ranks 4,8 -counts 16,128,1024
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gompi/internal/coll"
+)
+
+// result is one benchmark row in the JSON output.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	N           int     `json:"n"`
+}
+
+func intList(flagName, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "collbench: bad -%s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_coll.json", "output file (\"-\" for stdout)")
+	ranksList := flag.String("ranks", "4,8", "comma-separated rank counts")
+	countsList := flag.String("counts", "16,128,1024", "comma-separated element counts (int64 allreduce)")
+	rounds := flag.Int("rounds", 3, "runs per configuration; the fastest is kept (lockstep harnesses are scheduler-noisy)")
+	flag.Parse()
+	ranks := intList("ranks", *ranksList)
+	counts := intList("counts", *countsList)
+
+	results := map[string]result{}
+	run := func(name string, bench func(b *testing.B)) {
+		best := testing.Benchmark(bench)
+		for i := 1; i < *rounds; i++ {
+			if r := testing.Benchmark(bench); float64(r.T.Nanoseconds())/float64(r.N) <
+				float64(best.T.Nanoseconds())/float64(best.N) {
+				best = r
+			}
+		}
+		r := best
+		row := result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		}
+		if row.NsPerOp > 0 {
+			row.OpsPerSec = 1e9 / row.NsPerOp
+		}
+		results[name] = row
+		fmt.Fprintf(os.Stderr, "%-52s %10.1f ns/op %6d B/op %4d allocs/op\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+
+	for _, nr := range ranks {
+		for _, count := range counts {
+			for _, mode := range []string{"persistent", "percall"} {
+				nr, count, persistent := nr, count, mode == "persistent"
+				run(fmt.Sprintf("op=allreduce/mode=%s/ranks=%d/count=%d", mode, nr, count), func(b *testing.B) {
+					cb, err := coll.NewCollBench(nr, count, persistent)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer cb.Close()
+					if err := cb.CheckStep(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := cb.Step(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+
+	// Headline speedups: the persistent Start path against full dispatch.
+	for _, nr := range ranks {
+		for _, count := range counts {
+			pers, okP := results[fmt.Sprintf("op=allreduce/mode=persistent/ranks=%d/count=%d", nr, count)]
+			call, okC := results[fmt.Sprintf("op=allreduce/mode=percall/ranks=%d/count=%d", nr, count)]
+			if okP && okC && pers.NsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "persistent speedup at %d ranks, count %4d: %.2fx (allocs %d -> %d)\n",
+					nr, count, call.NsPerOp/pers.NsPerOp, call.AllocsPerOp, pers.AllocsPerOp)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(results))
+	for k := range results {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]result, len(results))
+	for _, k := range names {
+		ordered[k] = results[k]
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "collbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,358 @@
+package coll
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The persistent-collective ablation harness behind
+// BenchmarkAblationPersistentColl and cmd/collbench: an in-memory
+// nonblocking mesh with zero steady-state allocation, plus a lockstep
+// multi-rank driver that contrasts setup-once/start-N persistent execution
+// against full per-call dispatch. The mesh is also the engine's reference
+// transport in the package tests.
+
+// nbOp is one outstanding mesh operation: a pooled record that doubles as
+// the Req handle. After completion has been observed through Wait or Test
+// the record returns to its owner's freelist (the engine drops spent
+// handles by contract).
+type nbOp struct {
+	buf      []byte
+	src, tag int
+	done     bool
+	next     *nbOp
+	box      *nbMailbox
+	owner    *NBMeshRank
+}
+
+// opList is an intrusive FIFO of operations.
+type opList struct{ head, tail *nbOp }
+
+func (l *opList) push(o *nbOp) {
+	o.next = nil
+	if l.tail == nil {
+		l.head, l.tail = o, o
+	} else {
+		l.tail.next = o
+		l.tail = o
+	}
+}
+
+// takeMatch removes and returns the first operation matching (src, tag),
+// preserving per-(src, tag) FIFO order.
+func (l *opList) takeMatch(src, tag int) *nbOp {
+	var prev *nbOp
+	for o := l.head; o != nil; prev, o = o, o.next {
+		if o.src == src && o.tag == tag {
+			if prev == nil {
+				l.head = o.next
+			} else {
+				prev.next = o.next
+			}
+			if l.tail == o {
+				l.tail = prev
+			}
+			o.next = nil
+			return o
+		}
+	}
+	return nil
+}
+
+// nbMailbox is one receiver's matcher: posted receives and unmatched sends
+// rendezvous here under a single lock.
+type nbMailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	recvs opList // posted receives
+	sends opList // unmatched sends (src = sender rank)
+}
+
+// NBMesh is an in-memory full mesh implementing the NBTransport seam with
+// zero steady-state allocation. Sends complete at match time (rendezvous
+// semantics), so payloads move exactly once, directly between the caller
+// buffers, with no intermediate copies or buffering. Every emitted
+// schedule is synchronous-send safe — the textbook-MPI correctness
+// requirement — so the stricter completion rule costs nothing.
+type NBMesh struct {
+	boxes []nbMailbox
+	ranks []NBMeshRank
+}
+
+// NewNBMesh builds a mesh of size members.
+func NewNBMesh(size int) *NBMesh {
+	m := &NBMesh{boxes: make([]nbMailbox, size), ranks: make([]NBMeshRank, size)}
+	for i := range m.boxes {
+		m.boxes[i].cond = sync.NewCond(&m.boxes[i].mu)
+	}
+	for i := range m.ranks {
+		m.ranks[i] = NBMeshRank{mesh: m, rank: i}
+	}
+	return m
+}
+
+// Rank returns member r's transport endpoint.
+func (m *NBMesh) Rank(r int) *NBMeshRank { return &m.ranks[r] }
+
+// NBMeshRank is one member's endpoint. The freelist is touched only by
+// this rank's executor goroutine, so it needs no lock.
+type NBMeshRank struct {
+	mesh *NBMesh
+	rank int
+	free *nbOp
+}
+
+func (t *NBMeshRank) get(buf []byte, src, tag int, box *nbMailbox) *nbOp {
+	o := t.free
+	if o == nil {
+		o = &nbOp{}
+	} else {
+		t.free = o.next
+	}
+	o.buf, o.src, o.tag = buf, src, tag
+	o.done, o.next, o.box, o.owner = false, nil, box, t
+	return o
+}
+
+func (t *NBMeshRank) put(o *nbOp) {
+	o.buf = nil
+	o.box = nil
+	o.next = t.free
+	t.free = o
+}
+
+// Rank implements Transport.
+func (t *NBMeshRank) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *NBMeshRank) Size() int { return len(t.mesh.ranks) }
+
+// Isend starts a nonblocking send to dest.
+func (t *NBMeshRank) Isend(buf []byte, dest, tag int) (Req, error) {
+	box := &t.mesh.boxes[dest]
+	o := t.get(buf, t.rank, tag, box)
+	box.mu.Lock()
+	if r := box.recvs.takeMatch(t.rank, tag); r != nil {
+		copy(r.buf, buf)
+		r.done = true
+		o.done = true
+		box.cond.Broadcast()
+	} else {
+		box.sends.push(o)
+	}
+	box.mu.Unlock()
+	return o, nil
+}
+
+// Irecv starts a nonblocking receive from src.
+func (t *NBMeshRank) Irecv(buf []byte, src, tag int) (Req, error) {
+	box := &t.mesh.boxes[t.rank]
+	o := t.get(buf, src, tag, box)
+	box.mu.Lock()
+	if s := box.sends.takeMatch(src, tag); s != nil {
+		copy(buf, s.buf)
+		s.done = true
+		o.done = true
+		box.cond.Broadcast()
+	} else {
+		box.recvs.push(o)
+	}
+	box.mu.Unlock()
+	return o, nil
+}
+
+// Send implements the blocking Transport seam over Isend.
+func (t *NBMeshRank) Send(buf []byte, dest, tag int) error {
+	r, err := t.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// Recv implements the blocking Transport seam over Irecv.
+func (t *NBMeshRank) Recv(buf []byte, src, tag int) error {
+	r, err := t.Irecv(buf, src, tag)
+	if err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// Sendrecv posts the receive, pushes the send, and waits for both.
+func (t *NBMeshRank) Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error {
+	rr, err := t.Irecv(recvBuf, src, tag)
+	if err != nil {
+		return err
+	}
+	sr, err := t.Isend(sendBuf, dest, tag)
+	if err != nil {
+		return err
+	}
+	if err := sr.Wait(); err != nil {
+		return err
+	}
+	return rr.Wait()
+}
+
+// Wait blocks until the operation completes and recycles the record.
+func (o *nbOp) Wait() error {
+	box := o.box
+	box.mu.Lock()
+	for !o.done {
+		box.cond.Wait()
+	}
+	box.mu.Unlock()
+	o.owner.put(o)
+	return nil
+}
+
+// Test polls for completion, recycling the record once it reports done.
+func (o *nbOp) Test() (bool, error) {
+	box := o.box
+	box.mu.Lock()
+	done := o.done
+	box.mu.Unlock()
+	if done {
+		o.owner.put(o)
+	}
+	return done, nil
+}
+
+// CollBench drives one allreduce shape across every rank of an NBMesh in
+// lockstep: persistent worker goroutines for ranks 1..N-1 trigger once per
+// iteration over unbuffered channels, rank 0 runs inline so the benchmark
+// loop measures it. Mode "persistent" binds one Exec per rank up front and
+// only Runs it per iteration; mode "percall" goes through the full Module
+// dispatch (pick, schedule cache, binding, fresh engine state) every time.
+type CollBench struct {
+	mods    []*Module
+	execs   []*Exec // persistent mode
+	count   int
+	in, out [][]byte
+	trigger []chan struct{}
+	done    []chan error
+	wg      sync.WaitGroup
+}
+
+// benchTag is the collective tag window the harness runs in. One window is
+// enough: per-(peer, tag) FIFO keeps back-to-back iterations ordered.
+const benchTag = -16
+
+// NewCollBench builds the harness: ranks members reducing count int64-wide
+// elements. persistent selects the setup-once path.
+func NewCollBench(ranks, count int, persistent bool) (*CollBench, error) {
+	fw, err := NewFramework([]string{"tuned", "basic"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mesh := NewNBMesh(ranks)
+	cb := &CollBench{count: count}
+	for r := 0; r < ranks; r++ {
+		m := fw.NewModule(mesh.Rank(r), nil, "bench")
+		cb.mods = append(cb.mods, m)
+		in := make([]byte, count*8)
+		out := make([]byte, count*8)
+		for i := range in {
+			in[i] = byte(r + i)
+		}
+		cb.in = append(cb.in, in)
+		cb.out = append(cb.out, out)
+		if persistent {
+			ex, err := m.PrepareAllreduce(in, out, count, 8, sumInt64, true, benchTag)
+			if err != nil {
+				return nil, err
+			}
+			cb.execs = append(cb.execs, ex)
+		}
+	}
+	for r := 1; r < ranks; r++ {
+		cb.trigger = append(cb.trigger, make(chan struct{}))
+		cb.done = append(cb.done, make(chan error))
+		cb.wg.Add(1)
+		go cb.worker(r, cb.trigger[r-1], cb.done[r-1])
+	}
+	return cb, nil
+}
+
+func (cb *CollBench) worker(r int, trigger <-chan struct{}, done chan<- error) {
+	defer cb.wg.Done()
+	for range trigger {
+		done <- cb.iter(r)
+	}
+}
+
+func (cb *CollBench) iter(r int) error {
+	if cb.execs != nil {
+		return cb.execs[r].Run()
+	}
+	return cb.mods[r].Allreduce(cb.in[r], cb.out[r], cb.count, 8, sumInt64, true, benchTag)
+}
+
+// Step runs one lockstep iteration across every rank and returns the first
+// error. The rank-0 leg runs on the calling goroutine; in persistent mode
+// the whole call performs zero allocations.
+func (cb *CollBench) Step() error {
+	for _, t := range cb.trigger {
+		t <- struct{}{}
+	}
+	err := cb.iter(0)
+	for _, d := range cb.done {
+		if werr := <-d; werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Close stops the worker goroutines.
+func (cb *CollBench) Close() {
+	for _, t := range cb.trigger {
+		close(t)
+	}
+	cb.wg.Wait()
+}
+
+// Result returns rank 0's reduction output for verification.
+func (cb *CollBench) Result() []byte { return cb.out[0] }
+
+// sumInt64 adds count little-endian int64s in place.
+func sumInt64(inout, in []byte, count int) error {
+	for i := 0; i < count; i++ {
+		o := i * 8
+		var a, b uint64
+		for k := 0; k < 8; k++ {
+			a |= uint64(inout[o+k]) << (8 * k)
+			b |= uint64(in[o+k]) << (8 * k)
+		}
+		s := a + b
+		for k := 0; k < 8; k++ {
+			inout[o+k] = byte(s >> (8 * k))
+		}
+	}
+	return nil
+}
+
+// CheckStep sanity-runs one iteration and validates rank 0's output
+// against an independently computed reference — used by cmd/collbench so a
+// broken harness cannot silently publish numbers.
+func (cb *CollBench) CheckStep() error {
+	if err := cb.Step(); err != nil {
+		return err
+	}
+	want := make([]byte, cb.count*8)
+	tmp := make([]byte, cb.count*8)
+	copy(want, cb.in[0])
+	for r := 1; r < len(cb.mods); r++ {
+		copy(tmp, cb.in[r])
+		if err := sumInt64(want, tmp, cb.count); err != nil {
+			return err
+		}
+	}
+	for i := range want {
+		if cb.out[0][i] != want[i] {
+			return fmt.Errorf("collbench: output byte %d = %#x, want %#x", i, cb.out[0][i], want[i])
+		}
+	}
+	return nil
+}

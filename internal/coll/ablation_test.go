@@ -1,0 +1,51 @@
+package coll
+
+import "testing"
+
+// BenchmarkAblationPersistentColl contrasts the persistent collective path
+// (compile + bind once, Start N times) against full per-call dispatch
+// (decision walk, schedule-cache lookup, fresh binding and engine state
+// every call) for an 8-rank allreduce. The persistent Step path must not
+// allocate.
+func BenchmarkAblationPersistentColl(b *testing.B) {
+	const ranks, count = 8, 128
+	for _, mode := range []struct {
+		name       string
+		persistent bool
+	}{{"persistent", true}, {"percall", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cb, err := NewCollBench(ranks, count, mode.persistent)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cb.Close()
+			if err := cb.CheckStep(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cb.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCollBenchModes keeps the benchmark harness honest under the race
+// detector: both modes must produce the verified reduction repeatedly.
+func TestCollBenchModes(t *testing.T) {
+	for _, persistent := range []bool{true, false} {
+		cb, err := NewCollBench(4, 32, persistent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := cb.CheckStep(); err != nil {
+				t.Fatalf("persistent=%v step %d: %v", persistent, i, err)
+			}
+		}
+		cb.Close()
+	}
+}

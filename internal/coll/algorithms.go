@@ -1,16 +1,33 @@
 package coll
 
-// Flat (topology-blind) collective algorithms. Shared conventions:
+// Flat (topology-blind) collective emitters. Every algorithm here *emits a
+// schedule* — it appends typed steps to a builder for one rank — instead of
+// driving the transport itself. Shared conventions:
 //
 //   - Rooted trees are laid out in virtual-rank order (vrank 0 = root), so
 //     every shape works for any root.
 //   - Reductions fold operands with lower ranks on the left, matching the
 //     documented user-op bracketing; only the algorithms listed in
 //     `reordering` (coll.go) give that up and require commutativity.
-//   - Multi-phase algorithms use fixed tag offsets (tag, tag-1, ...) inside
-//     the caller's 16-tag collective window.
-//   - size==1 and zero-byte payloads must work in every algorithm: the
+//   - Multi-phase algorithms use fixed tag offsets (0, 1, ...) inside the
+//     caller's 16-tag collective window; composed emitters shift phases
+//     into disjoint sub-ranges through builder views.
+//   - size==1 and zero-byte payloads must work in every emitter: the
 //     degenerate loops simply do not run.
+//
+// Emitters that move user data take their buffers as bufRefs so composed
+// shapes (reduce_bcast, hier) can rebase a phase onto the receive buffer or
+// a staging region. Data hazards are expressed as explicit dependencies;
+// the builder adds the per-(peer, tag, direction) ordering edges that keep
+// PML FIFO matching honest.
+
+// Shape is what an emitter sees of one communicator: this member's rank,
+// the size, and the node hosting each rank (nil when placement is unknown,
+// which the hierarchical emitters treat as a single node).
+type Shape struct {
+	Rank, Size int
+	Nodes      []int
+}
 
 // chunkOffsets splits total units into n near-equal chunks: offs[i] is the
 // start of chunk i and offs[n] == total, with leading chunks one unit
@@ -34,35 +51,43 @@ func minInt(a, b int) int {
 	return b
 }
 
-// fanIn gathers a synchronization token into rank 0 along a binomial tree.
-func fanIn(t Transport, tag int) error {
-	rank, size := t.Rank(), t.Size()
-	var token [1]byte
+// slice returns the sub-range [off, off+n) of a buffer ref.
+func (r bufRef) slice(off, n int) bufRef {
+	return bufRef{kind: r.kind, off: r.off + off, n: n}
+}
+
+// token allocates a fresh 1-byte staging slot for a synchronization
+// message. Each step gets its own byte so concurrently running steps never
+// share memory.
+func (b *builder) token() bufRef { return b.alloc(1) }
+
+// fanInEmit gathers a synchronization token into rank 0 along a binomial
+// tree. The send to the parent depends on every child recv.
+func fanInEmit(b *builder, sh Shape) {
+	rank, size := sh.Rank, sh.Size
+	var gathered []int
 	mask := 1
 	for mask < size {
 		if rank&mask != 0 {
-			return t.Send(token[:], rank-mask, tag)
+			b.send(b.token(), rank-mask, 0, gathered...)
+			return
 		}
 		if peer := rank + mask; peer < size {
-			if err := t.Recv(token[:], peer, tag); err != nil {
-				return err
-			}
+			gathered = append(gathered, b.recv(b.token(), peer, 0))
 		}
 		mask <<= 1
 	}
-	return nil
 }
 
-// fanOut releases a subgroup from rank 0 along a binomial tree.
-func fanOut(t Transport, tag int) error {
-	rank, size := t.Rank(), t.Size()
-	var token [1]byte
+// fanOutEmit releases a subgroup from rank 0 along a binomial tree. Each
+// member's forwards depend on its own release.
+func fanOutEmit(b *builder, sh Shape) {
+	rank, size := sh.Rank, sh.Size
+	var release []int
 	mask := 1
 	for mask < size {
 		if rank&mask != 0 {
-			if err := t.Recv(token[:], rank-mask, tag); err != nil {
-				return err
-			}
+			release = []int{b.recv(b.token(), rank-mask, 0)}
 			break
 		}
 		mask <<= 1
@@ -70,56 +95,48 @@ func fanOut(t Transport, tag int) error {
 	mask >>= 1
 	for mask > 0 {
 		if peer := rank + mask; peer < size && rank&(mask-1) == 0 && rank&mask == 0 {
-			if err := t.Send(token[:], peer, tag); err != nil {
-				return err
-			}
+			b.send(b.token(), peer, 0, release...)
 		}
 		mask >>= 1
 	}
-	return nil
 }
 
-// barrierBinomial: binomial fan-in to rank 0 followed by a binomial
+// barrierBinomialEmit: binomial fan-in to rank 0 followed by a binomial
 // fan-out — 2·log2(N) sequential latencies through rank 0.
-func barrierBinomial(e Env, tag int) error {
-	if err := fanIn(e.T, tag); err != nil {
-		return err
-	}
-	return fanOut(e.T, tag)
+func barrierBinomialEmit(b *builder, sh Shape) {
+	fanInEmit(b, sh)
+	b.fence()
+	fanOutEmit(b.shift(1), sh)
 }
 
-// barrierDissemination: ceil(log2(N)) rounds in which every member
-// exchanges a token with peers at distance 2^k. No root bottleneck; every
-// member exits after the same number of rounds.
-func barrierDissemination(e Env, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	var in, out [1]byte
+// barrierDisseminationEmit: ceil(log2(N)) rounds in which every member
+// exchanges a token with peers at distance 2^k. No root bottleneck; rounds
+// chain because round k+1 may only fire once round k completed locally.
+func barrierDisseminationEmit(b *builder, sh Shape) {
+	rank, size := sh.Rank, sh.Size
+	var prev []int
 	for mask := 1; mask < size; mask <<= 1 {
 		to := (rank + mask) % size
 		from := (rank - mask + size) % size
-		if err := t.Sendrecv(out[:], to, in[:], from, tag); err != nil {
-			return err
-		}
+		prev = []int{b.sendrecv(b.token(), to, b.token(), from, 0, prev...)}
 	}
-	return nil
 }
 
-// bcastBinomial: the classic binomial broadcast tree rooted at root.
-func bcastBinomial(e Env, buf []byte, root, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// bcastBinomialEmit: the classic binomial broadcast tree rooted at root.
+// Non-root forwards depend on the recv; the root's sends are independent
+// (they all read the same immutable payload).
+func bcastBinomialEmit(b *builder, sh Shape, payload bufRef, root int) {
+	rank, size := sh.Rank, sh.Size
 	if size == 1 {
-		return nil
+		return
 	}
 	vrank := (rank - root + size) % size
 	toReal := func(v int) int { return (v + root) % size }
+	var have []int
 	mask := 1
 	for mask < size {
 		if vrank&mask != 0 {
-			if err := t.Recv(buf, toReal(vrank-mask), tag); err != nil {
-				return err
-			}
+			have = []int{b.recv(payload, toReal(vrank-mask), 0)}
 			break
 		}
 		mask <<= 1
@@ -127,163 +144,157 @@ func bcastBinomial(e Env, buf []byte, root, tag int) error {
 	mask >>= 1
 	for mask > 0 {
 		if peer := vrank + mask; peer < size && vrank&(mask-1) == 0 && vrank&mask == 0 {
-			if err := t.Send(buf, toReal(peer), tag); err != nil {
-				return err
-			}
+			b.send(payload, toReal(peer), 0, have...)
 		}
 		mask >>= 1
 	}
-	return nil
 }
 
-// bcastScatterAllgather: the root scatters one chunk per member, then a
+// bcastScatterAllgatherEmit: the root scatters one chunk per member, then a
 // ring allgather reassembles the full buffer everywhere. Each member
 // forwards only ~bytes/N per ring step, so the root's injection cost drops
 // from bytes·log2(N) to ~2·bytes — the van-de-Geijn large-message shape.
-func bcastScatterAllgather(e Env, buf []byte, root, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// Scatter rides tag offset 0, the ring offset 1.
+func bcastScatterAllgatherEmit(b *builder, sh Shape, payload bufRef, root int) {
+	rank, size := sh.Rank, sh.Size
 	if size == 1 {
-		return nil
+		return
 	}
 	vrank := (rank - root + size) % size
 	toReal := func(v int) int { return (v + root) % size }
-	offs := chunkOffsets(len(buf), size)
-	seg := func(v int) []byte { return buf[offs[v]:offs[v+1]] }
+	offs := chunkOffsets(payload.n, size)
+	seg := func(v int) bufRef { return payload.slice(offs[v], offs[v+1]-offs[v]) }
 
-	// Scatter: the root keeps chunk 0 and sends chunk v to vrank v.
+	// Scatter: the root keeps chunk 0 and sends chunk v to vrank v. The
+	// root's sends are independent; a member's ring steps hang off its recv.
+	var have []int
 	if vrank == 0 {
 		for v := 1; v < size; v++ {
-			if err := t.Send(seg(v), toReal(v), tag); err != nil {
-				return err
-			}
+			b.send(seg(v), toReal(v), 0)
 		}
-	} else if err := t.Recv(seg(vrank), toReal(0), tag); err != nil {
-		return err
+	} else {
+		have = []int{b.recv(seg(vrank), toReal(0), 0)}
 	}
 
-	// Ring allgather of the chunks, indexed by vrank.
+	// Ring allgather of the chunks, indexed by vrank: step s forwards the
+	// chunk received in step s-1, so the steps chain.
 	right := toReal((vrank + 1) % size)
 	left := toReal((vrank - 1 + size) % size)
-	for step := 0; step < size-1; step++ {
-		sc := (vrank - step + size) % size
-		rc := (vrank - step - 1 + size) % size
-		if err := t.Sendrecv(seg(sc), right, seg(rc), left, tag-1); err != nil {
-			return err
-		}
+	prev := have
+	for s := 0; s < size-1; s++ {
+		sc := (vrank - s + size) % size
+		rc := (vrank - s - 1 + size) % size
+		prev = []int{b.sendrecv(seg(sc), right, seg(rc), left, 1, prev...)}
 	}
-	return nil
 }
 
 // pipelineSegment is the chunk size of the pipelined chain broadcast.
 const pipelineSegment = 8192
 
-// bcastPipeline: a segmented chain in vrank order. Latency is
-// (N-1 + nseg) segment times instead of nseg·(N-1), overlapping the
-// forwarding of early segments with the receipt of later ones.
-func bcastPipeline(e Env, buf []byte, root, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// bcastPipelineEmit: a segmented chain in vrank order. Each segment's
+// forward depends only on that segment's receipt, so the DAG overlaps the
+// forwarding of early segments with the receipt of later ones — latency
+// (N-1 + nseg) segment times instead of nseg·(N-1).
+func bcastPipelineEmit(b *builder, sh Shape, payload bufRef, root int) {
+	rank, size := sh.Rank, sh.Size
 	if size == 1 {
-		return nil
+		return
 	}
 	vrank := (rank - root + size) % size
 	toReal := func(v int) int { return (v + root) % size }
-	nseg := (len(buf) + pipelineSegment - 1) / pipelineSegment
+	nseg := (payload.n + pipelineSegment - 1) / pipelineSegment
 	for s := 0; s < nseg; s++ {
 		lo := s * pipelineSegment
-		hi := minInt(lo+pipelineSegment, len(buf))
+		hi := minInt(lo+pipelineSegment, payload.n)
+		seg := payload.slice(lo, hi-lo)
+		var have []int
 		if vrank > 0 {
-			if err := t.Recv(buf[lo:hi], toReal(vrank-1), tag); err != nil {
-				return err
-			}
+			have = []int{b.recv(seg, toReal(vrank-1), 0)}
 		}
 		if vrank < size-1 {
-			if err := t.Send(buf[lo:hi], toReal(vrank+1), tag); err != nil {
-				return err
-			}
+			b.send(seg, toReal(vrank+1), 0, have...)
 		}
 	}
-	return nil
 }
 
-// reduceBinomial: binomial reduction tree; each parent folds children in
-// ascending vrank order, so operands combine left-to-right from the root.
-func reduceBinomial(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// reduceBinomialEmit: binomial reduction tree; each parent folds children
+// in ascending vrank order, so operands combine left-to-right from the
+// root. dst is written only at root (a bufRef of kind bufNone is legal at
+// other members). Child recvs run concurrently; the folds chain on the
+// accumulator.
+func reduceBinomialEmit(b *builder, sh Shape, src, dst bufRef, count, elt, root int) {
+	rank, size := sh.Rank, sh.Size
 	n := count * elt
-	acc := make([]byte, n)
-	copy(acc, sendBuf[:n])
+	acc := b.alloc(n)
+	last := b.copyStep(acc, src)
 	if size > 1 {
 		vrank := (rank - root + size) % size
 		toReal := func(v int) int { return (v + root) % size }
-		tmp := make([]byte, n)
 		mask := 1
 		for mask < size {
 			if vrank&mask != 0 {
-				if err := t.Send(acc, toReal(vrank-mask), tag); err != nil {
-					return err
-				}
-				break
+				// Interior/leaf member: ship the accumulator up and stop.
+				b.send(acc, toReal(vrank-mask), 0, last)
+				return
 			}
 			if peer := vrank + mask; peer < size {
-				if err := t.Recv(tmp, toReal(peer), tag); err != nil {
-					return err
-				}
+				tmp := b.alloc(n)
+				got := b.recv(tmp, toReal(peer), 0)
 				// acc holds the lower (v)ranks' contribution: keep it left.
-				if err := rf(acc, tmp, count); err != nil {
-					return err
-				}
+				last = b.reduce(acc, tmp, count, last, got)
 			}
 			mask <<= 1
 		}
 	}
 	if rank == root {
-		copy(recvBuf[:n], acc)
+		b.copyStep(dst, acc, last)
 	}
-	return nil
 }
 
-// reduceLinear: every member sends directly to the root, which folds the
-// contributions in ascending vrank order. One hop for every member — the
-// right shape for tiny communicators where tree setup dominates.
-func reduceLinear(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// reduceLinearEmit: every member sends directly to the root, which folds
+// the contributions in ascending vrank order. One hop for every member —
+// the right shape for tiny communicators where tree setup dominates. All
+// recvs run concurrently; only the folds serialize.
+func reduceLinearEmit(b *builder, sh Shape, src, dst bufRef, count, elt, root int) {
+	rank, size := sh.Rank, sh.Size
 	n := count * elt
 	if rank != root {
-		return t.Send(sendBuf[:n], root, tag)
+		b.send(src, root, 0)
+		return
 	}
-	acc := make([]byte, n)
-	copy(acc, sendBuf[:n])
-	tmp := make([]byte, n)
+	acc := b.alloc(n)
+	last := b.copyStep(acc, src)
 	for v := 1; v < size; v++ {
-		if err := t.Recv(tmp, (v+root)%size, tag); err != nil {
-			return err
-		}
-		if err := rf(acc, tmp, count); err != nil {
-			return err
-		}
+		tmp := b.alloc(n)
+		got := b.recv(tmp, (v+root)%size, 0)
+		last = b.reduce(acc, tmp, count, last, got)
 	}
-	copy(recvBuf[:n], acc)
-	return nil
+	b.copyStep(dst, acc, last)
 }
 
-// allreduceRD: recursive doubling, generalized to any size with the
+// allreduceRDEmit: recursive doubling, generalized to any size with the
 // standard pre/post step (ranks beyond the largest power of two fold into
 // a partner first and receive the result at the end). Operands always
 // merge as adjacent rank intervals with the lower interval on the left, so
 // the bracketing stays ascending — safe for non-commutative reductions.
-func allreduceRD(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
+// Tag offsets: 0 pre-step, 1 doubling, 2 post-step. src may equal dst for
+// an in-place phase (the initial copy is skipped).
+func allreduceRDEmit(b *builder, sh Shape, src, dst bufRef, count, elt int) {
+	rank, size := sh.Rank, sh.Size
 	n := count * elt
-	copy(recvBuf[:n], sendBuf[:n])
-	if size == 1 {
+	var last int = -1
+	if src != dst {
+		last = b.copyStep(dst, src)
+	}
+	dep := func() []int {
+		if last >= 0 {
+			return []int{last}
+		}
 		return nil
 	}
-	tmp := make([]byte, n)
+	if size == 1 {
+		return
+	}
 	p2 := 1
 	for p2*2 <= size {
 		p2 *= 2
@@ -294,17 +305,12 @@ func allreduceRD(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, 
 	newrank := -1
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		if err := t.Recv(tmp, rank+1, tag); err != nil {
-			return err
-		}
-		if err := rf(recvBuf[:n], tmp, count); err != nil {
-			return err
-		}
+		tmp := b.alloc(n)
+		got := b.recv(tmp, rank+1, 0)
+		last = b.reduce(dst, tmp, count, append(dep(), got)...)
 		newrank = rank / 2
 	case rank < 2*rem:
-		if err := t.Send(recvBuf[:n], rank-1, tag); err != nil {
-			return err
-		}
+		last = b.send(dst, rank-1, 0, dep()...)
 	default:
 		newrank = rank - rem
 	}
@@ -318,19 +324,14 @@ func allreduceRD(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, 
 		}
 		for mask := 1; mask < p2; mask <<= 1 {
 			partner := toReal(newrank ^ mask)
-			if err := t.Sendrecv(recvBuf[:n], partner, tmp, partner, tag-1); err != nil {
-				return err
-			}
+			tmp := b.alloc(n)
+			x := b.sendrecv(dst, partner, tmp, partner, 1, dep()...)
 			if partner < rank {
 				// acc = rf(partner_acc, acc): lower interval on the left.
-				if err := rf(tmp, recvBuf[:n], count); err != nil {
-					return err
-				}
-				copy(recvBuf[:n], tmp)
+				red := b.reduce(tmp, dst, count, x)
+				last = b.copyStep(dst, tmp, red)
 			} else {
-				if err := rf(recvBuf[:n], tmp, count); err != nil {
-					return err
-				}
+				last = b.reduce(dst, tmp, count, x)
 			}
 		}
 	}
@@ -338,157 +339,133 @@ func allreduceRD(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, 
 	// Post-step: hand the finished result back to the idle odd ranks.
 	if rank < 2*rem {
 		if rank%2 == 0 {
-			return t.Send(recvBuf[:n], rank+1, tag-2)
+			b.send(dst, rank+1, 2, dep()...)
+		} else {
+			b.recv(dst, rank-1, 2, dep()...)
 		}
-		return t.Recv(recvBuf[:n], rank-1, tag-2)
 	}
-	return nil
 }
 
-// allreduceRing: reduce-scatter around a ring followed by an allgather of
-// the reduced chunks. Bandwidth-optimal (~2·bytes moved per member,
+// allreduceRingEmit: reduce-scatter around a ring followed by an allgather
+// of the reduced chunks. Bandwidth-optimal (~2·bytes moved per member,
 // independent of N) but reorders operands per chunk — commutative only.
-func allreduceRing(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	n := count * elt
-	copy(recvBuf[:n], sendBuf[:n])
+// Reduce-scatter rides tag offset 0, the allgather offset 1. Steps chain:
+// each forwards the chunk the previous step produced.
+func allreduceRingEmit(b *builder, sh Shape, src, dst bufRef, count, elt int) {
+	rank, size := sh.Rank, sh.Size
+	last := b.copyStep(dst, src)
 	if size == 1 {
-		return nil
+		return
 	}
 	offs := chunkOffsets(count, size)
-	seg := func(i int) []byte { return recvBuf[offs[i]*elt : offs[i+1]*elt] }
+	seg := func(i int) bufRef { return dst.slice(offs[i]*elt, (offs[i+1]-offs[i])*elt) }
 	cnt := func(i int) int { return offs[i+1] - offs[i] }
-	maxChunk := 0
-	for i := 0; i < size; i++ {
-		if c := cnt(i); c > maxChunk {
-			maxChunk = c
-		}
-	}
-	tmp := make([]byte, maxChunk*elt)
 	right := (rank + 1) % size
 	left := (rank - 1 + size) % size
 
 	// Reduce-scatter: after N-1 steps, this member owns the fully reduced
 	// chunk (rank+1) mod N.
-	for step := 0; step < size-1; step++ {
-		sc := (rank - step + size) % size
-		rc := (rank - step - 1 + size) % size
-		if err := t.Sendrecv(seg(sc), right, tmp[:cnt(rc)*elt], left, tag); err != nil {
-			return err
-		}
-		if err := rf(seg(rc), tmp[:cnt(rc)*elt], cnt(rc)); err != nil {
-			return err
-		}
+	for s := 0; s < size-1; s++ {
+		sc := (rank - s + size) % size
+		rc := (rank - s - 1 + size) % size
+		tmp := b.alloc(cnt(rc) * elt)
+		x := b.sendrecv(seg(sc), right, tmp, left, 0, last)
+		last = b.reduce(seg(rc), tmp, cnt(rc), x)
 	}
 	// Allgather the reduced chunks around the same ring.
-	for step := 0; step < size-1; step++ {
-		sc := (rank + 1 - step + size) % size
-		rc := (rank - step + size) % size
-		if err := t.Sendrecv(seg(sc), right, seg(rc), left, tag-1); err != nil {
-			return err
-		}
+	for s := 0; s < size-1; s++ {
+		sc := (rank + 1 - s + size) % size
+		rc := (rank - s + size) % size
+		last = b.sendrecv(seg(sc), right, seg(rc), left, 1, last)
 	}
-	return nil
 }
 
-// allreduceReduceBcast: binomial reduce to rank 0 followed by a binomial
-// broadcast — the coll/basic composition.
-func allreduceReduceBcast(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
-	n := count * elt
-	if err := reduceBinomial(e, sendBuf, recvBuf, count, elt, rf, 0, tag); err != nil {
-		return err
-	}
-	return bcastBinomial(e, recvBuf[:n], 0, tag-1)
+// allreduceReduceBcastEmit: binomial reduce to rank 0 followed by a
+// binomial broadcast — the coll/basic composition. The broadcast phase is
+// tag-shifted past the reduce phase and fenced behind it.
+func allreduceReduceBcastEmit(b *builder, sh Shape, src, dst bufRef, count, elt int) {
+	reduceBinomialEmit(b, sh, src, dst, count, elt, 0)
+	b.fence()
+	bcastBinomialEmit(b.shift(1), sh, dst, 0)
 }
 
-// allgatherRing: each member forwards the block that originated furthest
-// upstream; N-1 steps of neighbor sendrecv.
-func allgatherRing(e Env, sendBuf, recvBuf []byte, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	blk := len(sendBuf)
-	copy(recvBuf[rank*blk:], sendBuf)
+// allgatherRingEmit: each member forwards the block that originated
+// furthest upstream; N-1 steps of neighbor sendrecv, chained.
+func allgatherRingEmit(b *builder, sh Shape, blk int) {
+	rank, size := sh.Rank, sh.Size
+	rb := bufRef{kind: bufRecv, n: size * blk}
+	block := func(i int) bufRef { return rb.slice(i*blk, blk) }
+	last := b.copyStep(block(rank), bufRef{kind: bufSend, n: blk})
 	if size == 1 {
-		return nil
+		return
 	}
 	right := (rank + 1) % size
 	left := (rank - 1 + size) % size
 	for i := 0; i < size-1; i++ {
 		sendBlk := (rank - i + size) % size
 		recvBlk := (rank - i - 1 + size) % size
-		if err := t.Sendrecv(recvBuf[sendBlk*blk:sendBlk*blk+blk], right,
-			recvBuf[recvBlk*blk:recvBlk*blk+blk], left, tag); err != nil {
-			return err
-		}
+		last = b.sendrecv(block(sendBlk), right, block(recvBlk), left, 0, last)
 	}
-	return nil
 }
 
-// allgatherBruck: ceil(log2(N)) rounds of doubling exchanges into a
-// rotated staging buffer, then one local rotation into place. Fewer
-// rounds than the ring — the small-message shape.
-func allgatherBruck(e Env, sendBuf, recvBuf []byte, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	blk := len(sendBuf)
+// allgatherBruckEmit: ceil(log2(N)) rounds of doubling exchanges into a
+// rotated staging buffer, then one local rotation into place. Fewer rounds
+// than the ring — the small-message shape.
+func allgatherBruckEmit(b *builder, sh Shape, blk int) {
+	rank, size := sh.Rank, sh.Size
+	rb := bufRef{kind: bufRecv, n: size * blk}
+	sb := bufRef{kind: bufSend, n: blk}
 	if size == 1 {
-		copy(recvBuf[:blk], sendBuf)
-		return nil
+		b.copyStep(rb.slice(0, blk), sb)
+		return
 	}
-	// tmp[i] accumulates the block of rank (rank+i) mod N.
-	tmp := make([]byte, size*blk)
-	copy(tmp[:blk], sendBuf)
+	// tmp block i accumulates the block of rank (rank+i) mod N.
+	tmp := b.alloc(size * blk)
+	last := b.copyStep(tmp.slice(0, blk), sb)
 	have := 1
 	for pofk := 1; pofk < size; pofk <<= 1 {
 		cnt := minInt(pofk, size-have)
 		to := (rank - pofk + size) % size
 		from := (rank + pofk) % size
-		if err := t.Sendrecv(tmp[:cnt*blk], to, tmp[have*blk:(have+cnt)*blk], from, tag); err != nil {
-			return err
-		}
+		last = b.sendrecv(tmp.slice(0, cnt*blk), to, tmp.slice(have*blk, cnt*blk), from, 0, last)
 		have += cnt
 	}
 	for i := 0; i < size; i++ {
 		src := (rank + i) % size
-		copy(recvBuf[src*blk:(src+1)*blk], tmp[i*blk:(i+1)*blk])
+		b.copyStep(rb.slice(src*blk, blk), tmp.slice(i*blk, blk), last)
 	}
-	return nil
 }
 
-// alltoallPairwise: N-1 rounds, round i exchanging with ranks at distance
-// ±i. Large-message shape: every byte moves exactly once.
-func alltoallPairwise(e Env, sendBuf, recvBuf []byte, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	blk := len(sendBuf) / size
-	copy(recvBuf[rank*blk:rank*blk+blk], sendBuf[rank*blk:rank*blk+blk])
+// alltoallPairwiseEmit: N-1 rounds, round i exchanging with ranks at
+// distance ±i. Every byte moves exactly once, and because each round
+// touches disjoint buffers and distinct peers, the steps carry no
+// dependencies at all — the engine drives every exchange concurrently.
+func alltoallPairwiseEmit(b *builder, sh Shape, blk int) {
+	rank, size := sh.Rank, sh.Size
+	sb := bufRef{kind: bufSend, n: size * blk}
+	rb := bufRef{kind: bufRecv, n: size * blk}
+	b.copyStep(rb.slice(rank*blk, blk), sb.slice(rank*blk, blk))
 	for i := 1; i < size; i++ {
 		to := (rank + i) % size
 		from := (rank - i + size) % size
-		if err := t.Sendrecv(sendBuf[to*blk:to*blk+blk], to,
-			recvBuf[from*blk:from*blk+blk], from, tag); err != nil {
-			return err
-		}
+		b.sendrecv(sb.slice(to*blk, blk), to, rb.slice(from*blk, blk), from, 0)
 	}
-	return nil
 }
 
-// alltoallBruck: ceil(log2(N)) rounds; round k ships every staged block
-// whose index has bit k set to the rank 2^k away. O(N log N) bytes moved
-// but only log rounds — the small-message shape.
-func alltoallBruck(e Env, sendBuf, recvBuf []byte, tag int) error {
-	t := e.T
-	rank, size := t.Rank(), t.Size()
-	blk := 0
-	if size > 0 {
-		blk = len(sendBuf) / size
-	}
-	// Local rotation: tmp[i] = the block destined for rank (rank+i) mod N.
-	tmp := make([]byte, size*blk)
+// alltoallBruckEmit: ceil(log2(N)) rounds; round k ships every staged
+// block whose index has bit k set to the rank 2^k away. O(N log N) bytes
+// moved but only log rounds — the small-message shape. Pack and unpack are
+// explicit copy steps; rounds chain through them.
+func alltoallBruckEmit(b *builder, sh Shape, blk int) {
+	rank, size := sh.Rank, sh.Size
+	sb := bufRef{kind: bufSend, n: size * blk}
+	rb := bufRef{kind: bufRecv, n: size * blk}
+	// Local rotation: tmp block i = the block destined for rank (rank+i).
+	tmp := b.alloc(size * blk)
+	prev := make([]int, 0, size)
 	for i := 0; i < size; i++ {
 		dst := (rank + i) % size
-		copy(tmp[i*blk:(i+1)*blk], sendBuf[dst*blk:(dst+1)*blk])
+		prev = append(prev, b.copyStep(tmp.slice(i*blk, blk), sb.slice(dst*blk, blk)))
 	}
 	for pofk := 1; pofk < size; pofk <<= 1 {
 		var idx []int
@@ -497,24 +474,23 @@ func alltoallBruck(e Env, sendBuf, recvBuf []byte, tag int) error {
 				idx = append(idx, i)
 			}
 		}
-		pack := make([]byte, len(idx)*blk)
-		rpack := make([]byte, len(idx)*blk)
+		pack := b.alloc(len(idx) * blk)
+		rpack := b.alloc(len(idx) * blk)
+		packed := make([]int, 0, len(idx))
 		for k, i := range idx {
-			copy(pack[k*blk:(k+1)*blk], tmp[i*blk:(i+1)*blk])
+			packed = append(packed, b.copyStep(pack.slice(k*blk, blk), tmp.slice(i*blk, blk), prev...))
 		}
 		to := (rank + pofk) % size
 		from := (rank - pofk + size) % size
-		if err := t.Sendrecv(pack, to, rpack, from, tag); err != nil {
-			return err
-		}
+		x := b.sendrecv(pack, to, rpack, from, 0, packed...)
+		prev = prev[:0]
 		for k, i := range idx {
-			copy(tmp[i*blk:(i+1)*blk], rpack[k*blk:(k+1)*blk])
+			prev = append(prev, b.copyStep(tmp.slice(i*blk, blk), rpack.slice(k*blk, blk), x))
 		}
 	}
 	// Inverse rotation: the block from rank j sits at tmp[(rank-j) mod N].
 	for j := 0; j < size; j++ {
 		src := (rank - j + size) % size
-		copy(recvBuf[j*blk:(j+1)*blk], tmp[src*blk:(src+1)*blk])
+		b.copyStep(rb.slice(j*blk, blk), tmp.slice(src*blk, blk), prev...)
 	}
-	return nil
 }

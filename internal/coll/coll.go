@@ -8,13 +8,22 @@
 //	basic  one fixed, simple algorithm per operation
 //	tuned  size-based decision tables over every flat algorithm
 //	hier   hierarchical (node-leader) variants: intra-node phases ride the
-//	       sm BTL, only node leaders exchange over the fabric
+//	       sm BTL fast path, only node leaders exchange over the fabric
 //
-// The package is transport-agnostic: algorithms move bytes through the
+// Since the schedule refactor, an algorithm is an *emitter*: it compiles
+// the collective for one rank into a Schedule — a DAG of typed steps with
+// explicit dependencies (schedule.go) — and the executors in engine.go run
+// it, either sequentially over the blocking Transport or concurrently over
+// an NBTransport. Modules cache compiled schedules per call shape, and
+// Prepare* returns a fully bound Exec (schedule + staging + engine state)
+// that can be run many times with zero per-run allocation — the substrate
+// of the mpi persistent collectives.
+//
+// The package is transport-agnostic: schedules move bytes through the
 // Transport interface (implemented by mpi.Comm over the PML), so they can
-// also run over an in-memory mesh in tests. Algorithms never allocate
-// tags: the caller passes the base of a 16-tag window and phases use
-// fixed negative offsets inside it (tag, tag-1, ...), matching the
+// also run over an in-memory mesh in tests. Emitters never allocate tags:
+// the caller passes the base of a 16-tag window and steps use fixed
+// negative offsets inside it (tag, tag-1, ...), matching the
 // communicator's collective-tag discipline.
 package coll
 
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/opal"
 )
@@ -79,59 +89,60 @@ func (o Op) String() string {
 // Ops lists every framework-dispatched operation.
 func Ops() []Op { return []Op{Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall} }
 
-// Env is what an algorithm sees of one communicator: the transport plus
-// the node hosting each communicator rank (nil when placement is unknown,
-// which the hierarchical algorithms treat as a single node).
+// Env is what the decision chain sees of one communicator: the transport
+// plus the node hosting each communicator rank (nil when placement is
+// unknown, which the hierarchical emitters treat as a single node).
 type Env struct {
 	T     Transport
 	Nodes []int
 }
 
-// Per-operation algorithm signatures. Reduction algorithms only write
-// recvBuf at the root; allreduce writes it everywhere. All buffers are
-// exactly sized by the caller.
+// Per-operation emitter signatures. An emitter appends this rank's steps
+// for one call shape to the builder; buffers arrive as symbolic refs so
+// composed shapes can rebase phases. Reduction emitters only reference dst
+// at the root; allreduce writes it everywhere.
 type (
-	barrierFn   func(e Env, tag int) error
-	bcastFn     func(e Env, buf []byte, root, tag int) error
-	reduceFn    func(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, root, tag int) error
-	allreduceFn func(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error
-	allgatherFn func(e Env, sendBuf, recvBuf []byte, tag int) error
-	alltoallFn  func(e Env, sendBuf, recvBuf []byte, tag int) error
+	barrierEmitter   func(b *builder, sh Shape)
+	bcastEmitter     func(b *builder, sh Shape, payload bufRef, root int)
+	reduceEmitter    func(b *builder, sh Shape, src, dst bufRef, count, elt, root int)
+	allreduceEmitter func(b *builder, sh Shape, src, dst bufRef, count, elt int)
+	allgatherEmitter func(b *builder, sh Shape, blk int)
+	alltoallEmitter  func(b *builder, sh Shape, blk int)
 )
 
-// The algorithm registries. To add a variant: implement the signature in
+// The algorithm registries. To add a variant: implement the emitter in
 // algorithms.go (or hier.go for topology-aware shapes), add it here under
 // a unique name, and teach a component's decide function when to pick it
 // (or select it per-communicator with an Info hint).
 var (
-	barrierAlgos = map[string]barrierFn{
-		"binomial":      barrierBinomial,
-		"dissemination": barrierDissemination,
-		"hier":          hierBarrier,
+	barrierEmitters = map[string]barrierEmitter{
+		"binomial":      barrierBinomialEmit,
+		"dissemination": barrierDisseminationEmit,
+		"hier":          hierBarrierEmit,
 	}
-	bcastAlgos = map[string]bcastFn{
-		"binomial":          bcastBinomial,
-		"scatter_allgather": bcastScatterAllgather,
-		"pipeline":          bcastPipeline,
-		"hier":              hierBcast,
+	bcastEmitters = map[string]bcastEmitter{
+		"binomial":          bcastBinomialEmit,
+		"scatter_allgather": bcastScatterAllgatherEmit,
+		"pipeline":          bcastPipelineEmit,
+		"hier":              hierBcastEmit,
 	}
-	reduceAlgos = map[string]reduceFn{
-		"binomial": reduceBinomial,
-		"linear":   reduceLinear,
+	reduceEmitters = map[string]reduceEmitter{
+		"binomial": reduceBinomialEmit,
+		"linear":   reduceLinearEmit,
 	}
-	allreduceAlgos = map[string]allreduceFn{
-		"recursive_doubling": allreduceRD,
-		"ring":               allreduceRing,
-		"reduce_bcast":       allreduceReduceBcast,
-		"hier":               hierAllreduce,
+	allreduceEmitters = map[string]allreduceEmitter{
+		"recursive_doubling": allreduceRDEmit,
+		"ring":               allreduceRingEmit,
+		"reduce_bcast":       allreduceReduceBcastEmit,
+		"hier":               hierAllreduceEmit,
 	}
-	allgatherAlgos = map[string]allgatherFn{
-		"ring":  allgatherRing,
-		"bruck": allgatherBruck,
+	allgatherEmitters = map[string]allgatherEmitter{
+		"ring":  allgatherRingEmit,
+		"bruck": allgatherBruckEmit,
 	}
-	alltoallAlgos = map[string]alltoallFn{
-		"pairwise": alltoallPairwise,
-		"bruck":    alltoallBruck,
+	alltoallEmitters = map[string]alltoallEmitter{
+		"pairwise": alltoallPairwiseEmit,
+		"bruck":    alltoallBruckEmit,
 	}
 )
 
@@ -144,27 +155,27 @@ func Algorithms(op Op) []string {
 	var names []string
 	switch op {
 	case Barrier:
-		for n := range barrierAlgos {
+		for n := range barrierEmitters {
 			names = append(names, n)
 		}
 	case Bcast:
-		for n := range bcastAlgos {
+		for n := range bcastEmitters {
 			names = append(names, n)
 		}
 	case Reduce:
-		for n := range reduceAlgos {
+		for n := range reduceEmitters {
 			names = append(names, n)
 		}
 	case Allreduce:
-		for n := range allreduceAlgos {
+		for n := range allreduceEmitters {
 			names = append(names, n)
 		}
 	case Allgather:
-		for n := range allgatherAlgos {
+		for n := range allgatherEmitters {
 			names = append(names, n)
 		}
 	case Alltoall:
-		for n := range alltoallAlgos {
+		for n := range alltoallEmitters {
 			names = append(names, n)
 		}
 	}
@@ -194,8 +205,13 @@ type component struct {
 // chain plus per-algorithm invocation counters. One Framework serves every
 // communicator of an instance cycle.
 type Framework struct {
-	comps []component
-	trace *opal.Trace // may be nil (tracing disabled at the source)
+	comps  []component
+	trace  *opal.Trace // may be nil (tracing disabled at the source)
+	direct bool        // run schedules through the sequential reference executor
+
+	persistentStarts atomic.Uint64
+	cacheHits        atomic.Uint64
+	stepsRun         [numOps]atomic.Uint64
 
 	mu     sync.Mutex
 	counts map[string]uint64 // "op/algo" -> calls
@@ -224,6 +240,23 @@ func NewFramework(names []string, trace *opal.Trace) (*Framework, error) {
 	return f, nil
 }
 
+// SetExecMode selects the schedule executor: "" or "schedule" is the DAG
+// engine over the nonblocking transport (the default), "direct" (alias
+// "legacy") is the sequential reference executor that reproduces the
+// pre-schedule blocking behavior — the A/B knob, mirroring the PML's
+// Matcher="list". Call before the framework serves traffic.
+func (f *Framework) SetExecMode(mode string) error {
+	switch mode {
+	case "", "schedule":
+		f.direct = false
+	case "direct", "legacy":
+		f.direct = true
+	default:
+		return fmt.Errorf("coll: unknown exec mode %q (want schedule or direct)", mode)
+	}
+	return nil
+}
+
 // Components returns the selected component names in priority order.
 func (f *Framework) Components() []string {
 	out := make([]string, len(f.comps))
@@ -233,42 +266,72 @@ func (f *Framework) Components() []string {
 	return out
 }
 
-// Snapshot returns the per-algorithm invocation counts, keyed "op/algo".
+// Snapshot returns the framework counters: per-algorithm invocation counts
+// keyed "op/algo", cumulative executed step counts keyed "steps/op", and
+// the "persistent_starts" / "schedule_cache_hits" totals.
 func (f *Framework) Snapshot() map[string]uint64 {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make(map[string]uint64, len(f.counts))
+	out := make(map[string]uint64, len(f.counts)+int(numOps)+2)
 	for k, v := range f.counts {
 		out[k] = v
 	}
+	f.mu.Unlock()
+	for _, op := range Ops() {
+		if v := f.stepsRun[op].Load(); v > 0 {
+			out["steps/"+op.String()] = v
+		}
+	}
+	out["persistent_starts"] = f.persistentStarts.Load()
+	out["schedule_cache_hits"] = f.cacheHits.Load()
 	return out
 }
 
-func (f *Framework) record(op Op, comp, algo, comm string, size, bytes int) {
+func (f *Framework) record(op Op, comp, algo, comm string, size, bytes int, s *Schedule) {
 	f.mu.Lock()
 	f.counts[op.String()+"/"+algo]++
 	f.mu.Unlock()
+	f.stepsRun[op].Add(uint64(s.Steps()))
 	if f.trace != nil {
-		f.trace.Logf("coll", "%s on %s (size=%d bytes=%d) -> %s/%s", op, comm, size, bytes, comp, algo)
+		f.trace.Logf("coll", "%s on %s (size=%d bytes=%d) -> %s/%s (%d steps)",
+			op, comm, size, bytes, comp, algo, s.Steps())
 	}
 }
 
+// schedKey identifies one compiled call shape: everything the emitted
+// schedule depends on besides the buffers and the tag base.
+type schedKey struct {
+	op    Op
+	algo  string
+	bytes int // bcast payload / allgather block / alltoall block
+	count int
+	elt   int
+	root  int
+}
+
 // Module is the framework's view of one communicator: the environment the
-// algorithms run in plus per-communicator algorithm hints (MPI info keys).
+// schedules run in, the per-communicator algorithm hints (MPI info keys),
+// and the compiled-schedule cache.
 type Module struct {
 	f    *Framework
 	env  Env
-	comm string // communicator name, for the trace
+	nb   NBTransport // non-nil when the transport has the nonblocking seam
+	comm string      // communicator name, for the trace
 
 	mu    sync.Mutex
 	hints map[Op]string
+	cache map[schedKey]*Schedule
 }
 
 // NewModule binds the framework to one communicator. nodes[i] is the node
 // hosting communicator rank i (nil when unknown); comm names the
 // communicator in trace events.
 func (f *Framework) NewModule(t Transport, nodes []int, comm string) *Module {
-	return &Module{f: f, env: Env{T: t, Nodes: nodes}, comm: comm, hints: make(map[Op]string)}
+	nb, _ := t.(NBTransport)
+	return &Module{
+		f: f, env: Env{T: t, Nodes: nodes}, nb: nb, comm: comm,
+		hints: make(map[Op]string),
+		cache: make(map[schedKey]*Schedule),
+	}
 }
 
 // SetHint forces an algorithm for one operation on this communicator,
@@ -334,39 +397,111 @@ func fallbackAlgo(op Op) string {
 	return ""
 }
 
+func (m *Module) shape() Shape {
+	return Shape{Rank: m.env.T.Rank(), Size: m.env.T.Size(), Nodes: m.env.Nodes}
+}
+
+// emitFor runs the emitter selected by key against a fresh builder.
+func emitFor(b *builder, sh Shape, key schedKey) error {
+	n := key.count * key.elt
+	switch key.op {
+	case Barrier:
+		barrierEmitters[key.algo](b, sh)
+	case Bcast:
+		bcastEmitters[key.algo](b, sh, bufRef{kind: bufRecv, n: key.bytes}, key.root)
+	case Reduce:
+		reduceEmitters[key.algo](b, sh,
+			bufRef{kind: bufSend, n: n}, bufRef{kind: bufRecv, n: n}, key.count, key.elt, key.root)
+	case Allreduce:
+		allreduceEmitters[key.algo](b, sh,
+			bufRef{kind: bufSend, n: n}, bufRef{kind: bufRecv, n: n}, key.count, key.elt)
+	case Allgather:
+		allgatherEmitters[key.algo](b, sh, key.bytes)
+	case Alltoall:
+		alltoallEmitters[key.algo](b, sh, key.bytes)
+	default:
+		return fmt.Errorf("coll: no emitter for %v", key.op)
+	}
+	return nil
+}
+
+// schedule returns the compiled schedule for one call shape, consulting
+// the per-communicator cache first. Hitting the cache is the common case
+// for iterative applications: the whole emit+compile pipeline is skipped.
+func (m *Module) schedule(key schedKey) (*Schedule, error) {
+	m.mu.Lock()
+	if s, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		m.f.cacheHits.Add(1)
+		return s, nil
+	}
+	m.mu.Unlock()
+	b := newBuilder()
+	if err := emitFor(b, m.shape(), key); err != nil {
+		return nil, err
+	}
+	s, err := b.compile()
+	if err != nil {
+		return nil, fmt.Errorf("coll: %v/%s: %w", key.op, key.algo, err)
+	}
+	m.mu.Lock()
+	m.cache[key] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// execute runs a one-shot schedule with freshly allocated state.
+func (m *Module) execute(s *Schedule, bind *binding) error {
+	if m.nb == nil || m.f.direct {
+		return runDirect(m.env.T, s, bind)
+	}
+	return run(m.nb, s, bind, newExecState(s))
+}
+
+// dispatch compiles (or fetches) the schedule for one call, records it,
+// and executes it with the given binding.
+func (m *Module) dispatch(key schedKey, comp string, bytes int, bind *binding) error {
+	s, err := m.schedule(key)
+	if err != nil {
+		return err
+	}
+	m.f.record(key.op, comp, key.algo, m.comm, m.env.T.Size(), bytes, s)
+	bind.stage = make([]byte, s.stage)
+	return m.execute(s, bind)
+}
+
 // Barrier runs the selected barrier algorithm.
 func (m *Module) Barrier(tag int) error {
 	comp, algo := m.pick(Barrier, 0, true)
-	m.f.record(Barrier, comp, algo, m.comm, m.env.T.Size(), 0)
-	return barrierAlgos[algo](m.env, tag)
+	return m.dispatch(schedKey{op: Barrier, algo: algo}, comp, 0, &binding{baseTag: tag})
 }
 
 // Bcast broadcasts buf from root.
 func (m *Module) Bcast(buf []byte, root, tag int) error {
 	comp, algo := m.pick(Bcast, len(buf), true)
-	m.f.record(Bcast, comp, algo, m.comm, m.env.T.Size(), len(buf))
-	return bcastAlgos[algo](m.env, buf, root, tag)
+	return m.dispatch(schedKey{op: Bcast, algo: algo, bytes: len(buf), root: root}, comp, len(buf),
+		&binding{recv: buf, baseTag: tag})
 }
 
 // Reduce combines count elements of elt bytes into recvBuf at root.
 func (m *Module) Reduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, root, tag int) error {
 	comp, algo := m.pick(Reduce, count*elt, commutative)
-	m.f.record(Reduce, comp, algo, m.comm, m.env.T.Size(), count*elt)
-	return reduceAlgos[algo](m.env, sendBuf, recvBuf, count, elt, rf, root, tag)
+	return m.dispatch(schedKey{op: Reduce, algo: algo, count: count, elt: elt, root: root}, comp, count*elt,
+		&binding{send: sendBuf, recv: recvBuf, rf: rf, baseTag: tag})
 }
 
 // Allreduce combines count elements of elt bytes into recvBuf everywhere.
 func (m *Module) Allreduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, tag int) error {
 	comp, algo := m.pick(Allreduce, count*elt, commutative)
-	m.f.record(Allreduce, comp, algo, m.comm, m.env.T.Size(), count*elt)
-	return allreduceAlgos[algo](m.env, sendBuf, recvBuf, count, elt, rf, tag)
+	return m.dispatch(schedKey{op: Allreduce, algo: algo, count: count, elt: elt}, comp, count*elt,
+		&binding{send: sendBuf, recv: recvBuf, rf: rf, baseTag: tag})
 }
 
 // Allgather concatenates each member's sendBuf into recvBuf everywhere.
 func (m *Module) Allgather(sendBuf, recvBuf []byte, tag int) error {
 	comp, algo := m.pick(Allgather, len(sendBuf), true)
-	m.f.record(Allgather, comp, algo, m.comm, m.env.T.Size(), len(sendBuf))
-	return allgatherAlgos[algo](m.env, sendBuf, recvBuf, tag)
+	return m.dispatch(schedKey{op: Allgather, algo: algo, bytes: len(sendBuf)}, comp, len(sendBuf),
+		&binding{send: sendBuf, recv: recvBuf, baseTag: tag})
 }
 
 // Alltoall exchanges block i of sendBuf with member i.
@@ -377,6 +512,98 @@ func (m *Module) Alltoall(sendBuf, recvBuf []byte, tag int) error {
 		blk = len(sendBuf) / size
 	}
 	comp, algo := m.pick(Alltoall, blk, true)
-	m.f.record(Alltoall, comp, algo, m.comm, size, blk)
-	return alltoallAlgos[algo](m.env, sendBuf, recvBuf, tag)
+	return m.dispatch(schedKey{op: Alltoall, algo: algo, bytes: blk}, comp, blk,
+		&binding{send: sendBuf, recv: recvBuf, baseTag: tag})
+}
+
+// Exec is a prepared (persistent) collective: the compiled schedule bound
+// to fixed buffers, a reserved tag base, a preallocated staging arena, and
+// reusable engine state. Run executes it synchronously; every Run after
+// the first performs zero allocations and zero decision-table work. The
+// mpi layer wraps Exec in the startable persistent-request surface.
+type Exec struct {
+	m    *Module
+	s    *Schedule
+	op   Op
+	algo string
+	bind binding
+	x    *execState
+}
+
+// prepare compiles, records, and binds one persistent call shape.
+func (m *Module) prepare(key schedKey, comp string, bind binding) (*Exec, error) {
+	s, err := m.schedule(key)
+	if err != nil {
+		return nil, err
+	}
+	m.f.record(key.op, comp, key.algo, m.comm, m.env.T.Size(), key.bytes, s)
+	bind.stage = make([]byte, s.stage)
+	return &Exec{m: m, s: s, op: key.op, algo: key.algo, bind: bind, x: newExecState(s)}, nil
+}
+
+// PrepareBarrier binds a persistent barrier on the given tag window.
+func (m *Module) PrepareBarrier(tag int) (*Exec, error) {
+	comp, algo := m.pick(Barrier, 0, true)
+	return m.prepare(schedKey{op: Barrier, algo: algo}, comp, binding{baseTag: tag})
+}
+
+// PrepareBcast binds a persistent broadcast of buf from root.
+func (m *Module) PrepareBcast(buf []byte, root, tag int) (*Exec, error) {
+	comp, algo := m.pick(Bcast, len(buf), true)
+	return m.prepare(schedKey{op: Bcast, algo: algo, bytes: len(buf), root: root}, comp,
+		binding{recv: buf, baseTag: tag})
+}
+
+// PrepareReduce binds a persistent reduction into recvBuf at root.
+func (m *Module) PrepareReduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, root, tag int) (*Exec, error) {
+	comp, algo := m.pick(Reduce, count*elt, commutative)
+	return m.prepare(schedKey{op: Reduce, algo: algo, count: count, elt: elt, root: root}, comp,
+		binding{send: sendBuf, recv: recvBuf, rf: rf, baseTag: tag})
+}
+
+// PrepareAllreduce binds a persistent allreduce.
+func (m *Module) PrepareAllreduce(sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, commutative bool, tag int) (*Exec, error) {
+	comp, algo := m.pick(Allreduce, count*elt, commutative)
+	return m.prepare(schedKey{op: Allreduce, algo: algo, count: count, elt: elt}, comp,
+		binding{send: sendBuf, recv: recvBuf, rf: rf, baseTag: tag})
+}
+
+// PrepareAllgather binds a persistent allgather.
+func (m *Module) PrepareAllgather(sendBuf, recvBuf []byte, tag int) (*Exec, error) {
+	comp, algo := m.pick(Allgather, len(sendBuf), true)
+	return m.prepare(schedKey{op: Allgather, algo: algo, bytes: len(sendBuf)}, comp,
+		binding{send: sendBuf, recv: recvBuf, baseTag: tag})
+}
+
+// PrepareAlltoall binds a persistent alltoall.
+func (m *Module) PrepareAlltoall(sendBuf, recvBuf []byte, tag int) (*Exec, error) {
+	size := m.env.T.Size()
+	blk := 0
+	if size > 0 {
+		blk = len(sendBuf) / size
+	}
+	comp, algo := m.pick(Alltoall, blk, true)
+	return m.prepare(schedKey{op: Alltoall, algo: algo, bytes: blk}, comp,
+		binding{send: sendBuf, recv: recvBuf, baseTag: tag})
+}
+
+// Op returns the prepared operation.
+func (e *Exec) Op() Op { return e.op }
+
+// Algorithm returns the algorithm the schedule was compiled from.
+func (e *Exec) Algorithm() string { return e.algo }
+
+// Steps returns the number of steps in the bound schedule.
+func (e *Exec) Steps() int { return e.s.Steps() }
+
+// Run executes the prepared schedule once, blocking until it completes.
+// Safe to call repeatedly (but not concurrently); each call is one
+// triggered instance of the persistent collective.
+func (e *Exec) Run() error {
+	e.m.f.persistentStarts.Add(1)
+	e.m.f.stepsRun[e.op].Add(uint64(len(e.s.steps)))
+	if e.m.nb == nil || e.m.f.direct {
+		return runDirect(e.m.env.T, e.s, &e.bind)
+	}
+	return run(e.m.nb, e.s, &e.bind, e.x)
 }

@@ -86,7 +86,7 @@ func tunedDecide(op Op, e Env, size, bytes int, commutative bool) string {
 // commutative operator because the node-then-leader fold reorders
 // operands. Everything else passes down the chain.
 func hierDecide(op Op, e Env, size, bytes int, commutative bool) string {
-	if !multiNode(e) {
+	if !multiNode(Shape{Nodes: e.Nodes}) {
 		return ""
 	}
 	switch op {

@@ -2,11 +2,16 @@ package coll
 
 import "sort"
 
-// Hierarchical (topology-aware) variants. The communicator is split into
-// per-node subgroups using Env.Nodes (the PR 1 placement map): each node
+// Hierarchical (topology-aware) emitters. The communicator is split into
+// per-node subgroups using Shape.Nodes (the PR 1 placement map): each node
 // elects a leader, intra-node phases run over the sm BTL fast path, and
 // only the leaders talk across the fabric. On the Jupiter profile that
 // turns N inter-node messages into one per node.
+//
+// Composition is pure schedule algebra: each phase is a flat emitter run
+// through a builder view that translates subgroup ranks to communicator
+// ranks and shifts its tag offsets into a disjoint sub-range; fences
+// between phases pin the local program order.
 //
 // Every variant degrades gracefully: with Nodes == nil (or a single node)
 // the leader phase is size 1 and the intra-node phase covers the whole
@@ -25,13 +30,13 @@ type hierTopo struct {
 // distinguished root" and the leader of each node is its lowest rank; for
 // rooted operations the root is promoted to leader of its own node so the
 // leader phase can be rooted at it without an extra hop.
-func hierSplit(e Env, root int) hierTopo {
-	rank, size := e.T.Rank(), e.T.Size()
+func hierSplit(sh Shape, root int) hierTopo {
+	rank, size := sh.Rank, sh.Size
 	nodeOf := func(r int) int {
-		if e.Nodes == nil {
+		if sh.Nodes == nil {
 			return 0
 		}
-		return e.Nodes[r]
+		return sh.Nodes[r]
 	}
 	groups := map[int][]int{}
 	var nodeIDs []int
@@ -72,68 +77,48 @@ func hierSplit(e Env, root int) hierTopo {
 // multiNode reports whether the hierarchical shape can actually save
 // inter-node traffic: more than one node, and some node hosting more than
 // one member. Cheap enough to run inside a decision function.
-func multiNode(e Env) bool {
-	if e.Nodes == nil {
+func multiNode(sh Shape) bool {
+	if sh.Nodes == nil {
 		return false
 	}
 	distinct := map[int]bool{}
-	for _, n := range e.Nodes {
+	for _, n := range sh.Nodes {
 		distinct[n] = true
 	}
-	return len(distinct) > 1 && len(e.Nodes) > len(distinct)
+	return len(distinct) > 1 && len(sh.Nodes) > len(distinct)
 }
 
-// sub restricts a transport to a subset of communicator ranks: ranks[i]
+// subShape restricts a shape to a subset of communicator ranks: ranks[i]
 // is the parent rank of sub-rank i. The caller must be a member.
-type sub struct {
-	t     Transport
-	ranks []int
-	me    int
-}
-
-func newSub(t Transport, ranks []int) sub {
+func subShape(sh Shape, ranks []int) Shape {
 	me := 0
 	for i, r := range ranks {
-		if r == t.Rank() {
+		if r == sh.Rank {
 			me = i
 		}
 	}
-	return sub{t: t, ranks: ranks, me: me}
+	return Shape{Rank: me, Size: len(ranks)}
 }
 
-func (s sub) Rank() int { return s.me }
-func (s sub) Size() int { return len(s.ranks) }
-func (s sub) Send(buf []byte, dest, tag int) error {
-	return s.t.Send(buf, s.ranks[dest], tag)
-}
-func (s sub) Recv(buf []byte, src, tag int) error {
-	return s.t.Recv(buf, s.ranks[src], tag)
-}
-func (s sub) Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error {
-	return s.t.Sendrecv(sendBuf, s.ranks[dest], recvBuf, s.ranks[src], tag)
-}
-
-// hierBarrier: binomial fan-in to each node leader, dissemination barrier
-// across the leaders, binomial fan-out within each node.
-func hierBarrier(e Env, tag int) error {
-	h := hierSplit(e, -1)
-	intra := newSub(e.T, h.nodeRanks)
-	if err := fanIn(intra, tag); err != nil {
-		return err
-	}
+// hierBarrierEmit: binomial fan-in to each node leader, dissemination
+// barrier across the leaders, binomial fan-out within each node.
+func hierBarrierEmit(b *builder, sh Shape) {
+	h := hierSplit(sh, -1)
+	intra := subShape(sh, h.nodeRanks)
+	fanInEmit(b.view(h.nodeRanks, 0), intra)
+	b.fence()
 	if h.isLeader {
-		if err := barrierDissemination(Env{T: newSub(e.T, h.leaders)}, tag-1); err != nil {
-			return err
-		}
+		barrierDisseminationEmit(b.view(h.leaders, 1), subShape(sh, h.leaders))
 	}
-	return fanOut(intra, tag-2)
+	b.fence()
+	fanOutEmit(b.view(h.nodeRanks, 2), intra)
 }
 
-// hierBcast: binomial broadcast across the node leaders (rooted at the
+// hierBcastEmit: binomial broadcast across the node leaders (rooted at the
 // real root, which hierSplit promotes to leader of its node), then a
 // binomial broadcast inside each node.
-func hierBcast(e Env, buf []byte, root, tag int) error {
-	h := hierSplit(e, root)
+func hierBcastEmit(b *builder, sh Shape, payload bufRef, root int) {
+	h := hierSplit(sh, root)
 	if h.isLeader {
 		lroot := 0
 		for i, l := range h.leaders {
@@ -141,30 +126,25 @@ func hierBcast(e Env, buf []byte, root, tag int) error {
 				lroot = i
 			}
 		}
-		if err := bcastBinomial(Env{T: newSub(e.T, h.leaders)}, buf, lroot, tag); err != nil {
-			return err
-		}
+		bcastBinomialEmit(b.view(h.leaders, 0), subShape(sh, h.leaders), payload, lroot)
 	}
-	return bcastBinomial(Env{T: newSub(e.T, h.nodeRanks)}, buf, 0, tag-1)
+	b.fence()
+	bcastBinomialEmit(b.view(h.nodeRanks, 1), subShape(sh, h.nodeRanks), payload, 0)
 }
 
-// hierAllreduce: binomial reduce onto each node leader, recursive-doubling
-// allreduce across the leaders, binomial broadcast back down. The
-// node-then-leader fold reorders operands, so this variant is registered
-// as reordering (commutative reductions only).
-func hierAllreduce(e Env, sendBuf, recvBuf []byte, count, elt int, rf ReduceFunc, tag int) error {
-	n := count * elt
-	h := hierSplit(e, -1)
-	intra := Env{T: newSub(e.T, h.nodeRanks)}
-	if err := reduceBinomial(intra, sendBuf, recvBuf, count, elt, rf, 0, tag); err != nil {
-		return err
-	}
+// hierAllreduceEmit: binomial reduce onto each node leader, recursive-
+// doubling allreduce across the leaders (in place on dst), binomial
+// broadcast back down. The node-then-leader fold reorders operands, so
+// this variant is registered as reordering (commutative reductions only).
+func hierAllreduceEmit(b *builder, sh Shape, src, dst bufRef, count, elt int) {
+	h := hierSplit(sh, -1)
+	intra := subShape(sh, h.nodeRanks)
+	reduceBinomialEmit(b.view(h.nodeRanks, 0), intra, src, dst, count, elt, 0)
+	b.fence()
 	if h.isLeader {
-		lt := Env{T: newSub(e.T, h.leaders)}
-		// allreduceRD consumes tag-1 .. tag-3 for its pre/doubling/post phases.
-		if err := allreduceRD(lt, recvBuf[:n], recvBuf, count, elt, rf, tag-1); err != nil {
-			return err
-		}
+		// The RD phase consumes tag offsets 1..3 (pre/doubling/post).
+		allreduceRDEmit(b.view(h.leaders, 1), subShape(sh, h.leaders), dst, dst, count, elt)
 	}
-	return bcastBinomial(intra, recvBuf[:n], 0, tag-4)
+	b.fence()
+	bcastBinomialEmit(b.view(h.nodeRanks, 4), intra, dst, 0)
 }

@@ -76,6 +76,12 @@ type Config struct {
 	// basic), "^hier" disables the topology-aware variants, "basic" pins
 	// the simple fixed algorithms.
 	Coll string
+	// CollExec selects the collective schedule executor: "" or "schedule"
+	// runs compiled schedules through the DAG engine over nonblocking
+	// sends; "direct" (alias "legacy") walks every schedule sequentially
+	// with blocking calls, byte-for-byte reproducing the pre-schedule
+	// dispatch path — kept for A/B property tests and ablation.
+	CollExec string
 	// EagerLimit is the PML eager/rendezvous threshold. Zero defers to each
 	// transport's own limit (sm advertises a much larger one than net); a
 	// positive value overrides every transport.
@@ -327,6 +333,9 @@ func (inst *Instance) initColl() (func(), error) {
 	}
 	fw, err := coll.NewFramework(names, inst.trace)
 	if err != nil {
+		return nil, err
+	}
+	if err := fw.SetExecMode(inst.deps.Cfg.CollExec); err != nil {
 		return nil, err
 	}
 	inst.mu.Lock()

@@ -7,9 +7,10 @@ import (
 	"gompi/internal/lint/analysis"
 )
 
-// HandleFree enforces the MPI handle lifecycle: a Comm, Session, Win, or
-// File handle must not be used after its Free/Finalize/Close, and must not
-// be freed twice, within the function that freed it. Handles reaching Free
+// HandleFree enforces the MPI handle lifecycle: a Comm, Session, Win, File,
+// persistent-collective, or partitioned-request handle must not be used
+// after its Free/Finalize/Close, and must not be freed twice, within the
+// function that freed it. Handles reaching Free
 // through struct fields or other functions are out of scope (no false
 // positives, no report). Code that legitimately retries after a failed
 // Free — Session.Finalize fails while comms are live, for example — can
@@ -23,11 +24,13 @@ var HandleFree = &analysis.Analyzer{
 // handleFrees maps the releasing method of each handle type (all in
 // gompi/mpi) to the diagnostic verb.
 var handleFrees = map[string]map[string]string{
-	"Comm":      {"Free": "freed by Comm.Free"},
-	"InterComm": {"Free": "freed by InterComm.Free"},
-	"Session":   {"Finalize": "finalized by Session.Finalize"},
-	"Win":       {"Free": "freed by Win.Free"},
-	"File":      {"Close": "closed by File.Close"},
+	"Comm":               {"Free": "freed by Comm.Free"},
+	"InterComm":          {"Free": "freed by InterComm.Free"},
+	"Session":            {"Finalize": "finalized by Session.Finalize"},
+	"Win":                {"Free": "freed by Win.Free"},
+	"File":               {"Close": "closed by File.Close"},
+	"PersistentColl":     {"Free": "freed by PersistentColl.Free"},
+	"PartitionedRequest": {"Free": "freed by PartitionedRequest.Free"},
 }
 
 func runHandleFree(pass *analysis.Pass) error {

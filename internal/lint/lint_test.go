@@ -22,6 +22,10 @@ func TestLockOrder(t *testing.T) {
 	analysistest.Run(t, ".", lint.LockOrder, "./testdata/lockorder/bad", "./testdata/lockorder/good")
 }
 
+func TestCollState(t *testing.T) {
+	analysistest.Run(t, ".", lint.CollState, "./testdata/collstate/bad", "./testdata/collstate/good")
+}
+
 func TestHandleFree(t *testing.T) {
 	analysistest.Run(t, ".", lint.HandleFree, "./testdata/handlefree/bad", "./testdata/handlefree/good")
 }

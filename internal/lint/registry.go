@@ -5,6 +5,7 @@ import "gompi/internal/lint/analysis"
 // All returns the full gompilint suite in a stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		CollState,
 		ErrcheckMPI,
 		HandleFree,
 		LockOrder,

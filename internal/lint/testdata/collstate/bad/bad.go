@@ -1,0 +1,49 @@
+// Package bad holds collstate fixtures that must each produce a diagnostic.
+package bad
+
+import "gompi/mpi"
+
+// startUninitialized starts a persistent collective that no *Init call ever
+// produced: the zero value has no schedule, no tag window, no worker.
+func startUninitialized() error {
+	var r *mpi.PersistentColl
+	return r.Start() // want `r started before initialization: declared at line \d+ and never assigned a \*Init result`
+}
+
+// startUninitializedPartitioned does the same with a partitioned request.
+func startUninitializedPartitioned() error {
+	var r *mpi.PartitionedRequest
+	return r.Start() // want `r started before initialization`
+}
+
+// doubleStart arms a second round while the first is still active.
+func doubleStart(r *mpi.PersistentColl) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	return r.Start() // want `r started twice: no Wait/Test since the Start at line \d+`
+}
+
+// freeWhileStarted frees a request mid-round; the worker goroutine and tag
+// window would be torn down under an active schedule.
+func freeWhileStarted(r *mpi.PartitionedRequest) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	return r.Free() // want `r freed while a round is active: no Wait/Test since the Start at line \d+`
+}
+
+// bothBranchesStart reports only when every fall-through path left the
+// request active.
+func bothBranchesStart(r *mpi.PersistentColl, alt bool) error {
+	if alt {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	} else {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return r.Free() // want `r freed while a round is active`
+}

@@ -1,0 +1,89 @@
+// Package good holds collstate fixtures that must produce no diagnostics.
+package good
+
+import "gompi/mpi"
+
+// lifecycle is the canonical init/start/wait/free cycle.
+func lifecycle(c *mpi.Comm) error {
+	r, err := c.BarrierInit()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Start(); err != nil {
+			return err
+		}
+		if err := r.Wait(); err != nil {
+			return err
+		}
+	}
+	return r.Free()
+}
+
+// initializedLater fills the zero-valued variable before starting it.
+func initializedLater(c *mpi.Comm) error {
+	var r *mpi.PersistentColl
+	var err error
+	r, err = c.BarrierInit()
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	if err := r.Wait(); err != nil {
+		return err
+	}
+	return r.Free()
+}
+
+// initByPointer hands the variable's address away; the analyzer must not
+// assume it is still the zero value afterwards.
+func initByPointer(setup func(**mpi.PersistentColl) error) error {
+	var r *mpi.PersistentColl
+	if err := setup(&r); err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// branchStart leaves the round active only on a path that returns; the
+// fall-through merge must stay clean.
+func branchStart(r *mpi.PersistentColl, fire bool) error {
+	if fire {
+		return r.Start()
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// testClears lets Test rearm the request like Wait does.
+func testClears(r *mpi.PartitionedRequest) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	for {
+		done, err := r.Test()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	return r.Free()
+}
+
+// escapeHatch deliberately double-starts to probe ErrActive, the sanctioned
+// suppression for state-machine tests.
+func escapeHatch(r *mpi.PersistentColl) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	return r.Start() //gompilint:ignore collstate probing ErrActive is intended
+}

@@ -35,6 +35,28 @@ func winDoubleFree(w *mpi.Win) {
 	_ = w.Free() // want `w released twice: already freed by Win\.Free`
 }
 
+// collStartAfterFree starts a freed persistent collective.
+func collStartAfterFree(p *mpi.PersistentColl) error {
+	if err := p.Free(); err != nil {
+		return err
+	}
+	return p.Start() // want `use of p after it was freed by PersistentColl\.Free`
+}
+
+// partDoubleFree frees a partitioned request twice.
+func partDoubleFree(r *mpi.PartitionedRequest) {
+	_ = r.Free()
+	_ = r.Free() // want `r released twice: already freed by PartitionedRequest\.Free`
+}
+
+// partReadyAfterFree contributes a partition through a freed request.
+func partReadyAfterFree(r *mpi.PartitionedRequest) error {
+	if err := r.Free(); err != nil {
+		return err
+	}
+	return r.Pready(0) // want `use of r after it was freed by PartitionedRequest\.Free`
+}
+
 // fileUseAfterClose reads from a closed file handle.
 func fileUseAfterClose(f *mpi.File) error {
 	if err := f.Close(); err != nil {

@@ -31,6 +31,24 @@ func branchFree(c *mpi.Comm, done bool) error {
 	return c.Barrier()
 }
 
+// collFreeLast waits out the round, then frees as the final act.
+func collFreeLast(p *mpi.PersistentColl) error {
+	if err := p.Start(); err != nil {
+		return err
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	return p.Free()
+}
+
+// partFreeEach frees distinct partitioned requests, not one twice.
+func partFreeEach(reqs []*mpi.PartitionedRequest) {
+	for _, r := range reqs {
+		_ = r.Free()
+	}
+}
+
 // escapeHatch demonstrates //gompilint:ignore for a sanctioned
 // use-after-Free (Session.Finalize fails while comms are live and the
 // session is deliberately reused).

@@ -30,3 +30,30 @@ func persistentDropped(c *mpi.Comm, buf []byte) error {
 	_, err := c.SendInit(buf, 0, 0) // want `request returned by \(\*gompi/mpi\.Comm\)\.SendInit is assigned to _`
 	return err
 }
+
+// collDropped drops a persistent-collective handle: the worker goroutine
+// and its tag window can never be released.
+func collDropped(c *mpi.Comm) error {
+	_, err := c.BarrierInit() // want `request returned by \(\*gompi/mpi\.Comm\)\.BarrierInit is assigned to _`
+	return err
+}
+
+// collOverwritten frees the first barrier but leaks the second: the
+// variable is never read after the reassignment.
+func collOverwritten(c *mpi.Comm) error {
+	r, err := c.BarrierInit()
+	if err != nil {
+		return err
+	}
+	if err := r.Free(); err != nil {
+		return err
+	}
+	r, err = c.BarrierInit() // want `request r from \(\*gompi/mpi\.Comm\)\.BarrierInit is never awaited`
+	return err
+}
+
+// partDropped drops a partitioned request handle.
+func partDropped(c *mpi.Comm, buf []byte) error {
+	_, err := c.PsendInit(buf, 0, 0, 2) // want `request returned by \(\*gompi/mpi\.Comm\)\.PsendInit is assigned to _`
+	return err
+}

@@ -51,3 +51,36 @@ func persistent(c *mpi.Comm, buf []byte) error {
 	_, err = pr.Wait()
 	return err
 }
+
+// persistentColl runs the full init/start/wait/free cycle; Free is a read.
+func persistentColl(c *mpi.Comm) error {
+	r, err := c.BarrierInit()
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	if err := r.Wait(); err != nil {
+		return err
+	}
+	return r.Free()
+}
+
+// partitioned round-trips a partitioned send.
+func partitioned(c *mpi.Comm, buf []byte) error {
+	r, err := c.PsendInit(buf, 0, 0, 2)
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	if err := r.PreadyRange(0, 1); err != nil {
+		return err
+	}
+	if err := r.Wait(); err != nil {
+		return err
+	}
+	return r.Free()
+}

@@ -224,6 +224,13 @@ type Channel struct {
 	deadMember bool
 	peers      []peerState
 	m          matcher
+
+	// persNext/persFree drive the persistent-collective tag-window
+	// allocator (partitioned.go): windows are handed out lowest-first so
+	// that members reserving in the same program order agree on every
+	// window without communicating. Guarded by lock.
+	persNext int
+	persFree []int
 }
 
 // NewEngine creates an engine over the given BTL modules, listed in MCA

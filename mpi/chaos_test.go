@@ -146,3 +146,89 @@ func TestChaosAllreduceUnderDataFaults(t *testing.T) {
 		t.Fatal("no rank screened a duplicated or reordered packet")
 	}
 }
+
+// TestChaosPeerDeathMidPersistentColl: a rank dies while the others are
+// inside Start/Wait of a persistent allreduce. The survivors' Wait must
+// surface MPI_ERR_PROC_FAILED instead of hanging, and the errored request
+// must be restartable (failing fast again) and then cleanly freeable.
+func TestChaosPeerDeathMidPersistentColl(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var unblocked sync.WaitGroup
+	unblocked.Add(3)
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "chaos-pcoll", nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		const count = 256
+		send := make([]byte, count*8)
+		recv := make([]byte, count*8)
+		req, err := comm.AllreduceInit(send, recv, count, mpi.Int64, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		// One clean round proves the request works before the fault.
+		if err := req.Start(); err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+
+		if p.JobRank() == 3 {
+			// Die between rounds, while the survivors are already blocked
+			// inside the next Start/Wait.
+			time.Sleep(30 * time.Millisecond)
+			panic("rank 3 dies mid persistent collective")
+		}
+		defer unblocked.Done()
+		defer func() {
+			_ = comm.Free()
+			_ = sess.Finalize()
+		}()
+
+		if err := req.Start(); err != nil {
+			return err
+		}
+		err = req.Wait()
+		if err == nil {
+			return fmt.Errorf("rank %d: persistent allreduce over a dead peer succeeded", p.JobRank())
+		}
+		if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: Wait class = %v (%v), want MPI_ERR_PROC_FAILED", p.JobRank(), cls, err)
+		}
+		// The errored request is back in the inactive state: restarting it
+		// must fail fast (poisoned channel), not hang, and Free must work.
+		if err := req.Start(); err != nil {
+			return err
+		}
+		if err := req.Wait(); mpi.ErrorClassOf(err) != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: restarted Wait = %v, want MPI_ERR_PROC_FAILED", p.JobRank(), err)
+		}
+		if err := req.Free(); err != nil {
+			return fmt.Errorf("rank %d: Free after failure: %v", p.JobRank(), err)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected rank death to be reported by Launch")
+	}
+	unblocked.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gompi/internal/coll"
+	"gompi/internal/pml"
 )
 
 // Glue between communicators and the internal/coll framework: the
@@ -29,6 +30,31 @@ func (t collTransport) Recv(buf []byte, src, tag int) error {
 }
 func (t collTransport) Sendrecv(sendBuf []byte, dest int, recvBuf []byte, src, tag int) error {
 	return t.c.sendrecvT(sendBuf, dest, recvBuf, src, tag)
+}
+
+// collReq adapts a PML request to the schedule engine's completion handle.
+type collReq struct{ r *pml.Request }
+
+func (q collReq) Wait() error {
+	_, err := q.r.Wait()
+	return err
+}
+
+func (q collReq) Test() (bool, error) {
+	done, _, err := q.r.Test()
+	return done, err
+}
+
+// Isend and Irecv make collTransport a coll.NBTransport, so communicator
+// collectives run their compiled schedules through the DAG engine (issuing
+// every dependency-free step at once) instead of the sequential reference
+// executor.
+func (t collTransport) Isend(buf []byte, dest, tag int) (coll.Req, error) {
+	return collReq{t.c.ch.Isend(dest, tag, buf)}, nil
+}
+
+func (t collTransport) Irecv(buf []byte, src, tag int) (coll.Req, error) {
+	return collReq{t.c.ch.Irecv(src, tag, buf)}, nil
 }
 
 // collModule binds the communicator to the instance's collective framework

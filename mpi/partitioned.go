@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"fmt"
+
+	"gompi/internal/pml"
+)
+
+// Partitioned point-to-point (MPI 4.0 MPI_Psend_init / MPI_Precv_init):
+// one persistent transfer whose payload is contributed and consumed in
+// independent partitions. The sender marks each partition ready with
+// Pready — from any goroutine, in any order, typically as compute tiles
+// finish — and the receiver can start consuming any partition the moment
+// Parrived reports it, long before the whole transfer completes.
+//
+// Each partition travels as an ordinary message on a tag derived from the
+// (user tag, partition) pair inside a reserved internal region, so the
+// PML's bucketed matcher handles the reordering and the transfer inherits
+// rendezvous flow control per partition.
+
+// MaxPartitions bounds the partition count of one partitioned request.
+const MaxPartitions = pml.MaxPartitions
+
+// PartitionedRequest is a partitioned send or receive request. It
+// satisfies Startable, so StartAll composes it with other persistent
+// requests.
+type PartitionedRequest struct {
+	c  *Comm
+	ps *pml.PartSend // exactly one of ps/pr is set
+	pr *pml.PartRecv
+}
+
+// PsendInit prepares a partitioned send of buf to dest, split into
+// partitions equal chunks (MPI_Psend_init). tag must be a non-negative
+// application tag below 1<<16.
+func (c *Comm) PsendInit(buf []byte, dest, tag, partitions int) (*PartitionedRequest, error) {
+	if err := c.checkP2P(dest, tag, false); err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	ps, err := c.ch.PsendInit(dest, tag, buf, partitions)
+	if err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	return &PartitionedRequest{c: c, ps: ps}, nil
+}
+
+// PrecvInit prepares a partitioned receive into buf from src
+// (MPI_Precv_init). Both sides must agree on tag, total size, and
+// partition count.
+func (c *Comm) PrecvInit(buf []byte, src, tag, partitions int) (*PartitionedRequest, error) {
+	if err := c.checkP2P(src, tag, false); err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	pr, err := c.ch.PrecvInit(src, tag, buf, partitions)
+	if err != nil {
+		return nil, c.errh.invoke(err)
+	}
+	return &PartitionedRequest{c: c, pr: pr}, nil
+}
+
+// Partitions returns the partition count.
+func (r *PartitionedRequest) Partitions() int {
+	if r.ps != nil {
+		return r.ps.Partitions()
+	}
+	return r.pr.Partitions()
+}
+
+// Start arms a new round (MPI_Start).
+func (r *PartitionedRequest) Start() error {
+	if r.ps != nil {
+		return r.c.errh.invoke(r.ps.Start())
+	}
+	return r.c.errh.invoke(r.pr.Start())
+}
+
+// Pready marks partition p of a send request ready for transfer
+// (MPI_Pready). It is an error on a receive request.
+func (r *PartitionedRequest) Pready(p int) error {
+	if r.ps == nil {
+		return r.c.errh.invoke(fmt.Errorf("mpi: Pready on a partitioned receive request"))
+	}
+	return r.c.errh.invoke(r.ps.Pready(p))
+}
+
+// PreadyRange marks partitions [lo, hi] ready (MPI_Pready_range).
+func (r *PartitionedRequest) PreadyRange(lo, hi int) error {
+	for p := lo; p <= hi; p++ {
+		if err := r.Pready(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parrived reports whether partition p of a receive request has landed
+// (MPI_Parrived); its bytes are readable as soon as this returns true.
+// It is an error on a send request.
+func (r *PartitionedRequest) Parrived(p int) (bool, error) {
+	if r.pr == nil {
+		return false, r.c.errh.invoke(fmt.Errorf("mpi: Parrived on a partitioned send request"))
+	}
+	ok, err := r.pr.Parrived(p)
+	return ok, r.c.errh.invoke(err)
+}
+
+// Wait blocks until the active round completes and rearms the request.
+func (r *PartitionedRequest) Wait() error {
+	if r.ps != nil {
+		return r.c.errh.invoke(r.ps.Wait())
+	}
+	return r.c.errh.invoke(r.pr.Wait())
+}
+
+// Test polls the active round, rearming the request on completion. An
+// inactive request tests as complete, as MPI_Test does.
+func (r *PartitionedRequest) Test() (bool, error) {
+	var done bool
+	var err error
+	if r.ps != nil {
+		done, err = r.ps.Test()
+	} else {
+		done, err = r.pr.Test()
+	}
+	return done, r.c.errh.invoke(err)
+}
+
+// Free releases the request (MPI_Request_free). Freeing an active round
+// is an error.
+func (r *PartitionedRequest) Free() error {
+	if r.ps != nil {
+		return r.c.errh.invoke(r.ps.Free())
+	}
+	return r.c.errh.invoke(r.pr.Free())
+}

@@ -1,0 +1,165 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestPartitionedRoundTrip: rank 0 streams a partitioned send to rank 1,
+// contributing partitions out of order from concurrent goroutines; rank 1
+// consumes partitions as Parrived reports them. Repeats several rounds on
+// the same requests and composes Start through StartAll with a persistent
+// point-to-point request. Run under -race in make check.
+func TestPartitionedRoundTrip(t *testing.T) {
+	cfg := propCfg() // low eager limit: large partitions take the rendezvous path
+	run(t, 1, 2, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		rank := world.Rank()
+		const parts = 8
+		const chunk = 640
+		const rounds = 4
+
+		if rank == 0 {
+			buf := make([]byte, parts*chunk)
+			req, err := world.PsendInit(buf, 1, 77, parts)
+			if err != nil {
+				return err
+			}
+			if req.Partitions() != parts {
+				return fmt.Errorf("partitions = %d, want %d", req.Partitions(), parts)
+			}
+			// Startable composition with a plain persistent send.
+			note := []byte("round-note")
+			pp, err := world.SendInit(note, 1, 5)
+			if err != nil {
+				return err
+			}
+			for round := 0; round < rounds; round++ {
+				for i := range buf {
+					buf[i] = byte(round*31 + i)
+				}
+				if err := mpi.StartAll(req, pp); err != nil {
+					return err
+				}
+				var wg sync.WaitGroup
+				for _, q := range rand.Perm(parts) {
+					wg.Add(1)
+					go func(q int) {
+						defer wg.Done()
+						if err := req.Pready(q); err != nil {
+							t.Errorf("Pready(%d): %v", q, err)
+						}
+					}(q)
+				}
+				wg.Wait()
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				if _, err := pp.Wait(); err != nil {
+					return err
+				}
+			}
+			return req.Free()
+		}
+
+		buf := make([]byte, parts*chunk)
+		req, err := world.PrecvInit(buf, 0, 77, parts)
+		if err != nil {
+			return err
+		}
+		note := make([]byte, 10)
+		pp, err := world.RecvInit(note, 0, 5)
+		if err != nil {
+			return err
+		}
+		for round := 0; round < rounds; round++ {
+			if err := mpi.StartAll(req, pp); err != nil {
+				return err
+			}
+			// Consume partitions as they land; every partition must
+			// eventually arrive without Wait.
+			seen := make([]bool, parts)
+			for n := 0; n < parts; {
+				for q := 0; q < parts; q++ {
+					if seen[q] {
+						continue
+					}
+					ok, err := req.Parrived(q)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					for i := q * chunk; i < (q+1)*chunk; i++ {
+						if buf[i] != byte(round*31+i) {
+							return fmt.Errorf("round %d partition %d byte %d corrupt", round, q, i)
+						}
+					}
+					seen[q] = true
+					n++
+				}
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			if _, err := pp.Wait(); err != nil {
+				return err
+			}
+			if string(note) != "round-note" {
+				return fmt.Errorf("round %d: persistent recv corrupt: %q", round, note)
+			}
+		}
+		return req.Free()
+	})
+}
+
+// TestPartitionedMisuse covers the wrong-kind and bad-argument paths.
+func TestPartitionedMisuse(t *testing.T) {
+	run(t, 1, 2, exCfg(), func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		if world.Rank() != 0 {
+			return world.Barrier()
+		}
+		defer world.Barrier()
+		if _, err := world.PsendInit(make([]byte, 8), 1, -3, 2); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		if _, err := world.PsendInit(make([]byte, 7), 1, 0, 2); err == nil {
+			return fmt.Errorf("indivisible buffer accepted")
+		}
+		if _, err := world.PrecvInit(make([]byte, 8), 9, 0, 2); err == nil {
+			return fmt.Errorf("bad src accepted")
+		}
+		ps, err := world.PsendInit(make([]byte, 8), 1, 0, 2)
+		if err != nil {
+			return err
+		}
+		if _, err := ps.Parrived(0); err == nil {
+			return fmt.Errorf("Parrived on send request accepted")
+		}
+		pr, err := world.PrecvInit(make([]byte, 8), 1, 0, 2)
+		if err != nil {
+			return err
+		}
+		if err := pr.Pready(0); err == nil {
+			return fmt.Errorf("Pready on recv request accepted")
+		}
+		if err := ps.Free(); err != nil {
+			return err
+		}
+		return pr.Free()
+	})
+}

@@ -107,8 +107,16 @@ func (r *PersistentRequest) Test() (bool, Status, error) {
 	return active.Test()
 }
 
-// StartAll starts a set of persistent requests (MPI_Startall).
-func StartAll(reqs ...*PersistentRequest) error {
+// Startable is anything MPI_Start applies to: persistent point-to-point
+// requests, persistent collectives, and partitioned requests.
+type Startable interface {
+	Start() error
+}
+
+// StartAll starts a set of startable requests (MPI_Startall): persistent
+// sends and receives, persistent collectives, and partitioned requests
+// compose freely.
+func StartAll(reqs ...Startable) error {
 	for _, r := range reqs {
 		if err := r.Start(); err != nil {
 			return err

@@ -63,3 +63,64 @@ func TestTraceOffByDefault(t *testing.T) {
 		return nil
 	})
 }
+
+// TestCollStatsCounters checks the schedule-era counters surfaced through
+// CollStatsSnapshot: per-op executed step counts, schedule-cache hits for
+// repeated same-shape dispatch, and persistent starts — and that the
+// "coll" trace layer logs the compiled step count per dispatch.
+func TestCollStatsCounters(t *testing.T) {
+	cfg := core.Config{CIDMode: core.CIDExtended, Trace: true}
+	run(t, 1, 4, cfg, func(p *mpi.Process) error {
+		if err := p.Init(); err != nil {
+			return err
+		}
+		defer p.Finalize()
+		world := p.CommWorld()
+		send := make([]byte, 64)
+		recv := make([]byte, 64)
+		const iters = 4
+		for i := 0; i < iters; i++ {
+			if err := world.Allreduce(send, recv, 8, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		req, err := world.AllreduceInit(send, recv, 8, mpi.Int64, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if err := req.Start(); err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if err := req.Free(); err != nil {
+			return err
+		}
+
+		st := p.CollStatsSnapshot()
+		if st["steps/allreduce"] == 0 {
+			return fmt.Errorf("steps/allreduce = 0: %v", st)
+		}
+		// Same shape dispatched iters times: all but the first compile hit
+		// the per-module schedule cache.
+		if got := st["schedule_cache_hits"]; got < iters-1 {
+			return fmt.Errorf("schedule_cache_hits = %d, want >= %d: %v", got, iters-1, st)
+		}
+		if st["persistent_starts"] != 1 {
+			return fmt.Errorf("persistent_starts = %d, want 1: %v", st["persistent_starts"], st)
+		}
+
+		var sawSteps bool
+		for _, ev := range p.Instance().Trace().Events() {
+			if ev.Layer == "coll" && strings.Contains(ev.Msg, "steps") {
+				sawSteps = true
+				break
+			}
+		}
+		if !sawSteps {
+			return fmt.Errorf("no coll trace event mentions the schedule step count")
+		}
+		return nil
+	})
+}
