@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build lint test test-race chaos pool-guard fuzz-smoke bench bench-smoke bench-pml bench-coll figures
+.PHONY: check vet build lint test test-race chaos pool-guard fuzz-smoke bench bench-smoke bench-pml bench-coll bench-udp smoke-udp figures
 
 # check is the repo's verification gate: vet, build, the gompilint suite,
 # the full test suite under the race detector, the debug-build arena
@@ -37,10 +37,12 @@ pool-guard:
 	$(GO) test -race -tags debug -run TestPoolGuard ./internal/pml
 
 # fuzz-smoke runs the packet-decoder fuzz targets for a short fixed
-# budget on top of the committed seed corpus (internal/pml/testdata/fuzz).
+# budget on top of the committed seed corpora (internal/pml/testdata/fuzz,
+# internal/btl/udp/testdata/fuzz).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime 5s ./internal/pml
 	$(GO) test -run '^$$' -fuzz '^FuzzMatchHeaderRoundTrip$$' -fuzztime 5s ./internal/pml
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/btl/udp
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -59,6 +61,23 @@ bench-pml:
 # Start/Wait vs full per-call dispatch) quoted by EXPERIMENTS.md.
 bench-coll:
 	$(GO) run ./cmd/collbench -out BENCH_coll.json
+
+# bench-udp regenerates the simnet-vs-udp transport comparison quoted by
+# EXPERIMENTS.md: the same OSU kernels over the simulated fabric and over
+# real loopback UDP sockets (forced udp BTL), accumulated as JSONL.
+bench-udp:
+	rm -f BENCH_udp.json
+	for t in sim udp; do \
+		$(GO) run ./cmd/osu -bench latency -transport $$t -profile loopback -np 2 -ppn 2 -sessions -json BENCH_udp.json && \
+		$(GO) run ./cmd/osu -bench bw -transport $$t -profile loopback -np 2 -ppn 2 -sessions -json BENCH_udp.json && \
+		$(GO) run ./cmd/osu -bench allreduce -transport $$t -profile loopback -np 8 -ppn 8 -sessions -json BENCH_udp.json || exit 1; \
+	done
+
+# smoke-udp is the CI process-mode gate: a real multi-process job over
+# loopback UDP sockets, with prun's own watchdog bounding the run.
+smoke-udp:
+	$(GO) run ./cmd/prun -np 2 -transport udp -timeout 60s -app ring
+	$(GO) run ./cmd/prun -np 4 -transport udp -timeout 60s -app ring
 
 figures:
 	$(GO) run ./cmd/figures -table 1 -fig all

@@ -20,10 +20,19 @@ var (
 	ErrClosed = errors.New("btl: endpoint closed")
 )
 
-// Stats counts the traffic one module has carried.
+// Stats counts the traffic one module has carried. Msgs/Bytes are the
+// send-side counters every module maintains; the receive-side counters and
+// Drops are meaningful only for modules that own a real wire (udp): a
+// datagram that fails the receive-path packet filter — malformed frame,
+// foreign job, reassembly overflow — is counted in Drops and discarded
+// before it can reach the PML matcher.
 type Stats struct {
 	Msgs  uint64
 	Bytes uint64
+
+	RecvMsgs  uint64
+	RecvBytes uint64
+	Drops     uint64
 }
 
 // DeliverFunc hands one inbound packet up to the PML. Modules may invoke it

@@ -1,0 +1,44 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the datagram parser with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a re-encode/decode round
+// trip bit-for-bit — the property the PacketFilter's drop guarantee rests on.
+// Seeds live in testdata/fuzz/FuzzDecodeFrame (regenerate with
+// UDP_REGEN_CORPUS=1, see corpus_gen_test.go); make fuzz-smoke runs this
+// target for a few seconds on every check.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames are internally consistent...
+		if frame.FragIndex >= frame.FragCount {
+			t.Fatalf("accepted frame with fragIndex %d >= fragCount %d", frame.FragIndex, frame.FragCount)
+		}
+		if frame.TotalLen > MaxPacketSize {
+			t.Fatalf("accepted frame claiming %d-byte packet", frame.TotalLen)
+		}
+		if uint64(frame.FragOff)+uint64(len(frame.Payload)) > uint64(frame.TotalLen) {
+			t.Fatalf("accepted fragment [%d:%d) outside %d-byte packet",
+				frame.FragOff, int(frame.FragOff)+len(frame.Payload), frame.TotalLen)
+		}
+		// ...and round-trip exactly.
+		wire := EncodeFrame(frame, frame.Payload)
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data, wire)
+		}
+		again, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !bytes.Equal(again.Payload, frame.Payload) {
+			t.Fatal("payload changed across round trip")
+		}
+	})
+}

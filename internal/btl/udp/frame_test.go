@@ -1,0 +1,151 @@
+package udp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	in := Frame{
+		SrcRank:   7,
+		MsgID:     42,
+		FragIndex: 2,
+		FragCount: 5,
+		FragOff:   2800,
+		TotalLen:  6000,
+		Nonce:     0xdeadbeefcafef00d,
+	}
+	wire := EncodeFrame(in, payload)
+	if len(wire) != HeaderSize+len(payload) {
+		t.Fatalf("encoded %d bytes, want %d", len(wire), HeaderSize+len(payload))
+	}
+	out, err := DecodeFrame(wire)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if out.SrcRank != in.SrcRank || out.MsgID != in.MsgID ||
+		out.FragIndex != in.FragIndex || out.FragCount != in.FragCount ||
+		out.FragOff != in.FragOff || out.TotalLen != in.TotalLen ||
+		out.Nonce != in.Nonce {
+		t.Fatalf("round trip mismatch: got %+v want %+v", out, in)
+	}
+	if !bytes.Equal(out.Payload, payload) {
+		t.Fatalf("payload mismatch: got %q", out.Payload)
+	}
+}
+
+func TestFrameRoundTripEmptyPayload(t *testing.T) {
+	wire := EncodeFrame(Frame{FragCount: 1, TotalLen: 0, Nonce: 1}, nil)
+	f, err := DecodeFrame(wire)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(f.Payload) != 0 {
+		t.Fatalf("payload: got %d bytes, want 0", len(f.Payload))
+	}
+}
+
+// valid returns a well-formed single-fragment frame for mutation tests.
+func valid(t *testing.T) []byte {
+	t.Helper()
+	payload := []byte("hello")
+	return EncodeFrame(Frame{
+		SrcRank:   1,
+		MsgID:     9,
+		FragCount: 1,
+		TotalLen:  uint32(len(payload)),
+		Nonce:     0x1234,
+	}, payload)
+}
+
+func TestDecodeFrameRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"truncated", func(w []byte) []byte { return w[:HeaderSize-1] }, "need at least"},
+		{"empty", func(w []byte) []byte { return nil }, "need at least"},
+		{"bad magic", func(w []byte) []byte { w[0] ^= 0xff; return w }, "bad magic"},
+		{"bad version", func(w []byte) []byte { w[4] = 2; return w }, "unsupported version"},
+		{"flags set", func(w []byte) []byte { w[5] = 1; return w }, "reserved flags"},
+		{"fragLen short", func(w []byte) []byte {
+			binary.LittleEndian.PutUint16(w[10:], 3)
+			return w
+		}, "on the wire"},
+		{"payload truncated", func(w []byte) []byte { return w[:len(w)-1] }, "on the wire"},
+		{"zero fragCount", func(w []byte) []byte {
+			binary.LittleEndian.PutUint16(w[8:], 0)
+			return w
+		}, "zero fragment count"},
+		{"fragIndex out of range", func(w []byte) []byte {
+			binary.LittleEndian.PutUint16(w[6:], 1)
+			return w
+		}, "fragment 1 of 1"},
+		{"oversize totalLen", func(w []byte) []byte {
+			binary.LittleEndian.PutUint32(w[24:], MaxPacketSize+1)
+			binary.LittleEndian.PutUint16(w[8:], 2) // dodge the single-frag check
+			return w
+		}, "max"},
+		{"fragment past end", func(w []byte) []byte {
+			binary.LittleEndian.PutUint16(w[8:], 2)
+			binary.LittleEndian.PutUint32(w[20:], 100) // fragOff beyond totalLen=5
+			return w
+		}, "outside packet"},
+		{"single-frag partial geometry", func(w []byte) []byte {
+			binary.LittleEndian.PutUint32(w[24:], 99) // totalLen != fragLen
+			return w
+		}, "partial geometry"},
+		{"corrupt payload", func(w []byte) []byte { w[len(w)-1] ^= 0xff; return w }, "hash mismatch"},
+		{"corrupt hash", func(w []byte) []byte { w[36] ^= 0xff; return w }, "hash mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.mutate(valid(t))
+			_, err := DecodeFrame(w)
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("want ErrMalformed, got %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Mutating a geometry field without re-hashing must always fail on
+	// the hash even before its own structural check would fire — the hash
+	// covers the whole header. Confirm a re-hashed mutation hits the
+	// structural check instead (the cases above re-encode implicitly by
+	// mutating and relying on one of the two).
+	w := valid(t)
+	binary.LittleEndian.PutUint32(w[16:], 777) // msgID changed, hash stale
+	if _, err := DecodeFrame(w); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("stale hash accepted: %v", err)
+	}
+}
+
+func TestPacketFilter(t *testing.T) {
+	pf := NewPacketFilter(0x1234)
+
+	if _, err := pf.Screen(valid(t)); err != nil {
+		t.Fatalf("screening valid frame: %v", err)
+	}
+
+	if _, err := pf.Screen([]byte("junk")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+
+	foreign := EncodeFrame(Frame{FragCount: 1, TotalLen: 5, Nonce: 0x9999}, []byte("hello"))
+	if _, err := pf.Screen(foreign); !errors.Is(err, ErrForeign) {
+		t.Fatalf("want ErrForeign, got %v", err)
+	}
+
+	st := pf.Stats()
+	if st.Malformed != 1 || st.Foreign != 1 {
+		t.Fatalf("filter stats = %+v, want 1 malformed / 1 foreign", st)
+	}
+}

@@ -1,0 +1,119 @@
+package udp
+
+// reassembler rebuilds multi-fragment packets. It is touched only by the
+// module's progress goroutine, so it needs no locking. State is bounded:
+// at most maxPartial packets may be in flight at once, and when a new
+// packet would exceed that the oldest partial is evicted (counted as a
+// drop) — with no retransmission in v1, a partial whose fragment was lost
+// would otherwise pin its buffer forever.
+const maxPartial = 64
+
+type reasmKey struct {
+	srcRank uint32
+	msgID   uint32
+}
+
+type partial struct {
+	buf       []byte // destination packet buffer, len == TotalLen
+	got       []bool // per-fragment arrival bitmap
+	remaining int    // fragments still missing
+	fragCount uint16
+	totalLen  uint32
+}
+
+type reassembler struct {
+	partials map[reasmKey]*partial
+	order    []reasmKey // insertion order for FIFO eviction
+	alloc    func(n int) []byte
+	free     func(b []byte)
+}
+
+func newReassembler(alloc func(int) []byte, free func([]byte)) *reassembler {
+	return &reassembler{
+		partials: make(map[reasmKey]*partial),
+		alloc:    alloc,
+		free:     free,
+	}
+}
+
+// accept folds one validated frame into its packet. It returns the complete
+// packet once the last fragment lands (ownership passes to the caller),
+// nil while fragments are still outstanding, and (nil, evicted>0 or
+// dropped=true) when the frame was discarded: inconsistent with the
+// partial's established geometry, a duplicate, or the victim of an
+// eviction. evicted counts partials thrown away to make room.
+func (r *reassembler) accept(f Frame) (pkt []byte, dropped bool, evicted int) {
+	if f.FragCount == 1 {
+		// Single-fragment fast path: copy out of the datagram buffer into
+		// an arena packet; no partial state needed.
+		pkt = r.alloc(int(f.TotalLen))
+		copy(pkt, f.Payload)
+		return pkt, false, 0
+	}
+
+	key := reasmKey{srcRank: f.SrcRank, msgID: f.MsgID}
+	p := r.partials[key]
+	if p == nil {
+		for len(r.partials) >= maxPartial {
+			r.evictOldest()
+			evicted++
+		}
+		p = &partial{
+			buf:       r.alloc(int(f.TotalLen)),
+			got:       make([]bool, f.FragCount),
+			remaining: int(f.FragCount),
+			fragCount: f.FragCount,
+			totalLen:  f.TotalLen,
+		}
+		r.partials[key] = p
+		r.order = append(r.order, key)
+	}
+
+	// Every fragment must agree with the geometry the first one established;
+	// a mismatch means corruption that slipped past the hash or a msgID
+	// collision, and the safe move is to drop the frame.
+	if f.FragCount != p.fragCount || f.TotalLen != p.totalLen {
+		return nil, true, evicted
+	}
+	if p.got[f.FragIndex] {
+		return nil, true, evicted // duplicate
+	}
+	if int(f.FragOff)+len(f.Payload) > len(p.buf) {
+		return nil, true, evicted
+	}
+	copy(p.buf[f.FragOff:], f.Payload)
+	p.got[f.FragIndex] = true
+	p.remaining--
+	if p.remaining > 0 {
+		return nil, false, evicted
+	}
+	r.remove(key)
+	return p.buf, false, evicted
+}
+
+func (r *reassembler) evictOldest() {
+	key := r.order[0]
+	if p := r.partials[key]; p != nil {
+		r.free(p.buf)
+	}
+	r.remove(key)
+}
+
+func (r *reassembler) remove(key reasmKey) {
+	delete(r.partials, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// close releases every outstanding partial back to the arena.
+func (r *reassembler) close() {
+	for key, p := range r.partials {
+		r.free(p.buf)
+		delete(r.partials, key)
+	}
+	r.order = nil
+}

@@ -1,0 +1,308 @@
+package udp
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"gompi/internal/btl"
+)
+
+// DefaultEagerLimit matches the net module's eager/rendezvous switch point:
+// real-wire transports want small eager packets, not sm's 64KiB.
+const DefaultEagerLimit = 4096
+
+// DefaultRecvBuf is the socket receive buffer requested from the kernel.
+// UDP has no flow control, so a large burst (a rendezvous payload fragmented
+// into hundreds of datagrams) must fit in the socket buffer or the kernel
+// silently drops the overflow; v1 has no retransmission to recover it.
+const DefaultRecvBuf = 4 << 20
+
+// maxDatagram bounds a single read: fragLen is a uint16 so no well-formed
+// frame exceeds HeaderSize + 64KiB.
+const maxDatagram = HeaderSize + 65535
+
+// Config parameterizes one udp module.
+type Config struct {
+	// Rank is this process's global rank, stamped into every frame.
+	Rank int
+
+	// Listen is the UDP listen address ("127.0.0.1:0" when empty; port 0
+	// lets the kernel pick, and Card() reports the bound address).
+	Listen string
+
+	// Nonce is the job identity every frame must carry. The launcher
+	// generates it once per job so stray datagrams from other jobs (or
+	// earlier runs on a recycled port) are filtered, not delivered.
+	Nonce uint64
+
+	// MTU is the maximum datagram size, header included (DefaultMTU when
+	// <= 0). Payloads above MTU-HeaderSize are fragmented.
+	MTU int
+
+	// Eager is the eager/rendezvous switch point (DefaultEagerLimit when
+	// <= 0).
+	Eager int
+
+	// Resolve maps a global rank to the peer's business card (the string
+	// its Card() returned, published through pmix). Consulted lazily, on
+	// first send to the peer; a resolution failure is reported as
+	// btl.ErrUnreachable so the PML can fall through to another module.
+	Resolve func(globalRank int) (string, error)
+
+	// Alloc/Free tie reassembly to the PML's packet arena: buffers the
+	// module materializes for inbound packets come from Alloc and the
+	// receiving engine recycles them with the arena's put, so both sides
+	// must be the same pool (pml.ArenaGet / pml.ArenaPut). Nil defaults
+	// to plain make / drop-on-floor, which tests use.
+	Alloc func(n int) []byte
+	Free  func(b []byte)
+
+	// RecvBuf is the requested socket receive buffer (DefaultRecvBuf when
+	// <= 0). Best effort: the kernel may clamp it.
+	RecvBuf int
+}
+
+// msgIDCounter is process-global so two modules in one process (tests) never
+// reuse (srcRank, msgID) pairs even across module restarts.
+var msgIDCounter atomic.Uint32
+
+// Module is the UDP transport for one process. It holds no mutexes: the
+// socket is safe for concurrent use, the reassembler is touched only by the
+// progress goroutine, per-peer endpoints are created under the PML's route
+// lock, and all counters are atomic.
+type Module struct {
+	rank   uint32
+	nonce  uint64
+	mtu    int
+	eager  int
+	conn   *net.UDPConn
+	filter *PacketFilter
+	reasm  *reassembler
+
+	resolve func(int) (string, error)
+	alloc   func(int) []byte
+	free    func([]byte)
+
+	deliver btl.DeliverFunc
+	started bool
+	done    chan struct{}
+
+	msgs      atomic.Uint64
+	bytes     atomic.Uint64
+	recvMsgs  atomic.Uint64
+	recvBytes atomic.Uint64
+	drops     atomic.Uint64
+}
+
+// New binds the UDP socket and builds the module. The socket is live (and
+// Card() valid) immediately so the business card can be published before
+// Activate installs the delivery path.
+func New(cfg Config) (*Module, error) {
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listen address %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: bind %q: %w", listen, err)
+	}
+	recvBuf := cfg.RecvBuf
+	if recvBuf <= 0 {
+		recvBuf = DefaultRecvBuf
+	}
+	// Best effort — the kernel clamps to net.core.rmem_max and a smaller
+	// buffer only raises the burst-loss odds, it doesn't break correctness.
+	_ = conn.SetReadBuffer(recvBuf)
+
+	mtu := cfg.MTU
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	if mtu <= HeaderSize {
+		conn.Close()
+		return nil, fmt.Errorf("udp: MTU %d leaves no payload room (header is %d bytes)", mtu, HeaderSize)
+	}
+	if mtu > maxDatagram {
+		mtu = maxDatagram
+	}
+	eager := cfg.Eager
+	if eager <= 0 {
+		eager = DefaultEagerLimit
+	}
+	alloc := cfg.Alloc
+	if alloc == nil {
+		alloc = func(n int) []byte { return make([]byte, n) }
+	}
+	free := cfg.Free
+	if free == nil {
+		free = func([]byte) {}
+	}
+	return &Module{
+		rank:    uint32(cfg.Rank),
+		nonce:   cfg.Nonce,
+		mtu:     mtu,
+		eager:   eager,
+		conn:    conn,
+		filter:  NewPacketFilter(cfg.Nonce),
+		reasm:   newReassembler(alloc, free),
+		resolve: cfg.Resolve,
+		alloc:   alloc,
+		free:    free,
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Card returns this module's business card — the bound UDP address peers
+// dial. It is what the instance publishes through pmix and what Resolve
+// returns on the other side.
+func (m *Module) Card() string { return m.conn.LocalAddr().String() }
+
+// Name implements btl.Module.
+func (m *Module) Name() string { return "udp" }
+
+// EagerLimit implements btl.Module.
+func (m *Module) EagerLimit() int { return m.eager }
+
+// Activate starts the progress goroutine draining the socket.
+func (m *Module) Activate(deliver btl.DeliverFunc) {
+	m.deliver = deliver
+	m.started = true
+	go m.progress()
+}
+
+// progress is the single receive loop: read a datagram, screen it, fold it
+// into the reassembler, deliver completed packets. Everything the filter or
+// reassembler rejects is counted in Drops and never reaches the PML.
+func (m *Module) progress() {
+	defer close(m.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Socket closed (or a transient error on a dying socket);
+			// either way the module is shutting down.
+			m.reasm.close()
+			return
+		}
+		f, err := m.filter.Screen(buf[:n])
+		if err != nil {
+			m.drops.Add(1)
+			continue
+		}
+		pkt, dropped, evicted := m.reasm.accept(f)
+		m.drops.Add(uint64(evicted))
+		if dropped {
+			m.drops.Add(1)
+			continue
+		}
+		if pkt == nil {
+			continue // fragment accepted, packet not yet complete
+		}
+		m.recvMsgs.Add(1)
+		m.recvBytes.Add(uint64(len(pkt)))
+		m.deliver(pkt)
+	}
+}
+
+// AddProc resolves the peer's business card. Resolution failure means the
+// peer never published a udp card (e.g. it only has simulator transports),
+// which this module reports as ErrUnreachable so mixed configurations fall
+// through to the next module in priority order.
+func (m *Module) AddProc(globalRank int) (btl.Endpoint, error) {
+	card, err := m.resolve(globalRank)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rank %d has no udp card: %v", btl.ErrUnreachable, globalRank, err)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", card)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rank %d card %q: %v", btl.ErrUnreachable, globalRank, card, err)
+	}
+	return &endpoint{mod: m, raddr: raddr}, nil
+}
+
+// Stats implements btl.Module. Drops counts every datagram or partial packet
+// discarded on the receive path (malformed, foreign, reassembly conflicts,
+// evictions); FilterStats has the malformed/foreign breakdown.
+func (m *Module) Stats() btl.Stats {
+	return btl.Stats{
+		Msgs:      m.msgs.Load(),
+		Bytes:     m.bytes.Load(),
+		RecvMsgs:  m.recvMsgs.Load(),
+		RecvBytes: m.recvBytes.Load(),
+		Drops:     m.drops.Load(),
+	}
+}
+
+// FilterStats exposes the packet filter's drop breakdown for tests and
+// diagnostics.
+func (m *Module) FilterStats() FilterStats { return m.filter.Stats() }
+
+// Close shuts the socket and blocks until the progress goroutine has exited,
+// so no delivery upcall runs after Close returns.
+func (m *Module) Close() {
+	m.conn.Close()
+	if m.started {
+		<-m.done
+	}
+}
+
+// send fragments one packet into frames and writes them to raddr. The packet
+// is owned by this call per the BTL contract: it is recycled into the arena
+// before returning.
+func (m *Module) send(raddr *net.UDPAddr, pkt []byte) error {
+	n := uint64(len(pkt))
+	msgID := msgIDCounter.Add(1)
+	maxPayload := m.mtu - HeaderSize
+	fragCount := (len(pkt) + maxPayload - 1) / maxPayload
+	if fragCount == 0 {
+		fragCount = 1 // zero-length packet still needs one frame
+	}
+	if fragCount > 65535 {
+		return fmt.Errorf("udp: packet of %d bytes needs %d fragments (max 65535)", len(pkt), fragCount)
+	}
+
+	scratch := m.alloc(m.mtu)
+	var sendErr error
+	for i := 0; i < fragCount; i++ {
+		off := i * maxPayload
+		end := off + maxPayload
+		if end > len(pkt) {
+			end = len(pkt)
+		}
+		frame := encodeInto(scratch[:0], Frame{
+			SrcRank:   m.rank,
+			MsgID:     msgID,
+			FragIndex: uint16(i),
+			FragCount: uint16(fragCount),
+			FragOff:   uint32(off),
+			TotalLen:  uint32(len(pkt)),
+			Nonce:     m.nonce,
+		}, pkt[off:end])
+		if _, err := m.conn.WriteToUDP(frame, raddr); err != nil {
+			sendErr = err
+			break
+		}
+	}
+	m.free(scratch)
+	m.free(pkt) // ownership transferred to us by Send; recycle into the arena
+	if sendErr != nil {
+		return sendErr
+	}
+	m.msgs.Add(1)
+	m.bytes.Add(n)
+	return nil
+}
+
+type endpoint struct {
+	mod   *Module
+	raddr *net.UDPAddr
+}
+
+func (e *endpoint) Send(pkt []byte) error {
+	return e.mod.send(e.raddr, pkt)
+}

@@ -1,0 +1,281 @@
+package udp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"gompi/internal/btl"
+)
+
+const testNonce = 0xfeed0001
+
+// pair builds two activated modules that can resolve each other as ranks 0
+// and 1, delivering inbound packets to the returned channels.
+func pair(t *testing.T, cfg0, cfg1 Config) (*Module, *Module, chan []byte, chan []byte) {
+	t.Helper()
+	cfg0.Rank, cfg1.Rank = 0, 1
+	if cfg0.Nonce == 0 {
+		cfg0.Nonce = testNonce
+	}
+	if cfg1.Nonce == 0 {
+		cfg1.Nonce = testNonce
+	}
+	m0, err := New(cfg0)
+	if err != nil {
+		t.Fatalf("New(0): %v", err)
+	}
+	t.Cleanup(m0.Close)
+	m1, err := New(cfg1)
+	if err != nil {
+		t.Fatalf("New(1): %v", err)
+	}
+	t.Cleanup(m1.Close)
+
+	cards := map[int]string{0: m0.Card(), 1: m1.Card()}
+	resolve := func(rank int) (string, error) {
+		if c, ok := cards[rank]; ok {
+			return c, nil
+		}
+		return "", errors.New("no card")
+	}
+	m0.resolve, m1.resolve = resolve, resolve
+
+	rx0 := make(chan []byte, 64)
+	rx1 := make(chan []byte, 64)
+	m0.Activate(func(pkt []byte) { rx0 <- pkt })
+	m1.Activate(func(pkt []byte) { rx1 <- pkt })
+	return m0, m1, rx0, rx1
+}
+
+func recvOne(t *testing.T, rx chan []byte) []byte {
+	t.Helper()
+	select {
+	case pkt := <-rx:
+		return pkt
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+		return nil
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	m0, m1, rx0, rx1 := pair(t, Config{}, Config{})
+
+	ep1, err := m0.AddProc(1)
+	if err != nil {
+		t.Fatalf("AddProc(1): %v", err)
+	}
+	msg := []byte("ping over a real socket")
+	if err := ep1.Send(append([]byte(nil), msg...)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := recvOne(t, rx1); !bytes.Equal(got, msg) {
+		t.Fatalf("rank 1 got %q, want %q", got, msg)
+	}
+
+	ep0, err := m1.AddProc(0)
+	if err != nil {
+		t.Fatalf("AddProc(0): %v", err)
+	}
+	if err := ep0.Send([]byte("pong")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := recvOne(t, rx0); string(got) != "pong" {
+		t.Fatalf("rank 0 got %q, want \"pong\"", got)
+	}
+
+	s0, s1 := m0.Stats(), m1.Stats()
+	if s0.Msgs != 1 || s0.Bytes != uint64(len(msg)) {
+		t.Fatalf("m0 send stats = %+v", s0)
+	}
+	if s1.RecvMsgs != 1 || s1.RecvBytes != uint64(len(msg)) || s1.Drops != 0 {
+		t.Fatalf("m1 recv stats = %+v", s1)
+	}
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	// A small MTU forces even modest payloads through the fragmentation
+	// path; 200-byte MTU leaves 160 payload bytes per frame.
+	m0, _, _, rx1 := pair(t, Config{MTU: 200}, Config{MTU: 200})
+
+	ep, err := m0.AddProc(1)
+	if err != nil {
+		t.Fatalf("AddProc: %v", err)
+	}
+	msg := make([]byte, 40<<10) // 40 KiB -> 256 fragments
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	if err := ep.Send(append([]byte(nil), msg...)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvOne(t, rx1)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("fragmented payload corrupted: %d bytes, want %d", len(got), len(msg))
+	}
+}
+
+func TestUnresolvablePeerIsUnreachable(t *testing.T) {
+	m0, _, _, _ := pair(t, Config{}, Config{})
+	if _, err := m0.AddProc(99); !errors.Is(err, btl.ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+// inject writes raw bytes straight at a module's socket, bypassing Send.
+func inject(t *testing.T, m *Module, datagram []byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", m.Card())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(datagram); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func TestMalformedAndForeignDatagramsDropped(t *testing.T) {
+	m0, m1, _, rx1 := pair(t, Config{}, Config{})
+
+	// Garbage, a truncated header, a corrupted valid frame, and a
+	// well-formed frame from a different job: all must be counted and
+	// dropped, never delivered.
+	inject(t, m1, []byte("not a gompi frame at all"))
+	inject(t, m1, []byte{0x67, 0x55}) // truncated
+	corrupt := EncodeFrame(Frame{SrcRank: 0, MsgID: 1, FragCount: 1, TotalLen: 3, Nonce: testNonce}, []byte("abc"))
+	corrupt[len(corrupt)-1] ^= 0xff
+	inject(t, m1, corrupt)
+	foreign := EncodeFrame(Frame{SrcRank: 0, MsgID: 2, FragCount: 1, TotalLen: 3, Nonce: 0xbad}, []byte("xyz"))
+	inject(t, m1, foreign)
+
+	// A real message afterwards proves the progress loop survived the junk.
+	ep, err := m0.AddProc(1)
+	if err != nil {
+		t.Fatalf("AddProc: %v", err)
+	}
+	if err := ep.Send([]byte("still alive")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := recvOne(t, rx1); string(got) != "still alive" {
+		t.Fatalf("got %q", got)
+	}
+
+	st := m1.Stats()
+	if st.Drops != 4 {
+		t.Fatalf("Drops = %d, want 4 (stats: %+v)", st.Drops, st)
+	}
+	if st.RecvMsgs != 1 {
+		t.Fatalf("RecvMsgs = %d: junk was delivered", st.RecvMsgs)
+	}
+	fs := m1.FilterStats()
+	if fs.Malformed != 3 || fs.Foreign != 1 {
+		t.Fatalf("filter stats = %+v, want 3 malformed / 1 foreign", fs)
+	}
+	select {
+	case pkt := <-rx1:
+		t.Fatalf("junk datagram delivered to PML: %q", pkt)
+	default:
+	}
+}
+
+func TestInconsistentFragmentDropped(t *testing.T) {
+	_, m1, _, rx1 := pair(t, Config{}, Config{})
+
+	// First fragment of a two-fragment message establishes geometry...
+	f0 := EncodeFrame(Frame{
+		SrcRank: 0, MsgID: 77, FragIndex: 0, FragCount: 2,
+		FragOff: 0, TotalLen: 8, Nonce: testNonce,
+	}, []byte("abcd"))
+	inject(t, m1, f0)
+	// ...then a "second" fragment claiming different totals must be dropped,
+	// and a duplicate of the first likewise.
+	bad := EncodeFrame(Frame{
+		SrcRank: 0, MsgID: 77, FragIndex: 1, FragCount: 2,
+		FragOff: 4, TotalLen: 100, Nonce: testNonce,
+	}, []byte("WXYZ"))
+	inject(t, m1, bad)
+	inject(t, m1, f0) // duplicate
+	// The genuine second fragment still completes the message.
+	f1 := EncodeFrame(Frame{
+		SrcRank: 0, MsgID: 77, FragIndex: 1, FragCount: 2,
+		FragOff: 4, TotalLen: 8, Nonce: testNonce,
+	}, []byte("efgh"))
+	inject(t, m1, f1)
+
+	if got := recvOne(t, rx1); string(got) != "abcdefgh" {
+		t.Fatalf("reassembled %q, want abcdefgh", got)
+	}
+	if st := m1.Stats(); st.Drops != 2 {
+		t.Fatalf("Drops = %d, want 2 (bad geometry + duplicate)", st.Drops)
+	}
+}
+
+func TestReassemblerEviction(t *testing.T) {
+	dropped := 0
+	r := newReassembler(func(n int) []byte { return make([]byte, n) }, func([]byte) { dropped++ })
+
+	// Open maxPartial incomplete packets, then one more: the oldest must be
+	// evicted and its buffer returned to the arena.
+	frag := func(msgID uint32, idx uint16) Frame {
+		return Frame{
+			SrcRank: 3, MsgID: msgID, FragIndex: idx, FragCount: 2,
+			FragOff: uint32(idx) * 4, TotalLen: 8, Nonce: testNonce,
+			Payload: []byte("abcd"),
+		}
+	}
+	for i := 0; i < maxPartial; i++ {
+		if _, d, ev := r.accept(frag(uint32(i), 0)); d || ev != 0 {
+			t.Fatalf("unexpected drop/evict at %d", i)
+		}
+	}
+	if _, d, ev := r.accept(frag(maxPartial, 0)); d || ev != 1 {
+		t.Fatalf("want 1 eviction, got dropped=%v evicted=%d", d, ev)
+	}
+	if dropped != 1 {
+		t.Fatalf("evicted buffer not freed (freed %d)", dropped)
+	}
+	// The evicted message (msgID 0) can no longer complete; its second
+	// fragment just opens a fresh partial (evicting the next-oldest to
+	// make room, since the table is full again).
+	if pkt, _, ev := r.accept(frag(0, 1)); pkt != nil || ev != 1 {
+		t.Fatalf("evicted partial: pkt=%q evicted=%d", pkt, ev)
+	}
+	// A message that survived both evictions still completes.
+	pkt, d, ev := r.accept(frag(2, 1))
+	if d || ev != 0 || string(pkt) != "abcdabcd" {
+		t.Fatalf("survivor did not complete: pkt=%q dropped=%v evicted=%d", pkt, d, ev)
+	}
+	r.close()
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{MTU: HeaderSize}); err == nil {
+		t.Fatal("MTU == HeaderSize accepted")
+	}
+	if _, err := New(Config{Listen: "not an address"}); err == nil {
+		t.Fatal("garbage listen address accepted")
+	}
+}
+
+// TestHashCoversGeometry pins the property the PacketFilter depends on: any
+// single-bit flip anywhere in header or payload is caught.
+func TestHashCoversGeometry(t *testing.T) {
+	w := EncodeFrame(Frame{
+		SrcRank: 5, MsgID: 6, FragIndex: 1, FragCount: 3,
+		FragOff: 10, TotalLen: 30, Nonce: testNonce,
+	}, []byte("0123456789"))
+	for bit := 0; bit < len(w)*8; bit++ {
+		mut := append([]byte(nil), w...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("bit flip at %d (byte %d) went undetected", bit, bit/8)
+		}
+	}
+	if _, err := DecodeFrame(w); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}

@@ -95,6 +95,72 @@ func TestBTLIncludeListOnlyNet(t *testing.T) {
 	}
 }
 
+// TestBTLThreeWayIntraNodePrefersSM: with all three transports selected,
+// co-located ranks still ride shared memory — udp is loaded (and bound) but
+// carries nothing.
+func TestBTLThreeWayIntraNodePrefersSM(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{BTL: "sm,udp,net"})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if st["sm"].Msgs == 0 {
+		t.Fatalf("intra-node traffic bypassed sm: %+v", st)
+	}
+	if _, loaded := st["udp"]; !loaded {
+		t.Fatalf("udp named in include list but not loaded: %+v", st)
+	}
+	if st["udp"].Msgs != 0 || st["net"].Msgs != 0 {
+		t.Fatalf("intra-node traffic leaked off the sm fast path: %+v", st)
+	}
+}
+
+// TestBTLThreeWayInterNodePrefersUDP: sm rejects the off-node peer, and udp
+// outranks net, so cross-node traffic goes over the real socket — the
+// priority order sm > udp > net, end to end.
+func TestBTLThreeWayInterNodePrefersUDP(t *testing.T) {
+	insts := testDeploy(t, 2, 1, Config{BTL: "sm,udp,net"})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st0, st1 := insts[0].Engine().BTLStats(), insts[1].Engine().BTLStats()
+	if st0["udp"].Msgs == 0 {
+		t.Fatalf("inter-node traffic did not prefer udp: %+v", st0)
+	}
+	if st0["sm"].Msgs != 0 || st0["net"].Msgs != 0 {
+		t.Fatalf("inter-node traffic used a lower-priority transport: %+v", st0)
+	}
+	if st1["udp"].RecvMsgs == 0 || st1["udp"].Drops != 0 {
+		t.Fatalf("receiver-side udp counters wrong: %+v", st1)
+	}
+}
+
+// TestBTLForcedUDP: Config.BTL="udp" carries even intra-node traffic over
+// the socket; no other module is instantiated.
+func TestBTLForcedUDP(t *testing.T) {
+	insts := testDeploy(t, 1, 2, Config{BTL: "udp"})
+	acquireAll(t, insts)
+	pingPong(t, insts)
+	st := insts[0].Engine().BTLStats()
+	if len(st) != 1 {
+		t.Fatalf("forced udp loaded extra modules: %+v", st)
+	}
+	if st["udp"].Msgs == 0 {
+		t.Fatalf("forced udp carried nothing: %+v", st)
+	}
+}
+
+// TestBTLDefaultSkipsUDP: udp is ExplicitOnly — the default selection and
+// exclude-mode specs must not bind sockets nobody asked for.
+func TestBTLDefaultSkipsUDP(t *testing.T) {
+	for _, btlSpec := range []string{"", "^net"} {
+		insts := testDeploy(t, 1, 2, Config{BTL: btlSpec})
+		acquireAll(t, insts)
+		st := insts[0].Engine().BTLStats()
+		if _, loaded := st["udp"]; loaded {
+			t.Fatalf("spec %q instantiated udp: %+v", btlSpec, st)
+		}
+	}
+}
+
 func TestBTLEmptySelectionErrors(t *testing.T) {
 	insts := testDeploy(t, 1, 1, Config{BTL: "^sm,net"})
 	err := insts[0].Acquire()

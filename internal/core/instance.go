@@ -18,6 +18,7 @@ import (
 	"gompi/internal/btl"
 	btlnet "gompi/internal/btl/net"
 	btlsm "gompi/internal/btl/sm"
+	btludp "gompi/internal/btl/udp"
 	"gompi/internal/coll"
 	"gompi/internal/opal"
 	"gompi/internal/pmix"
@@ -105,6 +106,15 @@ type Config struct {
 	// bring-up, modelling dlopen cost of the component stack. Zero means
 	// DefaultMCAComponents.
 	MCAComponents int
+	// UDPListen is the listen address for the udp BTL ("127.0.0.1:0" when
+	// empty). Only consulted when the selection includes "udp".
+	UDPListen string
+	// UDPNonce is the job identity stamped into every udp frame; the
+	// launcher generates one per job so the receive-path filter can reject
+	// datagrams from other jobs or stale runs on a recycled port.
+	UDPNonce uint64
+	// UDPMTU overrides the udp datagram budget (default 1400 bytes).
+	UDPMTU int
 	// Trace enables the diagnostic ring buffer (the analogue of MCA
 	// verbosity); read it with Instance.Trace().Events().
 	Trace bool
@@ -188,6 +198,11 @@ func registerDefaultComponents(m *opal.MCA) {
 	m.Register("pml", opal.Component{Name: "ob1", Priority: 20})
 	m.Register("pml", opal.Component{Name: "cm", Priority: 10})
 	m.Register("btl", opal.Component{Name: "sm", Priority: 30})
+	// udp sits between sm and net: co-located ranks still prefer shared
+	// memory, but a peer reachable by business card goes over the real wire
+	// before falling back to the simulated fabric. ExplicitOnly keeps huge
+	// simulated jobs from binding one OS socket per rank nobody asked for.
+	m.Register("btl", opal.Component{Name: "udp", Priority: 25, ExplicitOnly: true})
 	m.Register("btl", opal.Component{Name: "net", Priority: 20})
 	m.Register("coll", opal.Component{Name: "hier", Priority: 40})
 	m.Register("coll", opal.Component{Name: "tuned", Priority: 30})
@@ -228,6 +243,10 @@ func (inst *Instance) Active() bool {
 // It includes the instance generation: a re-initialized instance has a new
 // endpoint, and peers of the same cycle must not resolve a stale address.
 func addrKey(gen int) string { return fmt.Sprintf("pml.addr.g%d", gen) }
+
+// udpKey is the modex key the udp BTL's business card (its bound UDP
+// address) is published under, generation-scoped like addrKey.
+func udpKey(gen int) string { return fmt.Sprintf("udp.addr.g%d", gen) }
 
 func encodeAddr(a simnet.Addr) []byte {
 	var b [8]byte
@@ -371,6 +390,7 @@ func (inst *Instance) initPML() (func(), error) {
 	})
 	var mods []btl.Module
 	netUsed := false
+	var udpMod *btludp.Module
 	for _, c := range comps {
 		switch c.Name {
 		case "sm":
@@ -379,6 +399,34 @@ func (inst *Instance) initPML() (func(), error) {
 			// through their own finalize/re-initialize cycles, when their
 			// current-generation fabric address is unresolvable.
 			mods = append(mods, btlsm.New(inst.deps.Fabric.Segment(node), node, inst.deps.Rank, client.NodeOf, 0))
+		case "udp":
+			um, err := btludp.New(btludp.Config{
+				Rank:   inst.deps.Rank,
+				Listen: inst.deps.Cfg.UDPListen,
+				Nonce:  inst.deps.Cfg.UDPNonce,
+				MTU:    inst.deps.Cfg.UDPMTU,
+				Resolve: func(rank int) (string, error) {
+					card, err := client.Get(rank, udpKey(gen), inst.Timeout())
+					if err != nil {
+						return "", err
+					}
+					return string(card), nil
+				},
+				// Reassembled packets come from the engine's arena and the
+				// engine recycles them back into it, closing the loop the
+				// packet-ownership contract (btl.Endpoint.Send) describes.
+				Alloc: pml.ArenaGet,
+				Free:  pml.ArenaPut,
+			})
+			if err != nil {
+				for _, m := range mods {
+					m.Close()
+				}
+				ep.Close()
+				return nil, err
+			}
+			mods = append(mods, um)
+			udpMod = um
 		case "net":
 			mods = append(mods, btlnet.New(ep, resolve, 0))
 			netUsed = true
@@ -402,6 +450,14 @@ func (inst *Instance) initPML() (func(), error) {
 	if err := client.Put(addrKey(gen), encodeAddr(ep.Addr())); err != nil {
 		closeAll()
 		return nil, err
+	}
+	if udpMod != nil {
+		// The udp business card rides the same commit as the fabric
+		// address; the socket is already bound and the progress loop live.
+		if err := client.Put(udpKey(gen), []byte(udpMod.Card())); err != nil {
+			closeAll()
+			return nil, err
+		}
 	}
 	if err := client.Commit(); err != nil {
 		closeAll()

@@ -190,6 +190,13 @@ func (r *Registry) Generation() int {
 type Component struct {
 	Name     string
 	Priority int // higher wins during selection
+
+	// ExplicitOnly components join a selection only when named in an
+	// include list ("udp", "sm,udp"); the default spec "" and exclude
+	// specs ("^sm") skip them. Transports that claim real OS resources
+	// per instance (sockets) register this way so that huge simulated
+	// jobs do not bind thousands of sockets nobody asked for.
+	ExplicitOnly bool
 }
 
 // MCA is a miniature Modular Component Architecture registry. Opening a
@@ -283,7 +290,21 @@ func (m *MCA) SelectComponents(framework, spec string) ([]Component, error) {
 		}
 		kept := comps[:0]
 		for _, c := range comps {
-			if names[c.Name] != exclude {
+			if names[c.Name] == exclude {
+				continue
+			}
+			// In exclude mode a component survives by not being named,
+			// which is not an explicit request for it.
+			if c.ExplicitOnly && exclude {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		comps = kept
+	} else {
+		kept := comps[:0]
+		for _, c := range comps {
+			if !c.ExplicitOnly {
 				kept = append(kept, c)
 			}
 		}

@@ -88,7 +88,7 @@ func (c *Client) Commit() error {
 	staged := c.staged
 	c.staged = make(map[string][]byte)
 	c.mu.Unlock()
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	c.server.publish(c.proc.Rank, staged)
 	return nil
 }
@@ -96,7 +96,7 @@ func (c *Client) Commit() error {
 // Get retrieves a key published by any rank. Data from remote nodes is
 // fetched on demand ("direct modex") and cached at the local server.
 func (c *Client) Get(rank int, key string, timeout time.Duration) ([]byte, error) {
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	return c.server.get(rank, key, timeout)
 }
 
@@ -107,7 +107,7 @@ func (c *Client) Fence(ranks []int, collect bool, timeout time.Duration) error {
 	if len(ranks) == 0 {
 		return fmt.Errorf("%w: empty fence", ErrBadArgument)
 	}
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	key := setKey(ranks)
 	opKey := fmt.Sprintf("fence/%s/%d", key, c.nextSeq("fence", key))
 	return c.server.fence(c.proc.Rank, ranks, opKey, seqKeyFor(c.proc.Rank, "fence", key), collect, timeout)
@@ -150,7 +150,7 @@ func (c *Client) GroupConstruct(name string, ranks []int, opts GroupOpts) (Group
 	if !found {
 		return GroupResult{}, fmt.Errorf("%w: caller rank %d not in group %q", ErrBadArgument, c.proc.Rank, name)
 	}
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 
 	key := setKey(ranks)
 	opKey := fmt.Sprintf("grp/%s/%s/%d", name, key, c.nextSeq("grp/"+name, key))
@@ -182,7 +182,7 @@ func (c *Client) GroupDestruct(name string, ranks []int, timeout time.Duration) 
 	if len(ranks) == 0 {
 		return fmt.Errorf("%w: empty group", ErrBadArgument)
 	}
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	key := setKey(ranks)
 	opKey := fmt.Sprintf("grpdes/%s/%s/%d", name, key, c.nextSeq("grpdes/"+name, key))
 	prof := c.server.profile()
@@ -211,7 +211,7 @@ func (c *Client) isLowestLocal(ranks []int) bool {
 // QueryNumPsets returns the number of process sets known to the runtime
 // (PMIX_QUERY_NUM_PSETS).
 func (c *Client) QueryNumPsets() (int, error) {
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	psets, err := c.server.queryPsets()
 	if err != nil {
 		return 0, err
@@ -222,7 +222,7 @@ func (c *Client) QueryNumPsets() (int, error) {
 // QueryPsetNames returns the names and memberships of all process sets
 // known to the runtime (PMIX_QUERY_PSET_NAMES).
 func (c *Client) QueryPsetNames() (map[string][]int, error) {
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	return c.server.queryPsets()
 }
 
@@ -236,14 +236,14 @@ func (c *Client) Publish(key string, value []byte) error {
 		return ErrNotConnected
 	}
 	c.mu.Unlock()
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	return c.server.daemon.PublishGlobal(key, value)
 }
 
 // Lookup retrieves a globally published value (PMIx_Lookup). It returns
 // ErrKeyNotFound if nothing has been published under key.
 func (c *Client) Lookup(key string, timeout time.Duration) ([]byte, error) {
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	v, ok, err := c.server.daemon.LookupGlobal(key, timeout)
 	if err != nil {
 		return nil, err
@@ -256,7 +256,7 @@ func (c *Client) Lookup(key string, timeout time.Duration) ([]byte, error) {
 
 // Unpublish removes a published key (PMIx_Unpublish).
 func (c *Client) Unpublish(key string) error {
-	c.server.daemon.Fabric().RPCDelay()
+	c.server.daemon.RPCDelay()
 	return c.server.daemon.UnpublishGlobal(key)
 }
 

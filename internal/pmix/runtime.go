@@ -1,0 +1,67 @@
+package pmix
+
+import (
+	"time"
+
+	"gompi/internal/prrte"
+	"gompi/internal/topo"
+)
+
+// Runtime is what a PMIx server needs from the process runtime beneath it.
+// In simulator mode it is the node's in-process *prrte.Daemon; in process
+// mode (prun -transport udp) each OS process's server is backed by a
+// *prrte.BootClient that relays these calls over a TCP socket to the
+// launcher's rendezvous service. Keeping the server/client code identical
+// across both is the point: MPI-level behavior cannot depend on which
+// runtime carries the out-of-band traffic.
+type Runtime interface {
+	// Node returns the node this runtime instance manages.
+	Node() int
+
+	// AttachServer installs the PMIx server as the handler for inbound
+	// direct-modex fetches and events.
+	AttachServer(h prrte.ServerHandler)
+
+	// RPCDelay charges the modeled client-to-server RPC cost (a no-op on
+	// real-socket runtimes, where the wire itself is the cost).
+	RPCDelay()
+
+	// Profile returns the timing profile used to model server-side work.
+	Profile() topo.Profile
+
+	// Fetch performs a direct-modex read from a remote node's server.
+	Fetch(node int, key string, timeout time.Duration) ([]byte, bool, error)
+
+	// Exchange runs the inter-server all-to-all for one collective.
+	Exchange(opKey string, participants []int, local []byte, timeout time.Duration) (map[int][]byte, error)
+
+	// AllocPGCID asks the resource manager for a group context ID.
+	AllocPGCID(groupName string, members []int, timeout time.Duration) (uint64, error)
+
+	// QueryPsets returns the runtime's pset registry.
+	QueryPsets(timeout time.Duration) (map[string][]int, error)
+
+	// UpdatePset replaces a pset's membership.
+	UpdatePset(name string, members []int) error
+
+	// DeregisterPset removes a pset.
+	DeregisterPset(name string) error
+
+	// BroadcastEvent delivers an encoded event to every node's server.
+	BroadcastEvent(data []byte)
+
+	// NotifyNode delivers an encoded event to one node's server.
+	NotifyNode(node int, data []byte) error
+
+	// PublishGlobal/LookupGlobal/UnpublishGlobal implement the job-wide
+	// name service (PMIx_Publish family).
+	PublishGlobal(key string, value []byte) error
+	LookupGlobal(key string, timeout time.Duration) ([]byte, bool, error)
+	UnpublishGlobal(key string) error
+
+	// PublishModex mirrors a rank's committed modex data into the runtime.
+	// The in-process daemon ignores it (remote servers fetch through the
+	// daemon's ServerHandler), but socket-backed runtimes push the data to
+	// the launcher so other processes' fetches can be answered there.
+	PublishModex(rank int, kv map[string][]byte)
+}

@@ -13,10 +13,11 @@ import (
 	"gompi/internal/topo"
 )
 
-// Server is the PMIx server for one node. It is hosted on the node's PRRTE
-// daemon and services the clients of all local ranks.
+// Server is the PMIx server for one node. In simulator mode it is hosted on
+// the node's PRRTE daemon; in process mode on a BootClient relaying to the
+// launcher. Either way it services the clients of all local ranks.
 type Server struct {
-	daemon *prrte.Daemon
+	daemon Runtime
 	job    prrte.JobMap
 	nspace string
 
@@ -49,7 +50,7 @@ func (s *Server) work(d time.Duration) {
 }
 
 func (s *Server) profile() topo.Profile {
-	return s.daemon.Fabric().Cluster().Profile
+	return s.daemon.Profile()
 }
 
 // collOp is the local rendezvous state for one collective instance.
@@ -73,9 +74,9 @@ func (op *collOp) expects(rank int) bool {
 	return false
 }
 
-// NewServer creates the PMIx server for the daemon's node and attaches it
-// as the daemon's handler for inbound fetches and events.
-func NewServer(daemon *prrte.Daemon, job prrte.JobMap, nspace string) *Server {
+// NewServer creates the PMIx server for the runtime's node and attaches it
+// as the runtime's handler for inbound fetches and events.
+func NewServer(daemon Runtime, job prrte.JobMap, nspace string) *Server {
 	s := &Server{
 		daemon:      daemon,
 		job:         job,
@@ -219,10 +220,10 @@ func (s *Server) nextSeqFor(rank int, kind, set string) uint64 {
 	return s.seqs[k]
 }
 
-// publish commits a client's staged data.
+// publish commits a client's staged data, mirroring it into the runtime
+// (outside s.mu — PublishModex may block on a socket).
 func (s *Server) publish(rank int, kv map[string][]byte) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	dst := s.published[rank]
 	if dst == nil {
 		dst = make(map[string][]byte)
@@ -231,6 +232,8 @@ func (s *Server) publish(rank int, kv map[string][]byte) {
 	for k, v := range kv {
 		dst[k] = v
 	}
+	s.mu.Unlock()
+	s.daemon.PublishModex(rank, kv)
 }
 
 // get resolves a key for a proc: local published data first, then the

@@ -25,14 +25,16 @@ var (
 	bufPoolLarge = sync.Pool{New: func() any { return new([bufClassLarge]byte) }}
 )
 
-// getBuf returns a length-n buffer whose contents are undefined; every
-// caller fully overwrites [0:n]. Legacy-mode engines always allocate fresh
-// so the ablation benchmark measures the original allocation behavior.
-func (e *Engine) getBuf(n int) []byte {
-	if e.legacy || n > bufClassLarge {
-		return make([]byte, n)
-	}
+// ArenaGet returns a length-n buffer from the process-wide packet arena;
+// its contents are undefined and every caller fully overwrites [0:n].
+// Sizes above the largest class fall back to a fresh allocation. The arena
+// is shared with the BTL layer: transport modules that materialize inbound
+// packets themselves (udp reassembly) draw from it so the buffers they
+// deliver recycle through the same pools the engine drains into.
+func ArenaGet(n int) []byte {
 	switch {
+	case n > bufClassLarge:
+		return make([]byte, n)
 	case n <= bufClassSmall:
 		p := bufPoolSmall.Get().(*[bufClassSmall]byte)
 		guardCheckout(p)
@@ -48,11 +50,11 @@ func (e *Engine) getBuf(n int) []byte {
 	}
 }
 
-// putBuf recycles a packet buffer. Only exact class capacities are
-// accepted; anything else (foreign allocation, oversize make) is left to
-// the garbage collector.
-func (e *Engine) putBuf(b []byte) {
-	if e.legacy || cap(b) == 0 {
+// ArenaPut recycles a packet buffer into the arena. Only exact class
+// capacities are accepted; anything else (foreign allocation, oversize
+// make) is left to the garbage collector.
+func ArenaPut(b []byte) {
+	if cap(b) == 0 {
 		return
 	}
 	b = b[:cap(b)]
@@ -70,6 +72,24 @@ func (e *Engine) putBuf(b []byte) {
 		guardRecycle(p, b)
 		bufPoolLarge.Put(p)
 	}
+}
+
+// getBuf returns a length-n buffer whose contents are undefined; every
+// caller fully overwrites [0:n]. Legacy-mode engines always allocate fresh
+// so the ablation benchmark measures the original allocation behavior.
+func (e *Engine) getBuf(n int) []byte {
+	if e.legacy {
+		return make([]byte, n)
+	}
+	return ArenaGet(n)
+}
+
+// putBuf recycles a packet buffer (see ArenaPut).
+func (e *Engine) putBuf(b []byte) {
+	if e.legacy {
+		return
+	}
+	ArenaPut(b)
 }
 
 // Matching-record pools: postedRecv and inbound records cycle through the

@@ -1,0 +1,671 @@
+package prrte
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompi/internal/topo"
+)
+
+// Process-mode bootstrap: when prun launches real OS processes (-transport
+// udp), there is no in-process DVM to carry out-of-band traffic. Instead the
+// parent runs a BootServer — a gob-over-TCP rendezvous service on loopback —
+// and each child connects a BootClient, which implements the same
+// pmix.Runtime surface as an in-process Daemon. The parent centralizes what
+// the simulated DVM distributes: modex data pushed by children, the global
+// name service, the pset registry, PGCID allocation, collective exchanges,
+// and event fan-out.
+//
+// Correctness leans on TCP ordering plus serial per-connection processing at
+// the parent: a child's modex push is handled before any request the same
+// child sends later (e.g. its fence contribution), and cross-child races are
+// absorbed by parent-side waiters — a Fetch for a key that has not arrived
+// yet parks until the owning child's push lands or the deadline passes.
+
+// defaultBootTimeout bounds replied operations whose caller passed no
+// deadline; loopback rendezvous traffic that takes this long is wedged.
+const defaultBootTimeout = 60 * time.Second
+
+// bootMsg is one child-to-parent request.
+type bootMsg struct {
+	ID   uint64 // correlation ID; 0 = fire-and-forget
+	Kind string
+
+	Node         int
+	Key          string
+	Val          []byte
+	KV           map[string][]byte
+	Name         string
+	Members      []int
+	Participants []int
+	TimeoutMs    int64
+	Wait         bool
+}
+
+// bootReply is one parent-to-child message: a correlated reply (ID != 0) or
+// an unsolicited event push (ID == 0, Event set).
+type bootReply struct {
+	ID    uint64
+	Err   string
+	OK    bool
+	Val   []byte
+	Map   map[int][]byte
+	Psets map[string][]int
+	N     uint64
+	Event []byte
+}
+
+// Request kinds.
+const (
+	bootHello     = "hello"
+	bootExchange  = "exchange"
+	bootPGCID     = "pgcid"
+	bootFetch     = "fetch"
+	bootQuery     = "query"
+	bootUpdatePs  = "updatePset"
+	bootDeregPs   = "deregPset"
+	bootPublish   = "publish"
+	bootLookup    = "lookup"
+	bootUnpublish = "unpublish"
+	bootBcast     = "bcast"
+	bootNotify    = "notify"
+	bootModex     = "modex"
+)
+
+// bootConn is the parent's handle on one child connection.
+type bootConn struct {
+	conn net.Conn
+	wmu  sync.Mutex //gompilint:lockorder rank=19
+	enc  *gob.Encoder
+	node int
+}
+
+func (c *bootConn) send(r bootReply) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(r)
+}
+
+// bootOp is one in-flight collective exchange at the parent.
+type bootOp struct {
+	need     map[int]bool // participant nodes still outstanding
+	contribs map[int][]byte
+	waiters  []bootWaiter
+}
+
+type bootWaiter struct {
+	conn *bootConn
+	id   uint64
+}
+
+// keyWaiter parks a fetch or lookup until the key arrives or its timer fires.
+type keyWaiter struct {
+	conn  *bootConn
+	id    uint64
+	timer *time.Timer
+}
+
+// BootServer is the launcher-side rendezvous service.
+type BootServer struct {
+	ln net.Listener
+
+	mu            sync.Mutex //gompilint:lockorder rank=17
+	conns         map[int]*bootConn
+	modex         map[string][]byte // "modex/<rank>/<key>" -> value
+	published     map[string][]byte // global name service
+	psets         map[string][]int
+	nextPGCID     uint64
+	ops           map[string]*bootOp
+	fetchWaiters  map[string][]*keyWaiter
+	lookupWaiters map[string][]*keyWaiter
+	closed        bool
+}
+
+// NewBootServer starts the rendezvous service on addr ("127.0.0.1:0" picks a
+// free port; Addr reports the bound address for the children's environment).
+func NewBootServer(addr string) (*BootServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("prrte: boot listen %q: %w", addr, err)
+	}
+	s := &BootServer{
+		ln:            ln,
+		conns:         make(map[int]*bootConn),
+		modex:         make(map[string][]byte),
+		published:     make(map[string][]byte),
+		psets:         make(map[string][]int),
+		ops:           make(map[string]*bootOp),
+		fetchWaiters:  make(map[string][]*keyWaiter),
+		lookupWaiters: make(map[string][]*keyWaiter),
+	}
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the listen address children must dial (GOMPI_BOOT).
+func (s *BootServer) Addr() string { return s.ln.Addr().String() }
+
+// RegisterPset seeds a launch-time pset (mpi://WORLD etc.) before children
+// connect, mirroring DVM.RegisterPset.
+func (s *BootServer) RegisterPset(name string, members []int) {
+	cp := append([]int(nil), members...)
+	s.mu.Lock()
+	s.psets[name] = cp
+	s.mu.Unlock()
+}
+
+// Close shuts the listener and every child connection.
+func (s *BootServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*bootConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+}
+
+func (s *BootServer) accept() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+// serve processes one child's requests serially — the ordering guarantee the
+// fire-and-forget kinds rely on. Kinds that must wait for other children
+// never block this loop; they park a waiter and are answered later.
+func (s *BootServer) serve(conn net.Conn) {
+	bc := &bootConn{conn: conn, enc: gob.NewEncoder(conn), node: -1}
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg bootMsg
+		if err := dec.Decode(&msg); err != nil {
+			s.dropConn(bc)
+			return
+		}
+		s.handle(bc, msg)
+	}
+}
+
+func (s *BootServer) dropConn(bc *bootConn) {
+	bc.conn.Close()
+	s.mu.Lock()
+	if bc.node >= 0 && s.conns[bc.node] == bc {
+		delete(s.conns, bc.node)
+	}
+	s.mu.Unlock()
+}
+
+func (s *BootServer) handle(bc *bootConn, msg bootMsg) {
+	switch msg.Kind {
+	case bootHello:
+		s.mu.Lock()
+		bc.node = msg.Node
+		s.conns[msg.Node] = bc
+		s.mu.Unlock()
+		_ = bc.send(bootReply{ID: msg.ID, OK: true})
+
+	case bootModex:
+		// Store rank-committed modex data and wake any parked fetches.
+		s.mu.Lock()
+		var woken []wokenWaiter
+		for k, v := range msg.KV {
+			full := fmt.Sprintf("modex/%d/%s", msg.Node, k)
+			s.modex[full] = v
+			woken = append(woken, s.takeWaitersLocked(s.fetchWaiters, full, v)...)
+		}
+		s.mu.Unlock()
+		replyWoken(woken)
+
+	case bootFetch:
+		s.mu.Lock()
+		if v, ok := s.modex[msg.Key]; ok {
+			s.mu.Unlock()
+			_ = bc.send(bootReply{ID: msg.ID, OK: true, Val: v})
+			return
+		}
+		if !msg.Wait {
+			s.mu.Unlock()
+			_ = bc.send(bootReply{ID: msg.ID, OK: false})
+			return
+		}
+		s.parkLocked(s.fetchWaiters, msg.Key, bc, msg.ID, time.Duration(msg.TimeoutMs)*time.Millisecond)
+		s.mu.Unlock()
+
+	case bootExchange:
+		s.mu.Lock()
+		op := s.ops[msg.Key]
+		if op == nil {
+			op = &bootOp{need: make(map[int]bool), contribs: make(map[int][]byte)}
+			for _, n := range msg.Participants {
+				op.need[n] = true
+			}
+			s.ops[msg.Key] = op
+		}
+		op.contribs[msg.Node] = msg.Val
+		delete(op.need, msg.Node)
+		op.waiters = append(op.waiters, bootWaiter{conn: bc, id: msg.ID})
+		if len(op.need) > 0 {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.ops, msg.Key)
+		waiters := op.waiters
+		result := op.contribs
+		s.mu.Unlock()
+		for _, w := range waiters {
+			_ = w.conn.send(bootReply{ID: w.id, OK: true, Map: result})
+		}
+
+	case bootPGCID:
+		s.mu.Lock()
+		s.nextPGCID++
+		id := s.nextPGCID
+		if msg.Name != "" {
+			s.psets[msg.Name] = append([]int(nil), msg.Members...)
+		}
+		s.mu.Unlock()
+		_ = bc.send(bootReply{ID: msg.ID, OK: true, N: id})
+
+	case bootQuery:
+		s.mu.Lock()
+		snap := make(map[string][]int, len(s.psets))
+		for name, members := range s.psets {
+			snap[name] = append([]int(nil), members...)
+		}
+		s.mu.Unlock()
+		_ = bc.send(bootReply{ID: msg.ID, OK: true, Psets: snap})
+
+	case bootUpdatePs:
+		s.mu.Lock()
+		s.psets[msg.Name] = append([]int(nil), msg.Members...)
+		s.mu.Unlock()
+
+	case bootDeregPs:
+		s.mu.Lock()
+		delete(s.psets, msg.Name)
+		s.mu.Unlock()
+
+	case bootPublish:
+		s.mu.Lock()
+		s.published[msg.Key] = msg.Val
+		woken := s.takeWaitersLocked(s.lookupWaiters, msg.Key, msg.Val)
+		s.mu.Unlock()
+		replyWoken(woken)
+
+	case bootLookup:
+		s.mu.Lock()
+		if v, ok := s.published[msg.Key]; ok {
+			s.mu.Unlock()
+			_ = bc.send(bootReply{ID: msg.ID, OK: true, Val: v})
+			return
+		}
+		if !msg.Wait {
+			s.mu.Unlock()
+			_ = bc.send(bootReply{ID: msg.ID, OK: false})
+			return
+		}
+		s.parkLocked(s.lookupWaiters, msg.Key, bc, msg.ID, time.Duration(msg.TimeoutMs)*time.Millisecond)
+		s.mu.Unlock()
+
+	case bootUnpublish:
+		s.mu.Lock()
+		delete(s.published, msg.Key)
+		s.mu.Unlock()
+
+	case bootBcast:
+		// Fan the event out to every connected child, the sender included
+		// (the Daemon delivers broadcast events to its own handler too).
+		s.mu.Lock()
+		conns := make([]*bootConn, 0, len(s.conns))
+		for _, c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			_ = c.send(bootReply{Event: msg.Val})
+		}
+
+	case bootNotify:
+		s.mu.Lock()
+		c := s.conns[msg.Node]
+		s.mu.Unlock()
+		if c != nil {
+			_ = c.send(bootReply{Event: msg.Val})
+		}
+	}
+}
+
+// wokenWaiter pairs a parked waiter with the value that satisfied it.
+type wokenWaiter struct {
+	w   *keyWaiter
+	val []byte
+}
+
+// takeWaitersLocked detaches every waiter parked on key; callers reply after
+// releasing s.mu. Waiters whose timer already fired are skipped (Stop false
+// means the timeout reply was or is being sent).
+func (s *BootServer) takeWaitersLocked(table map[string][]*keyWaiter, key string, val []byte) []wokenWaiter {
+	ws := table[key]
+	if len(ws) == 0 {
+		return nil
+	}
+	delete(table, key)
+	out := make([]wokenWaiter, 0, len(ws))
+	for _, w := range ws {
+		if w.timer.Stop() {
+			out = append(out, wokenWaiter{w: w, val: val})
+		}
+	}
+	return out
+}
+
+func replyWoken(woken []wokenWaiter) {
+	for _, ww := range woken {
+		_ = ww.w.conn.send(bootReply{ID: ww.w.id, OK: true, Val: ww.val})
+	}
+}
+
+// parkLocked registers a waiter for key with a timeout that answers
+// "not found" if nothing arrives in time. Called with s.mu held.
+func (s *BootServer) parkLocked(table map[string][]*keyWaiter, key string, bc *bootConn, id uint64, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = defaultBootTimeout
+	}
+	w := &keyWaiter{conn: bc, id: id}
+	w.timer = time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		ws := table[key]
+		for i, cand := range ws {
+			if cand == w {
+				table[key] = append(ws[:i], ws[i+1:]...)
+				if len(table[key]) == 0 {
+					delete(table, key)
+				}
+				break
+			}
+		}
+		s.mu.Unlock()
+		_ = bc.send(bootReply{ID: id, OK: false})
+	})
+	table[key] = append(table[key], w)
+}
+
+// BootClient is a child process's connection to the BootServer. It
+// implements pmix.Runtime, so a pmix.Server runs on it unchanged.
+type BootClient struct {
+	conn net.Conn
+	node int
+	np   int
+
+	handler   ServerHandler
+	handlerMu sync.RWMutex //gompilint:lockorder rank=15
+
+	mu      sync.Mutex //gompilint:lockorder rank=16
+	pending map[uint64]chan bootReply
+	dead    error
+
+	encMu sync.Mutex //gompilint:lockorder rank=18
+	enc   *gob.Encoder
+
+	nextID atomic.Uint64
+}
+
+// DialBoot connects to the parent's rendezvous service and registers this
+// process as node (with PPN=1, node == rank).
+func DialBoot(addr string, node, np int) (*BootClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("prrte: boot dial %q: %w", addr, err)
+	}
+	c := &BootClient{
+		conn:    conn,
+		node:    node,
+		np:      np,
+		pending: make(map[uint64]chan bootReply),
+		enc:     gob.NewEncoder(conn),
+	}
+	go c.read()
+	// The hello reply doubles as the registration barrier: once it returns,
+	// broadcasts and notifies reach this process.
+	if _, err := c.call(bootMsg{Kind: bootHello, Node: node}, defaultBootTimeout); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("prrte: boot hello: %w", err)
+	}
+	return c, nil
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *BootClient) Close() { c.conn.Close() }
+
+// read is the single receiver: correlated replies route to their waiters,
+// ID-0 pushes are events for the attached server.
+func (c *BootClient) read() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var r bootReply
+		if err := dec.Decode(&r); err != nil {
+			c.fail(fmt.Errorf("prrte: boot connection lost: %w", err))
+			return
+		}
+		if r.ID == 0 {
+			c.handlerMu.RLock()
+			h := c.handler
+			c.handlerMu.RUnlock()
+			if h != nil && r.Event != nil {
+				h.HandleEvent(r.Event)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[r.ID]
+		delete(c.pending, r.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- r
+		}
+	}
+}
+
+// fail poisons the client: every outstanding and future call errors.
+func (c *BootClient) fail(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan bootReply)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- bootReply{Err: err.Error()}
+	}
+}
+
+// post sends a fire-and-forget message.
+func (c *BootClient) post(msg bootMsg) error {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead != nil {
+		return dead
+	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	return c.enc.Encode(msg)
+}
+
+// call sends a correlated request and waits for its reply.
+func (c *BootClient) call(msg bootMsg, timeout time.Duration) (bootReply, error) {
+	if timeout <= 0 {
+		timeout = defaultBootTimeout
+	}
+	msg.ID = c.nextID.Add(1)
+	msg.TimeoutMs = int64(timeout / time.Millisecond)
+	ch := make(chan bootReply, 1)
+
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return bootReply{}, err
+	}
+	c.pending[msg.ID] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	err := c.enc.Encode(msg)
+	c.encMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, msg.ID)
+		c.mu.Unlock()
+		return bootReply{}, err
+	}
+
+	// The parent enforces the deadline for parked operations; this local
+	// timer (with slack) only guards against a wedged parent.
+	timer := time.NewTimer(timeout + 5*time.Second)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.Err != "" {
+			return bootReply{}, errors.New(r.Err)
+		}
+		return r, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, msg.ID)
+		c.mu.Unlock()
+		return bootReply{}, fmt.Errorf("%w: boot %s", ErrTimeout, msg.Kind)
+	}
+}
+
+// --- pmix.Runtime ---
+
+// Node returns this process's node index (== rank in process mode).
+func (c *BootClient) Node() int { return c.node }
+
+// AttachServer installs the PMIx server for event pushes.
+func (c *BootClient) AttachServer(h ServerHandler) {
+	c.handlerMu.Lock()
+	c.handler = h
+	c.handlerMu.Unlock()
+}
+
+// RPCDelay is a no-op: in process mode the real wire is the cost.
+func (c *BootClient) RPCDelay() {}
+
+// Profile returns a zero-delay profile — process mode measures real time,
+// it does not model it.
+func (c *BootClient) Profile() topo.Profile { return topo.Loopback(1) }
+
+// Fetch performs a direct-modex read via the parent. Unlike the simulated
+// daemon, the parent parks unresolved fetches until the owning child's
+// modex push arrives, absorbing cross-child publish/fetch races.
+func (c *BootClient) Fetch(node int, key string, timeout time.Duration) ([]byte, bool, error) {
+	r, err := c.call(bootMsg{Kind: bootFetch, Node: c.node, Key: key, Wait: true}, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Val, r.OK, nil
+}
+
+// Exchange contributes to a collective and blocks until every participant
+// node has arrived.
+func (c *BootClient) Exchange(opKey string, participants []int, local []byte, timeout time.Duration) (map[int][]byte, error) {
+	r, err := c.call(bootMsg{Kind: bootExchange, Node: c.node, Key: opKey, Val: local, Participants: participants}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return r.Map, nil
+}
+
+// AllocPGCID obtains a fresh group context ID from the parent.
+func (c *BootClient) AllocPGCID(groupName string, members []int, timeout time.Duration) (uint64, error) {
+	r, err := c.call(bootMsg{Kind: bootPGCID, Node: c.node, Name: groupName, Members: members}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	return r.N, nil
+}
+
+// QueryPsets returns the parent's pset registry.
+func (c *BootClient) QueryPsets(timeout time.Duration) (map[string][]int, error) {
+	r, err := c.call(bootMsg{Kind: bootQuery, Node: c.node}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return r.Psets, nil
+}
+
+// UpdatePset replaces a pset's membership.
+func (c *BootClient) UpdatePset(name string, members []int) error {
+	return c.post(bootMsg{Kind: bootUpdatePs, Node: c.node, Name: name, Members: members})
+}
+
+// DeregisterPset removes a pset.
+func (c *BootClient) DeregisterPset(name string) error {
+	return c.post(bootMsg{Kind: bootDeregPs, Node: c.node, Name: name})
+}
+
+// BroadcastEvent delivers an event to every process, this one included.
+func (c *BootClient) BroadcastEvent(data []byte) {
+	_ = c.post(bootMsg{Kind: bootBcast, Node: c.node, Val: data})
+}
+
+// NotifyNode delivers an event to one process.
+func (c *BootClient) NotifyNode(node int, data []byte) error {
+	return c.post(bootMsg{Kind: bootNotify, Node: node, Val: data})
+}
+
+// PublishGlobal stores a key in the parent's name service.
+func (c *BootClient) PublishGlobal(key string, value []byte) error {
+	return c.post(bootMsg{Kind: bootPublish, Node: c.node, Key: key, Val: value})
+}
+
+// LookupGlobal retrieves a published key; with timeout > 0 it waits at the
+// parent for the key to appear, mirroring Daemon.LookupGlobal. A deadline
+// miss returns (nil, false, nil), matching the daemon's contract.
+func (c *BootClient) LookupGlobal(key string, timeout time.Duration) ([]byte, bool, error) {
+	r, err := c.call(bootMsg{Kind: bootLookup, Node: c.node, Key: key, Wait: timeout > 0}, timeout)
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return r.Val, r.OK, nil
+}
+
+// UnpublishGlobal removes a published key.
+func (c *BootClient) UnpublishGlobal(key string) error {
+	return c.post(bootMsg{Kind: bootUnpublish, Node: c.node, Key: key})
+}
+
+// PublishModex pushes a rank's committed modex data to the parent, where
+// other processes' fetches are answered. TCP ordering plus the parent's
+// serial per-connection processing guarantee the push is visible before any
+// collective contribution this process sends afterwards.
+func (c *BootClient) PublishModex(rank int, kv map[string][]byte) {
+	if len(kv) == 0 {
+		return
+	}
+	_ = c.post(bootMsg{Kind: bootModex, Node: rank, KV: kv})
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gompi/internal/simnet"
+	"gompi/internal/topo"
 )
 
 // ErrTimeout is returned when a collective daemon operation does not
@@ -175,6 +176,17 @@ func (d *Daemon) Node() int { return d.node }
 
 // Fabric returns the fabric this daemon communicates over.
 func (d *Daemon) Fabric() *simnet.Fabric { return d.dvm.fabric }
+
+// RPCDelay charges the modeled client-to-server RPC cost (pmix.Runtime).
+func (d *Daemon) RPCDelay() { d.dvm.fabric.RPCDelay() }
+
+// Profile returns the cluster's timing profile (pmix.Runtime).
+func (d *Daemon) Profile() topo.Profile { return d.dvm.fabric.Cluster().Profile }
+
+// PublishModex is a no-op for the in-process daemon (pmix.Runtime): remote
+// servers fetch committed data on demand through the ServerHandler, so there
+// is nothing to mirror.
+func (d *Daemon) PublishModex(rank int, kv map[string][]byte) {}
 
 // Addr returns the daemon's fabric address.
 func (d *Daemon) Addr() simnet.Addr { return d.ep.Addr() }

@@ -177,6 +177,64 @@ func TestBTLExcludeSM(t *testing.T) {
 	})
 }
 
+// TestBTLStatsUDPTransport forces the udp BTL so even intra-node traffic
+// crosses a real loopback socket, then checks both directions of the
+// counters at the app level: send-side Msgs/Bytes, receive-side
+// RecvMsgs/RecvBytes, and a clean (drop-free) wire. No other transport may
+// be instantiated.
+func TestBTLStatsUDPTransport(t *testing.T) {
+	cfg := exCfg()
+	cfg.BTL = "udp"
+	run(t, 1, 2, cfg, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "btl-udp", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		buf := make([]byte, 4)
+		if comm.Rank() == 0 {
+			if err := comm.Send([]byte("ping"), 1, 1); err != nil {
+				return err
+			}
+			if _, err := comm.Recv(buf, 1, 2); err != nil {
+				return err
+			}
+			// Rank 0 has now both sent and received over the socket.
+			st := p.BTLStatsSnapshot()
+			if len(st) != 1 {
+				return fmt.Errorf("forced udp loaded extra transports: %+v", st)
+			}
+			u := st["udp"]
+			if u.Msgs == 0 || u.Bytes == 0 {
+				return fmt.Errorf("udp send counters empty: %+v", u)
+			}
+			if u.RecvMsgs == 0 || u.RecvBytes == 0 {
+				return fmt.Errorf("udp receive counters empty: %+v", u)
+			}
+			if u.Drops != 0 {
+				return fmt.Errorf("clean loopback exchange recorded drops: %+v", u)
+			}
+		} else {
+			if _, err := comm.Recv(buf, 0, 1); err != nil {
+				return err
+			}
+			if err := comm.Send(buf, 0, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // TestBTLWorksAcrossCIDModes runs the sm path under the consensus CID
 // algorithm too (via the WPM, since consensus mode has no Sessions
 // constructors) — transport selection is orthogonal to CID generation.

@@ -136,16 +136,22 @@ func (p *Process) PMLStatsSnapshot() PMLStats {
 }
 
 // TransportStats counts the traffic one BTL module has carried for this
-// process.
+// process. The receive-side counters (RecvMsgs, RecvBytes) and Drops are
+// meaningful only for real-wire transports like udp, where the module owns
+// a socket: Drops counts datagrams rejected before the matcher — malformed
+// frames, foreign-job traffic, and reassembly evictions.
 type TransportStats struct {
-	Msgs  uint64
-	Bytes uint64
+	Msgs      uint64
+	Bytes     uint64
+	RecvMsgs  uint64
+	RecvBytes uint64
+	Drops     uint64
 }
 
 // BTLStatsSnapshot returns per-transport traffic counters keyed by MCA
-// component name ("sm", "net"); nil when MPI is not initialized. Intra-node
-// traffic appearing under "sm" confirms the shared-memory fast path is
-// carrying it.
+// component name ("sm", "udp", "net"); nil when MPI is not initialized.
+// Intra-node traffic appearing under "sm" confirms the shared-memory fast
+// path is carrying it.
 func (p *Process) BTLStatsSnapshot() map[string]TransportStats {
 	e := p.inst.Engine()
 	if e == nil {
@@ -153,7 +159,13 @@ func (p *Process) BTLStatsSnapshot() map[string]TransportStats {
 	}
 	out := make(map[string]TransportStats)
 	for name, s := range e.BTLStats() {
-		out[name] = TransportStats{Msgs: s.Msgs, Bytes: s.Bytes}
+		out[name] = TransportStats{
+			Msgs:      s.Msgs,
+			Bytes:     s.Bytes,
+			RecvMsgs:  s.RecvMsgs,
+			RecvBytes: s.RecvBytes,
+			Drops:     s.Drops,
+		}
 	}
 	return out
 }

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/prrte"
+	"gompi/mpi"
+)
+
+// procJob runs main as NP concurrent RunProcess calls against a real
+// BootServer — the full process-mode stack (boot TCP rendezvous, pmix over
+// BootClient, udp BTL between distinct sockets) minus the fork. Returns the
+// per-rank errors.
+func procJob(t *testing.T, np int, cfg core.Config, main func(p *mpi.Process) error) []error {
+	t.Helper()
+	boot, err := prrte.NewBootServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(boot.Close)
+	if cfg.BTL == "" {
+		cfg.BTL = "udp"
+	}
+	if cfg.UDPNonce == 0 {
+		cfg.UDPNonce = NewJobNonce()
+	}
+	// CommCreateFromGroup needs the exCID generator (the zero value is the
+	// consensus baseline).
+	cfg.CIDMode = core.CIDExtended
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = RunProcess(ProcOptions{
+				NP:       np,
+				Rank:     rank,
+				BootAddr: boot.Addr(),
+				Config:   cfg,
+			}, main)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// ringMain is the canonical Sessions flow: init, group from mpi://world,
+// communicator, token ring.
+func ringMain(p *mpi.Process) error {
+	sess, err := p.SessionInit(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Finalize()
+	grp, err := sess.GroupFromPset(mpi.PsetWorld)
+	if err != nil {
+		return err
+	}
+	comm, err := sess.CommCreateFromGroup(grp, "proc.ring", nil, nil)
+	if err != nil {
+		return err
+	}
+	defer comm.Free()
+	me, n := comm.Rank(), comm.Size()
+	token := make([]byte, 8)
+	if me == 0 {
+		copy(token, "token!!!")
+		if err := comm.Send(token, (me+1)%n, 0); err != nil {
+			return err
+		}
+		if _, err := comm.Recv(token, (me-1+n)%n, 0); err != nil {
+			return err
+		}
+		if string(token) != "token!!!" {
+			return fmt.Errorf("token corrupted: %q", token)
+		}
+		return nil
+	}
+	if _, err := comm.Recv(token, (me-1+n)%n, 0); err != nil {
+		return err
+	}
+	return comm.Send(token, (me+1)%n, 0)
+}
+
+func TestRunProcessRing(t *testing.T) {
+	for _, err := range procJob(t, 4, core.Config{}, ringMain) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunProcessLargeMessages pushes payloads well past the udp MTU so the
+// exchange exercises fragmentation/reassembly plus the PML rendezvous path.
+func TestRunProcessLargeMessages(t *testing.T) {
+	const size = 256 << 10
+	errs := procJob(t, 2, core.Config{}, func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, nil)
+		if err != nil {
+			return err
+		}
+		defer sess.Finalize()
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "proc.big", nil, nil)
+		if err != nil {
+			return err
+		}
+		defer comm.Free()
+		if comm.Rank() == 0 {
+			msg := make([]byte, size)
+			for i := range msg {
+				msg[i] = byte(i * 7)
+			}
+			return comm.Send(msg, 1, 9)
+		}
+		got := make([]byte, size)
+		if _, err := comm.Recv(got, 0, 9); err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != byte(i*7) {
+				return fmt.Errorf("payload corrupted at byte %d", i)
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunProcessPsets: parent-registered psets are visible to every rank
+// through the boot fetch path.
+func TestRunProcessPsets(t *testing.T) {
+	boot, err := prrte.NewBootServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(boot.Close)
+	boot.RegisterPset("app://left", []int{0, 1})
+	cfg := core.Config{BTL: "udp", UDPNonce: NewJobNonce(), CIDMode: core.CIDExtended}
+	const np = 2
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = RunProcess(ProcOptions{NP: np, Rank: rank, BootAddr: boot.Addr(), Config: cfg},
+				func(p *mpi.Process) error {
+					sess, err := p.SessionInit(nil, nil)
+					if err != nil {
+						return err
+					}
+					defer sess.Finalize()
+					grp, err := sess.GroupFromPset("app://left")
+					if err != nil {
+						return err
+					}
+					if grp.Size() != 2 {
+						return fmt.Errorf("app://left size = %d, want 2", grp.Size())
+					}
+					return nil
+				})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunProcessBadRank(t *testing.T) {
+	err := RunProcess(ProcOptions{NP: 2, Rank: 5, BootAddr: "127.0.0.1:1"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewJobNonceNonZero(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 32; i++ {
+		n := NewJobNonce()
+		if n == 0 {
+			t.Fatal("nonce must never be zero")
+		}
+		seen[n] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("nonces are not random")
+	}
+}

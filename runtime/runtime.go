@@ -16,6 +16,7 @@ package runtime
 import (
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 
 	"gompi/internal/core"
@@ -86,6 +87,11 @@ func NewJob(opts Options) (*Job, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	// Jobs selecting the udp transport need a shared frame nonce; generate
+	// one when the caller didn't (every instance gets the same Config).
+	if strings.Contains(opts.Config.BTL, "udp") && opts.Config.UDPNonce == 0 {
+		opts.Config.UDPNonce = NewJobNonce()
 	}
 	fabric := simnet.NewFabric(opts.Cluster)
 	dvm := prrte.NewDVM(fabric)
