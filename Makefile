@@ -27,7 +27,10 @@ chaos:
 	$(GO) test -race -run Chaos ./internal/simnet ./internal/prrte ./internal/pmix ./internal/pml ./mpi
 
 # lint runs the project's own go/analysis suite (DESIGN.md §6a): request
-# leaks, pool ownership, lock order, handle lifecycle, discarded MPI errors.
+# leaks, pool ownership, lock order, handle lifecycle, discarded MPI errors,
+# in-flight buffer aliasing, collective order/balance, sync/atomic mixing,
+# and //gompilint:noalloc hot paths — interprocedural via per-function
+# effect summaries.
 lint:
 	$(GO) run ./cmd/gompilint ./...
 

@@ -1,32 +1,52 @@
 // Command gompilint is the repo's contract linter: a multichecker driving
 // the internal/lint analyzer suite (reqleak, poolown, lockorder,
-// handlefree, errcheckmpi) over the packages named on the command line.
+// handlefree, errcheck-mpi, collstate, bufalias, collorder, atomicmix,
+// noalloc) over the packages named on the command line.
 //
 // Usage:
 //
-//	go run ./cmd/gompilint [-list] [-only name,name] [packages...]
+//	go run ./cmd/gompilint [-list] [-only name,name] [-json] [packages...]
 //
 // Packages default to ./... (test files are not analyzed; the contracts
 // bind production code, and tests intentionally misuse handles). Exit
-// status is 1 when any finding is reported. A finding can be suppressed
-// with a trailing or preceding-line //gompilint:ignore <analyzer> comment;
-// mutex ranks are declared with //gompilint:lockorder rank=N (see
-// DESIGN.md §6a).
+// status is 1 when any finding is reported. With -json, findings are
+// emitted as one JSON array on stdout ({file, line, col, analyzer,
+// message}); the default text form is one finding per line in the shape
+// the repo's GitHub Actions problem matcher
+// (.github/gompilint-problem-matcher.json) annotates onto PR diffs.
+//
+// A finding can be suppressed with a //gompilint:ignore <analyzer> comment
+// — trailing a statement it covers that line, on its own line it covers the
+// next line only. Mutex ranks are declared with //gompilint:lockorder
+// rank=N and hot paths are pinned allocation-free with //gompilint:noalloc
+// (see DESIGN.md §6a).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gompi/internal/lint"
 	"gompi/internal/lint/analysis"
 )
 
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -69,8 +89,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gompilint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	// Print paths relative to the working directory: shorter for humans,
+	// and the form the CI problem matcher needs to attach annotations to
+	// files in the PR diff.
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	if *jsonFlag {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gompilint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "gompilint: %d finding(s)\n", len(findings))

@@ -87,6 +87,8 @@ func newExecState(s *Schedule) *execState {
 }
 
 // reset rewinds the state for another run of the same schedule.
+//
+//gompilint:noalloc
 func (x *execState) reset(s *Schedule) {
 	copy(x.ndep, s.ndep)
 	for i := range x.sreq {
@@ -104,6 +106,13 @@ func (x *execState) reset(s *Schedule) {
 // request — safe, because a posted request completes without further
 // action from this member, so blocking can never add a cycle the schedule
 // did not already have.
+//
+// run is the persistent-collective inner loop: every slice it touches was
+// sized in newExecState, so steady-state rounds allocate nothing (the
+// self-appends below reuse the preallocated backing arrays; growth there is
+// a capacity bug TestPersistentCollStartAllocs would catch).
+//
+//gompilint:noalloc
 func run(t NBTransport, s *Schedule, bind *binding, x *execState) error {
 	x.reset(s)
 	completed := 0
@@ -207,6 +216,8 @@ func run(t NBTransport, s *Schedule, bind *binding, x *execState) error {
 
 // testStep polls the request(s) of a communication step, dropping each
 // handle as soon as it reports completion (the Req contract).
+//
+//gompilint:noalloc
 func testStep(x *execState, i int32) (bool, error) {
 	if r := x.sreq[i]; r != nil {
 		done, err := r.Test()
@@ -232,6 +243,8 @@ func testStep(x *execState, i int32) (bool, error) {
 }
 
 // waitStep blocks on the request(s) of a communication step.
+//
+//gompilint:noalloc
 func waitStep(x *execState, i int32) error {
 	if r := x.sreq[i]; r != nil {
 		if err := r.Wait(); err != nil {

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+)
+
+// AtomicMix enforces the all-or-nothing rule of sync/atomic: a field or
+// package-level variable that is accessed through the sync/atomic functions
+// anywhere must be accessed atomically everywhere. One plain `s.count++`
+// next to an `atomic.AddUint64(&s.count, 1)` is a data race the race
+// detector only catches when both sides happen to run in the sampled
+// window — and it silently corrupts the BTLStats/PMLStats/CollStats-style
+// counters that stats snapshots read concurrently with the hot path.
+//
+// The check is cross-package: atomically-accessed objects are exported as
+// facts, so a package that reads a dependency's counter plainly is reported
+// even though the atomic accesses live in the dependency. (Typed atomics —
+// atomic.Uint64 and friends, the repo's preferred form — are safe by
+// construction and need no checking; this analyzer exists for the
+// function-style escape hatch.) Accesses the analyzer cannot attribute to
+// a field or package-level variable (pointer indirection, copies) degrade
+// to silence.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "reports plain reads/writes of fields or variables that are accessed via sync/atomic elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicFact marks an object (struct field or package-level var) as
+// atomically accessed; exported so importers check their plain accesses.
+type atomicFact struct {
+	Line int // one atomic access site, for the diagnostic
+}
+
+func (*atomicFact) AFact() {}
+
+// isAtomicFnCall reports whether call invokes a function-style sync/atomic
+// operation (AddUint64, LoadInt64, StorePointer, CompareAndSwapUint32, ...).
+func isAtomicFnCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil // methods of atomic.Uint64 etc. are safe
+}
+
+// atomicTargetOf resolves the object an `&expr` argument of an atomic call
+// names: a struct field or a package-level variable. Anything else (locals,
+// pointer chains the analyzer cannot follow) returns nil.
+func atomicTargetOf(info *types.Info, arg ast.Expr) types.Object {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return accessedObject(info, un.X)
+}
+
+// accessedObject maps an lvalue expression to the tracked object it names:
+// sel.f yields the field object, a bare identifier yields a package-level
+// variable. Locals are not tracked (a local shared via sync/atomic is
+// visible in one function and the walkers there already see both sides).
+func accessedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(x.Sel).(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && !v.IsField() &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1: collect every object accessed atomically in this package and
+	// merge in facts from dependencies.
+	atomicObjs := make(map[types.Object]int) // object -> one atomic-access line
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFnCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := atomicTargetOf(info, arg); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = pass.Fset.Position(call.Pos()).Line
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj, line := range atomicObjs {
+		if obj.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(obj, &atomicFact{Line: line})
+		}
+	}
+	isAtomic := func(obj types.Object) (int, bool) {
+		if line, ok := atomicObjs[obj]; ok {
+			return line, true
+		}
+		var fact atomicFact
+		if pass.ImportObjectFact(obj, &fact) {
+			return fact.Line, true
+		}
+		return 0, false
+	}
+
+	// Phase 2: report plain accesses. An access is "plain" unless it is the
+	// &target of an atomic call. Composite-literal keys are field names, not
+	// accesses; &x.f taken for any non-atomic purpose counts as an escape
+	// we cannot follow — reported, because handing out the address is how
+	// mixed access usually starts.
+	exempt := make(map[ast.Expr]bool) // lvalue exprs inside atomic call args
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFnCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					exempt[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				obj = accessedObject(info, x)
+			case *ast.Ident:
+				// Only bare identifiers naming package-level vars; selector
+				// Sel idents are handled by the SelectorExpr case (and must
+				// not double-report). A defining occurrence (the var
+				// declaration itself) is not an access.
+				if info.Defs[x] != nil {
+					return true
+				}
+				if len(stack) >= 2 {
+					if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == x {
+						return true
+					}
+					if kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr); ok && kv.Key == x {
+						return true // composite-literal field key
+					}
+				}
+				obj = accessedObject(info, x)
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			e, _ := n.(ast.Expr)
+			if exempt[ast.Unparen(e)] {
+				return true
+			}
+			line, ok := isAtomic(obj)
+			if !ok {
+				return true
+			}
+			what := "read"
+			if len(stack) >= 2 {
+				switch p := stack[len(stack)-2].(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range p.Lhs {
+						if ast.Unparen(lhs) == n {
+							what = "written"
+						}
+					}
+				case *ast.IncDecStmt:
+					if ast.Unparen(p.X) == n {
+						what = "written"
+					}
+				case *ast.UnaryExpr:
+					if p.Op == token.AND {
+						what = "address-taken"
+					}
+				}
+			}
+			pass.Reportf(n.Pos(), "%s is %s plainly here but accessed via sync/atomic elsewhere (line %d); every access to an atomic counter must go through sync/atomic",
+				obj.Name(), what, line)
+			// Don't descend into the reported selector. Inspect skips the
+			// f(nil) pop when f returns false, so pop here.
+			stack = stack[:len(stack)-1]
+			return false
+		})
+	}
+	return nil
+}

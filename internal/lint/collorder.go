@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gompi/internal/lint/analysis"
+	"gompi/internal/lint/flow"
+)
+
+// CollOrder enforces the MPI rule that collectives are called by every rank
+// of the communicator, in the same order. It looks at if-statements whose
+// condition is rank-divergent — it compares the rank (a Rank() call or a
+// variable that smells like one) — and compares the collective operations
+// issued by the two arms. A collective present on one arm with no match on
+// the other deadlocks the ranks that skip it. When the then-arm always
+// leaves the enclosing block (early return), the statements after the if
+// are compared as the de-facto else arm. Two refinements:
+//
+//   - helpers count: a call to a function whose summary (collectivesFact)
+//     says it issues Barrier still balances a literal c.Barrier() on the
+//     other arm;
+//   - persistent *Init collectives are order-sensitive (tag windows are
+//     carved out of the communicator's collective tag space in call order)
+//     and communicator-sensitive, so matching multisets with a different
+//     *Init order, or the same collective on textually different
+//     communicators, are reported as mismatches too.
+//
+// Collectives reached through function values, interfaces, or conditions
+// the analyzer cannot classify degrade to silence.
+var CollOrder = &analysis.Analyzer{
+	Name: "collorder",
+	Doc:  "reports collectives under rank-divergent control flow without a matching call on the other arm",
+	Run:  runCollOrder,
+}
+
+// collectiveNames are the rank-synchronizing operations of the mpi.Comm
+// surface (and any comm-shaped type): blocking collectives, their
+// nonblocking I* forms, and the persistent *Init forms.
+var collectiveNames = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"AllreduceFloat64": true, "AllreduceInt64": true, "AllreduceUser": true,
+	"ReduceUser": true, "ReduceScatterBlock": true,
+	"Gather": true, "Gatherv": true, "Allgather": true, "Allgatherv": true,
+	"Scatter": true, "Scatterv": true, "Alltoall": true,
+	"Scan": true, "Exscan": true,
+	"Ibarrier": true, "Ibcast": true, "Iallreduce": true,
+	"BarrierInit": true, "BcastInit": true, "ReduceInit": true,
+	"AllreduceInit": true, "AllgatherInit": true, "AlltoallInit": true,
+}
+
+// collCall is one collective issuance: the operation name and the source
+// text of the receiver (for the different-communicator heuristic; "" when
+// issued inside a helper).
+type collCall struct {
+	name string
+	recv string
+}
+
+func runCollOrder(pass *analysis.Pass) error {
+	g := buildGraph(pass)
+	sums := computeCollectiveSummaries(pass, g)
+	resolve := func(fn *types.Func) []string {
+		if s, ok := sums[fn]; ok {
+			return s
+		}
+		var fact collectivesFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Names
+		}
+		return nil
+	}
+
+	funcBodies(pass, func(name string, body *ast.BlockStmt) {
+		// Map each if-statement directly contained in a statement list to
+		// the statements that follow it: when the then-arm always leaves the
+		// list (early return/branch/panic), that tail is the de-facto else
+		// arm — `if rank == 0 { return c.Bcast(...) }` followed by
+		// `return c.Bcast(...)` is balanced, not one-sided.
+		tails := make(map[*ast.IfStmt][]ast.Stmt)
+		record := func(list []ast.Stmt) {
+			for i, stmt := range list {
+				if ifs, ok := stmt.(*ast.IfStmt); ok {
+					tails[ifs] = list[i+1:]
+				}
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BlockStmt:
+				record(x.List)
+			case *ast.CaseClause:
+				record(x.Body)
+			case *ast.CommClause:
+				record(x.Body)
+			}
+			return true
+		})
+
+		ast.Inspect(body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || !rankDivergent(pass.TypesInfo, ifs.Cond) {
+				return true
+			}
+			thenSeq := collectiveSeq(pass, resolve, ifs.Body)
+			var elseSeq []collCall
+			switch {
+			case ifs.Else != nil:
+				elseSeq = collectiveSeq(pass, resolve, ifs.Else)
+			case terminates(ifs.Body):
+				for _, stmt := range tails[ifs] {
+					elseSeq = append(elseSeq, collectiveSeq(pass, resolve, stmt)...)
+				}
+			}
+			reportCollMismatch(pass, ifs, thenSeq, elseSeq)
+			return true
+		})
+	})
+	return nil
+}
+
+// terminates reports whether the block always leaves the enclosing
+// statement list: its last statement is a return, a branch (break,
+// continue, goto), or a panic call.
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	last := block.List[len(block.List)-1]
+	switch s := last.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rankDivergent reports whether cond compares this process's rank: it
+// contains a Rank() call on a comm-shaped receiver, or an identifier whose
+// name contains "rank".
+func rankDivergent(info *types.Info, cond ast.Expr) bool {
+	divergent := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, x); fn != nil && fn.Name() == "Rank" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isCommShaped(sig.Recv().Type()) {
+					divergent = true
+				}
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(x.Name), "rank") {
+				if _, isVar := info.ObjectOf(x).(*types.Var); isVar {
+					divergent = true
+				}
+			}
+		}
+		return true
+	})
+	return divergent
+}
+
+// isCommShaped reports whether t looks like a communicator: a named type
+// with Rank() int and Size() int methods.
+func isCommShaped(t types.Type) bool {
+	if namedOf(t) == nil {
+		return false
+	}
+	return nullaryIntMethod(t, "Rank") && nullaryIntMethod(t, "Size")
+}
+
+func nullaryIntMethod(t types.Type, name string) bool {
+	fn := lookupMethod(t, name)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := types.Unalias(sig.Results().At(0).Type()).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isCollectiveCall classifies call as a collective issuance on a
+// comm-shaped receiver.
+func isCollectiveCall(info *types.Info, call *ast.CallExpr) (collCall, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || !collectiveNames[fn.Name()] {
+		return collCall{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isCommShaped(sig.Recv().Type()) {
+		return collCall{}, false
+	}
+	recv := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv = exprKey(sel.X)
+	}
+	return collCall{name: fn.Name(), recv: recv}, true
+}
+
+// collectiveSeq lists, in source order, the collectives one branch arm may
+// issue: direct collective calls plus the summarized collectives of every
+// statically-resolved callee. Function literals are skipped — they run on
+// their own timeline.
+func collectiveSeq(pass *analysis.Pass, resolve func(*types.Func) []string, arm ast.Node) []collCall {
+	var seq []collCall
+	ast.Inspect(arm, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cc, ok := isCollectiveCall(pass.TypesInfo, call); ok {
+			seq = append(seq, cc)
+			return true
+		}
+		if fn := calleeOf(pass.TypesInfo, call); fn != nil {
+			for _, name := range resolve(fn) {
+				seq = append(seq, collCall{name: name})
+			}
+		}
+		return true
+	})
+	return seq
+}
+
+// reportCollMismatch compares the two arms' collective sequences and
+// reports, at the if-statement, the first divergence it can name.
+func reportCollMismatch(pass *analysis.Pass, ifs *ast.IfStmt, thenSeq, elseSeq []collCall) {
+	if len(thenSeq) == 0 && len(elseSeq) == 0 {
+		return
+	}
+	count := func(seq []collCall) map[string]int {
+		m := make(map[string]int)
+		for _, c := range seq {
+			m[c.name]++
+		}
+		return m
+	}
+	tc, ec := count(thenSeq), count(elseSeq)
+	var unbalanced []string
+	for name, n := range tc {
+		if ec[name] != n {
+			unbalanced = append(unbalanced, name)
+		}
+	}
+	for name, n := range ec {
+		if tc[name] != n {
+			unbalanced = append(unbalanced, name)
+		}
+	}
+	if len(unbalanced) > 0 {
+		sort.Strings(unbalanced)
+		seen := unbalanced[:0]
+		for _, u := range unbalanced {
+			if len(seen) == 0 || seen[len(seen)-1] != u {
+				seen = append(seen, u)
+			}
+		}
+		pass.Reportf(ifs.Pos(), "collective %s under rank-divergent condition without a matching call on the other branch (ranks that skip it deadlock)",
+			strings.Join(seen, ", "))
+		return
+	}
+
+	// Multisets match. Persistent *Init collectives must also match in
+	// order (tag windows are assigned in call order) ...
+	initsOf := func(seq []collCall) []string {
+		var out []string
+		for _, c := range seq {
+			if strings.HasSuffix(c.name, "Init") {
+				out = append(out, c.name)
+			}
+		}
+		return out
+	}
+	ti, ei := initsOf(thenSeq), initsOf(elseSeq)
+	for i := range ti {
+		if ti[i] != ei[i] {
+			pass.Reportf(ifs.Pos(), "persistent collective *Init order differs across rank-divergent branches (%s vs %s): tag windows are assigned in call order",
+				ti[i], ei[i])
+			return
+		}
+	}
+
+	// ... and a matching pair issued on textually different communicators
+	// is almost certainly a split-brain deadlock.
+	if len(thenSeq) == len(elseSeq) {
+		for i := range thenSeq {
+			a, b := thenSeq[i], elseSeq[i]
+			if a.name == b.name && a.recv != "" && b.recv != "" && a.recv != b.recv {
+				pass.Reportf(ifs.Pos(), "collective %s issued on different communicators across rank-divergent branches (%s vs %s)",
+					a.name, a.recv, b.recv)
+				return
+			}
+		}
+	}
+}
+
+// computeCollectiveSummaries builds, for every declared function, the
+// in-order list of collective operations it may issue — directly or through
+// same-package callees (cycle-safe DFS) and already-analyzed dependency
+// packages (imported facts) — and exports the non-empty lists.
+func computeCollectiveSummaries(pass *analysis.Pass, g *flow.Graph) map[*types.Func][]string {
+	const maxSummary = 32 // a helper issuing more is reported truncated
+
+	sums := make(map[*types.Func][]string, len(g.Funcs))
+	visiting := make(map[*types.Func]bool)
+	done := make(map[*types.Func]bool)
+
+	var visit func(node *flow.FuncNode) []string
+	visit = func(node *flow.FuncNode) []string {
+		if done[node.Fn] {
+			return sums[node.Fn]
+		}
+		if visiting[node.Fn] {
+			return nil // recursion: degrade to silence on the back edge
+		}
+		visiting[node.Fn] = true
+		var names []string
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(names) >= maxSummary {
+				return true
+			}
+			if cc, ok := isCollectiveCall(pass.TypesInfo, call); ok {
+				names = append(names, cc.name)
+				return true
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if callee := g.Node(fn); callee != nil {
+				names = append(names, visit(callee)...)
+			} else {
+				var fact collectivesFact
+				if pass.ImportObjectFact(fn, &fact) {
+					names = append(names, fact.Names...)
+				}
+			}
+			return true
+		})
+		if len(names) > maxSummary {
+			names = names[:maxSummary]
+		}
+		visiting[node.Fn] = false
+		done[node.Fn] = true
+		sums[node.Fn] = names
+		return names
+	}
+	for _, node := range g.Funcs {
+		visit(node)
+	}
+	for fn, names := range sums {
+		if len(names) > 0 {
+			pass.ExportObjectFact(fn, &collectivesFact{Names: names})
+		}
+	}
+	return sums
+}
+
+// exprKey renders a plain identifier or selector chain to a comparable
+// string ("c", "s.comm"); anything more complex keys as "".
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,164 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Graph is the static call graph of one package's declared functions: one
+// node per function or method with a body, one edge per call site whose
+// callee resolves statically. Calls through function values, interfaces,
+// and built-ins have no edge — summaries built over the graph degrade to
+// silence there, never to false positives. Function literals are not nodes
+// (the analyzers walk their bodies on an independent timeline), and calls
+// made inside a literal are not edges of the enclosing function: they run
+// whenever the literal runs, not where it is written.
+type Graph struct {
+	Funcs []*FuncNode
+	byObj map[*types.Func]*FuncNode
+}
+
+// FuncNode is one declared function together with its resolved call sites.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+
+	// Inputs are the function's incoming values in summary order: the
+	// receiver first (methods only), then the declared parameters. Effect
+	// summaries index into this slice.
+	Inputs []*types.Var
+
+	Calls []*Call
+}
+
+// Call is one statically-resolved call site inside a FuncNode.
+type Call struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+
+	// Args maps the callee's input index (receiver first, as in
+	// FuncNode.Inputs) to the caller-side local variable passed there, or
+	// nil when the argument is not a plain identifier of a local variable.
+	Args []*types.Var
+}
+
+// InputIndex returns the summary-order index of v among the node's inputs,
+// or -1.
+func (n *FuncNode) InputIndex(v *types.Var) int {
+	for i, in := range n.Inputs {
+		if in == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewGraph builds the call graph of one package. localVar maps an
+// identifier to the local variable it names (nil for fields, package-level
+// variables, and anything else) — passed in so the graph shares the caller's
+// notion of "trackable variable".
+func NewGraph(info *types.Info, files []*ast.File, localVar func(*ast.Ident) *types.Var) *Graph {
+	g := &Graph{byObj: make(map[*types.Func]*FuncNode)}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd}
+			sig := fn.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				node.Inputs = append(node.Inputs, recv)
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				node.Inputs = append(node.Inputs, sig.Params().At(i))
+			}
+			collectCalls(node, info, localVar)
+			g.Funcs = append(g.Funcs, node)
+			g.byObj[fn] = node
+		}
+	}
+	return g
+}
+
+// Node returns the graph node of fn, or nil when fn is not declared (with a
+// body) in this package.
+func (g *Graph) Node(fn *types.Func) *FuncNode { return g.byObj[fn] }
+
+// Fixpoint calls visit over every node repeatedly until one full sweep
+// reports no change, propagating summaries around intra-package cycles.
+// visit returns whether it changed the state it is accumulating.
+func (g *Graph) Fixpoint(visit func(n *FuncNode) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Funcs {
+			if visit(n) {
+				changed = true
+			}
+		}
+	}
+}
+
+// CalleeOf resolves the static callee of a call: a declared function or
+// method, nil for calls through function values, built-ins, and type
+// conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func collectCalls(node *FuncNode, info *types.Info, localVar func(*ast.Ident) *types.Var) {
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeOf(info, call)
+		if callee == nil {
+			return true
+		}
+		c := &Call{Site: call, Callee: callee}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if sig.Recv() != nil {
+			// Method call: input 0 is the receiver expression when it is a
+			// plain identifier. A method-expression call (T.m(recv, ...))
+			// is left unmapped rather than guessed at.
+			recvVar := (*types.Var)(nil)
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					recvVar = localVar(id)
+				}
+				if tv, ok := info.Types[sel.X]; ok && tv.IsType() {
+					return true // method expression: arg positions shift
+				}
+			}
+			c.Args = append(c.Args, recvVar)
+		}
+		for _, arg := range call.Args {
+			var v *types.Var
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				v = localVar(id)
+			}
+			c.Args = append(c.Args, v)
+		}
+		node.Calls = append(node.Calls, c)
+		return true
+	})
+}

@@ -1,9 +1,12 @@
 package lint_test
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"gompi/internal/lint"
+	"gompi/internal/lint/analysis"
 	"gompi/internal/lint/analysistest"
 )
 
@@ -16,6 +19,14 @@ func TestReqLeak(t *testing.T) {
 
 func TestPoolOwn(t *testing.T) {
 	analysistest.Run(t, ".", lint.PoolOwn, "./testdata/poolown/bad", "./testdata/poolown/good")
+}
+
+// TestPoolOwnInterprocedural pins the v2 engine's reason for existing:
+// every finding in the fixture was a false negative under the v1
+// per-function walker, because the ownership transfer happened inside a
+// helper the walker did not look through.
+func TestPoolOwnInterprocedural(t *testing.T) {
+	analysistest.Run(t, ".", lint.PoolOwn, "./testdata/poolown/interproc")
 }
 
 func TestLockOrder(t *testing.T) {
@@ -32,4 +43,83 @@ func TestHandleFree(t *testing.T) {
 
 func TestErrcheckMPI(t *testing.T) {
 	analysistest.Run(t, ".", lint.ErrcheckMPI, "./testdata/errcheckmpi/bad", "./testdata/errcheckmpi/good")
+}
+
+func TestBufAlias(t *testing.T) {
+	analysistest.Run(t, ".", lint.BufAlias, "./testdata/bufalias/bad", "./testdata/bufalias/good")
+}
+
+func TestCollOrder(t *testing.T) {
+	analysistest.Run(t, ".", lint.CollOrder, "./testdata/collorder/bad", "./testdata/collorder/good")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, ".", lint.AtomicMix, "./testdata/atomicmix/bad", "./testdata/atomicmix/good")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, ".", lint.NoAlloc, "./testdata/noalloc/bad", "./testdata/noalloc/good")
+}
+
+// TestIgnoreLineScoped is the regression test for line-scoped
+// //gompilint:ignore. Suppression lives in lint.Run (analysistest bypasses
+// it), so this test drives the real runner over the fixture and checks the
+// reported line set against the fixture's own markers: every STILL-REPORTS
+// line must appear, no SUPPRESSED line may.
+func TestIgnoreLineScoped(t *testing.T) {
+	const fixture = "testdata/ignore/scoped/scoped.go"
+	src, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLines, suppressedLines []int
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "STILL-REPORTS") {
+			wantLines = append(wantLines, i+1)
+		}
+		if strings.Contains(line, "SUPPRESSED") && !strings.Contains(line, "STILL-REPORTS") {
+			suppressedLines = append(suppressedLines, i+1)
+		}
+	}
+	if len(wantLines) == 0 || len(suppressedLines) == 0 {
+		t.Fatalf("fixture %s lost its markers (%d want, %d suppressed)", fixture, len(wantLines), len(suppressedLines))
+	}
+
+	findings, err := lint.Run(".", []string{"./testdata/ignore/scoped"}, []*analysis.Analyzer{lint.ReqLeak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[int]int)
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "scoped.go") {
+			t.Errorf("finding outside the fixture: %s", f)
+			continue
+		}
+		got[f.Pos.Line]++
+	}
+	for _, line := range wantLines {
+		if got[line] == 0 {
+			t.Errorf("line %d: expected a reqleak finding (line-scoped ignore must not reach it), got none", line)
+		}
+	}
+	for _, line := range suppressedLines {
+		if got[line] != 0 {
+			t.Errorf("line %d: marked SUPPRESSED but reqleak reported it", line)
+		}
+	}
+	if len(findings) != len(wantLines) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wantLines), findings)
+	}
+}
+
+// TestListIncludesV2Analyzers pins the registry: the four v2 analyzers ship
+// enabled by default.
+func TestListIncludesV2Analyzers(t *testing.T) {
+	want := map[string]bool{"bufalias": true, "collorder": true, "atomicmix": true, "noalloc": true}
+	for _, a := range lint.All() {
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("lint.All() is missing analyzer %s", name)
+	}
 }

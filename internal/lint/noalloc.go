@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gompi/internal/lint/analysis"
+)
+
+// NoAlloc enforces `//gompilint:noalloc` annotations on hot-path functions:
+// the persistent Start paths, the collective engine's poll loop, and the
+// udp receive path are benchmarked (and AllocsPerRun-tested) as
+// allocation-free, and this analyzer keeps future edits honest by rejecting
+// the constructs that put allocations back — before a benchmark regression
+// has to catch them.
+//
+// Inside an annotated function (closure bodies included — they run on the
+// hot path too) the analyzer reports:
+//
+//   - make, new, and goroutine launches;
+//   - composite literals that escape (address-taken, call argument, return
+//     value, stored into a field/element) — a zero-sized literal such as
+//     struct{}{} and a literal built straight into a local variable are
+//     allowed;
+//   - function literals that escape (passed, returned, stored); a literal
+//     assigned to a local or invoked in place can stay on the stack;
+//   - append that does not feed back into its own slice (the preallocated
+//     ring idiom `s = append(s, x)` is allowed — growth there is a capacity
+//     bug that the paired AllocsPerRun test catches);
+//   - map inserts, string concatenation, and string<->[]byte conversions;
+//   - any call into package fmt;
+//   - conversions of non-pointer-shaped values to interface types
+//     (assignments, call arguments, returns, channel sends): boxing
+//     allocates, while pointers, maps, channels, and funcs ride in the
+//     interface word for free.
+//
+// Plain calls to other functions are not chased: the annotation documents
+// the function's own body, and the paired testing.AllocsPerRun test is the
+// cross-check that the full call tree stays allocation-free at runtime. A
+// deliberate slow-path exception is silenced line-by-line with
+// //gompilint:ignore noalloc.
+var NoAlloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reports allocating constructs inside functions annotated //gompilint:noalloc",
+	Run:  runNoAlloc,
+}
+
+const noallocDirective = "//gompilint:noalloc"
+
+var noallocSizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+func runNoAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Lines carrying the directive, so a trailing `func f() { //gompilint:noalloc`
+		// or a separate preceding comment both mark the declaration.
+		directiveLines := make(map[int]bool)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, noallocDirective) {
+					directiveLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			line := pass.Fset.Position(fd.Pos()).Line
+			if !directiveLines[line] && !directiveLines[line-1] {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// nodeIsZeroSized reports whether the expression's type occupies no memory
+// (struct{}{}, [0]byte{}) — composing one can never allocate.
+func nodeIsZeroSized(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return noallocSizes.Sizeof(types.Default(tv.Type)) == 0
+}
+
+// pointerShaped reports whether values of t fit in an interface's data word
+// without boxing: pointers, channels, maps, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether assigning a value of type from to a location of
+// type to converts a non-pointer-shaped concrete value to an interface.
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil || !isInterface(to) || isInterface(from) {
+		return false
+	}
+	if b, ok := types.Unalias(from).(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		if b.Kind() == types.UntypedNil {
+			return false
+		}
+		from = types.Default(from)
+	}
+	return !pointerShaped(from)
+}
+
+func isStringy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// exprBaseKey is exprKey but sees through slice expressions, so
+// `append(s[:0], ...)` and `append(x.pending, ...)` both key to the slice
+// variable being maintained.
+func exprBaseKey(e ast.Expr) string {
+	if sl, ok := ast.Unparen(e).(*ast.SliceExpr); ok {
+		return exprBaseKey(sl.X)
+	}
+	return exprKey(e)
+}
+
+func checkNoAlloc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		prefixed := append([]interface{}{name}, args...)
+		pass.Reportf(pos, "%s is annotated //gompilint:noalloc: "+format, prefixed...)
+	}
+
+	// Safe-position sets, computed in a pre-pass so the main walk can flag
+	// everything not exempted.
+	safeLit := make(map[*ast.CompositeLit]bool) // literal built into a local
+	safeFn := make(map[*ast.FuncLit]bool)       // closure held locally / called in place
+	okAppend := make(map[*ast.CallExpr]bool)    // self-append ring idiom
+	goLit := make(map[*ast.FuncLit]bool)        // reported via the go statement
+
+	markLocalValue := func(e ast.Expr) {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			safeLit[v] = true
+			// Nested literals are part of the same local value.
+			ast.Inspect(v, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					safeLit[lit] = true
+				}
+				return true
+			})
+		case *ast.FuncLit:
+			safeFn[v] = true
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, rhs := range s.Rhs {
+					if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && localVarOf(info, id) != nil {
+						markLocalValue(rhs)
+					}
+					// Self-append: s = append(s, ...) maintains a
+					// preallocated slice in place.
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+						if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fun.Name == "append" && len(call.Args) > 0 {
+							lk, ak := exprKey(s.Lhs[i]), exprBaseKey(call.Args[0])
+							if lk != "" && lk == ak {
+								okAppend[call] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range s.Values {
+				markLocalValue(v)
+			}
+		case *ast.ExprStmt:
+			// (func(){...})() runs in place; the literal can stay on the
+			// stack.
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+					safeFn[lit] = true
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				goLit[lit] = true
+			}
+		}
+		return true
+	})
+
+	// Main walk. Closure bodies are included: they execute on the annotated
+	// path. Returns inside closures are judged against the closure's own
+	// signature.
+	fnStack := []*types.Signature{nil}
+	if obj := info.Defs[fd.Name]; obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			fnStack[0] = sig
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !safeFn[x] && !goLit[x] {
+				report(x.Pos(), "function literal escapes (closure allocation); hoist it or assign it to a local")
+			}
+			if sig, ok := info.Types[x].Type.(*types.Signature); ok {
+				fnStack = append(fnStack, sig)
+				ast.Inspect(x.Body, walk)
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			}
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			if !safeLit[x] && !nodeIsZeroSized(info, x) {
+				report(x.Pos(), "composite literal escapes; build it into a local or preallocate it at setup time")
+			}
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				switch fun.Name {
+				case "make":
+					if info.Types[fun].IsBuiltin() {
+						report(x.Pos(), "make allocates; preallocate at setup time")
+					}
+				case "new":
+					if info.Types[fun].IsBuiltin() {
+						report(x.Pos(), "new allocates; preallocate at setup time")
+					}
+				case "append":
+					if info.Types[fun].IsBuiltin() && !okAppend[x] {
+						report(x.Pos(), "append into a different slice allocates; only the self-append ring idiom s = append(s, ...) is allowed here")
+					}
+				}
+			}
+			fn := calleeOf(info, x)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				report(x.Pos(), "fmt.%s allocates (formatting boxes its operands)", fn.Name())
+				return true // don't also report each boxed operand
+			}
+			// Conversions: string <-> []byte/[]rune copy.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				to, from := tv.Type, info.TypeOf(x.Args[0])
+				if (isStringy(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringy(from)) {
+					report(x.Pos(), "string conversion copies its bytes")
+				}
+			}
+			// Interface-typed parameters box concrete arguments.
+			if fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					reportBoxedArgs(report, info, x, sig)
+				}
+			} else if tv, ok := info.Types[x.Fun]; ok && !tv.IsType() {
+				if sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature); ok {
+					reportBoxedArgs(report, info, x, sig)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if _, isMap := types.Unalias(info.TypeOf(idx.X)).Underlying().(*types.Map); isMap {
+							report(lhs.Pos(), "map insert may grow the table")
+						}
+					}
+					if boxes(info.TypeOf(x.Rhs[i]), info.TypeOf(lhs)) {
+						report(x.Rhs[i].Pos(), "assignment boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if ch, ok := types.Unalias(info.TypeOf(x.Chan)).Underlying().(*types.Chan); ok {
+				if boxes(info.TypeOf(x.Value), ch.Elem()) {
+					report(x.Value.Pos(), "channel send boxes a concrete value into an interface")
+				}
+			}
+		case *ast.ReturnStmt:
+			var sig *types.Signature
+			if len(fnStack) > 0 {
+				sig = fnStack[len(fnStack)-1]
+			}
+			if sig != nil && len(x.Results) == sig.Results().Len() {
+				for i, res := range x.Results {
+					if boxes(info.TypeOf(res), sig.Results().At(i).Type()) {
+						report(res.Pos(), "return boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringy(info.TypeOf(x.X)) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// reportBoxedArgs flags call arguments boxed into interface-typed
+// parameters (including the variadic tail).
+func reportBoxedArgs(report func(token.Pos, string, ...interface{}), info *types.Info, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice through
+			} else {
+				s, ok := types.Unalias(params.At(params.Len() - 1).Type()).Underlying().(*types.Slice)
+				if !ok {
+					continue
+				}
+				pt = s.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if boxes(info.TypeOf(arg), pt) {
+			report(arg.Pos(), "argument boxes a concrete value into an interface parameter")
+		}
+	}
+}

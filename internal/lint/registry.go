@@ -5,10 +5,14 @@ import "gompi/internal/lint/analysis"
 // All returns the full gompilint suite in a stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		AtomicMix,
+		BufAlias,
+		CollOrder,
 		CollState,
 		ErrcheckMPI,
 		HandleFree,
 		LockOrder,
+		NoAlloc,
 		PoolOwn,
 		ReqLeak,
 	}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"regexp"
 	"sort"
 	"strings"
@@ -69,17 +70,16 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 	return findings, nil
 }
 
-// ignoreSet records, per file and line, which analyzers are suppressed
-// ("" means all).
+// ignoreSet records, per file, the exact lines on which each suppression
+// applies ("" means all analyzers). Suppression is line-scoped: a trailing
+// directive covers only its own line, a standalone comment line covers only
+// the line below it — never the whole following statement list.
 type ignoreSet map[string]map[int][]string
 
 func (s ignoreSet) suppressed(pos token.Position, analyzer string) bool {
-	lines := s[pos.Filename]
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == "" || name == analyzer {
-				return true
-			}
+	for _, name := range s[pos.Filename][pos.Line] {
+		if name == "" || name == analyzer {
+			return true
 		}
 	}
 	return false
@@ -87,6 +87,7 @@ func (s ignoreSet) suppressed(pos token.Position, analyzer string) bool {
 
 func collectIgnores(pkg *load.Package) ignoreSet {
 	out := make(ignoreSet)
+	srcCache := make(map[string][]byte)
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -95,18 +96,46 @@ func collectIgnores(pkg *load.Package) ignoreSet {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				// A directive trailing code suppresses that line; a
+				// standalone comment suppresses the next line.
+				target := pos.Line
+				if standaloneComment(pos, srcCache) {
+					target = pos.Line + 1
+				}
 				if out[pos.Filename] == nil {
 					out[pos.Filename] = make(map[int][]string)
 				}
 				if m[1] == "" || m[1] == "all" {
-					out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], "")
+					out[pos.Filename][target] = append(out[pos.Filename][target], "")
 					continue
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], name)
+					out[pos.Filename][target] = append(out[pos.Filename][target], name)
 				}
 			}
 		}
 	}
 	return out
+}
+
+// standaloneComment reports whether the comment at pos is the first
+// non-blank text on its source line (as opposed to trailing a statement).
+// On any read error it conservatively reports false, keeping the trailing
+// (same-line) interpretation.
+func standaloneComment(pos token.Position, cache map[string][]byte) bool {
+	src, ok := cache[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		cache[pos.Filename] = src
+	}
+	if src == nil {
+		return false
+	}
+	// pos.Column is 1-based; the directive is standalone when everything
+	// before it on the line is whitespace.
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
 }

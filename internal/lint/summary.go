@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gompi/internal/lint/analysis"
+	"gompi/internal/lint/flow"
+)
+
+// Interprocedural engine (DESIGN.md §6a). Every analyzer that reasons about
+// execution order used to stop dead at a call boundary: a helper that
+// recycles a buffer, waits a request, or frees a handle was invisible, so
+// the misuse it enables in its caller went unreported. The engine closes
+// that hole with per-function *effect summaries* computed over the package
+// call graph (flow.Graph) and exported as object facts, so they cross
+// package boundaries exactly like lockorder's acquire summaries do: the
+// driver analyzes packages in dependency order, a summary exported while
+// analyzing gompi/internal/pml is imported while analyzing gompi/mpi.
+//
+// Summaries are keyed by *input index* — receiver first, then parameters —
+// and deliberately coarse: an effect that happens on *some* path is
+// recorded (may-analysis, matching the walkers' union merges), and any
+// value flow the engine cannot see (struct fields, function values,
+// interfaces, variadic fan-in) degrades to no summary entry, never to a
+// wrong one.
+
+// transfersFact summarizes which inputs of a function have their ownership
+// consumed (recycled, sent, delivered, freed) on some path — directly by a
+// transfer-rule call, or transitively through a callee's summary.
+type transfersFact struct {
+	Entries []transferEntry
+}
+
+func (*transfersFact) AFact() {}
+
+// transferEntry is one consumed input.
+type transferEntry struct {
+	Input int    // index into the function's inputs (receiver first)
+	Verb  string // past-tense description for diagnostics
+}
+
+// completesFact summarizes which request-shaped inputs a function completes
+// (Wait/Test) on some path. bufalias uses it to release in-flight buffers
+// when the request is waited through a helper.
+type completesFact struct {
+	Inputs []int
+}
+
+func (*completesFact) AFact() {}
+
+// writesFact summarizes which slice-typed inputs a function may write
+// through (element store, copy destination, re-post into a nonblocking
+// call). bufalias uses it to catch writes to in-flight buffers hidden one
+// call away.
+type writesFact struct {
+	Inputs []int
+}
+
+func (*writesFact) AFact() {}
+
+// collectivesFact summarizes the collective operations a function issues,
+// directly or transitively, in issue order. collorder uses it so a helper
+// wrapping c.Barrier() still counts as a barrier on the branch arm that
+// calls the helper.
+type collectivesFact struct {
+	Names []string
+}
+
+func (*collectivesFact) AFact() {}
+
+// buildGraph constructs the package call graph with the lint suite's
+// notion of a trackable local variable.
+func buildGraph(pass *analysis.Pass) *flow.Graph {
+	return flow.NewGraph(pass.TypesInfo, pass.Files, func(id *ast.Ident) *types.Var {
+		return localVarOf(pass.TypesInfo, id)
+	})
+}
+
+// computeTransferSummaries fixpoints, within the package, which inputs each
+// declared function transfers away, seeding from the analyzer's direct
+// transfer rules plus imported cross-package facts, and exports each
+// non-empty summary. The returned map serves same-package lookups.
+func computeTransferSummaries(pass *analysis.Pass, g *flow.Graph, rules []transferRule) map[*types.Func][]transferEntry {
+	sums := make(map[*types.Func]map[int]string, len(g.Funcs))
+
+	// importedSummary pulls a dependency function's exported summary.
+	importedSummary := func(fn *types.Func) []transferEntry {
+		var fact transfersFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Entries
+		}
+		return nil
+	}
+
+	// Seed: direct rule-matched transfers of an input variable, plus
+	// imported summaries of out-of-package callees.
+	for _, node := range g.Funcs {
+		s := make(map[int]string)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, rule := range rules {
+				id, verb := rule(pass, call)
+				if id == nil {
+					continue
+				}
+				v := localVarOf(pass.TypesInfo, id)
+				if v == nil {
+					break
+				}
+				if i := node.InputIndex(v); i >= 0 {
+					if _, ok := s[i]; !ok {
+						s[i] = verb
+					}
+				}
+				break
+			}
+			return true
+		})
+		for _, c := range node.Calls {
+			if g.Node(c.Callee) != nil {
+				continue // same package: handled by the fixpoint below
+			}
+			for _, e := range importedSummary(c.Callee) {
+				if e.Input >= len(c.Args) || c.Args[e.Input] == nil {
+					continue
+				}
+				if i := node.InputIndex(c.Args[e.Input]); i >= 0 {
+					if _, ok := s[i]; !ok {
+						s[i] = e.Verb
+					}
+				}
+			}
+		}
+		sums[node.Fn] = s
+	}
+
+	// Fixpoint over intra-package edges: a callee that transfers its input
+	// j makes the caller transfer whatever input it passes there.
+	g.Fixpoint(func(node *flow.FuncNode) bool {
+		s := sums[node.Fn]
+		changed := false
+		for _, c := range node.Calls {
+			callee := g.Node(c.Callee)
+			if callee == nil {
+				continue
+			}
+			for j, verb := range sums[c.Callee] {
+				if j >= len(c.Args) || c.Args[j] == nil {
+					continue
+				}
+				if i := node.InputIndex(c.Args[j]); i >= 0 {
+					if _, ok := s[i]; !ok {
+						s[i] = verb + " (via " + c.Callee.Name() + ")"
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	})
+
+	out := make(map[*types.Func][]transferEntry, len(sums))
+	for fn, s := range sums {
+		if len(s) == 0 {
+			continue
+		}
+		entries := make([]transferEntry, 0, len(s))
+		for i, verb := range s {
+			entries = append(entries, transferEntry{Input: i, Verb: verb})
+		}
+		out[fn] = entries
+		pass.ExportObjectFact(fn, &transfersFact{Entries: entries})
+	}
+	return out
+}
+
+// summaryLookup builds the callee-summary resolver used by the transfer
+// walker: same-package summaries from the computed map, cross-package ones
+// from the fact store.
+func summaryLookup(pass *analysis.Pass, local map[*types.Func][]transferEntry) func(fn *types.Func) []transferEntry {
+	return func(fn *types.Func) []transferEntry {
+		if fn == nil {
+			return nil
+		}
+		if s, ok := local[fn]; ok {
+			return s
+		}
+		var fact transfersFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Entries
+		}
+		return nil
+	}
+}
+
+// callInputVars maps one call expression to the variables passed at each
+// callee input position (receiver first), mirroring flow.Call but usable
+// from a walker that meets calls outside graph nodes (function literals,
+// init blocks).
+func callInputVars(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) []*types.Var {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var vars []*types.Var
+	if sig.Recv() != nil {
+		var recvVar *types.Var
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.IsType() {
+				return nil // method expression: positions shift
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				recvVar = localVarOf(pass.TypesInfo, id)
+			}
+		}
+		vars = append(vars, recvVar)
+	}
+	for _, arg := range call.Args {
+		var v *types.Var
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			v = localVarOf(pass.TypesInfo, id)
+		}
+		vars = append(vars, v)
+	}
+	return vars
+}
+
+// callInputIdents is callInputVars' companion for reporting: the identifier
+// at each callee input position, nil where not a plain identifier.
+func callInputIdents(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) []*ast.Ident {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var ids []*ast.Ident
+	if sig.Recv() != nil {
+		var recvID *ast.Ident
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.IsType() {
+				return nil
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				recvID = id
+			}
+		}
+		ids = append(ids, recvID)
+	}
+	for _, arg := range call.Args {
+		var id *ast.Ident
+		if a, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			id = a
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}

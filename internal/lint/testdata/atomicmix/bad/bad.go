@@ -1,0 +1,50 @@
+// Package bad holds atomicmix fixtures that must each produce a
+// diagnostic: an object accessed via sync/atomic somewhere is accessed
+// plainly somewhere else — the data race the race detector only catches
+// when both sides run in the sampled window.
+package bad
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// bump is the atomic side: it makes hits an atomic counter everywhere.
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// snapshot reads the counter without the atomic load.
+func (s *stats) snapshot() uint64 {
+	return s.hits // want `hits is read plainly here but accessed via sync/atomic elsewhere`
+}
+
+// reset stores over the counter plainly.
+func (s *stats) reset() {
+	s.hits = 0 // want `hits is written plainly here but accessed via sync/atomic elsewhere`
+}
+
+// bumpPlain increments the counter without atomicity: the classic lost
+// update.
+func (s *stats) bumpPlain() {
+	s.hits++ // want `hits is written plainly here but accessed via sync/atomic elsewhere`
+}
+
+// leak hands out the address for unknown future access.
+func (s *stats) leak() *uint64 {
+	return &s.hits // want `hits is address-taken plainly here but accessed via sync/atomic elsewhere`
+}
+
+var inflight int64
+
+// acquire is the atomic side of the package-level counter.
+func acquire() {
+	atomic.AddInt64(&inflight, 1)
+}
+
+// pending reads the package-level counter plainly.
+func pending() int64 {
+	return inflight // want `inflight is read plainly here but accessed via sync/atomic elsewhere`
+}

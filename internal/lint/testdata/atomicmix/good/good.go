@@ -1,0 +1,38 @@
+// Package good holds atomicmix fixtures that must stay silent:
+// all-atomic access, plain-only access, typed atomics, and locals.
+package good
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// Every access to hits goes through sync/atomic: consistent, fine.
+func (s *stats) bump()            { atomic.AddUint64(&s.hits, 1) }
+func (s *stats) snapshot() uint64 { return atomic.LoadUint64(&s.hits) }
+func (s *stats) reset()           { atomic.StoreUint64(&s.hits, 0) }
+
+// misses is never touched atomically: plain access everywhere is a
+// different (single-goroutine) discipline, not a mix.
+func (s *stats) missPlain() {
+	s.misses++
+}
+
+// typed uses the repo's preferred atomic.Uint64: safe by construction, the
+// analyzer has nothing to say.
+type typed struct {
+	n atomic.Uint64
+}
+
+func (t *typed) bump()        { t.n.Add(1) }
+func (t *typed) read() uint64 { return t.n.Load() }
+
+// localAtomic shares a local via sync/atomic: locals are not tracked (both
+// sides are visible in the one function).
+func localAtomic() uint64 {
+	var x uint64
+	atomic.AddUint64(&x, 1)
+	return x
+}

@@ -1,0 +1,83 @@
+// Package bad holds bufalias fixtures that must each produce a diagnostic:
+// the user buffer of a nonblocking operation is touched between the post
+// and the completing Wait/Test (MPI 4.1 §3.7).
+package bad
+
+import "gompi/mpi"
+
+// writeAfterIsend stores into the send buffer while the transfer may still
+// be reading it.
+func writeAfterIsend(c *mpi.Comm, buf []byte) error {
+	r := c.Isend(buf, 1, 0)
+	buf[0] = 1 // want `buf written while it is in flight: posted by Isend`
+	_, err := r.Wait()
+	return err
+}
+
+// readDuringIrecv reads bytes the library may not have filled yet.
+func readDuringIrecv(c *mpi.Comm, buf []byte) (byte, error) {
+	r := c.Irecv(buf, 0, 0)
+	b := buf[0] // want `buf read while it is in flight: posted by Irecv`
+	_, err := r.Wait()
+	return b, err
+}
+
+// copyIntoInFlight uses the posted receive buffer as a copy destination.
+func copyIntoInFlight(c *mpi.Comm, buf, src []byte) error {
+	r := c.Irecv(buf, 0, 0)
+	copy(buf, src) // want `buf written while it is in flight: posted by Irecv`
+	_, err := r.Wait()
+	return err
+}
+
+// repostInFlight posts the same buffer to two concurrent receives.
+func repostInFlight(c *mpi.Comm, buf []byte) error {
+	r1 := c.Irecv(buf, 0, 0)
+	r2 := c.Irecv(buf, 1, 0) // want `buf posted again while it is in flight: posted by Irecv`
+	if _, err := r1.Wait(); err != nil {
+		return err
+	}
+	_, err := r2.Wait()
+	return err
+}
+
+// fill writes through its parameter; the summary makes the write visible at
+// the call site one hop up.
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// helperWrite hides the in-flight write behind a helper call.
+func helperWrite(c *mpi.Comm, buf []byte) error {
+	r := c.Isend(buf, 1, 0)
+	fill(buf) // want `buf written while it is in flight: posted by Isend`
+	_, err := r.Wait()
+	return err
+}
+
+// branchWrite writes on a path where the post happened.
+func branchWrite(c *mpi.Comm, buf []byte, eager bool) (mpi.Request, error) {
+	var r mpi.Request
+	if eager {
+		r = c.Isend(buf, 1, 0)
+	}
+	buf[0] = 3 // want `buf written while it is in flight: posted by Isend`
+	return r, nil
+}
+
+// persistentRoundWrite writes between Start and Wait of a bound persistent
+// request: the binding makes the buffer the library's for the whole round.
+func persistentRoundWrite(c *mpi.Comm, buf []byte) error {
+	r, err := c.SendInit(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	buf[0] = 1 // want `buf written while it is in flight: posted by Start of r`
+	_, werr := r.Wait()
+	return werr
+}

@@ -1,0 +1,76 @@
+// Package good holds bufalias fixtures that must stay silent: buffers are
+// only touched after completion, before Start, or through flows the
+// analyzer deliberately lets go (escapes).
+package good
+
+import "gompi/mpi"
+
+// writeAfterWait is the correct protocol: complete, then reuse.
+func writeAfterWait(c *mpi.Comm, buf []byte) error {
+	r := c.Isend(buf, 1, 0)
+	if _, err := r.Wait(); err != nil {
+		return err
+	}
+	buf[0] = 1
+	return nil
+}
+
+// lenIsSafe reads only the buffer's length while it is in flight.
+func lenIsSafe(c *mpi.Comm, buf []byte) (int, error) {
+	r := c.Irecv(buf, 0, 0)
+	n := len(buf)
+	_, err := r.Wait()
+	return n, err
+}
+
+// await completes a request for its caller; the summary releases the
+// buffer at the call site.
+func await(r mpi.Request) error {
+	_, err := r.Wait()
+	return err
+}
+
+// helperWait completes through a helper before touching the buffer.
+func helperWait(c *mpi.Comm, buf []byte) error {
+	r := c.Isend(buf, 1, 0)
+	if err := await(r); err != nil {
+		return err
+	}
+	buf[0] = 1
+	return nil
+}
+
+// boundNotStarted writes a persistent buffer outside any round: binding at
+// *Init time hands over the buffer only between Start and completion.
+func boundNotStarted(c *mpi.Comm, buf []byte) error {
+	r, err := c.SendInit(buf, 1, 0)
+	if err != nil {
+		return err
+	}
+	buf[0] = 1 // bound, round not started: still ours
+	if err := r.Start(); err != nil {
+		return err
+	}
+	if _, err := r.Wait(); err != nil {
+		return err
+	}
+	buf[0] = 2 // round complete: ours again
+	return nil
+}
+
+// escapeReleases hands the request to a function the analyzer has no
+// summary for: the buffer may complete anywhere, so stay silent.
+func escapeReleases(c *mpi.Comm, buf []byte, park func(mpi.Request)) {
+	r := c.Irecv(buf, 0, 0)
+	park(r)
+	buf[0] = 1 // request escaped: degrade to silence
+}
+
+// reassignReleases rebinds the buffer variable to fresh storage.
+func reassignReleases(c *mpi.Comm, buf []byte, fresh []byte) error {
+	r := c.Isend(buf, 1, 0)
+	buf = fresh
+	buf[0] = 1 // new object, not the one in flight
+	_, err := r.Wait()
+	return err
+}

@@ -1,0 +1,78 @@
+// Package bad holds collorder fixtures that must each produce a
+// diagnostic: a collective issued under rank-divergent control flow with no
+// matching call on the other arm (or with an order/communicator mismatch)
+// deadlocks the ranks that take the other path.
+package bad
+
+import "gompi/mpi"
+
+// rootOnlyBarrier synchronizes only on rank 0; everyone else sails past and
+// rank 0 blocks forever.
+func rootOnlyBarrier(c *mpi.Comm) error {
+	if c.Rank() == 0 { // want `collective Barrier under rank-divergent condition`
+		return c.Barrier()
+	}
+	return nil
+}
+
+// rankVarDivergence hides the rank in a variable; the name still gives the
+// divergence away.
+func rankVarDivergence(c *mpi.Comm, buf []byte) error {
+	myRank := c.Rank()
+	if myRank == 0 { // want `collective Bcast under rank-divergent condition`
+		return c.Bcast(buf, 0)
+	}
+	return nil
+}
+
+// syncAll is a helper whose collective summary balances (or unbalances)
+// literal calls at its call sites.
+func syncAll(c *mpi.Comm) error { return c.Barrier() }
+
+// helperOneArm issues the barrier through a helper, on one arm only: the
+// summary makes it visible, the mismatch is the same deadlock.
+func helperOneArm(c *mpi.Comm) error {
+	if c.Rank() == 0 { // want `collective Barrier under rank-divergent condition`
+		return syncAll(c)
+	}
+	return nil
+}
+
+// initOrderSwap creates the same persistent collectives in different orders:
+// tag windows are carved out of the communicator's collective tag space in
+// call order, so the two sides end up on different tags.
+func initOrderSwap(c *mpi.Comm, buf []byte) error {
+	if c.Rank() == 0 { // want `persistent collective \*Init order differs`
+		b, err := c.BarrierInit()
+		if err != nil {
+			return err
+		}
+		defer b.Free()
+		p, err := c.BcastInit(buf, 0)
+		if err != nil {
+			return err
+		}
+		defer p.Free()
+	} else {
+		p, err := c.BcastInit(buf, 0)
+		if err != nil {
+			return err
+		}
+		defer p.Free()
+		b, err := c.BarrierInit()
+		if err != nil {
+			return err
+		}
+		defer b.Free()
+	}
+	return c.Barrier()
+}
+
+// splitBrain issues the "same" collective on different communicators: each
+// side waits for peers that are synchronizing somewhere else.
+func splitBrain(world, shard *mpi.Comm) error {
+	if world.Rank() == 0 { // want `collective Barrier issued on different communicators`
+		return world.Barrier()
+	}
+	return shard.Barrier()
+}

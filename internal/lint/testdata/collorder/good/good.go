@@ -1,0 +1,96 @@
+// Package good holds collorder fixtures that must stay silent: balanced
+// collectives, non-rank conditions, and shapes the analyzer deliberately
+// lets degrade to silence.
+package good
+
+import "gompi/mpi"
+
+// balancedArms issues the same collective on both arms.
+func balancedArms(c *mpi.Comm, buf []byte) error {
+	if c.Rank() == 0 {
+		if err := fillRootData(buf); err != nil {
+			return err
+		}
+		return c.Bcast(buf, 0)
+	}
+	return c.Bcast(buf, 0)
+}
+
+// syncAll is a helper that issues a barrier; its summary balances a literal
+// call on the other arm.
+func syncAll(c *mpi.Comm) error { return c.Barrier() }
+
+// balancedViaHelper matches a helper's summarized Barrier against a literal
+// one.
+func balancedViaHelper(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		return syncAll(c)
+	}
+	return c.Barrier()
+}
+
+// rootWorkOnly diverges on rank but issues no collectives: local work per
+// rank is the normal SPMD shape.
+func rootWorkOnly(c *mpi.Comm, buf []byte) error {
+	if c.Rank() == 0 {
+		return fillRootData(buf)
+	}
+	return nil
+}
+
+// notRankDivergent branches on a plain configuration flag: every rank takes
+// the same arm, so a one-arm collective is fine.
+func notRankDivergent(c *mpi.Comm, verbose bool) error {
+	if verbose {
+		return c.Barrier()
+	}
+	return nil
+}
+
+// sameInitOrder creates persistent collectives in the same order on both
+// arms (the root arm just does extra local work first).
+func sameInitOrder(c *mpi.Comm, buf []byte) error {
+	if c.Rank() == 0 {
+		if err := fillRootData(buf); err != nil {
+			return err
+		}
+		b, err := c.BarrierInit()
+		if err != nil {
+			return err
+		}
+		defer b.Free()
+		p, err := c.BcastInit(buf, 0)
+		if err != nil {
+			return err
+		}
+		defer p.Free()
+	} else {
+		b, err := c.BarrierInit()
+		if err != nil {
+			return err
+		}
+		defer b.Free()
+		p, err := c.BcastInit(buf, 0)
+		if err != nil {
+			return err
+		}
+		defer p.Free()
+	}
+	return nil
+}
+
+// funcValueDegrades calls a collective through a function value the
+// analyzer cannot resolve: silence, not a guess.
+func funcValueDegrades(c *mpi.Comm, sync func() error) error {
+	if c.Rank() == 0 {
+		return sync()
+	}
+	return nil
+}
+
+func fillRootData(buf []byte) error {
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package scoped is the regression fixture for line-scoped
+// //gompilint:ignore. The test (TestIgnoreLineScoped) runs reqleak through
+// lint.Run and asserts that exactly the marked lines are reported or
+// silenced — i.e. a trailing directive covers only its own line and a
+// standalone one covers only the next line, never the rest of the block.
+// (The markers live in trailing comments below; keep them out of this doc
+// comment, the test greps for them.)
+package scoped
+
+import "gompi/mpi"
+
+// trailingIgnore: the directive trails the first drop; the second drop one
+// line below must still be reported.
+func trailingIgnore(c *mpi.Comm, buf []byte) {
+	c.Isend(buf, 0, 0) //gompilint:ignore reqleak
+	c.Isend(buf, 1, 0) // STILL-REPORTS
+}
+
+// standaloneIgnore: the directive on its own line covers the next line
+// only.
+func standaloneIgnore(c *mpi.Comm, buf []byte) {
+	//gompilint:ignore reqleak
+	c.Isend(buf, 0, 0) // SUPPRESSED
+	c.Isend(buf, 1, 0) // STILL-REPORTS
+}
+
+// ignoreAll: a bare directive suppresses every analyzer on the next line.
+func ignoreAll(c *mpi.Comm, buf []byte) {
+	//gompilint:ignore
+	c.Isend(buf, 0, 0) // SUPPRESSED
+}
+
+// wrongAnalyzer: a directive naming a different analyzer does not suppress
+// reqleak.
+func wrongAnalyzer(c *mpi.Comm, buf []byte) {
+	c.Isend(buf, 0, 0) //gompilint:ignore poolown -- STILL-REPORTS
+}

@@ -1,0 +1,84 @@
+// Package bad holds noalloc fixtures: every annotated function contains a
+// construct that allocates, and must be reported.
+package bad
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func work() {}
+
+func consume(v interface{}) { _ = v }
+
+var sink interface{}
+
+//gompilint:noalloc
+func hotMake() []byte {
+	return make([]byte, 8) // want `make allocates`
+}
+
+//gompilint:noalloc
+func hotNew() *point {
+	return new(point) // want `new allocates`
+}
+
+//gompilint:noalloc
+func hotMap(m map[int]int) {
+	m[1] = 2 // want `map insert may grow the table`
+}
+
+//gompilint:noalloc
+func hotAppend(dst, src []int) []int {
+	dst = append(src, 1) // want `append into a different slice allocates`
+	return dst
+}
+
+//gompilint:noalloc
+func hotGo() {
+	go work() // want `go statement allocates`
+}
+
+//gompilint:noalloc
+func hotFmt(err error) {
+	fmt.Println("unexpected:", err) // want `fmt.Println allocates`
+}
+
+//gompilint:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//gompilint:noalloc
+func hotConv(s string) []byte {
+	return []byte(s) // want `string conversion copies its bytes`
+}
+
+//gompilint:noalloc
+func hotEscape() *point {
+	return &point{1, 2} // want `composite literal escapes`
+}
+
+//gompilint:noalloc
+func hotClosure(run func(func())) {
+	run(func() {}) // want `function literal escapes`
+}
+
+//gompilint:noalloc
+func hotIfaceAssign(n int) {
+	sink = n // want `assignment boxes a concrete value into an interface`
+}
+
+//gompilint:noalloc
+func hotIfaceReturn(n int) interface{} {
+	return n // want `return boxes a concrete value into an interface`
+}
+
+//gompilint:noalloc
+func hotIfaceArg(n int) {
+	consume(n) // want `argument boxes a concrete value into an interface parameter`
+}
+
+//gompilint:noalloc
+func hotIfaceSend(vals chan interface{}, n int) {
+	vals <- n // want `channel send boxes a concrete value into an interface`
+}

@@ -1,0 +1,67 @@
+// Package interproc proves the v2 engine sees ownership transfers through
+// helper calls. Under the v1 per-function walker every finding in this file
+// was a false negative: the helper call hid the transfer, so the use after
+// it went unreported.
+package interproc
+
+import "gompi/internal/btl"
+
+// forward hands the packet to the BTL. Its transfer summary records the
+// pkt input as consumed, so callers are checked as if they called Send.
+func forward(ep btl.Endpoint, pkt []byte) error {
+	return ep.Send(pkt)
+}
+
+// checksum only reads the packet: no transfer, no summary entry, callers
+// keep ownership.
+func checksum(pkt []byte) byte {
+	var s byte
+	for _, b := range pkt {
+		s ^= b
+	}
+	return s
+}
+
+// useAfterHelperSend reads the packet after forward consumed it.
+func useAfterHelperSend(ep btl.Endpoint, pkt []byte) error {
+	if err := forward(ep, pkt); err != nil {
+		return err
+	}
+	pkt[0] = 1 // want `use of pkt after it was handed to btl\.Endpoint\.Send`
+	return nil
+}
+
+// relay adds a second hop; summaries compose transitively through the
+// intra-package fixpoint.
+func relay(ep btl.Endpoint, pkt []byte) error {
+	return forward(ep, pkt)
+}
+
+// useAfterTwoHops reads the packet after a two-helper chain consumed it.
+func useAfterTwoHops(ep btl.Endpoint, pkt []byte) byte {
+	_ = relay(ep, pkt)
+	return pkt[0] // want `use of pkt after it was handed to btl\.Endpoint\.Send \(via forward\)`
+}
+
+// doubleViaHelper releases once through the helper and once directly.
+func doubleViaHelper(ep btl.Endpoint, pkt []byte) {
+	_ = forward(ep, pkt)
+	_ = ep.Send(pkt) // want `pkt released twice: already handed to btl\.Endpoint\.Send`
+}
+
+// readHelperKeepsOwnership: a helper that only reads leaves the caller's
+// ownership intact — no summary entry, no false positive.
+func readHelperKeepsOwnership(ep btl.Endpoint, pkt []byte) error {
+	if checksum(pkt) == 0 {
+		pkt[0] = 1
+	}
+	return ep.Send(pkt)
+}
+
+// resurrectAfterHelper: reassignment revives the variable even when the
+// kill came from a summary.
+func resurrectAfterHelper(ep btl.Endpoint, pkt []byte, fresh []byte) {
+	_ = forward(ep, pkt)
+	pkt = fresh
+	pkt[0] = 1
+}

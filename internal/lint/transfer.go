@@ -32,7 +32,17 @@ type ownState map[*types.Var]released
 // resurrects it. Function literals are walked independently with an empty
 // state; reads of outer killed variables captured by a literal are still
 // reported at the capture site.
+//
+// The analysis is interprocedural: before walking, it computes per-function
+// transfer summaries over the package call graph (which inputs each
+// function consumes, directly or through its own callees) and exports them
+// as facts, so a call to a helper that transfers its argument kills the
+// caller's variable exactly like a direct rule match — including helpers
+// declared in already-analyzed dependency packages.
 func runTransferAnalysis(pass *analysis.Pass, rules []transferRule) {
+	g := buildGraph(pass)
+	local := computeTransferSummaries(pass, g, rules)
+	lookup := summaryLookup(pass, local)
 	ops := flow.Ops[ownState]{
 		Clone: func(st ownState) ownState {
 			out := make(ownState, len(st))
@@ -50,7 +60,7 @@ func runTransferAnalysis(pass *analysis.Pass, rules []transferRule) {
 			return a
 		},
 		Exec: func(n ast.Node, deferred bool, st ownState) ownState {
-			return execTransfer(pass, rules, n, deferred, st)
+			return execTransfer(pass, rules, lookup, n, deferred, st)
 		},
 	}
 	funcBodies(pass, func(name string, body *ast.BlockStmt) {
@@ -58,8 +68,9 @@ func runTransferAnalysis(pass *analysis.Pass, rules []transferRule) {
 	})
 }
 
-func execTransfer(pass *analysis.Pass, rules []transferRule, n ast.Node, deferred bool, st ownState) ownState {
-	// Pass 1: find the transfers this node performs, so their argument
+func execTransfer(pass *analysis.Pass, rules []transferRule, lookup func(*types.Func) []transferEntry, n ast.Node, deferred bool, st ownState) ownState {
+	// Pass 1: find the transfers this node performs — direct rule matches
+	// plus calls whose callee summary consumes an argument — so their
 	// identifiers are not reported as uses of the variables they kill.
 	type kill struct {
 		id   *ast.Ident
@@ -68,6 +79,15 @@ func execTransfer(pass *analysis.Pass, rules []transferRule, n ast.Node, deferre
 	}
 	var kills []kill
 	killIdents := make(map[*ast.Ident]bool)
+	killed := make(map[*types.Var]bool)
+	addKill := func(id *ast.Ident, v *types.Var, verb string) {
+		if killed[v] {
+			return // rule and summary agree on the same variable; keep one
+		}
+		killed[v] = true
+		kills = append(kills, kill{id, v, verb})
+		killIdents[id] = true
+	}
 	ast.Inspect(n, func(sub ast.Node) bool {
 		if _, ok := sub.(*ast.FuncLit); ok {
 			return false // literal bodies transfer on their own timeline
@@ -79,11 +99,29 @@ func execTransfer(pass *analysis.Pass, rules []transferRule, n ast.Node, deferre
 		for _, rule := range rules {
 			if id, verb := rule(pass, call); id != nil {
 				if v := localVarOf(pass.TypesInfo, id); v != nil {
-					kills = append(kills, kill{id, v, verb})
-					killIdents[id] = true
+					addKill(id, v, verb)
 				}
 				break
 			}
+		}
+		// Summary-derived transfers: the callee consumes one of its inputs
+		// on some path, and we pass a tracked local there.
+		callee := calleeOf(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		entries := lookup(callee)
+		if len(entries) == 0 {
+			return true
+		}
+		vars := callInputVars(pass, call, callee)
+		ids := callInputIdents(pass, call, callee)
+		for _, e := range entries {
+			if e.Input >= len(vars) || vars[e.Input] == nil || ids[e.Input] == nil {
+				continue
+			}
+			verb := e.Verb
+			addKill(ids[e.Input], vars[e.Input], verb)
 		}
 		return true
 	})

@@ -163,7 +163,11 @@ func (ch *Channel) PsendInit(dest, tag int, buf []byte, partitions int) (*PartSe
 // Partitions returns the partition count.
 func (s *PartSend) Partitions() int { return len(s.ready) }
 
-// Start arms a new round. Every partition reverts to not-ready.
+// Start arms a new round. Every partition reverts to not-ready. Arming
+// only rewinds preallocated per-partition state, so the partitioned hot
+// path starts rounds without allocating.
+//
+//gompilint:noalloc
 func (s *PartSend) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -115,7 +115,10 @@ type Startable interface {
 
 // StartAll starts a set of startable requests (MPI_Startall): persistent
 // sends and receives, persistent collectives, and partitioned requests
-// compose freely.
+// compose freely. The loop body allocates nothing; callers who reuse the
+// argument slice keep the whole call allocation-free.
+//
+//gompilint:noalloc
 func StartAll(reqs ...Startable) error {
 	for _, r := range reqs {
 		if err := r.Start(); err != nil {
