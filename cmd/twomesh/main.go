@@ -6,9 +6,16 @@
 //
 //	twomesh -problem P1 -np 16 -ppn 8
 //	twomesh -problem P3 -np 32 -ppn 8 -sessions
+//	twomesh -problem tiny -np 4 -ppn 2 -recover -kill-rank 3 -kill-phase 1
+//
+// With -recover the proxy runs fault-aware: each epoch's communicator is
+// built from the dynamic gompi://alive pset and rebuilt over the survivors
+// when a rank dies. -kill-rank/-kill-phase inject a deterministic rank
+// death to demonstrate the mid-job recovery.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +34,9 @@ func main() {
 	ppn := flag.Int("ppn", 8, "ranks per node")
 	threads := flag.Int("threads", 4, "worker threads per L1 leader")
 	sessions := flag.Bool("sessions", false, "sessions-enabled executable")
+	recoverMode := flag.Bool("recover", false, "fault-aware run: rebuild the communicator over gompi://alive on rank death")
+	killRank := flag.Int("kill-rank", -1, "with -recover: rank to kill (-1 = none)")
+	killPhase := flag.Int("kill-phase", 0, "with -recover: phase at which the killed rank dies")
 	flag.Parse()
 
 	var prob twomesh.Problem
@@ -44,7 +54,9 @@ func main() {
 		os.Exit(2)
 	}
 	mode := core.CIDConsensus
-	if *sessions {
+	if *sessions || *recoverMode {
+		// The recovery path constructs communicators from groups mid-job,
+		// which needs the extended-CID Sessions machinery.
 		mode = core.CIDExtended
 	}
 	nodes := (*np + *ppn - 1) / *ppn
@@ -57,7 +69,30 @@ func main() {
 
 	var mu sync.Mutex
 	var rep twomesh.Report
+	haveRep := false
+	recoveries := 0
 	err := runtime.Run(opts, func(p *mpi.Process) error {
+		if *recoverMode {
+			var inject func(phase int)
+			if p.JobRank() == *killRank {
+				rank := p.JobRank()
+				inject = func(phase int) {
+					if phase == *killPhase {
+						panic(fmt.Sprintf("chaos: rank %d killed at phase %d", rank, phase))
+					}
+				}
+			}
+			r, recs, err := twomesh.RunRecover(p, prob, inject)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			if !haveRep {
+				rep, recoveries, haveRep = r, recs, true
+			}
+			mu.Unlock()
+			return nil
+		}
 		if _, err := p.InitThread(mpi.ThreadMultiple); err != nil {
 			return err
 		}
@@ -68,19 +103,31 @@ func main() {
 		}
 		if p.JobRank() == 0 {
 			mu.Lock()
-			rep = r
+			rep, haveRep = r, true
 			mu.Unlock()
 		}
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "twomesh:", err)
-		os.Exit(1)
+		// With an injected kill, the victim's abnormal exit is the expected
+		// outcome; the run succeeded if every OTHER rank completed.
+		var je *runtime.JobError
+		expected := *recoverMode && *killRank >= 0 &&
+			errors.As(err, &je) && len(je.Errors) == 1 && je.Errors[0].Rank == *killRank
+		if !expected {
+			fmt.Fprintln(os.Stderr, "twomesh:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rank %d killed at phase %d; survivors recovered\n", *killRank, *killPhase)
 	}
 	fmt.Printf("2MESH %s (%s), np=%d ppn=%d threads=%d\n", rep.Problem, rep.Mode, *np, *ppn, *threads)
 	fmt.Printf("  total:    %v\n", rep.Total)
 	fmt.Printf("  L0:       %v\n", rep.L0Time)
-	fmt.Printf("  L1:       %v (quiesce %v over %d barriers, %d polls)\n",
-		rep.L1Time, rep.Quiesce, rep.Barriers, rep.PollCount)
+	if *recoverMode {
+		fmt.Printf("  recoveries: %d\n", recoveries)
+	} else {
+		fmt.Printf("  L1:       %v (quiesce %v over %d barriers, %d polls)\n",
+			rep.L1Time, rep.Quiesce, rep.Barriers, rep.PollCount)
+	}
 	fmt.Printf("  residual: %g\n", rep.Residual)
 }

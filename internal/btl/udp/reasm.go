@@ -8,6 +8,12 @@ package udp
 // would otherwise pin its buffer forever.
 const maxPartial = 64
 
+// maxTombstones bounds the memory of keys whose packets were completed or
+// evicted. A fragment arriving for a tombstoned key is a straggler: folding
+// it into a fresh partial would pin a reassembly slot forever (its siblings
+// are gone) and, for a completed packet, could deliver a corrupt duplicate.
+const maxTombstones = 256
+
 type reasmKey struct {
 	srcRank uint32
 	msgID   uint32
@@ -22,15 +28,18 @@ type partial struct {
 }
 
 type reassembler struct {
-	partials map[reasmKey]*partial
-	order    []reasmKey // insertion order for FIFO eviction
-	alloc    func(n int) []byte
-	free     func(b []byte)
+	partials  map[reasmKey]*partial
+	order     []reasmKey // insertion order for FIFO eviction
+	tombs     map[reasmKey]struct{}
+	tombOrder []reasmKey // insertion order for tombstone expiry
+	alloc     func(n int) []byte
+	free      func(b []byte)
 }
 
 func newReassembler(alloc func(int) []byte, free func([]byte)) *reassembler {
 	return &reassembler{
 		partials: make(map[reasmKey]*partial),
+		tombs:    make(map[reasmKey]struct{}),
 		alloc:    alloc,
 		free:     free,
 	}
@@ -54,6 +63,12 @@ func (r *reassembler) accept(f Frame) (pkt []byte, dropped bool, evicted int) {
 	key := reasmKey{srcRank: f.SrcRank, msgID: f.MsgID}
 	p := r.partials[key]
 	if p == nil {
+		if _, dead := r.tombs[key]; dead {
+			// Straggler of a packet already completed or evicted. Dropping
+			// it (rather than opening a fresh partial that can never
+			// complete) keeps the 64 slots for live packets.
+			return nil, true, 0
+		}
 		for len(r.partials) >= maxPartial {
 			r.evictOldest()
 			evicted++
@@ -88,6 +103,7 @@ func (r *reassembler) accept(f Frame) (pkt []byte, dropped bool, evicted int) {
 		return nil, false, evicted
 	}
 	r.remove(key)
+	r.tombstone(key)
 	return p.buf, false, evicted
 }
 
@@ -97,6 +113,23 @@ func (r *reassembler) evictOldest() {
 		r.free(p.buf)
 	}
 	r.remove(key)
+	r.tombstone(key)
+}
+
+// tombstone records that key's packet is finished (delivered or evicted),
+// expiring the oldest record beyond maxTombstones. Senders allocate msgIDs
+// monotonically, so by the time a tombstone expires its stragglers — at most
+// one wire-latency behind — are long gone.
+func (r *reassembler) tombstone(key reasmKey) {
+	if _, ok := r.tombs[key]; ok {
+		return
+	}
+	for len(r.tombOrder) >= maxTombstones {
+		delete(r.tombs, r.tombOrder[0])
+		r.tombOrder = r.tombOrder[1:]
+	}
+	r.tombs[key] = struct{}{}
+	r.tombOrder = append(r.tombOrder, key)
 }
 
 func (r *reassembler) remove(key reasmKey) {
@@ -116,4 +149,6 @@ func (r *reassembler) close() {
 		delete(r.partials, key)
 	}
 	r.order = nil
+	r.tombs = make(map[reasmKey]struct{})
+	r.tombOrder = nil
 }

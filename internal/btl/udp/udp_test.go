@@ -239,15 +239,104 @@ func TestReassemblerEviction(t *testing.T) {
 		t.Fatalf("evicted buffer not freed (freed %d)", dropped)
 	}
 	// The evicted message (msgID 0) can no longer complete; its second
-	// fragment just opens a fresh partial (evicting the next-oldest to
-	// make room, since the table is full again).
-	if pkt, _, ev := r.accept(frag(0, 1)); pkt != nil || ev != 1 {
-		t.Fatalf("evicted partial: pkt=%q evicted=%d", pkt, ev)
+	// fragment is tombstoned and dropped — NOT resurrected as a fresh
+	// partial that could never complete.
+	if pkt, d, ev := r.accept(frag(0, 1)); pkt != nil || !d || ev != 0 {
+		t.Fatalf("evicted straggler: pkt=%q dropped=%v evicted=%d, want drop", pkt, d, ev)
 	}
-	// A message that survived both evictions still completes.
+	// A message that survived the eviction still completes.
 	pkt, d, ev := r.accept(frag(2, 1))
 	if d || ev != 0 || string(pkt) != "abcdabcd" {
 		t.Fatalf("survivor did not complete: pkt=%q dropped=%v evicted=%d", pkt, d, ev)
+	}
+	r.close()
+}
+
+// Regression: a fragment arriving after its partial was evicted used to open
+// a brand-new partial under the same key — a resurrected husk that could
+// never complete, squatting on one of the 64 slots (and evicting an
+// innocent live partial to make room). It must be dropped instead, and the
+// same goes for a straggling duplicate of an already-completed packet.
+func TestReassemblerLateFragmentDropsNotResurrects(t *testing.T) {
+	r := newReassembler(func(n int) []byte { return make([]byte, n) }, func([]byte) {})
+	frag := func(msgID uint32, idx uint16) Frame {
+		return Frame{
+			SrcRank: 1, MsgID: msgID, FragIndex: idx, FragCount: 2,
+			FragOff: uint32(idx) * 4, TotalLen: 8, Nonce: testNonce,
+			Payload: []byte("wxyz"),
+		}
+	}
+
+	// Fill the table, force one eviction (msgID 0 goes).
+	for i := 0; i <= maxPartial; i++ {
+		r.accept(frag(uint32(i), 0))
+	}
+	if len(r.partials) != maxPartial {
+		t.Fatalf("partials = %d, want %d", len(r.partials), maxPartial)
+	}
+	// The late fragment must not re-enter the table or evict anyone.
+	if pkt, d, ev := r.accept(frag(0, 1)); pkt != nil || !d || ev != 0 {
+		t.Fatalf("late fragment: pkt=%q dropped=%v evicted=%d, want pure drop", pkt, d, ev)
+	}
+	if len(r.partials) != maxPartial {
+		t.Fatalf("late fragment changed the table: %d partials", len(r.partials))
+	}
+
+	// Complete msgID 1, then replay one of its fragments: dropped too.
+	if pkt, _, _ := r.accept(frag(1, 1)); string(pkt) != "wxyzwxyz" {
+		t.Fatalf("completion failed: %q", pkt)
+	}
+	if pkt, d, _ := r.accept(frag(1, 0)); pkt != nil || !d {
+		t.Fatalf("straggler of completed packet: pkt=%q dropped=%v, want drop", pkt, d)
+	}
+	if len(r.partials) != maxPartial-1 {
+		t.Fatalf("straggler resurrected a completed packet: %d partials", len(r.partials))
+	}
+	r.close()
+}
+
+// Eviction at the 64-partial cap is strictly FIFO by insertion order — and a
+// partial completed out of the middle leaves the order intact, so the NEXT
+// eviction still takes the true oldest survivor.
+func TestReassemblerFIFOEvictionOrder(t *testing.T) {
+	var freed int
+	r := newReassembler(func(n int) []byte { return make([]byte, n) }, func([]byte) { freed++ })
+	frag := func(msgID uint32, idx uint16) Frame {
+		return Frame{
+			SrcRank: 2, MsgID: msgID, FragIndex: idx, FragCount: 2,
+			FragOff: uint32(idx) * 4, TotalLen: 8, Nonce: testNonce,
+			Payload: []byte("data"),
+		}
+	}
+	for i := 0; i < maxPartial; i++ {
+		r.accept(frag(uint32(i), 0))
+	}
+
+	// Complete msgID 0: the table has a free slot, so the next newcomer must
+	// NOT evict anybody.
+	if pkt, _, _ := r.accept(frag(0, 1)); string(pkt) != "datadata" {
+		t.Fatalf("completion failed: %q", pkt)
+	}
+	if _, d, ev := r.accept(frag(maxPartial, 0)); d || ev != 0 {
+		t.Fatalf("newcomer into a free slot: dropped=%v evicted=%d", d, ev)
+	}
+
+	// Table full again: the next two newcomers evict msgIDs 1 then 2 — the
+	// oldest survivors in insertion order.
+	for n := 1; n <= 2; n++ {
+		if _, d, ev := r.accept(frag(uint32(maxPartial+n), 0)); d || ev != 1 {
+			t.Fatalf("newcomer %d: dropped=%v evicted=%d, want 1 eviction", n, d, ev)
+		}
+		if pkt, d, _ := r.accept(frag(uint32(n), 1)); pkt != nil || !d {
+			t.Fatalf("msgID %d should have been the FIFO victim (pkt=%q dropped=%v)", n, pkt, d)
+		}
+	}
+	// msgID 3 survived both rounds and still completes.
+	if pkt, _, _ := r.accept(frag(3, 1)); string(pkt) != "datadata" {
+		t.Fatalf("FIFO evicted the wrong partial; msgID 3 gone (%q)", pkt)
+	}
+	if freed != 2 {
+		t.Fatalf("freed = %d, want 2 evicted buffers", freed)
 	}
 	r.close()
 }

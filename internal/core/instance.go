@@ -54,6 +54,37 @@ const (
 	PsetShared = "mpi://shared"
 )
 
+// PsetAlive is the reserved dynamic process set: the job's ranks minus
+// every rank known to have terminated, re-resolved on every query from the
+// pmix client's terminated-rank view (kept current by failure and restart
+// notifications). "gompi://alive/<base>" derives the live subset of any
+// other pset the same way.
+const (
+	PsetAlive       = "gompi://alive"
+	psetAlivePrefix = PsetAlive + "/"
+)
+
+// IsDynamicPset reports whether name denotes a dynamic pset — one whose
+// membership is recomputed from liveness state at every resolution rather
+// than snapshotted once.
+func IsDynamicPset(name string) bool {
+	l := strings.ToLower(name)
+	return l == PsetAlive || strings.HasPrefix(l, psetAlivePrefix)
+}
+
+// DynamicPsetBase returns the static pset a dynamic name derives from
+// (PsetWorld for the bare PsetAlive) and whether name was dynamic at all.
+func DynamicPsetBase(name string) (string, bool) {
+	l := strings.ToLower(name)
+	if l == PsetAlive {
+		return PsetWorld, true
+	}
+	if strings.HasPrefix(l, psetAlivePrefix) {
+		return name[len(psetAlivePrefix):], true
+	}
+	return name, false
+}
+
 // Config tunes one MPI process instance.
 type Config struct {
 	// CIDMode selects consensus (baseline) or exCID (Sessions prototype)
@@ -378,7 +409,7 @@ func (inst *Instance) initPML() (func(), error) {
 	ep := inst.deps.Fabric.NewEndpoint(node)
 	gen := inst.reg.Generation()
 	client := inst.Client()
-	resolve := cachedResolver(func(rank int) (simnet.Addr, error) {
+	resolve, dropResolved := cachedResolver(func(rank int) (simnet.Addr, error) {
 		// Remote processes are discovered on first communication
 		// (add_procs on demand, §III-B1): resolve the peer's endpoint
 		// through the runtime.
@@ -464,9 +495,17 @@ func (inst *Instance) initPML() (func(), error) {
 		return nil, err
 	}
 	// Runtime failure events unblock pending point-to-point operations
-	// toward the dead process (the §II-C fault-domain behaviour).
-	hid := client.RegisterEventHandler([]pmix.EventCode{pmix.EventProcTerminated}, func(ev pmix.Event) {
-		engine.FailPeer(ev.Source.Rank)
+	// toward the dead process (the §II-C fault-domain behaviour); restart
+	// events forget the dead incarnation's cached routes and addresses so
+	// new communicators can reach the respawned process.
+	hid := client.RegisterEventHandler([]pmix.EventCode{pmix.EventProcTerminated, pmix.EventProcRestarted}, func(ev pmix.Event) {
+		switch ev.Code {
+		case pmix.EventProcTerminated:
+			engine.FailPeer(ev.Source.Rank)
+		case pmix.EventProcRestarted:
+			dropResolved(ev.Source.Rank)
+			engine.RevivePeer(ev.Source.Rank)
+		}
 	})
 	inst.mu.Lock()
 	inst.engine = engine
@@ -489,11 +528,12 @@ func (inst *Instance) initPML() (func(), error) {
 
 // cachedResolver memoizes a rank-to-address lookup: several BTL modules
 // consult the resolver for the same peer during route selection, and the
-// modex answer never changes within a generation.
-func cachedResolver(fetch func(int) (simnet.Addr, error)) func(int) (simnet.Addr, error) {
+// modex answer never changes within a generation — except when the rank is
+// respawned, which the second returned function (invalidate) handles.
+func cachedResolver(fetch func(int) (simnet.Addr, error)) (resolve func(int) (simnet.Addr, error), invalidate func(int)) {
 	var mu sync.Mutex
 	addrs := make(map[int]simnet.Addr)
-	return func(rank int) (simnet.Addr, error) {
+	resolve = func(rank int) (simnet.Addr, error) {
 		mu.Lock()
 		if a, ok := addrs[rank]; ok {
 			mu.Unlock()
@@ -509,6 +549,12 @@ func cachedResolver(fetch func(int) (simnet.Addr, error)) func(int) (simnet.Addr
 		mu.Unlock()
 		return a, nil
 	}
+	invalidate = func(rank int) {
+		mu.Lock()
+		delete(addrs, rank)
+		mu.Unlock()
+	}
+	return resolve, invalidate
 }
 
 // Release drops one session reference. When the last reference goes, the
@@ -537,6 +583,31 @@ func (inst *Instance) Release() error {
 		}
 	}
 	return nil
+}
+
+// ForceTeardown reclaims everything a crashed incarnation still holds. A
+// rank that died mid-run never released its sessions, so its subsystem
+// refcounts are stuck high and the cleanup callbacks never ran: the PML
+// engine leaks (its sm mailbox stays registered — Segment.Register panics
+// when the replacement incarnation re-registers the rank), the fabric
+// endpoint stays open, and the PMIx client connection lingers. ForceTeardown
+// runs the cleanups and zeroes the refcounts, leaving the instance ready for
+// a fresh Acquire.
+//
+// Unlike a clean finalize, the abandoned cycle does not advance the
+// generation: the respawned incarnation must publish its addresses under
+// the same generation-scoped modex keys its surviving peers resolve.
+// Per-tag communicator name counters are also preserved, so post-recovery
+// constructions over fresh tags derive the same names on every rank.
+//
+// The caller guarantees the crashed incarnation's goroutines are gone (its
+// abnormal termination has been reported) before calling.
+func (inst *Instance) ForceTeardown() {
+	inst.reg.ForceReset()
+	inst.mu.Lock()
+	inst.refs = 0
+	inst.mu.Unlock()
+	inst.trace.Logf("core", "instance force-torn-down for respawn (gen=%d)", inst.reg.Generation())
 }
 
 // Client returns the live PMIx client; nil when not initialized.
@@ -582,11 +653,31 @@ func (inst *Instance) NextCommSeq(tag string) uint64 {
 }
 
 // ResolvePset maps a process-set name to its member ranks. The three
-// built-in psets are answered locally; anything else is a runtime query.
+// built-in psets are answered locally; dynamic "gompi://alive" names are
+// recomputed from the current terminated-rank view on every call (never
+// snapshotted — a pset handle stays coherent across later failures);
+// anything else is a runtime query.
 func (inst *Instance) ResolvePset(name string) ([]int, error) {
 	client := inst.Client()
 	if client == nil {
 		return nil, fmt.Errorf("core: instance not initialized")
+	}
+	if base, dyn := DynamicPsetBase(name); dyn {
+		ranks, err := inst.ResolvePset(base)
+		if err != nil {
+			return nil, err
+		}
+		dead := make(map[int]bool)
+		for _, r := range client.TerminatedRanks() {
+			dead[r] = true
+		}
+		alive := make([]int, 0, len(ranks))
+		for _, r := range ranks {
+			if !dead[r] {
+				alive = append(alive, r)
+			}
+		}
+		return alive, nil
 	}
 	switch strings.ToLower(name) {
 	case PsetWorld:
@@ -622,7 +713,7 @@ func (inst *Instance) PsetNames() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := []string{PsetWorld, PsetSelf, PsetShared}
+	names := []string{PsetWorld, PsetSelf, PsetShared, PsetAlive}
 	var extra []string
 	for name := range psets {
 		extra = append(extra, name)

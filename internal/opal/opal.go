@@ -177,6 +177,32 @@ func (r *Registry) CleanupIfIdle() bool {
 	return true
 }
 
+// ForceReset abandons the current init cycle regardless of reference
+// counts: every registered cleanup runs in LIFO order and all subsystems
+// return to idle so they can be initialized again. It exists for the
+// respawn path — a crashed process never releases its references, so its
+// resources (mailboxes, endpoints, server connections) would otherwise leak
+// forever. Unlike CleanupIfIdle the generation does NOT advance: a forced
+// reset abandons the cycle rather than completing it, and the replacement
+// incarnation must come up in the same generation as the surviving peers it
+// rejoins (generation-scoped modex keys). The caller guarantees no
+// concurrent Acquire/Release is in flight.
+func (r *Registry) ForceReset() {
+	r.mu.Lock()
+	entries := r.cleanups
+	r.cleanups = nil
+	for _, s := range r.subsystems {
+		s.state = subsysIdle
+		s.refs = 0
+		s.done = nil
+	}
+	r.mu.Unlock()
+
+	for i := len(entries) - 1; i >= 0; i-- {
+		entries[i].fn()
+	}
+}
+
 // Generation returns how many full cleanup cycles have completed; tests use
 // it to verify re-initialization actually re-ran subsystem init.
 func (r *Registry) Generation() int {

@@ -138,3 +138,79 @@ func TestChaosFencePartitionTimeoutThenHeal(t *testing.T) {
 		}
 	}
 }
+
+// waitTerminated polls until c's server has recorded rank as terminated.
+func waitTerminated(t *testing.T, c *Client, rank int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for _, r := range c.TerminatedRanks() {
+			if r == rank {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d never recorded as terminated", rank)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A group construct naming a rank already known dead must fail at entry
+// with ErrTerminated — in RPC time, not after the operation timeout. This
+// is the server-side half of the stale-SurvivorGroup fix: even if the MPI
+// layer hands down a group with a dead member, the construct cannot hang.
+func TestChaosConstructFailsFastOnDeadParticipant(t *testing.T) {
+	e := chaosEnv(t, 2, 2)
+	e.clients[3].Abort()
+	waitTerminated(t, e.clients[0], 3)
+
+	start := time.Now()
+	errs := make(chan error, 2)
+	for _, r := range []int{0, 1} {
+		go func(r int) {
+			_, err := e.clients[r].GroupConstruct("stale", []int{0, 1, 3}, GroupOpts{Timeout: 10 * time.Second})
+			errs <- err
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrTerminated) {
+				t.Fatalf("construct err = %v, want ErrTerminated", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("construct with dead member did not fail fast")
+		}
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("fail-fast took %v, should be well under the 10s timeout", el)
+	}
+}
+
+// A rank death must also cancel an exchange already in flight: rank 0's
+// server has executed (it is the only local participant) and is blocked in
+// the inter-server exchange when rank 1 dies. The termination broadcast
+// closes the op's abort channel and the fence returns ErrTerminated in
+// event-delivery time instead of burning the whole timeout.
+func TestChaosDeathUnsticksExecutorExchange(t *testing.T) {
+	e := chaosEnv(t, 2, 1)
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		errc <- e.clients[0].Fence([]int{0, 1}, false, 30*time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the executor enter the exchange
+	e.clients[1].Abort()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTerminated) {
+			t.Fatalf("fence err = %v, want ErrTerminated", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight exchange not cancelled by peer death")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v, want event-delivery time", el)
+	}
+}

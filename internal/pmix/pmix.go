@@ -82,6 +82,10 @@ const (
 	EventGroupConstructed
 	// EventGroupMemberLeft is raised when a process departs a group.
 	EventGroupMemberLeft
+	// EventProcRestarted is raised when a previously terminated rank is
+	// respawned and reconnects to its server: dynamic psets re-admit it and
+	// cached state about the old incarnation must be invalidated.
+	EventProcRestarted
 )
 
 // Event is one runtime notification. Target, when non-zero, restricts

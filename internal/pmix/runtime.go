@@ -32,8 +32,10 @@ type Runtime interface {
 	// Fetch performs a direct-modex read from a remote node's server.
 	Fetch(node int, key string, timeout time.Duration) ([]byte, bool, error)
 
-	// Exchange runs the inter-server all-to-all for one collective.
-	Exchange(opKey string, participants []int, local []byte, timeout time.Duration) (map[int][]byte, error)
+	// Exchange runs the inter-server all-to-all for one collective. abort,
+	// when non-nil, cancels the wait early (the server closes it when a
+	// participant rank is reported dead).
+	Exchange(opKey string, participants []int, local []byte, timeout time.Duration, abort <-chan struct{}) (map[int][]byte, error)
 
 	// AllocPGCID asks the resource manager for a group context ID.
 	AllocPGCID(groupName string, members []int, timeout time.Duration) (uint64, error)
@@ -64,4 +66,12 @@ type Runtime interface {
 	// daemon's ServerHandler), but socket-backed runtimes push the data to
 	// the launcher so other processes' fetches can be answered there.
 	PublishModex(rank int, kv map[string][]byte)
+
+	// NoteDeadRank reports a terminated rank to the resource manager, which
+	// uses the set to short-circuit retry loops that depend on the rank.
+	NoteDeadRank(rank int)
+
+	// NoteRevivedRank clears a rank from the terminated set after a respawn
+	// re-admitted it.
+	NoteRevivedRank(rank int)
 }

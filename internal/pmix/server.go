@@ -26,6 +26,7 @@ type Server struct {
 	published   map[int]map[string][]byte // committed per local rank
 	remoteCache map[string][]byte         // "modex/<rank>/<key>" -> value
 	colls       map[string]*collOp
+	executing   map[string]*collOp // ops whose executor is in the inter-server exchange
 	seqs        map[string]uint64
 	terminated  map[int]bool
 	pendingEvs  map[int][]Event // targeted events for not-yet-connected ranks
@@ -60,9 +61,15 @@ type collOp struct {
 	contribs map[int][]byte
 	executed bool
 	done     chan struct{}
-	result   map[int][]byte // per-rank data from all participants
-	pgcid    uint64
-	err      error
+	// abort is closed when a participant rank is reported dead while the
+	// executor is blocked in the inter-server exchange, cancelling it in
+	// event-delivery time instead of after the full timeout; aborted guards
+	// the close.
+	abort   chan struct{}
+	aborted bool
+	result  map[int][]byte // per-rank data from all participants
+	pgcid   uint64
+	err     error
 }
 
 func (op *collOp) expects(rank int) bool {
@@ -85,6 +92,7 @@ func NewServer(daemon Runtime, job prrte.JobMap, nspace string) *Server {
 		published:   make(map[int]map[string][]byte),
 		remoteCache: make(map[string][]byte),
 		colls:       make(map[string]*collOp),
+		executing:   make(map[string]*collOp),
 		seqs:        make(map[string]uint64),
 		terminated:  make(map[int]bool),
 		pendingEvs:  make(map[int][]Event),
@@ -113,6 +121,11 @@ func (s *Server) Close() {
 
 // Connect registers a client for a local rank and returns it. Connecting a
 // rank that is not mapped to this node is a wiring bug and panics.
+//
+// Reconnecting a rank the server had recorded as terminated is the respawn
+// path: the rank is re-admitted (it reappears in gompi://alive), stale
+// modex cache entries for its old incarnation are dropped, and an
+// EventProcRestarted broadcast tells every other node to do the same.
 func (s *Server) Connect(rank int) *Client {
 	if s.job.NodeOf(rank) != s.Node() {
 		panic(fmt.Sprintf("pmix: rank %d is mapped to node %d, not node %d", rank, s.job.NodeOf(rank), s.Node()))
@@ -129,10 +142,21 @@ func (s *Server) Connect(rank int) *Client {
 		staged: make(map[string][]byte),
 	}
 	s.clients[rank] = c
+	revived := s.terminated[rank]
 	delete(s.terminated, rank)
+	if revived {
+		s.dropRemoteCacheLocked(rank)
+	}
 	pending := s.pendingEvs[rank]
 	delete(s.pendingEvs, rank)
 	s.mu.Unlock()
+	if revived {
+		s.daemon.NoteRevivedRank(rank)
+		s.daemon.BroadcastEvent(encodeEvent(Event{
+			Code:   EventProcRestarted,
+			Source: Proc{Nspace: s.nspace, Rank: rank},
+		}))
+	}
 	// Replay targeted events (e.g. group invitations) that arrived before
 	// the process connected.
 	for _, ev := range pending {
@@ -180,6 +204,15 @@ func (s *Server) dispatchEvents() {
 			s.mu.Lock()
 			if ev.Code == EventProcTerminated {
 				s.terminated[ev.Source.Rank] = true
+				// Fail pending collectives that expect the dead rank on THIS
+				// node too — before this pass only the dying rank's own
+				// server failed them, and everyone else waited out the full
+				// operation timeout.
+				s.failCollsForLocked(ev.Source.Rank)
+			}
+			if ev.Code == EventProcRestarted {
+				delete(s.terminated, ev.Source.Rank)
+				s.dropRemoteCacheLocked(ev.Source.Rank)
 			}
 			// A targeted event for a local rank that has not connected yet
 			// is held until it does (it may still be initializing).
@@ -195,6 +228,12 @@ func (s *Server) dispatchEvents() {
 				clients = append(clients, c)
 			}
 			s.mu.Unlock()
+			switch ev.Code {
+			case EventProcTerminated:
+				s.daemon.NoteDeadRank(ev.Source.Rank)
+			case EventProcRestarted:
+				s.daemon.NoteRevivedRank(ev.Source.Rank)
+			}
 			for _, c := range clients {
 				c.deliverEvent(ev)
 			}
@@ -307,9 +346,23 @@ func (s *Server) collective(opKey, seqKey string, rank int, ranks []int, contrib
 	}
 
 	s.mu.Lock()
+	// Fail fast when a participant is already known dead: waiting for its
+	// contribution could only end in a timeout. The sequence number is
+	// returned like the timeout-withdrawal path — the op never consumed it —
+	// and callers recover by rebuilding over a survivor set (which has a
+	// different set key, hence its own counter).
+	for _, r := range ranks {
+		if s.terminated[r] {
+			if seqKey != "" && s.seqs[seqKey] > 0 {
+				s.seqs[seqKey]--
+			}
+			s.mu.Unlock()
+			return nil, 0, fmt.Errorf("pmix: collective %q: rank %d: %w", opKey, r, ErrTerminated)
+		}
+	}
 	op := s.colls[opKey]
 	if op == nil {
-		op = &collOp{need: needLocal, ranks: ranks, contribs: make(map[int][]byte), done: make(chan struct{})}
+		op = &collOp{need: needLocal, ranks: ranks, contribs: make(map[int][]byte), done: make(chan struct{}), abort: make(chan struct{})}
 		s.colls[opKey] = op
 	}
 	if _, dup := op.contribs[rank]; dup {
@@ -378,15 +431,23 @@ func (s *Server) executeCollective(opKey string, op *collOp, nodes []int, leader
 		local.Data[r] = c
 	}
 	delete(s.colls, opKey)
+	// Track the in-flight exchange so a death notification can cancel it
+	// (failCollsForLocked closes op.abort).
+	s.executing[opKey] = op
 	s.mu.Unlock()
 
 	contribution := encodeNodeBlob(local)
-	results, err := s.daemon.Exchange(opKey, nodes, contribution, timeout)
+	results, err := s.daemon.Exchange(opKey, nodes, contribution, timeout, op.abort)
+	s.mu.Lock()
+	delete(s.executing, opKey)
+	s.mu.Unlock()
 	if err != nil {
-		// Normalize runtime-level timeouts so callers checking pmix.ErrTimeout
-		// see one error class; the prrte chain stays inspectable.
+		// Normalize runtime-level errors so callers check one error class;
+		// the prrte chain stays inspectable.
 		if errors.Is(err, prrte.ErrTimeout) {
 			err = fmt.Errorf("pmix: collective %q: %w (%w)", opKey, ErrTimeout, err)
+		} else if errors.Is(err, prrte.ErrDeadParticipant) {
+			err = fmt.Errorf("pmix: collective %q: %w (%w)", opKey, ErrTerminated, err)
 		}
 		op.err = err
 		return
@@ -485,14 +546,13 @@ func decodeKV(data []byte) (map[string][]byte, error) {
 	return kv, err
 }
 
-// abort marks a local rank terminated and broadcasts the failure to every
-// node. Pending local collectives that expected the rank fail immediately;
-// remote participants are protected by their operation timeouts, matching
-// the deadlock-avoidance design described in the paper.
-func (s *Server) abort(rank int) {
-	s.mu.Lock()
-	s.terminated[rank] = true
-	delete(s.clients, rank)
+// failCollsForLocked fails every pending collective that expects a rank now
+// known dead. Ops still gathering local contributions complete immediately
+// with ErrTerminated; an op whose executor is already blocked in the
+// inter-server exchange has its abort channel closed so the exchange
+// returns in event-delivery time rather than after the full timeout.
+// Caller holds s.mu.
+func (s *Server) failCollsForLocked(rank int) {
 	for key, op := range s.colls {
 		if op.executed || !op.expects(rank) {
 			continue
@@ -502,7 +562,39 @@ func (s *Server) abort(rank int) {
 		close(op.done)
 		delete(s.colls, key)
 	}
+	for _, op := range s.executing {
+		if !op.expects(rank) || op.aborted {
+			continue
+		}
+		op.aborted = true
+		close(op.abort)
+	}
+}
+
+// dropRemoteCacheLocked forgets cached modex data for one rank, used when
+// the rank is respawned: the new incarnation publishes fresh endpoints and
+// the old entries would route traffic to a dead mailbox. Caller holds s.mu.
+func (s *Server) dropRemoteCacheLocked(rank int) {
+	prefix := fmt.Sprintf("modex/%d/", rank)
+	for k := range s.remoteCache {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(s.remoteCache, k)
+		}
+	}
+}
+
+// abort marks a local rank terminated and broadcasts the failure to every
+// node. Pending local collectives that expected the rank fail immediately;
+// remote participants learn through the broadcast, whose handler runs the
+// same failure pass on their server (dispatchEvents), so no one is left to
+// ride a timeout out.
+func (s *Server) abort(rank int) {
+	s.mu.Lock()
+	s.terminated[rank] = true
+	delete(s.clients, rank)
+	s.failCollsForLocked(rank)
 	s.mu.Unlock()
+	s.daemon.NoteDeadRank(rank)
 	s.daemon.BroadcastEvent(encodeEvent(Event{
 		Code:   EventProcTerminated,
 		Source: Proc{Nspace: s.nspace, Rank: rank},

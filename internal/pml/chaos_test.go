@@ -190,6 +190,48 @@ func TestChaosFailPeerPoisonsCollectiveRecvs(t *testing.T) {
 	}
 }
 
+// Regression (FailPeer wildcard satellite): wildcard receives survive
+// individual peer deaths, but when the LAST non-self channel member dies a
+// posted wildcard can never match again — it must fail, and new wildcards
+// must be rejected, instead of hanging a blocking Recv forever. Messages
+// sent before the death still drain from the unexpected queue.
+func TestChaosFailPeerFailsWildcardWhenAllPeersDead(t *testing.T) {
+	tn, _ := newChaosNet(t, 3, Config{})
+	chs := tn.worldChannels(t, 0)
+
+	wild := chs[0].Irecv(AnySource, 3, make([]byte, 4))
+
+	// One survivor left: the wildcard stays posted (it may still match).
+	tn.engines[0].FailPeer(1)
+	if done, _, _ := wild.Test(); done {
+		t.Fatal("wildcard failed while a live peer remained")
+	}
+
+	// Rank 2's parting message lands in the unexpected queue before it dies.
+	if err := chs[2].Send(0, 9, []byte("bye!")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// Last non-self member dies: the posted wildcard must fail now — before
+	// the fix it stayed posted and a blocking Recv hung forever.
+	tn.engines[0].FailPeer(2)
+	if err := waitErr(t, wild, 2*time.Second); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("posted wildcard err = %v, want ErrPeerFailed", err)
+	}
+
+	// Pre-death traffic still drains from the unexpected queue...
+	buf := make([]byte, 4)
+	st, err := chs[0].Recv(AnySource, 9, buf)
+	if err != nil || st.Source != 2 || string(buf) != "bye!" {
+		t.Fatalf("pre-death message: st=%+v err=%v buf=%q", st, err, buf)
+	}
+	// ...but a wildcard with nothing queued is rejected instead of hanging.
+	if err := waitErr(t, chs[0].Irecv(AnySource, AnyTag, make([]byte, 4)), 2*time.Second); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("fresh wildcard err = %v, want ErrPeerFailed", err)
+	}
+}
+
 // A full eager+rendezvous workload under a mixed fault plan (duplication,
 // reordering, extra delay — the data plane's recoverable faults) must
 // deliver every payload intact and in order.

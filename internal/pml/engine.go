@@ -143,6 +143,7 @@ type pendingSend struct {
 	req        *Request
 	payload    []byte
 	destGlobal int
+	ch         *Channel // owning channel, so Revoke can fail it
 }
 
 // postedRecv is one posted receive. The pseq/pnext/pprev fields are owned
@@ -222,7 +223,18 @@ type Channel struct {
 	// ErrPeerFailed: a collective on a communicator with a failed member
 	// can hang on live peers that already bailed out, so it must not start.
 	deadMember bool
-	peers      []peerState
+	// allDead is set by FailPeer when EVERY non-self rank of this channel
+	// has died. From then on no message can ever arrive, so wildcard
+	// (AnySource) receives — which survive individual peer deaths because
+	// another sender might still match them — fail fast too.
+	allDead bool
+	// revoked is set when any member revokes the communicator (Revoke, or
+	// an incoming hdrRevoke notice). Every pending and future operation on
+	// a revoked channel fails with ErrRevoked: survivors of a process
+	// failure use revocation to interrupt each other's otherwise-valid
+	// operations so everyone reaches the rebuild collectively.
+	revoked bool
+	peers   []peerState
 	m          matcher
 
 	// persNext/persFree drive the persistent-collective tag-window
@@ -356,11 +368,15 @@ func (e *Engine) Close() {
 // ErrPeerFailed, as do rendezvous operations pending in either direction —
 // sends awaiting the dead peer's CTS and receives whose CTS went out but
 // whose DATA will never arrive. Wildcard application receives are left
-// posted — they may still match other senders. On every channel containing
-// the dead rank, internal (negative-tag) receives are failed regardless of
-// source and the channel is poisoned for future internal receives: a
-// collective's dependency graph reaches the dead rank transitively, so
-// waiting on a live peer that itself bailed out would hang forever.
+// posted while any other channel member survives — they may still match
+// another sender — but once the LAST non-self member dies they are failed
+// too (and new ones rejected): nothing can ever send on the channel again,
+// so a blocking wildcard Recv would hang forever. On every channel
+// containing the dead rank, internal (negative-tag) receives are failed
+// regardless of source and the channel is poisoned for future internal
+// receives: a collective's dependency graph reaches the dead rank
+// transitively, so waiting on a live peer that itself bailed out would hang
+// forever.
 func (e *Engine) FailPeer(globalRank int) {
 	if _, loaded := e.failedPeers.LoadOrStore(globalRank, struct{}{}); !loaded {
 		e.failedCount.Add(1)
@@ -370,10 +386,13 @@ func (e *Engine) FailPeer(globalRank int) {
 	e.comms.Range(func(_, v any) bool {
 		ch := v.(*Channel)
 		commRank := -1
+		allDead := true
 		for i, r := range ch.ranks {
 			if r == globalRank {
 				commRank = i
-				break
+			}
+			if i != ch.myRank && !e.peerFailed(r) {
+				allDead = false
 			}
 		}
 		if commRank < 0 {
@@ -383,6 +402,10 @@ func (e *Engine) FailPeer(globalRank int) {
 		ch.deadMember = true
 		prs := ch.m.takePostedBySrc(commRank)
 		prs = append(prs, ch.m.takePostedInternal()...)
+		if allDead && !ch.allDead {
+			ch.allDead = true
+			prs = append(prs, ch.m.takePostedWildcard()...)
+		}
 		ch.cond.Broadcast() // wake probes so they re-check state
 		ch.lock.Unlock()
 		for _, pr := range prs {
@@ -418,6 +441,148 @@ func (e *Engine) FailPeer(globalRank int) {
 	for _, pr := range frees {
 		e.freePostedRecv(pr)
 	}
+}
+
+// RevivePeer clears the failure mark for a respawned process so new
+// communicators can reach its fresh incarnation: the failed-peer entry is
+// dropped (sends stop failing fast) and the cached route is discarded so the
+// next communication re-resolves the peer's new endpoint through the modex.
+// Channels poisoned while the rank was dead STAY poisoned — their collective
+// and matching state straddles two incarnations and cannot be trusted; the
+// application rebuilds communicators over a survivor group instead.
+func (e *Engine) RevivePeer(globalRank int) {
+	if _, loaded := e.failedPeers.LoadAndDelete(globalRank); loaded {
+		e.failedCount.Add(-1)
+	}
+	e.routes.Delete(globalRank)
+}
+
+// Revoke marks the communicator revoked everywhere (the ULFM
+// MPIX_Comm_revoke analogue): locally, every pending and future operation
+// on the channel fails with ErrRevoked; remotely, a revocation notice goes
+// to every member the runtime still believes alive, whose engine applies
+// the same local poison on receipt. The notice is best-effort and
+// direct — every member that observed the triggering failure revokes too,
+// so delivery does not depend on a single revoker surviving. Revoking an
+// already-revoked (or removed) channel is a no-op.
+//
+// Revocation exists for exactly one situation: a member died, some
+// survivors noticed (their operations toward the dead rank failed) and
+// abandoned the communicator, and other survivors are still blocked in
+// operations among themselves that no one will ever complete. FailPeer
+// cannot unblock those — the blocked operation's peer is alive — so the
+// survivors that DID notice interrupt the rest.
+func (e *Engine) Revoke(ch *Channel) {
+	if !e.revokeLocal(ch) {
+		return
+	}
+	for i, g := range ch.ranks {
+		if i == ch.myRank || e.peerFailed(g) {
+			continue
+		}
+		rt, err := e.routeTo(g)
+		if err != nil {
+			continue // unreachable peer learns from another revoker
+		}
+		// Unlike data packets, a revocation notice deliberately races with
+		// the receiver freeing this communicator and building its
+		// replacement. Local CIDs are recycled, so a notice addressed by
+		// remoteCID could poison an innocent successor channel that reused
+		// the number; the exCID is never reused, so exCID channels always
+		// address the notice extended. (Consensus-CID channels have no
+		// unique identity on the wire — there the notice is best-effort and
+		// the tiny reuse window is accepted.)
+		ext := ch.useEx
+		hdr := matchHeader{typ: hdrRevoke, ctx: ch.localCID, src: uint32(ch.myRank)}
+		if ext {
+			hdr.flags |= flagExt
+		}
+		pkt := e.buildPacket(hdr, ch, ext, nil, nil)
+		_ = rt.ep.Send(pkt)
+	}
+}
+
+// revokeLocal applies the local half of a revocation: poison the channel,
+// fail every posted receive and every pending rendezvous operation on it.
+// Reports whether this call was the one that revoked (false if the channel
+// was already revoked or removed).
+func (e *Engine) revokeLocal(ch *Channel) bool {
+	ch.lock.Lock()
+	if ch.revoked || ch.removed {
+		ch.lock.Unlock()
+		return false
+	}
+	ch.revoked = true
+	posted := ch.m.takeAllPosted()
+	ch.cond.Broadcast() // wake probes so they re-check state
+	ch.lock.Unlock()
+
+	var victims []*Request
+	frees := append([]*postedRecv(nil), posted...)
+	for _, pr := range posted {
+		victims = append(victims, pr.req)
+	}
+	e.pendMu.Lock()
+	for id, ps := range e.pendSend {
+		if ps.ch == ch {
+			victims = append(victims, ps.req)
+			delete(e.pendSend, id)
+		}
+	}
+	for id, pr := range e.pendRecv {
+		if pr.ch == ch {
+			victims = append(victims, pr.req)
+			frees = append(frees, pr)
+			delete(e.pendRecv, id)
+		}
+	}
+	e.pendMu.Unlock()
+	for _, r := range victims {
+		r.complete(Status{}, ErrRevoked)
+	}
+	for _, pr := range frees {
+		e.freePostedRecv(pr)
+	}
+	return true
+}
+
+// handleRevoke poisons the addressed channel on receipt of a member's
+// revocation notice. An exCID-addressed notice racing ahead of the local
+// communicator construction is buffered with the other early packets and
+// replayed by AddChannel, so the revocation is not lost. A consensus-CID
+// notice that finds no channel is dropped instead: the receiver may
+// already have freed the communicator, local CIDs are recycled, and a
+// parked notice would be replayed into whatever successor channel claims
+// the number next.
+func (e *Engine) handleRevoke(pkt []byte, env envelope) {
+	var ch *Channel
+	if env.hasExt {
+		if v, ok := e.byEx.Load(env.ext.ex); ok {
+			ch = v.(*Channel)
+		}
+		if ch == nil {
+			e.regMu.Lock()
+			if v, ok := e.byEx.Load(env.ext.ex); ok {
+				ch = v.(*Channel)
+			} else {
+				e.orphansEx[env.ext.ex] = append(e.orphansEx[env.ext.ex], pkt)
+			}
+			e.regMu.Unlock()
+			if ch == nil {
+				return
+			}
+		}
+	} else {
+		if v, ok := e.comms.Load(env.hdr.ctx); ok {
+			ch = v.(*Channel)
+		}
+		if ch == nil {
+			e.putBuf(pkt)
+			return
+		}
+	}
+	e.revokeLocal(ch)
+	e.putBuf(pkt)
 }
 
 func channelHasRank(ch *Channel, globalRank int) bool {
@@ -699,6 +864,10 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 	}
 
 	ch.lock.Lock()
+	if ch.revoked {
+		ch.lock.Unlock()
+		return completedRequest(Status{}, ErrRevoked)
+	}
 	ps := &ch.peers[dest]
 	seq := ps.sendSeq
 	ps.sendSeq++
@@ -724,7 +893,7 @@ func (ch *Channel) isend(dest, tag int, buf []byte, synchronous bool) *Request {
 			e.pendMu.Unlock()
 			return completedRequest(Status{}, ErrClosed)
 		}
-		e.pendSend[reqID] = &pendingSend{req: req, payload: buf, destGlobal: destGlobal}
+		e.pendSend[reqID] = &pendingSend{req: req, payload: buf, destGlobal: destGlobal, ch: ch}
 		e.pendMu.Unlock()
 		e.st.rendezvous.Add(1)
 	}
@@ -820,12 +989,28 @@ func (ch *Channel) Irecv(src, tag int, buf []byte) *Request {
 		e.freePostedRecv(pr)
 		return completedRequest(Status{}, ErrClosed)
 	}
+	if ch.revoked {
+		// Revocation is terminal: even messages already in the unexpected
+		// queue are not delivered — the communicator's state is no longer
+		// globally consistent and the caller must rebuild.
+		ch.lock.Unlock()
+		e.freePostedRecv(pr)
+		return completedRequest(Status{}, ErrRevoked)
+	}
 	msg := ch.m.takeUnexpected(src, tag)
 	if msg == nil {
 		if srcFailed {
 			ch.lock.Unlock()
 			e.freePostedRecv(pr)
 			return completedRequest(Status{}, fmt.Errorf("%w: rank %d", ErrPeerFailed, ch.ranks[src]))
+		}
+		if src == AnySource && ch.allDead {
+			// Every peer that could ever match this wildcard is dead and
+			// its pre-death traffic was just drained above: nothing will
+			// arrive, so posting would hang forever.
+			ch.lock.Unlock()
+			e.freePostedRecv(pr)
+			return completedRequest(Status{}, fmt.Errorf("%w: all channel peers failed", ErrPeerFailed))
 		}
 		if ch.deadMember && tag < 0 && tag != AnyTag {
 			// A collective must not start (or continue) on a communicator
@@ -1011,6 +1196,9 @@ func (e *Engine) handlePacket(pkt []byte) {
 		e.putBuf(pkt)
 		pr.req.complete(st, cerr)
 		e.freePostedRecv(pr)
+
+	case hdrRevoke:
+		e.handleRevoke(pkt, env)
 
 	case hdrCIDAck:
 		if v, ok := e.byEx.Load(env.ack.ex); ok {

@@ -63,6 +63,28 @@ func TestFailPeerCompletesPendingRendezvous(t *testing.T) {
 	}
 }
 
+func TestRevivePeerRestoresSends(t *testing.T) {
+	tn := newTestNet(t, 2, Config{})
+	chs := tn.worldChannels(t, 0)
+	tn.engines[0].FailPeer(1)
+	if err := chs[0].Send(1, 1, []byte("x")); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("send to failed peer err = %v, want ErrPeerFailed", err)
+	}
+	tn.engines[0].RevivePeer(1)
+	req := chs[1].Irecv(0, 1, make([]byte, 1))
+	if err := chs[0].Send(1, 1, []byte("y")); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The channel that saw the death stays poisoned for collectives even
+	// after the revive: its state straddles two incarnations.
+	if err := waitErr(t, chs[0].Irecv(1, -3, make([]byte, 1)), 2*time.Second); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("internal recv on poisoned channel err = %v, want ErrPeerFailed", err)
+	}
+}
+
 func TestFailPeerUnknownRankIsNoop(t *testing.T) {
 	tn := newTestNet(t, 2, Config{})
 	chs := tn.worldChannels(t, 0)

@@ -26,6 +26,7 @@ const (
 	hdrCTS     = 3 // rendezvous clear-to-send (control, not matched)
 	hdrData    = 4 // rendezvous data (control, not matched)
 	hdrCIDAck  = 5 // exCID handshake acknowledgement (control, not matched)
+	hdrRevoke  = 6 // communicator revocation notice (control, not matched)
 	hdrBarrier = 0 // unused; reserved
 )
 
@@ -264,6 +265,16 @@ func decodeEnvelope(pkt []byte) (envelope, error) {
 			return envelope{}, errTruncatedPacket
 		}
 		env.ack = getCIDAck(body)
+	case hdrRevoke:
+		// Header-only notice; like a match packet it addresses the channel
+		// either by the receiver's local CID (ctx) or by exCID (ext block).
+		if env.hdr.flags&flagExt != 0 {
+			if len(body) < extHeaderLen {
+				return envelope{}, errTruncatedPacket
+			}
+			env.ext = getExtHeader(body)
+			env.hasExt = true
+		}
 	default:
 		return envelope{}, errUnknownPacket
 	}

@@ -33,6 +33,12 @@ type matcher interface {
 	// can hang on perfectly alive peers that themselves bailed out;
 	// FailPeer poisons them all. Application receives (tag >= 0) stay.
 	takePostedInternal() []*postedRecv
+	// takePostedWildcard removes and returns, in posted order, every
+	// AnySource receive. A wildcard can only complete if SOME channel
+	// member is still alive to send; when the last non-self member dies,
+	// FailPeer drains these — otherwise a blocking wildcard Recv hangs
+	// forever on a channel nobody can ever send on again.
+	takePostedWildcard() []*postedRecv
 	// takeAllPosted removes and returns every posted receive (teardown).
 	takeAllPosted() []*postedRecv
 	// takeAllUnexpected removes and returns every unexpected message.
@@ -262,6 +268,17 @@ func (b *bucketMatcher) takePostedInternal() []*postedRecv {
 		take(&b.postSrc[i])
 	}
 	take(&b.postWild)
+	return out
+}
+
+func (b *bucketMatcher) takePostedWildcard() []*postedRecv {
+	var out []*postedRecv
+	for pr := b.postWild.head; pr != nil; {
+		next := pr.pnext
+		b.postWild.remove(pr)
+		out = append(out, pr)
+		pr = next
+	}
 	return out
 }
 

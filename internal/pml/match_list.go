@@ -78,6 +78,20 @@ func (l *listMatcher) takePostedInternal() []*postedRecv {
 	return out
 }
 
+func (l *listMatcher) takePostedWildcard() []*postedRecv {
+	var out []*postedRecv
+	kept := l.posted[:0]
+	for _, pr := range l.posted {
+		if pr.src == AnySource {
+			out = append(out, pr)
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	l.posted = kept
+	return out
+}
+
 func (l *listMatcher) takeAllPosted() []*postedRecv {
 	out := l.posted
 	l.posted = nil

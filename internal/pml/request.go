@@ -18,6 +18,13 @@ var ErrClosed = errors.New("pml: engine closed")
 // complete — a prerequisite of the paper's §II-C roll-forward model.
 var ErrPeerFailed = errors.New("pml: peer process failed")
 
+// ErrRevoked is reported on every operation — pending and future — of a
+// communicator that any member revoked (the ULFM-style MPI_ERR_REVOKED).
+// Revocation is how a rank that observed a process failure interrupts
+// survivor-to-survivor operations that would otherwise block forever on a
+// peer that already abandoned the communicator.
+var ErrRevoked = errors.New("pml: communicator revoked")
+
 // AnySource matches a message from any rank (MPI_ANY_SOURCE).
 const AnySource = -1
 

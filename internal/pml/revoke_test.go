@@ -1,0 +1,124 @@
+package pml
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The scenario revocation exists for: rank 1 is blocked receiving from rank
+// 2 — a LIVE peer — so no FailPeer call can ever complete that operation.
+// Rank 0 (who observed a failure elsewhere) revokes the communicator, and
+// the notice must interrupt rank 1's posted receive with ErrRevoked, poison
+// every member, and fail all later operations on the channel. Before
+// revocation existed, rank 1 hung until the application timeout.
+func TestRevokeInterruptsSurvivorRecv(t *testing.T) {
+	tn, _ := newChaosNet(t, 3, Config{EagerLimit: 64})
+	chs := tn.exChannels(t, ExCID{PGCID: 9, Sub: 1}, 30)
+
+	// Rank 1 blocked on live rank 2; rank 2 blocked on live rank 0.
+	// Neither peer is dead, neither will ever send.
+	recv1 := chs[1].Irecv(2, 7, make([]byte, 8))
+	recv2 := chs[2].Irecv(0, 7, make([]byte, 8))
+
+	tn.engines[0].Revoke(chs[0])
+
+	if err := waitErr(t, recv1, 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("rank 1 posted recv: got %v, want ErrRevoked", err)
+	}
+	if err := waitErr(t, recv2, 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("rank 2 posted recv: got %v, want ErrRevoked", err)
+	}
+
+	// Revocation is terminal: every member, revoker included, fails new
+	// operations immediately.
+	for i, ch := range chs {
+		if err := waitErr(t, ch.Isend((i+1)%3, 8, []byte("x")), 5*time.Second); !errors.Is(err, ErrRevoked) {
+			t.Fatalf("rank %d post-revoke send: got %v, want ErrRevoked", i, err)
+		}
+		if err := waitErr(t, ch.Irecv(AnySource, AnyTag, make([]byte, 8)), 5*time.Second); !errors.Is(err, ErrRevoked) {
+			t.Fatalf("rank %d post-revoke recv: got %v, want ErrRevoked", i, err)
+		}
+	}
+
+	// Revoking again — every survivor that observed the failure revokes
+	// independently — is a no-op, not a crash or a double-complete.
+	tn.engines[0].Revoke(chs[0])
+	tn.engines[1].Revoke(chs[1])
+}
+
+// A rendezvous send parked waiting for its CTS must be failed by
+// revocation too: the matching receive will never be posted once the
+// receiver abandons the communicator.
+func TestRevokeFailsPendingRendezvousSend(t *testing.T) {
+	tn, _ := newChaosNet(t, 2, Config{EagerLimit: 64})
+	chs := tn.exChannels(t, ExCID{PGCID: 9, Sub: 2}, 40)
+
+	// Above the eager limit, so the RTS sits in rank 1's unexpected queue
+	// and the send stays pending until a CTS that will never come.
+	send := chs[0].Isend(1, 7, make([]byte, 256))
+	time.Sleep(20 * time.Millisecond)
+	if done, _, _ := send.Test(); done {
+		t.Fatal("rendezvous send completed without a matching receive")
+	}
+
+	tn.engines[1].Revoke(chs[1])
+
+	if err := waitErr(t, send, 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("pending rendezvous send: got %v, want ErrRevoked", err)
+	}
+	// The RTS parked in rank 1's unexpected queue must not satisfy a
+	// post-revocation receive.
+	if err := waitErr(t, chs[1].Irecv(0, 7, make([]byte, 256)), 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("post-revoke recv of unexpected message: got %v, want ErrRevoked", err)
+	}
+}
+
+// Revocation must poison consensus-CID (World-style) channels through the
+// same notice path, addressed by the shared CID rather than the exCID.
+func TestRevokeConsensusChannel(t *testing.T) {
+	tn, _ := newChaosNet(t, 3, Config{EagerLimit: 64})
+	chs := tn.worldChannels(t, 12)
+
+	recv1 := chs[1].Irecv(0, 5, make([]byte, 8))
+	recv2 := chs[2].Irecv(1, 5, make([]byte, 8))
+	tn.engines[0].Revoke(chs[0])
+
+	// Once each member's posted recv has been failed, that member's engine
+	// has processed the notice and later operations fail deterministically.
+	if err := waitErr(t, recv1, 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("rank 1 posted recv on consensus channel: got %v, want ErrRevoked", err)
+	}
+	if err := waitErr(t, recv2, 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("rank 2 posted recv on consensus channel: got %v, want ErrRevoked", err)
+	}
+	if err := waitErr(t, chs[1].Isend(2, 5, []byte("x")), 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("post-revoke send on consensus channel: got %v, want ErrRevoked", err)
+	}
+}
+
+// A revocation notice that outruns the receiver's AddChannel must be parked
+// with the other early packets and applied on registration: the late-joining
+// member comes up already-revoked instead of hanging in its first receive.
+func TestRevokeBeforeAddChannelIsReplayed(t *testing.T) {
+	tn, _ := newChaosNet(t, 2, Config{EagerLimit: 64})
+	ex := ExCID{PGCID: 9, Sub: 3}
+	ranks := []int{0, 1}
+
+	ch0, err := tn.engines[0].AddChannel(50, ex, true, 0, ranks)
+	if err != nil {
+		t.Fatalf("AddChannel engine 0: %v", err)
+	}
+	tn.engines[0].Revoke(ch0) // notice arrives before engine 1 registers
+
+	// Give the notice time to land in the orphan buffer.
+	time.Sleep(20 * time.Millisecond)
+
+	ch1, err := tn.engines[1].AddChannel(51, ex, true, 1, ranks)
+	if err != nil {
+		t.Fatalf("AddChannel engine 1: %v", err)
+	}
+	if err := waitErr(t, ch1.Irecv(0, 7, make([]byte, 8)), 5*time.Second); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("recv on late-registered revoked channel: got %v, want ErrRevoked", err)
+	}
+}

@@ -588,8 +588,10 @@ func (c *BootClient) Fetch(node int, key string, timeout time.Duration) ([]byte,
 }
 
 // Exchange contributes to a collective and blocks until every participant
-// node has arrived.
-func (c *BootClient) Exchange(opKey string, participants []int, local []byte, timeout time.Duration) (map[int][]byte, error) {
+// node has arrived. The abort channel is ignored in process mode: the
+// launcher-side exchange relies on its timeout, and respawn re-admission is
+// a simulator-mode feature for now.
+func (c *BootClient) Exchange(opKey string, participants []int, local []byte, timeout time.Duration, abort <-chan struct{}) (map[int][]byte, error) {
 	r, err := c.call(bootMsg{Kind: bootExchange, Node: c.node, Key: opKey, Val: local, Participants: participants}, timeout)
 	if err != nil {
 		return nil, err
@@ -634,6 +636,13 @@ func (c *BootClient) BroadcastEvent(data []byte) {
 func (c *BootClient) NotifyNode(node int, data []byte) error {
 	return c.post(bootMsg{Kind: bootNotify, Node: node, Val: data})
 }
+
+// NoteDeadRank is a no-op in process mode: the launcher's watchdog learns of
+// child deaths directly from wait status, not from peer reports.
+func (c *BootClient) NoteDeadRank(rank int) {}
+
+// NoteRevivedRank is a no-op in process mode (respawn is simulator-only).
+func (c *BootClient) NoteRevivedRank(rank int) {}
 
 // PublishGlobal stores a key in the parent's name service.
 func (c *BootClient) PublishGlobal(key string, value []byte) error {

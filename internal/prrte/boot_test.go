@@ -69,7 +69,7 @@ func TestBootExchange(t *testing.T) {
 		wg.Add(1)
 		go func(i int, c *BootClient) {
 			defer wg.Done()
-			results[i], errs[i] = c.Exchange("op-1", nodes, []byte(fmt.Sprintf("node-%d", i)), 5*time.Second)
+			results[i], errs[i] = c.Exchange("op-1", nodes, []byte(fmt.Sprintf("node-%d", i)), 5*time.Second, nil)
 		}(i, c)
 	}
 	wg.Wait()
@@ -93,7 +93,7 @@ func TestBootExchange(t *testing.T) {
 		wg.Add(1)
 		go func(i int, c *BootClient) {
 			defer wg.Done()
-			results[i], errs[i] = c.Exchange("op-1", nodes, []byte{byte(i)}, 5*time.Second)
+			results[i], errs[i] = c.Exchange("op-1", nodes, []byte{byte(i)}, 5*time.Second, nil)
 		}(i, c)
 	}
 	wg.Wait()
@@ -247,7 +247,7 @@ func TestBootConnectionLossFailsPendingCalls(t *testing.T) {
 	s, cs := bootPair(t, 1)
 	errc := make(chan error, 1)
 	go func() {
-		_, err := cs[0].Exchange("never", []int{0, 1}, nil, 30*time.Second)
+		_, err := cs[0].Exchange("never", []int{0, 1}, nil, 30*time.Second, nil)
 		errc <- err
 	}()
 	time.Sleep(50 * time.Millisecond)

@@ -38,7 +38,7 @@ func TestChaosExchangeSurvivesDroppedContributions(t *testing.T) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			results[n], errs[n] = dvm.Daemon(n).Exchange("lossy-op", participants, []byte{byte(n)}, 10*time.Second)
+			results[n], errs[n] = dvm.Daemon(n).Exchange("lossy-op", participants, []byte{byte(n)}, 10*time.Second, nil)
 		}(n)
 	}
 	wg.Wait()
@@ -71,7 +71,7 @@ func TestChaosExchangeLateAskerServedFromCompletedCache(t *testing.T) {
 	res0 := make(chan map[int][]byte, 1)
 	err0 := make(chan error, 1)
 	go func() {
-		r, err := dvm.Daemon(0).Exchange("cache-op", participants, []byte("zero"), 5*time.Second)
+		r, err := dvm.Daemon(0).Exchange("cache-op", participants, []byte("zero"), 5*time.Second, nil)
 		res0 <- r
 		err0 <- err
 	}()
@@ -80,7 +80,7 @@ func TestChaosExchangeLateAskerServedFromCompletedCache(t *testing.T) {
 	// Eat daemon 1's contribution on its way to daemon 0; daemon 1 itself
 	// already holds both contributions and completes instantly.
 	dvm.Fabric().SetFaultPlan(&simnet.FaultPlan{Seed: 7, Classes: simnet.FaultCtrl, Drop: 1.0})
-	r1, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), 5*time.Second)
+	r1, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), 5*time.Second, nil)
 	if err != nil {
 		t.Fatalf("daemon 1: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestChaosExchangeLateAskerServedFromCompletedCache(t *testing.T) {
 
 	// A replay of a completed operation is served from the cache too (a
 	// PMIx-level retry after a peer-side timeout reuses the op key).
-	again, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), time.Second)
+	again, err := dvm.Daemon(1).Exchange("cache-op", participants, []byte("one"), time.Second, nil)
 	if err != nil || !bytes.Equal(again[0], []byte("zero")) {
 		t.Fatalf("replayed exchange: %v, %v", again, err)
 	}
@@ -144,7 +144,7 @@ func TestChaosRPCTimesOutAcrossPartitionThenHeals(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("timeout took %v; the deadline was not honored", elapsed)
 	}
-	if _, err := dvm.Daemon(1).Exchange("split", []int{0, 1}, nil, 200*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := dvm.Daemon(1).Exchange("split", []int{0, 1}, nil, 200*time.Millisecond, nil); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("Exchange across partition err = %v, want ErrTimeout", err)
 	}
 

@@ -35,6 +35,12 @@ var ErrTimeout = errors.New("prrte: operation timed out")
 // ErrShutdown is returned when the DVM has been torn down.
 var ErrShutdown = errors.New("prrte: DVM is shut down")
 
+// ErrDeadParticipant is returned when a control-plane operation is aborted
+// because it depends on a rank the resource manager knows has terminated.
+// Unlike ErrTimeout it is not retryable: waiting longer cannot produce a
+// contribution from a dead process.
+var ErrDeadParticipant = errors.New("prrte: participant terminated")
+
 const ctrlMsgOverhead = 32 // modeled header bytes for daemon control traffic
 
 // ServerHandler is implemented by the PMIx server hosted on a daemon; the
@@ -191,6 +197,18 @@ func (d *Daemon) PublishModex(rank int, kv map[string][]byte) {}
 // Addr returns the daemon's fabric address.
 func (d *Daemon) Addr() simnet.Addr { return d.ep.Addr() }
 
+// NoteDeadRank records a terminated rank with the resource manager
+// (pmix.Runtime). In simulator mode the DVM state is shared memory, so the
+// note is visible to every daemon immediately.
+func (d *Daemon) NoteDeadRank(rank int) { d.dvm.noteDeadRank(rank) }
+
+// NoteRevivedRank clears a rank from the terminated set after a respawn
+// re-admitted it (pmix.Runtime).
+func (d *Daemon) NoteRevivedRank(rank int) { d.dvm.noteRevivedRank(rank) }
+
+// RankDead reports whether the resource manager knows rank has terminated.
+func (d *Daemon) RankDead(rank int) bool { return d.dvm.rankDead(rank) }
+
 // AttachServer registers the PMIx server handler for inbound requests.
 func (d *Daemon) AttachServer(h ServerHandler) {
 	d.handlerMu.Lock()
@@ -335,9 +353,14 @@ func (d *Daemon) replyEndpoint() *simnet.Endpoint {
 // every participant's contribution has arrived or the timeout expires
 // (timeout <= 0 waits forever). The returned map is keyed by node.
 //
+// abort, when non-nil, cancels the wait early with ErrDeadParticipant: the
+// PMIx layer closes it when it learns a participant rank died, so a
+// construct over a set containing a dead process fails in event-delivery
+// time instead of burning the full timeout.
+//
 // opKey must be unique per logical collective instance; PMIx layers a
 // sequence number into it.
-func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeout time.Duration) (map[int][]byte, error) {
+func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeout time.Duration, abort <-chan struct{}) (map[int][]byte, error) {
 	if d.dvm.isShutdown() {
 		return nil, ErrShutdown
 	}
@@ -422,15 +445,23 @@ func (d *Daemon) Exchange(opKey string, participants []int, local []byte, timeou
 		select {
 		case <-w:
 			timer.Stop()
+		case <-abort:
+			timer.Stop()
+			return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrDeadParticipant)
 		case <-timer.C:
 			if timeout > 0 && time.Until(deadline) <= 0 {
 				return nil, fmt.Errorf("prrte: exchange %q: %w", opKey, ErrTimeout)
 			}
 			for _, n := range missing {
-				_ = d.ep.Send(d.dvm.daemonAddr(n), simnet.Message{
+				// A re-offer failing to send means the peer daemon's endpoint
+				// is gone (node killed or DVM shut down) — permanent, so fail
+				// now rather than resending until the deadline.
+				if err := d.ep.Send(d.dvm.daemonAddr(n), simnet.Message{
 					Ctrl: xchgMsg{OpKey: opKey, Node: d.node, Data: local, Want: true},
 					Size: ctrlMsgOverhead + len(local),
-				})
+				}); err != nil {
+					return nil, fmt.Errorf("prrte: exchange %q: daemon %d unreachable: %w", opKey, n, err)
+				}
 			}
 		}
 	}
@@ -456,7 +487,7 @@ func (d *Daemon) AllocPGCID(groupName string, members []int, timeout time.Durati
 		}
 		return id, nil
 	}
-	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+	m, err := d.rpcRetry(timeout, false, nil, func(replyTo simnet.Addr) error {
 		req := pgcidReq{ReplyTo: replyTo, Name: groupName, Members: members}
 		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + 8*len(members)})
 	})
@@ -496,7 +527,7 @@ func (d *Daemon) QueryPsets(timeout time.Duration) (map[string][]int, error) {
 		d.dvm.fabric.RPCDelay()
 		return d.dvm.psetSnapshot(), nil
 	}
-	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+	m, err := d.rpcRetry(timeout, false, nil, func(replyTo simnet.Addr) error {
 		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: queryReq{ReplyTo: replyTo}, Size: ctrlMsgOverhead})
 	})
 	if err != nil {
@@ -520,7 +551,19 @@ func (d *Daemon) Fetch(node int, key string, timeout time.Duration) ([]byte, boo
 		data, ok := h.HandleFetch(key)
 		return data, ok, nil
 	}
-	m, err := d.rpcRetry(timeout, false, func(replyTo simnet.Addr) error {
+	// A modex fetch names the rank that published the data; once that rank
+	// is known dead, retrying against its (possibly gone) node is hopeless.
+	var hopeless func() error
+	var keyRank int
+	if _, err := fmt.Sscanf(key, "modex/%d/", &keyRank); err == nil {
+		hopeless = func() error {
+			if d.dvm.rankDead(keyRank) {
+				return fmt.Errorf("prrte: fetch %q: rank %d: %w", key, keyRank, ErrDeadParticipant)
+			}
+			return nil
+		}
+	}
+	m, err := d.rpcRetry(timeout, false, hopeless, func(replyTo simnet.Addr) error {
 		return d.ep.Send(d.dvm.daemonAddr(node), simnet.Message{Ctrl: fetchReq{ReplyTo: replyTo, Key: key}, Size: ctrlMsgOverhead + len(key)})
 	})
 	if err != nil {
@@ -597,7 +640,7 @@ func (d *Daemon) LookupGlobal(key string, timeout time.Duration) ([]byte, bool, 
 	// A blocking lookup's reply is intentionally withheld until the key is
 	// published, so the retried sends only guard against a dropped request;
 	// waitFull keeps the reply endpoint listening out to the deadline.
-	m, err := d.rpcRetry(timeout, wait, func(replyTo simnet.Addr) error {
+	m, err := d.rpcRetry(timeout, wait, nil, func(replyTo simnet.Addr) error {
 		req := lookupReq{ReplyTo: replyTo, Key: key, Wait: wait}
 		return d.ep.Send(d.dvm.daemonAddr(d.dvm.masterNode), simnet.Message{Ctrl: req, Size: ctrlMsgOverhead + len(key)})
 	})
@@ -663,6 +706,7 @@ type DVM struct {
 	psets         map[string][]int
 	published     map[string][]byte
 	lookupWaiters map[string][]simnet.Addr
+	deadRanks     map[int]bool // ranks the RM knows have terminated
 	shutdown      bool
 }
 
@@ -678,6 +722,7 @@ func NewDVM(fabric *simnet.Fabric) *DVM {
 		psets:         make(map[string][]int),
 		published:     make(map[string][]byte),
 		lookupWaiters: make(map[string][]simnet.Addr),
+		deadRanks:     make(map[int]bool),
 	}
 	for i := 0; i < n; i++ {
 		d := &Daemon{
@@ -717,6 +762,27 @@ func (v *DVM) isShutdown() bool {
 func (v *DVM) numNodes() int { return len(v.daemons) }
 
 func (v *DVM) daemonAddr(node int) simnet.Addr { return v.daemons[node].ep.Addr() }
+
+// noteDeadRank / noteRevivedRank maintain the RM's terminated-rank view.
+// Every node's PMIx server reports deaths it learns about; the set is the
+// ground truth retry loops consult to stop waiting on dead processes.
+func (v *DVM) noteDeadRank(rank int) {
+	v.mu.Lock()
+	v.deadRanks[rank] = true
+	v.mu.Unlock()
+}
+
+func (v *DVM) noteRevivedRank(rank int) {
+	v.mu.Lock()
+	delete(v.deadRanks, rank)
+	v.mu.Unlock()
+}
+
+func (v *DVM) rankDead(rank int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.deadRanks[rank]
+}
 
 func (v *DVM) allocPGCID() uint64 {
 	v.mu.Lock()

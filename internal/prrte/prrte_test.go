@@ -50,7 +50,7 @@ func TestExchangeAllToAll(t *testing.T) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			results[n], errs[n] = dvm.Daemon(n).Exchange("op-1", participants, []byte{byte(n)}, 5*time.Second)
+			results[n], errs[n] = dvm.Daemon(n).Exchange("op-1", participants, []byte{byte(n)}, 5*time.Second, nil)
 		}(n)
 	}
 	wg.Wait()
@@ -78,11 +78,11 @@ func TestExchangeSubsetOfNodes(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		r1, e1 = dvm.Daemon(1).Exchange("sub", participants, []byte("a"), time.Second)
+		r1, e1 = dvm.Daemon(1).Exchange("sub", participants, []byte("a"), time.Second, nil)
 	}()
 	go func() {
 		defer wg.Done()
-		r3, e3 = dvm.Daemon(3).Exchange("sub", participants, []byte("b"), time.Second)
+		r3, e3 = dvm.Daemon(3).Exchange("sub", participants, []byte("b"), time.Second, nil)
 	}()
 	wg.Wait()
 	if e1 != nil || e3 != nil {
@@ -95,7 +95,7 @@ func TestExchangeSubsetOfNodes(t *testing.T) {
 
 func TestExchangeSingleNode(t *testing.T) {
 	dvm := testDVM(t, 1)
-	res, err := dvm.Daemon(0).Exchange("solo", []int{0}, []byte("x"), time.Second)
+	res, err := dvm.Daemon(0).Exchange("solo", []int{0}, []byte("x"), time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestExchangeSingleNode(t *testing.T) {
 func TestExchangeTimeout(t *testing.T) {
 	dvm := testDVM(t, 2)
 	// Daemon 1 never participates.
-	_, err := dvm.Daemon(0).Exchange("late", []int{0, 1}, nil, 50*time.Millisecond)
+	_, err := dvm.Daemon(0).Exchange("late", []int{0, 1}, nil, 50*time.Millisecond, nil)
 	if err == nil {
 		t.Fatal("expected timeout")
 	}
@@ -260,7 +260,7 @@ func TestBroadcastEventReachesAllNodes(t *testing.T) {
 func TestShutdownFailsOperations(t *testing.T) {
 	dvm := NewDVM(simnet.NewFabric(topo.New(topo.Loopback(4), 2)))
 	dvm.Shutdown()
-	if _, err := dvm.Daemon(0).Exchange("x", []int{0, 1}, nil, time.Second); err == nil {
+	if _, err := dvm.Daemon(0).Exchange("x", []int{0, 1}, nil, time.Second, nil); err == nil {
 		t.Fatal("Exchange after shutdown should fail")
 	}
 	if _, err := dvm.Daemon(0).AllocPGCID("", nil, 0); err == nil {
@@ -283,7 +283,7 @@ func TestConcurrentExchangesDistinctKeys(t *testing.T) {
 			go func(op, n int) {
 				defer wg.Done()
 				key := fmt.Sprintf("op-%d", op)
-				res, err := dvm.Daemon(n).Exchange(key, participants, []byte{byte(op), byte(n)}, 5*time.Second)
+				res, err := dvm.Daemon(n).Exchange(key, participants, []byte{byte(op), byte(n)}, 5*time.Second, nil)
 				if err != nil {
 					t.Errorf("op %d daemon %d: %v", op, n, err)
 					return

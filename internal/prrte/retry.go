@@ -90,7 +90,13 @@ func retryable(err error) bool { return errors.Is(err, simnet.ErrTimeout) }
 // shape of a blocking lookup, where the server intentionally withholds the
 // reply until the key is published — re-sends only guard against the
 // request itself being dropped.
-func (d *Daemon) rpcRetry(timeout time.Duration, waitFull bool, send func(replyTo simnet.Addr) error) (simnet.Message, error) {
+//
+// hopeless, when non-nil, is consulted before every attempt: a non-nil
+// error means no number of retries can succeed (the request depends on a
+// rank the RM knows is dead) and the loop short-circuits with that error
+// instead of burning the remaining attempts against a peer that will never
+// answer usefully.
+func (d *Daemon) rpcRetry(timeout time.Duration, waitFull bool, hopeless func() error, send func(replyTo simnet.Addr) error) (simnet.Message, error) {
 	rep := d.replyEndpoint()
 	defer rep.Close()
 
@@ -103,6 +109,11 @@ func (d *Daemon) rpcRetry(timeout time.Duration, waitFull bool, send func(replyT
 	for attempt := 0; attempt < rpcAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(bo.next())
+		}
+		if hopeless != nil {
+			if herr := hopeless(); herr != nil {
+				return simnet.Message{}, herr
+			}
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {

@@ -86,6 +86,7 @@ type FaultStats struct {
 	Reordered   uint64
 	Partitioned uint64 // messages eaten by an active partition
 	Killed      uint64 // kill rules fired
+	Revived     uint64 // revive rules fired
 }
 
 // killRule closes one endpoint (or a whole node's endpoints, Slot < 0) once
@@ -96,15 +97,26 @@ type killRule struct {
 	fired      bool
 }
 
+// reviveRule is the inverse of a killRule: once the fabric has processed
+// After total Send calls, the hook runs (asynchronously, off the sender's
+// critical path). The hook typically respawns a previously killed rank via
+// the launcher, modeling a resource manager restarting a failed process.
+type reviveRule struct {
+	after uint64
+	fn    func()
+	fired bool
+}
+
 // faultState hangs off the Fabric; all fields are guarded by mu.
 type faultState struct {
 	mu    sync.Mutex //gompilint:lockorder rank=50
 	plan  *FaultPlan
 	rng   uint64
-	part  map[int]int // node → partition group; nil when healed
-	kills []killRule
-	sends uint64 // Send calls observed while faults were active
-	stats FaultStats
+	part    map[int]int // node → partition group; nil when healed
+	kills   []killRule
+	revives []reviveRule
+	sends   uint64 // Send calls observed while faults were active
+	stats   FaultStats
 }
 
 // splitmix64: one 64-bit state word, passes BigCrush, and trivially seeded —
@@ -169,6 +181,19 @@ func (f *Fabric) KillAfter(addr Addr, afterSends uint64) {
 	f.faultsOn.Store(true)
 }
 
+// ReviveAfter schedules fn to run — in its own goroutine — once the fabric
+// has processed afterSends total Send calls (0 = on the very next send). It
+// is the inverse of KillAfter: the fault plan's way of bringing a killed
+// rank back mid-run. fn runs off the sending goroutine, so it may safely
+// relaunch processes, register endpoints, or block.
+func (f *Fabric) ReviveAfter(afterSends uint64, fn func()) {
+	fs := &f.faults
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.revives = append(fs.revives, reviveRule{after: afterSends, fn: fn})
+	f.faultsOn.Store(true)
+}
+
 // FaultStats returns a snapshot of the injected-fault counters.
 func (f *Fabric) FaultStats() FaultStats {
 	fs := &f.faults
@@ -186,6 +211,11 @@ func (f *Fabric) faultsActiveLocked() bool {
 	}
 	for _, k := range fs.kills {
 		if !k.fired {
+			return true
+		}
+	}
+	for _, r := range fs.revives {
+		if !r.fired {
 			return true
 		}
 	}
@@ -218,6 +248,16 @@ func (f *Fabric) faultVerdict(src, dst Addr, m Message) verdict {
 			if !k.fired && fs.sends > k.after {
 				k.fired = true
 				killAddrs = append(killAddrs, Addr{Node: k.node, Slot: k.slot})
+			}
+		}
+	}
+	var reviveFns []func()
+	if len(fs.revives) > 0 {
+		for i := range fs.revives {
+			r := &fs.revives[i]
+			if !r.fired && fs.sends > r.after {
+				r.fired = true
+				reviveFns = append(reviveFns, r.fn)
 			}
 		}
 	}
@@ -257,9 +297,20 @@ func (f *Fabric) faultVerdict(src, dst Addr, m Message) verdict {
 	}
 	if killAddrs != nil {
 		fs.stats.Killed += uint64(len(killAddrs))
+	}
+	if reviveFns != nil {
+		fs.stats.Revived += uint64(len(reviveFns))
+	}
+	if killAddrs != nil || reviveFns != nil {
 		f.faultsOn.Store(f.faultsActiveLocked())
 	}
 	fs.mu.Unlock()
+
+	// Revive hooks run asynchronously: respawning a rank does fabric and
+	// launcher work of its own and must not ride on this sender's stack.
+	for _, fn := range reviveFns {
+		go fn()
+	}
 
 	// Resolve and close outside faults.mu: Close takes the endpoint lock
 	// and lookup takes the fabric lock.

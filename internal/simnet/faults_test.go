@@ -256,3 +256,32 @@ func TestChaosDeterministicReplay(t *testing.T) {
 		t.Fatalf("plan injected nothing in some class: %+v", s1)
 	}
 }
+
+// ReviveAfter is KillAfter's inverse: after the send threshold the hook runs
+// (asynchronously) and the Revived counter ticks — the substrate for
+// respawning a killed rank mid-run.
+func TestChaosReviveAfterFiresHook(t *testing.T) {
+	f := loopbackFabric(1, 4)
+	a := f.NewEndpoint(0)
+	b := f.NewEndpoint(0)
+	revived := make(chan struct{})
+	f.ReviveAfter(2, func() { close(revived) })
+
+	for i := 0; i < 3; i++ {
+		if err := a.Send(b.Addr(), Message{Payload: []byte("ok")}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	select {
+	case <-revived:
+	case <-time.After(2 * time.Second):
+		t.Fatal("revive hook never fired")
+	}
+	if st := f.FaultStats(); st.Revived != 1 {
+		t.Fatalf("Revived = %d, want 1", st.Revived)
+	}
+	// Firing the only rule turns the fault fast path back off.
+	if f.faultsOn.Load() {
+		t.Fatal("faultsOn still set after the last rule fired")
+	}
+}

@@ -1,0 +1,151 @@
+package twomesh_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/topo"
+	"gompi/internal/twomesh"
+	"gompi/mpi"
+	"gompi/runtime"
+)
+
+// runRecoverJob runs the fault-aware twomesh proxy on a 2x2 job with rank
+// `victim` panicking at the top of phase `killPhase`, and returns the
+// surviving ranks' reports and recovery counts.
+func runRecoverJob(t *testing.T, victim, killPhase int) ([]twomesh.Report, []int) {
+	t.Helper()
+	prob := twomesh.Tiny()
+	var mu sync.Mutex
+	var reps []twomesh.Report
+	var recs []int
+	start := time.Now()
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		var inject func(phase int)
+		if p.JobRank() == victim {
+			inject = func(phase int) {
+				if phase == killPhase {
+					panic("chaos: injected rank death")
+				}
+			}
+		}
+		rep, recoveries, err := twomesh.RunRecover(p, prob, inject)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		reps = append(reps, rep)
+		recs = append(recs, recoveries)
+		mu.Unlock()
+		return nil
+	})
+	// The point of the recovery path: survivors finish LONG before the
+	// 60-second operation timeout. A stall here means some survivor hung
+	// in an op revocation failed to interrupt.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("job took %v; recovery is stalling into timeouts", elapsed)
+	}
+
+	// Only the victim's panic surfaces as a rank error.
+	var je *runtime.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("Launch error = %v, want JobError for the killed rank", err)
+	}
+	if len(je.Errors) != 1 || je.Errors[0].Rank != victim {
+		t.Fatalf("rank errors = %+v, want exactly rank %d", je.Errors, victim)
+	}
+	return reps, recs
+}
+
+// The tentpole demo: a rank dies mid-job and the remaining ranks drop the
+// poisoned communicator, rebuild over gompi://alive, and complete the
+// proxy's phase schedule on the shrunken ring — deterministically, with no
+// timeout-length stall.
+func TestChaosTwomeshRecovery(t *testing.T) {
+	const victim, killPhase = 3, 1
+	reps, recs := runRecoverJob(t, victim, killPhase)
+
+	if len(reps) != 3 {
+		t.Fatalf("got %d survivor reports, want 3", len(reps))
+	}
+	for i, r := range reps {
+		if r.Mode != "recover" {
+			t.Fatalf("mode = %q", r.Mode)
+		}
+		if r.Residual == 0 {
+			t.Fatal("residual is zero; kernel did no work")
+		}
+		if r.Residual != reps[0].Residual {
+			t.Fatalf("survivors disagree on residual: %v vs %v", r.Residual, reps[0].Residual)
+		}
+		if recs[i] != 1 {
+			t.Fatalf("survivor %d performed %d recoveries, want 1", i, recs[i])
+		}
+	}
+
+	// Seeded-deterministic: the same kill produces the same survivor
+	// physics on every run.
+	again, _ := runRecoverJob(t, victim, killPhase)
+	if len(again) != 3 || again[0].Residual != reps[0].Residual {
+		t.Fatalf("rerun residual %v != first run %v", again[0].Residual, reps[0].Residual)
+	}
+}
+
+// Killing an interior rank (both ring neighbors alive) exercises the
+// revocation path hardest: the victim's neighbors observe the failure, but
+// the far rank blocks on live peers and only the revoke notice frees it.
+func TestChaosTwomeshRecoveryInteriorVictim(t *testing.T) {
+	reps, recs := runRecoverJob(t, 1, 1)
+	if len(reps) != 3 {
+		t.Fatalf("got %d survivor reports, want 3", len(reps))
+	}
+	for i := range reps {
+		if recs[i] != 1 {
+			t.Fatalf("survivor %d performed %d recoveries, want 1", i, recs[i])
+		}
+	}
+}
+
+// Without injection the recover-mode proxy must match the plain sessions
+// run: same residual, zero recoveries — the fault-aware path costs nothing
+// when nothing fails.
+func TestRecoverModeNoFaultMatchesSessions(t *testing.T) {
+	prob := twomesh.Tiny()
+	var mu sync.Mutex
+	var reps []twomesh.Report
+	err := runtime.Run(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	}, func(p *mpi.Process) error {
+		rep, recoveries, err := twomesh.RunRecover(p, prob, nil)
+		if err != nil {
+			return err
+		}
+		if recoveries != 0 {
+			return errors.New("recoveries on a healthy job")
+		}
+		mu.Lock()
+		reps = append(reps, rep)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reps))
+	}
+
+	sess := runProblem(t, 2, 2, core.Config{CIDMode: core.CIDExtended}, prob, true)
+	if reps[0].Residual != sess[0].Residual {
+		t.Fatalf("recover-mode residual %v != sessions residual %v", reps[0].Residual, sess[0].Residual)
+	}
+}

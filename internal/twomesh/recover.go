@@ -1,0 +1,150 @@
+package twomesh
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"gompi/mpi"
+)
+
+// RunRecover executes the proxy's L0 physics fault-aware: instead of the
+// World Process Model communicator, each epoch's working communicator is
+// constructed from the dynamic gompi://alive process set, and when a peer
+// dies mid-phase the rank drops the poisoned communicator, rebuilds over
+// the survivors, and restarts the solve from its initial state on the
+// shrunken ring. This is the recovery direction the paper sketches in
+// §II-C — re-initialize MPI after each failure, potentially with fewer
+// processes — with the re-initialization made mid-job: the session, the
+// instance, and the runtime's knowledge of the survivors all carry over;
+// only the physics restarts.
+//
+// The restart is from phase 0 deliberately. Survivors observe the death at
+// timing-dependent points (one rank fails in its halo exchange, another is
+// revoked out of the previous phase's allreduce), so any partial state is
+// rank-inconsistent; discarding it makes the recovered result a pure
+// function of the survivor set — bitwise reproducible run to run.
+//
+// inject, when non-nil, runs at the top of every phase attempt; a chaos
+// test uses it to panic the victim rank at a deterministic point. It sees
+// the phase number about to run.
+//
+// The L1/QUO half of the proxy is deliberately absent here: QUO contexts
+// bind to the process layout at creation, so the fault-aware loop
+// exercises the part of the application whose communicator can be rebuilt
+// mid-job. Returns the report, the number of recoveries performed, and the
+// first unrecoverable error.
+// rankSig renders a group's global ranks as a compact name suffix, so
+// communicator tags built from divergent survivor snapshots never collide.
+func rankSig(ranks []int) string {
+	sig := make([]byte, 0, 2*len(ranks))
+	for i, r := range ranks {
+		if i > 0 {
+			sig = append(sig, '.')
+		}
+		sig = strconv.AppendInt(sig, int64(r), 10)
+	}
+	return string(sig)
+}
+
+func RunRecover(p *mpi.Process, prob Problem, inject func(phase int)) (Report, int, error) {
+	rep := Report{Problem: prob.Name, Mode: "recover"}
+	sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+	if err != nil {
+		return rep, 0, err
+	}
+	// Finalize refuses while the working comm is live, so a rank panicking
+	// mid-phase (fault injection) keeps its instance held and its abnormal
+	// termination is reported; the clean path frees the comm first and this
+	// deferred call then completes the teardown.
+	defer func() { _ = sess.Finalize() }()
+
+	// Epoch- and membership-tagged names: every rebuild derives a fresh set
+	// of pset/CID names, identical on all survivors, never colliding with
+	// the epoch that died. The membership suffix matters for a race the
+	// revocation protocol opens: a revoke notice travels the data plane
+	// directly and can outrun the control plane's death broadcast, so a
+	// revoked rank's first SurvivorGroup snapshot may still contain the
+	// dead rank. That rank's construct then carries a different name than
+	// the converged survivors' construct — it fails fast on the dead
+	// participant instead of corrupting the collective the others are
+	// waiting in — and the rank retries with a fresh snapshot once the
+	// death broadcast lands (the ULFM shrink loop, in miniature).
+	epoch := 0
+	rebuild := func() (*mpi.Comm, error) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			sg, err := sess.SurvivorGroup(mpi.PsetAlive)
+			if err != nil {
+				return nil, err
+			}
+			tag := fmt.Sprintf("twomesh-recover-%d-%s", epoch, rankSig(sg.GlobalRanks()))
+			comm, err := sess.CommCreateFromGroup(sg, tag, nil, mpi.ErrorsReturn())
+			if err == nil {
+				return comm, nil
+			}
+			if mpi.ErrorClassOf(err) != mpi.ErrClassProcFailed || time.Now().After(deadline) {
+				return nil, err
+			}
+			// A member of our snapshot is dead. Give the death broadcast a
+			// moment to reach this node's server, then re-snapshot.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	comm, err := rebuild()
+	if err != nil {
+		return rep, 0, err
+	}
+
+	l0 := newL0(prob.L0Block, p.JobRank())
+	recoveries := 0
+	start := time.Now()
+	phase := 0
+	for phase < prob.Phases {
+		if inject != nil {
+			inject(phase)
+		}
+		refined := prob.RefineEvery > 0 && phase%prob.RefineEvery == prob.RefineEvery-1
+		t0 := time.Now()
+		res, err := runL0Phase(comm, l0, prob.L0Steps, refined, prob.L0StepCost)
+		if err != nil {
+			if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed && cls != mpi.ErrClassRevoked {
+				return rep, recoveries, fmt.Errorf("twomesh: L0 phase %d: %w", phase, err)
+			}
+			recoveries++
+			if recoveries > p.JobSize() {
+				// More recoveries than ranks that could possibly have died:
+				// the failure is not converging, bail out.
+				return rep, recoveries, fmt.Errorf("twomesh: phase %d: unrecoverable: %w", phase, err)
+			}
+			// Not every survivor saw the death directly: a rank whose phase
+			// operations touch only live peers blocks on THEM, not on the
+			// dead rank, and no failure event will fail that. Revoking the
+			// communicator interrupts those ranks so everyone reaches the
+			// rebuild.
+			_ = comm.Revoke()
+			_ = comm.Free()
+			epoch++
+			comm, err = rebuild()
+			if err != nil {
+				return rep, recoveries, fmt.Errorf("twomesh: rebuild after failure in phase %d: %w", phase, err)
+			}
+			// Restart the solve. CommCreateFromGroup is collective, so every
+			// survivor is past its interrupted phase by the time the new
+			// communicator exists; no further phase agreement is needed.
+			l0 = newL0(prob.L0Block, p.JobRank())
+			rep.Residual = 0
+			rep.L0Time = 0
+			phase = 0
+			continue
+		}
+		rep.Residual = res
+		rep.L0Time += time.Since(t0)
+		phase++
+	}
+	rep.Total = time.Since(start)
+	if err := comm.Free(); err != nil {
+		return rep, recoveries, err
+	}
+	return rep, recoveries, nil
+}

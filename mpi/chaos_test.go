@@ -147,6 +147,228 @@ func TestChaosAllreduceUnderDataFaults(t *testing.T) {
 	}
 }
 
+// TestChaosSurvivorRebuildAfterDeath: the recovery tentpole at the mpi
+// layer. A rank dies mid-collective; the survivors observe
+// MPI_ERR_PROC_FAILED, resolve the dynamic gompi://alive pset — which
+// already reflects the death, because the notification that completed their
+// collective also updated the local terminated set — and rebuild a working
+// communicator over the survivor group in normal collective time, not
+// retry-budget time.
+func TestChaosSurvivorRebuildAfterDeath(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var unblocked sync.WaitGroup
+	unblocked.Add(3)
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		grp, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		comm, err := sess.CommCreateFromGroup(grp, "pre-fault", nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		if p.JobRank() == 3 {
+			time.Sleep(30 * time.Millisecond)
+			panic("rank 3 dies mid-collective")
+		}
+		defer unblocked.Done()
+		defer func() { _ = sess.Finalize() }()
+
+		_, err = comm.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+		if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: allreduce = %v (class %v), want MPI_ERR_PROC_FAILED", p.JobRank(), err, cls)
+		}
+		if err := comm.Free(); err != nil {
+			return fmt.Errorf("rank %d: free poisoned comm: %v", p.JobRank(), err)
+		}
+
+		if !sess.PsetIsDynamic(mpi.PsetAlive) || sess.PsetIsDynamic(mpi.PsetWorld) {
+			return fmt.Errorf("rank %d: PsetIsDynamic misclassifies", p.JobRank())
+		}
+		info, err := sess.PsetInfo(mpi.PsetAlive)
+		if err != nil {
+			return err
+		}
+		if v, _ := info.Get("mpi_size"); v != "3" {
+			return fmt.Errorf("rank %d: alive mpi_size = %q, want 3", p.JobRank(), v)
+		}
+		if v, _ := info.Get("mpi_num_failed"); v != "1" {
+			return fmt.Errorf("rank %d: mpi_num_failed = %q, want 1", p.JobRank(), v)
+		}
+
+		sg, err := sess.SurvivorGroup(mpi.PsetAlive)
+		if err != nil {
+			return err
+		}
+		if sg.Size() != 3 {
+			return fmt.Errorf("rank %d: survivor group size %d, want 3", p.JobRank(), sg.Size())
+		}
+		start := time.Now()
+		comm2, err := sess.CommCreateFromGroup(sg, "rebuild", nil, mpi.ErrorsReturn())
+		if err != nil {
+			return fmt.Errorf("rank %d: rebuild over survivors: %v", p.JobRank(), err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			return fmt.Errorf("rank %d: survivor construct took %v — retry-budget stall", p.JobRank(), d)
+		}
+		defer func() { _ = comm2.Free() }()
+		sum, err := comm2.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+		if err != nil {
+			return fmt.Errorf("rank %d: allreduce on rebuilt comm: %v", p.JobRank(), err)
+		}
+		if sum != 3 { // 0+1+2
+			return fmt.Errorf("rank %d: rebuilt allreduce = %d, want 3", p.JobRank(), sum)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected rank death to be reported by Launch")
+	}
+	unblocked.Wait()
+}
+
+// TestChaosStaleSurvivorGroupFailsFast: regression for the one-shot
+// SurvivorGroup snapshot race. A group snapshot taken before a death must be
+// rejected by CommCreateFromGroup immediately — classified
+// MPI_ERR_PROC_FAILED — instead of burning the construct's full retry
+// budget timing out against the dead member. Also the zero-survivor case:
+// SurvivorGroup over a pset whose members are all dead returns a classified
+// process-failure error, not a bare one.
+func TestChaosStaleSurvivorGroupFailsFast(t *testing.T) {
+	job, err := runtime.NewJob(runtime.Options{
+		Cluster: topo.New(topo.Loopback(2), 2),
+		PPN:     2,
+		Config:  core.Config{CIDMode: core.CIDExtended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Shutdown()
+
+	var unblocked sync.WaitGroup
+	unblocked.Add(2)
+	err = job.Launch(func(p *mpi.Process) error {
+		sess, err := p.SessionInit(nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		world, err := sess.GroupFromPset(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		syncComm, err := sess.CommCreateFromGroup(world, "stale-sync", nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+
+		// Ranks 2 and 3 register the pset that will lose every member.
+		if p.JobRank() >= 2 {
+			doomed, err := world.Incl([]int{2, 3})
+			if err != nil {
+				return err
+			}
+			if err := sess.CreatePset("doomed", doomed); err != nil {
+				return err
+			}
+		}
+
+		// Survivors subscribe to the dynamic pset before any death.
+		deaths := make(chan mpi.PsetChange, 8)
+		watch := 0
+		if p.JobRank() < 2 {
+			watch, err = sess.WatchPset(mpi.PsetAlive, func(c mpi.PsetChange) { deaths <- c })
+			if err != nil {
+				return err
+			}
+		}
+		if err := syncComm.Barrier(); err != nil {
+			return err
+		}
+
+		// Snapshot while everyone is still alive: this is the stale group.
+		stale, err := sess.SurvivorGroup(mpi.PsetWorld)
+		if err != nil {
+			return err
+		}
+		if stale.Size() != 4 {
+			return fmt.Errorf("rank %d: pre-death survivor group size %d, want 4", p.JobRank(), stale.Size())
+		}
+
+		if p.JobRank() >= 2 {
+			time.Sleep(30 * time.Millisecond)
+			panic(fmt.Sprintf("rank %d dies", p.JobRank()))
+		}
+		defer unblocked.Done()
+		defer func() { _ = sess.Finalize() }()
+		defer func() { _ = syncComm.Free() }()
+
+		// Wait until BOTH deaths are visible locally.
+		dead := map[int]bool{}
+		for len(dead) < 2 {
+			select {
+			case c := <-deaths:
+				if !c.Alive {
+					dead[c.Rank] = true
+				}
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("rank %d: death notifications never arrived", p.JobRank())
+			}
+		}
+		sess.UnwatchPset(watch)
+
+		start := time.Now()
+		_, err = sess.CommCreateFromGroup(stale, "stale-rebuild", nil, mpi.ErrorsReturn())
+		if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: stale construct = %v (class %v), want MPI_ERR_PROC_FAILED", p.JobRank(), err, cls)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			return fmt.Errorf("rank %d: stale construct took %v, want immediate failure", p.JobRank(), d)
+		}
+
+		// Zero survivors: classified, not a bare error.
+		_, err = sess.SurvivorGroup("doomed")
+		if cls := mpi.ErrorClassOf(err); cls != mpi.ErrClassProcFailed {
+			return fmt.Errorf("rank %d: zero-survivor group = %v (class %v), want MPI_ERR_PROC_FAILED", p.JobRank(), err, cls)
+		}
+
+		// A fresh survivor set still rebuilds and computes.
+		sg, err := sess.SurvivorGroup(mpi.PsetAlive)
+		if err != nil {
+			return err
+		}
+		if sg.Size() != 2 {
+			return fmt.Errorf("rank %d: survivor group size %d, want 2", p.JobRank(), sg.Size())
+		}
+		c2, err := sess.CommCreateFromGroup(sg, "fresh-rebuild", nil, mpi.ErrorsReturn())
+		if err != nil {
+			return err
+		}
+		defer func() { _ = c2.Free() }()
+		sum, err := c2.AllreduceInt64(int64(p.JobRank()), mpi.OpSum)
+		if err != nil || sum != 1 { // 0+1
+			return fmt.Errorf("rank %d: rebuilt allreduce = %d, %v; want 1", p.JobRank(), sum, err)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected rank deaths to be reported by Launch")
+	}
+	unblocked.Wait()
+}
+
 // TestChaosPeerDeathMidPersistentColl: a rank dies while the others are
 // inside Start/Wait of a persistent allreduce. The survivors' Wait must
 // surface MPI_ERR_PROC_FAILED instead of hanging, and the errored request

@@ -165,6 +165,19 @@ func newCommFromGroup(s *Session, group *Group, tag string, errh *Errhandler) (*
 	}
 	ranks := group.GlobalRanks()
 
+	// Re-validate the group against the CURRENT terminated set before the
+	// collective: a SurvivorGroup snapshot is one-shot, and a member may
+	// have died between the snapshot and this call. Failing here is local
+	// and immediate; discovering it inside the group construct would cost
+	// every member a control-plane round first.
+	for _, dead := range inst.Client().TerminatedRanks() {
+		for _, r := range ranks {
+			if r == dead {
+				return nil, fmt.Errorf("mpi: comm create from group %q: member %d already terminated: %w", tag, r, pmix.ErrTerminated)
+			}
+		}
+	}
+
 	// The runtime collective runs WITHOUT the local CID lock: threads of
 	// one process may create communicators from different groups
 	// concurrently (the Sessions isolation model, §II-B), and their
@@ -460,6 +473,22 @@ func (c *Comm) CreateGroup(group *Group, tag int) (*Comm, error) {
 		return nil, c.errh.invoke(err)
 	}
 	return c.child(ch, gen, fmt.Sprintf("%s+cgrp(%d)", c.name, tag)), nil
+}
+
+// Revoke marks the communicator revoked on every member (the ULFM
+// MPIX_Comm_revoke analogue). All pending and future operations on it —
+// on every rank, not just the caller — fail with an error of class
+// ErrClassRevoked. A rank that observes a process failure revokes the
+// communicator before freeing it, so survivors blocked in operations
+// among themselves (which no failure event will ever fail) are
+// interrupted and reach the rebuild too. Revoking twice, or revoking a
+// communicator another member already revoked, is a no-op.
+func (c *Comm) Revoke() error {
+	if err := c.checkLive(); err != nil {
+		return c.errh.invoke(err)
+	}
+	c.p.inst.Engine().Revoke(c.ch)
+	return nil
 }
 
 // Free releases the communicator's local resources (MPI_Comm_free).

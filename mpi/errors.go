@@ -27,6 +27,7 @@ const (
 	ErrClassUnsupported
 	ErrClassTimedOut
 	ErrClassProcFailed
+	ErrClassRevoked
 	ErrClassOther
 )
 
@@ -55,6 +56,8 @@ func (c ErrorClass) String() string {
 		return "MPI_ERR_PENDING" // closest standard class for a timeout
 	case ErrClassProcFailed:
 		return "MPI_ERR_PROC_FAILED"
+	case ErrClassRevoked:
+		return "MPI_ERR_REVOKED"
 	}
 	return "MPI_ERR_OTHER"
 }
@@ -68,9 +71,17 @@ func ErrorClassOf(err error) ErrorClass {
 		return ErrClassTruncate
 	// Proc-failure outranks the transport classes: an error raised by a
 	// peer's death usually also chains a closed-endpoint error, and the
-	// failure is the part fault-tolerant callers dispatch on.
-	case errors.Is(err, pmix.ErrTerminated), errors.Is(err, pml.ErrPeerFailed):
+	// failure is the part fault-tolerant callers dispatch on. It also
+	// outranks the timeout class — a control-plane operation cut short
+	// because a participant died is a death, not a deadline.
+	case errors.Is(err, pmix.ErrTerminated), errors.Is(err, pml.ErrPeerFailed),
+		errors.Is(err, prrte.ErrDeadParticipant):
 		return ErrClassProcFailed
+	// Revocation is the failure-recovery protocol's own signal (a member
+	// revoked the communicator after observing a death), so like
+	// proc-failure it outranks the transport classes.
+	case errors.Is(err, pml.ErrRevoked):
+		return ErrClassRevoked
 	case errors.Is(err, ErrCommFreed), errors.Is(err, pml.ErrClosed),
 		errors.Is(err, btl.ErrClosed), errors.Is(err, simnet.ErrClosed),
 		errors.Is(err, btl.ErrUnreachable), errors.Is(err, prrte.ErrShutdown):

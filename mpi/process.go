@@ -170,6 +170,42 @@ func (p *Process) BTLStatsSnapshot() map[string]TransportStats {
 	return out
 }
 
+// FaultStats is a snapshot of the simulated fabric's fault-injection
+// counters: what the chaos plan actually did to this job's wire. Killed and
+// Revived count the process deaths and respawns the plan triggered — the
+// pair the recovery soak metrics (ROADMAP item 4) track against completed
+// rebuilds.
+type FaultStats struct {
+	Dropped     uint64
+	Duplicated  uint64
+	Delayed     uint64
+	Reordered   uint64
+	Partitioned uint64
+	Killed      uint64
+	Revived     uint64
+}
+
+// FaultStatsSnapshot returns the fabric's injected-fault counters; zero when
+// the process is not backed by a simulated fabric. The counters are
+// fabric-global (one chaos plan serves the whole job), so every process of a
+// job reports the same values.
+func (p *Process) FaultStatsSnapshot() FaultStats {
+	f := p.inst.Fabric()
+	if f == nil {
+		return FaultStats{}
+	}
+	s := f.FaultStats()
+	return FaultStats{
+		Dropped:     s.Dropped,
+		Duplicated:  s.Duplicated,
+		Delayed:     s.Delayed,
+		Reordered:   s.Reordered,
+		Partitioned: s.Partitioned,
+		Killed:      s.Killed,
+		Revived:     s.Revived,
+	}
+}
+
 // CollStats counts collective-framework algorithm invocations, keyed
 // "operation/algorithm" (e.g. "allreduce/recursive_doubling"). Together
 // with the "coll" trace layer it shows which decision-table entries the

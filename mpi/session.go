@@ -8,11 +8,15 @@ import (
 	"gompi/internal/pmix"
 )
 
-// Predefined process-set names (paper §III-B6).
+// Predefined process-set names (paper §III-B6). PsetAlive is the dynamic
+// pset: it resolves, fresh on every query, to the members of mpi://world not
+// known to have terminated; "gompi://alive/<base>" derives the live subset
+// of any other pset the same way.
 const (
 	PsetWorld  = core.PsetWorld
 	PsetSelf   = core.PsetSelf
 	PsetShared = core.PsetShared
+	PsetAlive  = core.PsetAlive
 )
 
 // Session is an MPI session: a handle to an isolated stream of MPI usage
@@ -101,7 +105,9 @@ func (s *Session) PsetName(n int) (string, error) {
 }
 
 // PsetInfo returns an info object describing a pset, including its
-// "mpi_size" key (MPI_Session_get_pset_info).
+// "mpi_size" key (MPI_Session_get_pset_info). Dynamic psets additionally
+// carry "mpi_dyn" = "true" and "mpi_num_failed", the number of base-pset
+// members currently known dead; both reflect the moment of the query.
 func (s *Session) PsetInfo(name string) (*Info, error) {
 	if err := s.checkLive(); err != nil {
 		return nil, s.errh.invoke(err)
@@ -113,7 +119,73 @@ func (s *Session) PsetInfo(name string) (*Info, error) {
 	info := NewInfo()
 	info.Set("mpi_size", fmt.Sprintf("%d", len(ranks)))
 	info.Set("pset_name", name)
+	if core.IsDynamicPset(name) {
+		info.Set("mpi_dyn", "true")
+		base, _ := core.DynamicPsetBase(name)
+		baseRanks, err := s.p.inst.ResolvePset(base)
+		if err != nil {
+			return nil, s.errh.invoke(err)
+		}
+		info.Set("mpi_num_failed", fmt.Sprintf("%d", len(baseRanks)-len(ranks)))
+	} else {
+		info.Set("mpi_dyn", "false")
+	}
 	return info, nil
+}
+
+// PsetIsDynamic reports whether a pset name resolves dynamically — i.e.
+// whether two GroupFromPset calls may legitimately see different members.
+// Only the gompi://alive family is dynamic; every other pset is a fixed
+// membership list.
+func (s *Session) PsetIsDynamic(name string) bool { return core.IsDynamicPset(name) }
+
+// PsetChange describes one membership change of a watched dynamic pset.
+type PsetChange struct {
+	Pset  string // the watched pset name
+	Rank  int    // the global rank whose state changed
+	Alive bool   // false: the rank died (pset shrank); true: it was respawned
+}
+
+// WatchPset registers fn to run whenever the membership of the named
+// dynamic pset changes — a base-pset member terminates or is respawned. fn
+// runs on the runtime's event-delivery goroutine and must not block; typical
+// use is nudging a recovery loop through a channel. The returned id cancels
+// the watch via UnwatchPset. Static psets never change, so watching one is
+// an error.
+func (s *Session) WatchPset(name string, fn func(PsetChange)) (int, error) {
+	if err := s.checkLive(); err != nil {
+		return 0, s.errh.invoke(err)
+	}
+	if !core.IsDynamicPset(name) {
+		return 0, s.errh.invoke(fmt.Errorf("mpi: pset %q is static and never changes membership", name))
+	}
+	base, _ := core.DynamicPsetBase(name)
+	ranks, err := s.p.inst.ResolvePset(base)
+	if err != nil {
+		return 0, s.errh.invoke(err)
+	}
+	members := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		members[r] = true
+	}
+	id := s.p.inst.Client().RegisterEventHandler(
+		[]pmix.EventCode{pmix.EventProcTerminated, pmix.EventProcRestarted},
+		func(ev pmix.Event) {
+			if !members[ev.Source.Rank] {
+				return
+			}
+			fn(PsetChange{Pset: name, Rank: ev.Source.Rank, Alive: ev.Code == pmix.EventProcRestarted})
+		})
+	return id, nil
+}
+
+// UnwatchPset cancels a WatchPset registration. Calling it after the
+// session (or the whole instance) finalized is a no-op: the runtime
+// connection that held the handler is already gone.
+func (s *Session) UnwatchPset(id int) {
+	if c := s.p.inst.Client(); c != nil {
+		c.DeregisterEventHandler(id)
+	}
 }
 
 // GroupFromPset builds an MPI group from a process-set name
@@ -182,7 +254,9 @@ func (s *Session) SurvivorGroup(pset string) (*Group, error) {
 		}
 	}
 	if len(alive) == 0 {
-		return nil, s.errh.invoke(fmt.Errorf("mpi: no survivors in pset %q", pset))
+		// Classified as a process failure so recovery loops dispatching on
+		// ErrorClassOf treat "everyone else is dead" like any other death.
+		return nil, s.errh.invoke(fmt.Errorf("mpi: no survivors in pset %q: %w", pset, pmix.ErrTerminated))
 	}
 	return newGroup(s.p, alive), nil
 }

@@ -227,6 +227,52 @@ func (j *Job) LaunchRanks(ranks []int, main func(p *mpi.Process) error) error {
 	return nil
 }
 
+// Respawn replaces a crashed rank: the dead incarnation's leaked resources
+// (PML engine, shared-memory mailbox, fabric endpoint, PMIx connection) are
+// forcibly reclaimed, and main runs as the rank's new incarnation on the
+// calling goroutine, blocking until it returns. The fresh SessionInit
+// inside main reconnects to the rank's PMIx server, which re-admits the
+// rank into gompi://alive and broadcasts EventProcRestarted so surviving
+// ranks drop cached routes and addresses of the dead incarnation.
+//
+// Respawn is meant to be called while Launch is still running the survivor
+// ranks — typically from a goroutine triggered once a survivor observes the
+// death (e.g. via Session.WatchPset). The target rank must have terminated
+// abnormally (its death reported through Abort); respawning a live rank
+// corrupts its state.
+func (j *Job) Respawn(rank int, main func(p *mpi.Process) error) error {
+	if rank < 0 || rank >= j.opts.NP {
+		return fmt.Errorf("runtime: rank %d out of range", rank)
+	}
+	j.mu.Lock()
+	if j.shutdown {
+		j.mu.Unlock()
+		return fmt.Errorf("runtime: job is shut down")
+	}
+	j.mu.Unlock()
+
+	inst := j.insts[rank]
+	inst.ForceTeardown()
+
+	var err error
+	func() {
+		proc := mpi.NewProcess(inst)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if c := inst.Client(); c != nil {
+					c.Abort()
+				}
+				err = fmt.Errorf("panic: %v\n%s", rec, debug.Stack())
+			}
+		}()
+		err = main(proc)
+	}()
+	if err != nil {
+		return RankError{Rank: rank, Err: err}
+	}
+	return nil
+}
+
 // Instance exposes a rank's core instance (benchmark instrumentation).
 func (j *Job) Instance(rank int) *core.Instance { return j.insts[rank] }
 
